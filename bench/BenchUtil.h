@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the figure-reproduction harnesses: environment
+/// knobs, wall-clock timing with per-point budgets, and table printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_BENCH_BENCHUTIL_H
+#define MCNK_BENCH_BENCHUTIL_H
+
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mcnk {
+namespace bench {
+
+/// Reads an unsigned environment knob with a default.
+inline unsigned envUnsigned(const char *Name, unsigned Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  return static_cast<unsigned>(std::strtoul(Value, nullptr, 10));
+}
+
+/// Reads a floating-point environment knob with a default.
+inline double envDouble(const char *Name, double Default) {
+  const char *Value = std::getenv(Name);
+  if (!Value || !*Value)
+    return Default;
+  return std::strtod(Value, nullptr);
+}
+
+/// A benchmark series that stops reporting once a point exceeds its time
+/// budget (the per-tool cutoff used in Figs 7 and 10).
+class BudgetedSeries {
+public:
+  explicit BudgetedSeries(double BudgetSeconds)
+      : Budget(BudgetSeconds) {}
+
+  bool alive() const { return Alive; }
+
+  /// Retires the series unconditionally (e.g. a tool-internal budget was
+  /// exhausted mid-measurement, so the next point would never finish).
+  void kill() { Alive = false; }
+
+  /// Runs \p Body if the series is still alive; returns the measured
+  /// seconds (negative when the series is dead). Kills the series when
+  /// the measurement goes over budget.
+  template <typename Fn> double measure(Fn &&Body) {
+    if (!Alive)
+      return -1.0;
+    WallTimer Timer;
+    Body();
+    double Elapsed = Timer.elapsed();
+    if (Elapsed > Budget)
+      Alive = false;
+    return Elapsed;
+  }
+
+private:
+  double Budget;
+  bool Alive = true;
+};
+
+/// Prints a seconds cell, or "-" for a dead series.
+inline void printCell(double Seconds) {
+  if (Seconds < 0)
+    std::printf("  %10s", "-");
+  else
+    std::printf("  %10.3f", Seconds);
+}
+
+} // namespace bench
+} // namespace mcnk
+
+#endif // MCNK_BENCH_BENCHUTIL_H

@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 7: scalability on FatTree data centers. For a sweep of FatTree
+/// parameters p, measures the time to compile the ECMP network model to a
+/// stochastic-matrix representation with (a) the native FDD backend and
+/// (b) the PRISM pipeline (syntactic translation + prismlite explicit
+/// model checking), each without failures (#f=0) and with independent
+/// link failures at 1/1000.
+///
+/// Shape expected from the paper: both backends grow polynomially, the
+/// native backend is consistently faster, and failures cost extra. A
+/// per-point time budget retires series that exceed it (the paper's
+/// timeout discipline). Knobs: MCNK_FIG7_MAXP (default 12),
+/// MCNK_TIME_LIMIT seconds (default 30).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "analysis/Verifier.h"
+#include "prism/Checker.h"
+#include "prism/Translate.h"
+#include "routing/Routing.h"
+
+#include <cstdio>
+
+using namespace mcnk;
+using namespace mcnk::bench;
+using namespace mcnk::routing;
+
+namespace {
+
+double compileNative(const topology::FatTreeLayout &L,
+                     const FailureModel &F) {
+  ast::Context Ctx;
+  ModelOptions O;
+  O.RoutingScheme = Scheme::F100;
+  O.Failures = F;
+  NetworkModel M = buildFatTreeModel(L, O, Ctx);
+  analysis::Verifier V(markov::SolverKind::Direct);
+  WallTimer T;
+  fdd::FddRef Ref = V.compile(M.Program);
+  (void)Ref;
+  return T.elapsed();
+}
+
+double checkPrism(const topology::FatTreeLayout &L, const FailureModel &F) {
+  ast::Context Ctx;
+  ModelOptions O;
+  O.RoutingScheme = Scheme::F100;
+  O.Failures = F;
+  NetworkModel M = buildFatTreeModel(L, O, Ctx);
+  Packet In = M.ingressPacket(M.Ingresses.size() - 1, Ctx);
+  WallTimer T;
+  prism::Translation Tr = prism::translate(Ctx, M.Program, In);
+  prism::Model PM;
+  prism::GuardExpr Goal;
+  std::string Error;
+  if (!prism::parseModel(Tr.Source, PM, Error) ||
+      !prism::parseGuard(Tr.DoneGuard, PM, Goal, Error)) {
+    std::fprintf(stderr, "prism pipeline error: %s\n", Error.c_str());
+    return T.elapsed();
+  }
+  prism::CheckResult CR;
+  if (!prism::checkReachability(PM, Goal, markov::SolverKind::Iterative, CR,
+                                Error))
+    std::fprintf(stderr, "prismlite error: %s\n", Error.c_str());
+  return T.elapsed();
+}
+
+} // namespace
+
+int main() {
+  unsigned MaxP = envUnsigned("MCNK_FIG7_MAXP", 12);
+  double Limit = envDouble("MCNK_TIME_LIMIT", 30.0);
+  std::printf("=== Fig 7: FatTree scalability (ECMP to switch 1) ===\n");
+  std::printf("series: native / native(#f=0) compile the full model; "
+              "prism / prism(#f=0) answer one delivery query\n");
+  std::printf("per-point budget: %.0fs (MCNK_TIME_LIMIT); '-' = retired\n\n",
+              Limit);
+  std::printf("%4s %9s  %10s  %10s  %10s  %10s\n", "p", "switches",
+              "nat(#f=0)", "native", "pri(#f=0)", "prism");
+
+  FailureModel NoFail = FailureModel::none();
+  FailureModel Fail = FailureModel::iid(Rational(1, 1000));
+  BudgetedSeries NativeNoFail(Limit), NativeFail(Limit), PrismNoFail(Limit),
+      PrismFail(Limit);
+
+  for (unsigned P = 4; P <= MaxP; P += 2) {
+    topology::FatTreeLayout L;
+    topology::makeFatTree(P, L);
+    std::printf("%4u %9u", P, L.numSwitches());
+    printCell(NativeNoFail.measure([&] { compileNative(L, NoFail); }));
+    printCell(NativeFail.measure([&] { compileNative(L, Fail); }));
+    printCell(PrismNoFail.measure([&] { checkPrism(L, NoFail); }));
+    printCell(PrismFail.measure([&] { checkPrism(L, Fail); }));
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 8: speedup of the parallelizing backend. The per-switch `case`
+/// construct compiles each switch program on a separate worker manager and
+/// merges the portable results — the single-machine analogue of the
+/// paper's map-reduce cluster backend. Reports compile time and speedup
+/// for increasing worker counts.
+///
+/// NOTE: the paper measured 16-core machines (and a 24-machine cluster);
+/// on hosts with few cores the attainable speedup is bounded by the
+/// hardware and the numbers here degenerate gracefully (documented in
+/// EXPERIMENTS.md). Knobs: MCNK_FIG8_P (default 8), MCNK_FIG8_MAXTHREADS
+/// (default 8).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "analysis/Verifier.h"
+#include "routing/Routing.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace mcnk;
+using namespace mcnk::bench;
+using namespace mcnk::routing;
+
+int main() {
+  unsigned P = envUnsigned("MCNK_FIG8_P", 8);
+  unsigned MaxThreads = envUnsigned("MCNK_FIG8_MAXTHREADS", 8);
+  std::printf("=== Fig 8: parallel speedup (FatTree p = %u, F10_3,5 with "
+              "failures) ===\n", P);
+  std::printf("host hardware concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  topology::FatTreeLayout L;
+  topology::makeAbFatTree(P, L);
+  ModelOptions O;
+  O.RoutingScheme = Scheme::F1035;
+  O.Failures = FailureModel::iid(Rational(1, 1000));
+
+  std::printf("%8s  %10s  %8s\n", "threads", "seconds", "speedup");
+  double Baseline = -1.0;
+  for (unsigned Threads = 1; Threads <= MaxThreads; Threads *= 2) {
+    ast::Context Ctx;
+    NetworkModel M = buildFatTreeModel(L, O, Ctx);
+    analysis::Verifier V(markov::SolverKind::Direct);
+    WallTimer T;
+    fdd::FddRef Ref = V.compile(M.Program, /*Parallel=*/Threads > 1,
+                                Threads);
+    (void)Ref;
+    double Elapsed = T.elapsed();
+    if (Baseline < 0)
+      Baseline = Elapsed;
+    std::printf("%8u  %10.3f  %7.2fx\n", Threads, Elapsed,
+                Baseline / Elapsed);
+    std::fflush(stdout);
+  }
+  return 0;
+}

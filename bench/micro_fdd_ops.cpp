@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks for the FDD operations (§5.1): primitive construction,
+/// sequential composition, branching, convex combination, loop solving,
+/// and full model compilation — the per-operation costs behind Fig 7.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fdd/Compile.h"
+#include "fdd/Fdd.h"
+#include "routing/Routing.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mcnk;
+using namespace mcnk::fdd;
+
+static void BM_FddSeqChain(benchmark::State &State) {
+  // Compose a chain of assignments and tests over distinct fields.
+  for (auto _ : State) {
+    State.PauseTiming();
+    FddManager M; // Fresh manager: measures cold composition.
+    State.ResumeTiming();
+    FddRef Acc = M.identityLeaf();
+    for (int F = 0; F < State.range(0); ++F) {
+      Acc = M.seq(Acc, M.test(static_cast<FieldId>(F), 1));
+      Acc = M.seq(Acc, M.assign(static_cast<FieldId>(F), 2));
+    }
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_FddSeqChain)->Arg(8)->Arg(32);
+
+static void BM_FddBranchCascade(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    FddManager M;
+    State.ResumeTiming();
+    FddRef Acc = M.dropLeaf();
+    for (int V = State.range(0); V-- > 0;)
+      Acc = M.branch(M.test(0, static_cast<FieldValue>(V)),
+                     M.assign(1, static_cast<FieldValue>(V)), Acc);
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_FddBranchCascade)->Arg(16)->Arg(128);
+
+static void BM_FddChoiceTree(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    FddManager M;
+    State.ResumeTiming();
+    FddRef Acc = M.assign(0, 0);
+    for (int V = 1; V <= State.range(0); ++V)
+      Acc = M.choice(Rational(1, V + 1),
+                     M.assign(0, static_cast<FieldValue>(V)), Acc);
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_FddChoiceTree)->Arg(8)->Arg(64);
+
+static void BM_FddLoopSolve(benchmark::State &State) {
+  // while f=0 do walk on {0..N} — a loop whose chain has N+1 states.
+  for (auto _ : State) {
+    State.PauseTiming();
+    FddManager M(markov::SolverKind::Direct);
+    ast::Context Ctx;
+    FieldId F = Ctx.field("f");
+    FieldId G = Ctx.field("g");
+    // Body: g cycles through N values, f flips to 1 on g=N-1.
+    const ast::Node *Body = Ctx.assign(F, 1);
+    for (int V = State.range(0); V-- > 0;)
+      Body = Ctx.ite(Ctx.test(G, static_cast<FieldValue>(V)),
+                     Ctx.seq(Ctx.assign(G, static_cast<FieldValue>(V + 1)),
+                             Ctx.choice(Rational(1, 2), Ctx.assign(F, 0),
+                                        Ctx.assign(F, 1))),
+                     Body);
+    const ast::Node *Loop = Ctx.whileLoop(Ctx.test(F, 0), Body);
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(compile(M, Loop));
+  }
+}
+BENCHMARK(BM_FddLoopSolve)->Arg(16)->Arg(64);
+
+static void BM_CompileTriangleModel(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    ast::Context Ctx;
+    routing::TriangleExample Ex = routing::buildTriangleExample(Ctx);
+    FddManager M;
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(compile(M, Ex.ResilientF2));
+  }
+}
+BENCHMARK(BM_CompileTriangleModel);
+
+static void BM_CompileFatTreeModel(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    ast::Context Ctx;
+    topology::FatTreeLayout L;
+    topology::makeAbFatTree(static_cast<unsigned>(State.range(0)), L);
+    routing::ModelOptions O;
+    O.RoutingScheme = routing::Scheme::F100;
+    O.Failures = routing::FailureModel::iid(Rational(1, 1000));
+    routing::NetworkModel Net = routing::buildFatTreeModel(L, O, Ctx);
+    FddManager M(markov::SolverKind::Direct);
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(compile(M, Net.Program));
+  }
+}
+BENCHMARK(BM_CompileFatTreeModel)->Arg(4)->Arg(8);
+
+BENCHMARK_MAIN();

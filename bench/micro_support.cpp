@@ -1,0 +1,71 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks for the exact-arithmetic substrate (BigInt/Rational) —
+/// the foundation every FDD leaf operation pays for.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+#include "support/Rational.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mcnk;
+
+static void BM_BigIntMultiply(benchmark::State &State) {
+  BigInt A = BigInt::pow(BigInt(7), static_cast<unsigned>(State.range(0)));
+  BigInt B = BigInt::pow(BigInt(11), static_cast<unsigned>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A * B);
+}
+BENCHMARK(BM_BigIntMultiply)->Arg(8)->Arg(64)->Arg(512);
+
+static void BM_BigIntDivMod(benchmark::State &State) {
+  BigInt A = BigInt::pow(BigInt(7), static_cast<unsigned>(State.range(0)));
+  BigInt B = BigInt::pow(BigInt(11),
+                         static_cast<unsigned>(State.range(0)) / 2);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(BigInt::divMod(A, B));
+}
+BENCHMARK(BM_BigIntDivMod)->Arg(8)->Arg(64)->Arg(512);
+
+static void BM_BigIntGcd(benchmark::State &State) {
+  BigInt A = BigInt::pow(BigInt(2 * 3 * 5 * 7),
+                         static_cast<unsigned>(State.range(0)));
+  BigInt B = BigInt::pow(BigInt(2 * 3 * 11),
+                         static_cast<unsigned>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(BigInt::gcd(A, B));
+}
+BENCHMARK(BM_BigIntGcd)->Arg(8)->Arg(64);
+
+static void BM_RationalConvex(benchmark::State &State) {
+  // The inner operation of every probabilistic-choice leaf merge.
+  Rational R(1, 3), P(999, 1000), Q(1, 1000);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(R * P + (Rational(1) - R) * Q);
+}
+BENCHMARK(BM_RationalConvex);
+
+static void BM_RationalLongProduct(benchmark::State &State) {
+  // Failure chains multiply many (1 - 1/1000) factors.
+  for (auto _ : State) {
+    Rational Acc(1);
+    for (int I = 0; I < State.range(0); ++I)
+      Acc *= Rational(999, 1000);
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_RationalLongProduct)->Arg(16)->Arg(128);
+
+static void BM_RationalToDouble(benchmark::State &State) {
+  Rational Tiny = Rational(1);
+  for (int I = 0; I < 20; ++I)
+    Tiny *= Rational(1, 1000);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Tiny.toDouble());
+}
+BENCHMARK(BM_RationalToDouble);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Fig 9/10 chain-of-diamonds reliability question answered by all
+/// three engines in this repository: the native FDD backend, the PRISM
+/// pipeline (syntactic translation + prismlite model checking), and the
+/// Bayonet-style exhaustive-inference baseline. All three agree exactly;
+/// their costs diverge wildly — which is the point of Fig 10.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "baseline/Exhaustive.h"
+#include "prism/Checker.h"
+#include "prism/Translate.h"
+#include "routing/Routing.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace mcnk;
+
+int main() {
+  const unsigned K = 4; // Diamonds; 4K switches.
+  const Rational PFail(1, 1000);
+
+  ast::Context Ctx;
+  topology::ChainLayout Layout;
+  topology::makeChain(K, Layout);
+  routing::NetworkModel M = routing::buildChainModel(Layout, PFail, Ctx);
+  Packet In = M.ingressPacket(0, Ctx);
+
+  std::printf("chain topology: %u diamonds, %u switches, pfail = %s\n\n", K,
+              Layout.numSwitches(), PFail.toString().c_str());
+
+  // Closed form for reference: (1 - pfail/2)^K.
+  Rational Expected(1);
+  for (unsigned I = 0; I < K; ++I)
+    Expected *= Rational(1) - PFail / Rational(2);
+  std::printf("closed form:      %s\n", Expected.toString().c_str());
+
+  // --- Native backend (PNK).
+  WallTimer T1;
+  analysis::Verifier V;
+  fdd::FddRef Model = V.compile(M.Program);
+  Rational Native = V.deliveryProbability(Model, In);
+  std::printf("native FDD:       %s   (%.3f s)\n", Native.toString().c_str(),
+              T1.elapsed());
+
+  // --- PRISM pipeline (PPNK -> prismlite).
+  WallTimer T2;
+  prism::Translation Tr = prism::translate(Ctx, M.Program, In);
+  prism::Model PM;
+  prism::GuardExpr Goal;
+  std::string Error;
+  if (!prism::parseModel(Tr.Source, PM, Error) ||
+      !prism::parseGuard(Tr.DoneGuard, PM, Goal, Error)) {
+    std::printf("prism pipeline error: %s\n", Error.c_str());
+    return 1;
+  }
+  prism::CheckResult CR;
+  if (!prism::checkReachability(PM, Goal, markov::SolverKind::Exact, CR,
+                                Error)) {
+    std::printf("prismlite error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("PPNK/prismlite:   %s   (%.3f s, %zu states)\n",
+              CR.Probability.toString().c_str(), T2.elapsed(), CR.NumStates);
+
+  // --- Bayonet-style exhaustive inference.
+  WallTimer T3;
+  baseline::InferenceOptions BO;
+  BO.LoopBound = 6 * K + 4;
+  baseline::InferenceResult BR = baseline::infer(M.Program, In, BO);
+  std::printf("exhaustive:       %s   (%.3f s, %zu paths)\n",
+              BR.deliveredMass().toString().c_str(), T3.elapsed(),
+              BR.NumPaths);
+
+  bool Agree = Native == Expected && CR.Probability == Expected &&
+               BR.deliveredMass() == Expected;
+  std::printf("\nall engines agree with the closed form: %s\n",
+              Agree ? "yes" : "NO");
+
+  std::printf("\n--- generated PRISM model (excerpt) ---\n");
+  std::printf("%.600s...\n", Tr.Source.c_str());
+  return Agree ? 0 : 1;
+}

@@ -1,0 +1,183 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// mcnk: a command-line verifier for `.pnk` programs.
+///
+///   mcnk check  <file.pnk>                 parse + guardedness check
+///   mcnk dump   <file.pnk>                 compile and dump the FDD
+///   mcnk run    <file.pnk> f=v[,g=w...]    output distribution for input
+///   mcnk equiv  <a.pnk> <b.pnk>            exact program equivalence
+///   mcnk prism  <file.pnk> f=v[,g=w...]    emit a PRISM model
+///
+/// Programs read from "-" come from stdin.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "ast/Traversal.h"
+#include "fdd/Export.h"
+#include "parser/Parser.h"
+#include "prism/Translate.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+using namespace mcnk;
+
+namespace {
+
+bool readSource(const std::string &Path, std::string &Out) {
+  if (Path == "-") {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Out = Buffer.str();
+    return true;
+  }
+  std::ifstream File(Path);
+  if (!File)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(File),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+const ast::Node *parseFile(const std::string &Path, ast::Context &Ctx) {
+  std::string Source;
+  if (!readSource(Path, Source)) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    return nullptr;
+  }
+  parser::ParseResult Result = parser::parseProgram(Source, Ctx);
+  if (!Result.ok()) {
+    for (const parser::Diagnostic &D : Result.Diagnostics)
+      std::fprintf(stderr, "%s:%s\n", Path.c_str(), D.render().c_str());
+    return nullptr;
+  }
+  return Result.Program;
+}
+
+/// Parses "f=v,g=w" into a packet over Ctx's fields (unknown fields are
+/// interned; unset fields default to 0).
+bool parseInputPacket(const std::string &Spec, ast::Context &Ctx,
+                      Packet &Out) {
+  std::vector<std::pair<FieldId, FieldValue>> Assignments;
+  std::size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    std::size_t Eq = Spec.find('=', Pos);
+    if (Eq == std::string::npos)
+      return false;
+    std::size_t End = Spec.find(',', Eq);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Field = Spec.substr(Pos, Eq - Pos);
+    std::string Value = Spec.substr(Eq + 1, End - Eq - 1);
+    if (Field.empty() || Value.empty())
+      return false;
+    unsigned long long V = 0;
+    for (char C : Value) {
+      if (C < '0' || C > '9')
+        return false;
+      V = V * 10 + static_cast<unsigned>(C - '0');
+    }
+    Assignments.emplace_back(Ctx.field(Field),
+                             static_cast<FieldValue>(V));
+    Pos = End + (End < Spec.size() ? 1 : 0);
+  }
+  Out = Packet(Ctx.fields().numFields());
+  for (const auto &[F, V] : Assignments)
+    Out.set(F, V);
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mcnk check|dump <file.pnk>\n"
+               "       mcnk run|prism <file.pnk> f=v[,g=w...]\n"
+               "       mcnk equiv <a.pnk> <b.pnk>\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  std::string Command = Argv[1];
+  ast::Context Ctx;
+
+  const ast::Node *Program = parseFile(Argv[2], Ctx);
+  if (!Program)
+    return 1;
+
+  if (Command == "check") {
+    std::printf("parse: ok (%zu nodes, depth %zu)\n",
+                ast::countNodes(Program), ast::depth(Program));
+    std::printf("guarded fragment: %s\n",
+                ast::isGuarded(Program) ? "yes" : "no");
+    return 0;
+  }
+
+  if (!ast::isGuarded(Program)) {
+    std::fprintf(stderr,
+                 "error: program is outside the guarded fragment "
+                 "(star or program-level union)\n");
+    return 1;
+  }
+
+  if (Command == "dump") {
+    analysis::Verifier V;
+    fdd::FddRef Ref = V.compile(Program);
+    std::printf("%s", fdd::dumpFdd(V.manager(), Ref, Ctx.fields()).c_str());
+    std::printf("// %zu nodes in the diagram\n",
+                V.manager().diagramSize(Ref));
+    return 0;
+  }
+
+  if (Command == "equiv") {
+    if (Argc < 4)
+      return usage();
+    const ast::Node *Other = parseFile(Argv[3], Ctx);
+    if (!Other || !ast::isGuarded(Other))
+      return 1;
+    analysis::Verifier V;
+    bool Equal = V.equivalent(V.compile(Program), V.compile(Other));
+    std::printf("%s\n", Equal ? "equivalent" : "NOT equivalent");
+    return Equal ? 0 : 1;
+  }
+
+  if (Command == "run" || Command == "prism") {
+    if (Argc < 4)
+      return usage();
+    Packet In;
+    if (!parseInputPacket(Argv[3], Ctx, In)) {
+      std::fprintf(stderr, "error: malformed input packet spec\n");
+      return 1;
+    }
+    if (Command == "prism") {
+      prism::Translation T = prism::translate(Ctx, Program, In);
+      std::printf("%s", T.Source.c_str());
+      std::printf("// delivered: %s, dropped: %s\n", T.DoneGuard.c_str(),
+                  T.DropGuard.c_str());
+      return 0;
+    }
+    analysis::Verifier V;
+    fdd::FddRef Ref = V.compile(Program);
+    auto Out = V.manager().outputDistribution(Ref, In);
+    for (const auto &[Pkt, W] : Out.Outputs) {
+      std::printf("{");
+      for (std::size_t F = 0; F < Pkt.numFields(); ++F)
+        std::printf("%s%s=%u", F ? ", " : "",
+                    Ctx.fields().name(static_cast<FieldId>(F)).c_str(),
+                    Pkt.get(static_cast<FieldId>(F)));
+      std::printf("} @ %s\n", W.toString().c_str());
+    }
+    if (!Out.Dropped.isZero())
+      std::printf("drop @ %s\n", Out.Dropped.toString().c_str());
+    return 0;
+  }
+  return usage();
+}

@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing verification facade: compile guarded ProbNetKAT
+/// programs and decide the paper's query classes — equivalence (≡),
+/// refinement (<, ≤), delivery probabilities, and hop-count statistics
+/// (§2 and §7). This is the API the examples and benchmark harnesses use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_ANALYSIS_VERIFIER_H
+#define MCNK_ANALYSIS_VERIFIER_H
+
+#include "ast/Context.h"
+#include "fdd/Compile.h"
+#include "fdd/Fdd.h"
+#include "fdd/Query.h"
+
+#include <map>
+#include <vector>
+
+namespace mcnk {
+namespace analysis {
+
+/// Aggregated hop-count statistics over a set of ingress packets
+/// (uniform traffic split, as in Fig 12).
+struct HopStats {
+  /// Pr[delivered with hop count == h], averaged over ingresses.
+  std::map<unsigned, Rational> Histogram;
+  /// Total delivered mass (≤ 1).
+  Rational Delivered;
+  /// E[hop count | delivered]; 0 when nothing is delivered.
+  double expectedGivenDelivered() const;
+  /// Pr[delivered and hop count ≤ h].
+  Rational cumulative(unsigned MaxHops) const;
+};
+
+/// Bundles an FDD manager with the query procedures. Equivalence checks
+/// are exact reference-equality in Exact solver mode and epsilon-tolerant
+/// otherwise (floating point enters only through loop solutions).
+class Verifier {
+public:
+  explicit Verifier(markov::SolverKind Solver = markov::SolverKind::Exact,
+                    double Tolerance = 1e-9)
+      : Manager(Solver), Tolerance(Tolerance) {}
+
+  fdd::FddManager &manager() { return Manager; }
+
+  /// Compiles a guarded program; optionally compiles `case` constructs on
+  /// a worker pool (the §6 parallel backend).
+  fdd::FddRef compile(const ast::Node *Program, bool Parallel = false,
+                      unsigned Threads = 0);
+
+  /// p ≡ q.
+  bool equivalent(fdd::FddRef P, fdd::FddRef Q) const;
+  /// p ≤ q (refinement); p < q is refines && !equivalent.
+  bool refines(fdd::FddRef P, fdd::FddRef Q) const;
+  bool strictlyRefines(fdd::FddRef P, fdd::FddRef Q) const {
+    return refines(P, Q) && !equivalent(P, Q);
+  }
+
+  /// Probability the program emits any packet for this input (1 - drop).
+  Rational deliveryProbability(fdd::FddRef Program, const Packet &In) const;
+  /// Mean delivery probability over a uniform ingress mix.
+  Rational averageDeliveryProbability(fdd::FddRef Program,
+                                      const std::vector<Packet> &In) const;
+
+  /// Distribution of \p Field over the delivered outputs for one input
+  /// (probabilities need not sum to 1; the gap is dropped mass).
+  std::map<FieldValue, Rational>
+  outputFieldDistribution(fdd::FddRef Program, const Packet &In,
+                          FieldId Field) const;
+
+  /// Hop-count statistics over a uniform ingress mix; \p HopField is the
+  /// model's counter field.
+  HopStats hopStats(fdd::FddRef Program, const std::vector<Packet> &In,
+                    FieldId HopField) const;
+
+private:
+  fdd::FddManager Manager;
+  double Tolerance;
+};
+
+} // namespace analysis
+} // namespace mcnk
+
+#endif // MCNK_ANALYSIS_VERIFIER_H

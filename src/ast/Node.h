@@ -1,0 +1,249 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProbNetKAT abstract syntax (paper Fig 2). Terms divide into predicates
+/// (drop, skip, f=n, &, ;, ¬) and programs (predicates, f:=n, &, ;, ⊕_r,
+/// *). The guarded fragment adds first-class conditionals, while loops, and
+/// the n-ary disjoint `case` construct (§6) that the parallel backend
+/// compiles map-reduce style.
+///
+/// Nodes are immutable, arena-allocated by Context, and use LLVM-style
+/// kind-based RTTI (isa/cast/dyn_cast via classof).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_AST_NODE_H
+#define MCNK_AST_NODE_H
+
+#include "packet/Field.h"
+#include "support/Casting.h"
+#include "support/Rational.h"
+
+#include <utility>
+#include <vector>
+
+namespace mcnk {
+namespace ast {
+
+/// Discriminator for Node's subclasses.
+enum class NodeKind : uint8_t {
+  Drop,       ///< false / abort
+  Skip,       ///< true / identity
+  Test,       ///< f = n
+  Assign,     ///< f := n
+  Not,        ///< ¬t (predicate only)
+  Seq,        ///< p ; q (conjunction on predicates)
+  Union,      ///< p & q (disjunction on predicates)
+  Choice,     ///< p ⊕_r q
+  Star,       ///< p* (full language only; not in the guarded fragment)
+  IfThenElse, ///< if t then p else q
+  While,      ///< while t do p
+  Case,       ///< case t1 -> p1 | ... | else -> q (disjoint branching)
+};
+
+/// Base class of all ProbNetKAT terms.
+class Node {
+public:
+  Node(const Node &) = delete;
+  Node &operator=(const Node &) = delete;
+  virtual ~Node() = default;
+
+  NodeKind kind() const { return Kind; }
+
+  /// True if this term denotes a predicate (filters packets, no
+  /// randomness, no modification). Computed structurally at construction.
+  bool isPredicate() const { return IsPred; }
+
+protected:
+  Node(NodeKind Kind, bool IsPred) : Kind(Kind), IsPred(IsPred) {}
+
+private:
+  NodeKind Kind;
+  bool IsPred;
+};
+
+/// drop — the constant-false predicate; maps every input to ∅.
+class DropNode : public Node {
+public:
+  DropNode() : Node(NodeKind::Drop, /*IsPred=*/true) {}
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Drop; }
+};
+
+/// skip — the constant-true predicate; the identity program.
+class SkipNode : public Node {
+public:
+  SkipNode() : Node(NodeKind::Skip, /*IsPred=*/true) {}
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Skip; }
+};
+
+/// f = n — passes the packet iff field f holds n.
+class TestNode : public Node {
+public:
+  TestNode(FieldId Field, FieldValue Value)
+      : Node(NodeKind::Test, /*IsPred=*/true), Field(Field), Value(Value) {}
+
+  FieldId field() const { return Field; }
+  FieldValue value() const { return Value; }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Test; }
+
+private:
+  FieldId Field;
+  FieldValue Value;
+};
+
+/// f := n — functional field update.
+class AssignNode : public Node {
+public:
+  AssignNode(FieldId Field, FieldValue Value)
+      : Node(NodeKind::Assign, /*IsPred=*/false), Field(Field), Value(Value) {}
+
+  FieldId field() const { return Field; }
+  FieldValue value() const { return Value; }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Assign; }
+
+private:
+  FieldId Field;
+  FieldValue Value;
+};
+
+/// ¬t — predicate negation.
+class NotNode : public Node {
+public:
+  explicit NotNode(const Node *Operand)
+      : Node(NodeKind::Not, /*IsPred=*/true), Operand(Operand) {}
+
+  const Node *operand() const { return Operand; }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Not; }
+
+private:
+  const Node *Operand;
+};
+
+/// p ; q — sequential composition; conjunction on predicates.
+class SeqNode : public Node {
+public:
+  SeqNode(const Node *Lhs, const Node *Rhs)
+      : Node(NodeKind::Seq, Lhs->isPredicate() && Rhs->isPredicate()),
+        Lhs(Lhs), Rhs(Rhs) {}
+
+  const Node *lhs() const { return Lhs; }
+  const Node *rhs() const { return Rhs; }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Seq; }
+
+private:
+  const Node *Lhs, *Rhs;
+};
+
+/// p & q — parallel composition; disjunction on predicates. Outside
+/// predicates this is only available to the reference set semantics (the
+/// guarded single-packet backends reject it).
+class UnionNode : public Node {
+public:
+  UnionNode(const Node *Lhs, const Node *Rhs)
+      : Node(NodeKind::Union, Lhs->isPredicate() && Rhs->isPredicate()),
+        Lhs(Lhs), Rhs(Rhs) {}
+
+  const Node *lhs() const { return Lhs; }
+  const Node *rhs() const { return Rhs; }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Union; }
+
+private:
+  const Node *Lhs, *Rhs;
+};
+
+/// p ⊕_r q — executes p with probability r, q with probability 1 - r.
+class ChoiceNode : public Node {
+public:
+  ChoiceNode(Rational Probability, const Node *Lhs, const Node *Rhs)
+      : Node(NodeKind::Choice, /*IsPred=*/false),
+        Probability(std::move(Probability)), Lhs(Lhs), Rhs(Rhs) {}
+
+  const Rational &probability() const { return Probability; }
+  const Node *lhs() const { return Lhs; }
+  const Node *rhs() const { return Rhs; }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Choice; }
+
+private:
+  Rational Probability;
+  const Node *Lhs, *Rhs;
+};
+
+/// p* — iteration (full language only).
+class StarNode : public Node {
+public:
+  explicit StarNode(const Node *Body)
+      : Node(NodeKind::Star, /*IsPred=*/false), Body(Body) {}
+
+  const Node *body() const { return Body; }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Star; }
+
+private:
+  const Node *Body;
+};
+
+/// if t then p else q — guarded branching (≜ t;p & ¬t;q).
+class IfThenElseNode : public Node {
+public:
+  IfThenElseNode(const Node *Cond, const Node *Then, const Node *Else)
+      : Node(NodeKind::IfThenElse, /*IsPred=*/false), Cond(Cond), Then(Then),
+        Else(Else) {}
+
+  const Node *cond() const { return Cond; }
+  const Node *thenBranch() const { return Then; }
+  const Node *elseBranch() const { return Else; }
+
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::IfThenElse;
+  }
+
+private:
+  const Node *Cond, *Then, *Else;
+};
+
+/// while t do p — guarded iteration (≜ (t;p)* ; ¬t).
+class WhileNode : public Node {
+public:
+  WhileNode(const Node *Cond, const Node *Body)
+      : Node(NodeKind::While, /*IsPred=*/false), Cond(Cond), Body(Body) {}
+
+  const Node *cond() const { return Cond; }
+  const Node *body() const { return Body; }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::While; }
+
+private:
+  const Node *Cond, *Body;
+};
+
+/// case t1 -> p1 | ... | tn -> pn | else -> q — n-ary disjoint branching
+/// (§6). Semantically a conditional cascade; the parallel backend compiles
+/// branches concurrently and merges the results.
+class CaseNode : public Node {
+public:
+  using Branch = std::pair<const Node *, const Node *>; // (guard, program)
+
+  CaseNode(std::vector<Branch> Branches, const Node *Default)
+      : Node(NodeKind::Case, /*IsPred=*/false), Branches(std::move(Branches)),
+        Default(Default) {}
+
+  const std::vector<Branch> &branches() const { return Branches; }
+  const Node *defaultBranch() const { return Default; }
+
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Case; }
+
+private:
+  std::vector<Branch> Branches;
+  const Node *Default;
+};
+
+} // namespace ast
+} // namespace mcnk
+
+#endif // MCNK_AST_NODE_H

@@ -1,0 +1,145 @@
+#include "ast/Printer.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+using namespace mcnk;
+using namespace mcnk::ast;
+
+namespace {
+
+/// Binding strength of each operator context; a child prints parentheses
+/// when its own level is looser than the context requires.
+enum Level : int {
+  LevelChoice = 0,
+  LevelUnion = 1,
+  LevelSeq = 2,
+  LevelUnary = 3,
+  LevelAtom = 4,
+};
+
+Level levelOf(const Node *N) {
+  switch (N->kind()) {
+  case NodeKind::Choice:
+    return LevelChoice;
+  case NodeKind::Union:
+    return LevelUnion;
+  case NodeKind::Seq:
+    return LevelSeq;
+  case NodeKind::Not:
+  case NodeKind::Star:
+    return LevelUnary;
+  // if/while/case extend unboundedly to the right (dangling-else); force
+  // parentheses anywhere but the top level.
+  case NodeKind::IfThenElse:
+  case NodeKind::While:
+  case NodeKind::Case:
+    return LevelChoice;
+  default:
+    return LevelAtom;
+  }
+}
+
+void printInto(const Node *N, const FieldTable &Fields, int MinLevel,
+               std::string &Out) {
+  bool Parens = levelOf(N) < MinLevel;
+  if (Parens)
+    Out += "(";
+  switch (N->kind()) {
+  case NodeKind::Drop:
+    Out += "drop";
+    break;
+  case NodeKind::Skip:
+    Out += "skip";
+    break;
+  case NodeKind::Test: {
+    const auto *T = cast<TestNode>(N);
+    Out += Fields.name(T->field()) + "=" + std::to_string(T->value());
+    break;
+  }
+  case NodeKind::Assign: {
+    const auto *A = cast<AssignNode>(N);
+    Out += Fields.name(A->field()) + ":=" + std::to_string(A->value());
+    break;
+  }
+  case NodeKind::Not:
+    Out += "!";
+    printInto(cast<NotNode>(N)->operand(), Fields, LevelAtom, Out);
+    break;
+  case NodeKind::Seq: {
+    const auto *S = cast<SeqNode>(N);
+    printInto(S->lhs(), Fields, LevelSeq, Out);
+    Out += " ; ";
+    printInto(S->rhs(), Fields, LevelSeq, Out);
+    break;
+  }
+  case NodeKind::Union: {
+    const auto *U = cast<UnionNode>(N);
+    printInto(U->lhs(), Fields, LevelUnion, Out);
+    Out += " & ";
+    printInto(U->rhs(), Fields, LevelUnion, Out);
+    break;
+  }
+  case NodeKind::Choice: {
+    const auto *C = cast<ChoiceNode>(N);
+    // Left operand at one level tighter keeps the operator left-assoc.
+    printInto(C->lhs(), Fields, LevelUnion, Out);
+    Out += " +[" + C->probability().toString() + "] ";
+    printInto(C->rhs(), Fields, LevelUnion, Out);
+    break;
+  }
+  case NodeKind::Star:
+    printInto(cast<StarNode>(N)->body(), Fields, LevelAtom, Out);
+    Out += "*";
+    break;
+  case NodeKind::IfThenElse: {
+    const auto *I = cast<IfThenElseNode>(N);
+    Out += "if ";
+    printInto(I->cond(), Fields, LevelUnion, Out);
+    Out += " then ";
+    printInto(I->thenBranch(), Fields, LevelSeq, Out);
+    Out += " else ";
+    printInto(I->elseBranch(), Fields, LevelSeq, Out);
+    break;
+  }
+  case NodeKind::While: {
+    const auto *W = cast<WhileNode>(N);
+    Out += "while ";
+    printInto(W->cond(), Fields, LevelUnion, Out);
+    Out += " do ";
+    printInto(W->body(), Fields, LevelSeq, Out);
+    break;
+  }
+  case NodeKind::Case: {
+    // No surface syntax; print as the equivalent conditional cascade.
+    const auto *C = cast<CaseNode>(N);
+    std::string Tail;
+    printInto(C->defaultBranch(), Fields, LevelSeq, Tail);
+    for (std::size_t I = C->branches().size(); I-- > 0;) {
+      const auto &[Guard, Program] = C->branches()[I];
+      std::string Piece = "if ";
+      printInto(Guard, Fields, LevelUnion, Piece);
+      Piece += " then ";
+      printInto(Program, Fields, LevelSeq, Piece);
+      // Inner cascade pieces are open-ended ifs; parenthesize them.
+      if (I + 1 < C->branches().size())
+        Piece += " else (" + Tail + ")";
+      else
+        Piece += " else " + Tail;
+      Tail = std::move(Piece);
+    }
+    Out += Tail;
+    break;
+  }
+  }
+  if (Parens)
+    Out += ")";
+}
+
+} // namespace
+
+std::string ast::print(const Node *N, const FieldTable &Fields) {
+  std::string Out;
+  printInto(N, Fields, LevelChoice, Out);
+  return Out;
+}

@@ -1,0 +1,28 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty printer producing the concrete `.pnk` surface syntax; output is
+/// re-parseable by the parser (round-trip tested).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_AST_PRINTER_H
+#define MCNK_AST_PRINTER_H
+
+#include "ast/Node.h"
+#include "packet/Field.h"
+
+#include <string>
+
+namespace mcnk {
+namespace ast {
+
+/// Renders \p N using field names from \p Fields. Grammar (loosest to
+/// tightest): choice `+[r]`, union `&`, sequence `;`, prefix `!` / postfix
+/// `*`, atoms. if/while/var print with parenthesized sub-programs.
+std::string print(const Node *N, const FieldTable &Fields);
+
+} // namespace ast
+} // namespace mcnk
+
+#endif // MCNK_AST_PRINTER_H

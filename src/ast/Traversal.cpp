@@ -1,0 +1,229 @@
+#include "ast/Traversal.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+#include "support/Hashing.h"
+
+using namespace mcnk;
+using namespace mcnk::ast;
+
+bool ast::structurallyEqual(const Node *A, const Node *B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case NodeKind::Drop:
+  case NodeKind::Skip:
+    return true;
+  case NodeKind::Test: {
+    const auto *TA = cast<TestNode>(A), *TB = cast<TestNode>(B);
+    return TA->field() == TB->field() && TA->value() == TB->value();
+  }
+  case NodeKind::Assign: {
+    const auto *TA = cast<AssignNode>(A), *TB = cast<AssignNode>(B);
+    return TA->field() == TB->field() && TA->value() == TB->value();
+  }
+  case NodeKind::Not:
+    return structurallyEqual(cast<NotNode>(A)->operand(),
+                             cast<NotNode>(B)->operand());
+  case NodeKind::Seq: {
+    const auto *SA = cast<SeqNode>(A), *SB = cast<SeqNode>(B);
+    return structurallyEqual(SA->lhs(), SB->lhs()) &&
+           structurallyEqual(SA->rhs(), SB->rhs());
+  }
+  case NodeKind::Union: {
+    const auto *UA = cast<UnionNode>(A), *UB = cast<UnionNode>(B);
+    return structurallyEqual(UA->lhs(), UB->lhs()) &&
+           structurallyEqual(UA->rhs(), UB->rhs());
+  }
+  case NodeKind::Choice: {
+    const auto *CA = cast<ChoiceNode>(A), *CB = cast<ChoiceNode>(B);
+    return CA->probability() == CB->probability() &&
+           structurallyEqual(CA->lhs(), CB->lhs()) &&
+           structurallyEqual(CA->rhs(), CB->rhs());
+  }
+  case NodeKind::Star:
+    return structurallyEqual(cast<StarNode>(A)->body(),
+                             cast<StarNode>(B)->body());
+  case NodeKind::IfThenElse: {
+    const auto *IA = cast<IfThenElseNode>(A), *IB = cast<IfThenElseNode>(B);
+    return structurallyEqual(IA->cond(), IB->cond()) &&
+           structurallyEqual(IA->thenBranch(), IB->thenBranch()) &&
+           structurallyEqual(IA->elseBranch(), IB->elseBranch());
+  }
+  case NodeKind::While: {
+    const auto *WA = cast<WhileNode>(A), *WB = cast<WhileNode>(B);
+    return structurallyEqual(WA->cond(), WB->cond()) &&
+           structurallyEqual(WA->body(), WB->body());
+  }
+  case NodeKind::Case: {
+    const auto *CA = cast<CaseNode>(A), *CB = cast<CaseNode>(B);
+    if (CA->branches().size() != CB->branches().size())
+      return false;
+    for (std::size_t I = 0; I < CA->branches().size(); ++I) {
+      if (!structurallyEqual(CA->branches()[I].first,
+                             CB->branches()[I].first) ||
+          !structurallyEqual(CA->branches()[I].second,
+                             CB->branches()[I].second))
+        return false;
+    }
+    return structurallyEqual(CA->defaultBranch(), CB->defaultBranch());
+  }
+  }
+  MCNK_UNREACHABLE("unhandled node kind");
+}
+
+std::size_t ast::structuralHash(const Node *N) {
+  std::size_t Seed = hashCombine(0x1234u, static_cast<unsigned>(N->kind()));
+  switch (N->kind()) {
+  case NodeKind::Drop:
+  case NodeKind::Skip:
+    return Seed;
+  case NodeKind::Test: {
+    const auto *T = cast<TestNode>(N);
+    return hashCombine(hashCombine(Seed, T->field()), T->value());
+  }
+  case NodeKind::Assign: {
+    const auto *T = cast<AssignNode>(N);
+    return hashCombine(hashCombine(Seed, T->field()), T->value());
+  }
+  case NodeKind::Not:
+    return hashCombine(Seed, structuralHash(cast<NotNode>(N)->operand()));
+  case NodeKind::Seq: {
+    const auto *S = cast<SeqNode>(N);
+    return hashCombine(hashCombine(Seed, structuralHash(S->lhs())),
+                       structuralHash(S->rhs()));
+  }
+  case NodeKind::Union: {
+    const auto *U = cast<UnionNode>(N);
+    return hashCombine(hashCombine(Seed, structuralHash(U->lhs())),
+                       structuralHash(U->rhs()));
+  }
+  case NodeKind::Choice: {
+    const auto *C = cast<ChoiceNode>(N);
+    Seed = hashCombine(Seed, C->probability().hash());
+    Seed = hashCombine(Seed, structuralHash(C->lhs()));
+    return hashCombine(Seed, structuralHash(C->rhs()));
+  }
+  case NodeKind::Star:
+    return hashCombine(Seed, structuralHash(cast<StarNode>(N)->body()));
+  case NodeKind::IfThenElse: {
+    const auto *I = cast<IfThenElseNode>(N);
+    Seed = hashCombine(Seed, structuralHash(I->cond()));
+    Seed = hashCombine(Seed, structuralHash(I->thenBranch()));
+    return hashCombine(Seed, structuralHash(I->elseBranch()));
+  }
+  case NodeKind::While: {
+    const auto *W = cast<WhileNode>(N);
+    return hashCombine(hashCombine(Seed, structuralHash(W->cond())),
+                       structuralHash(W->body()));
+  }
+  case NodeKind::Case: {
+    const auto *C = cast<CaseNode>(N);
+    for (const auto &[Guard, Program] : C->branches()) {
+      Seed = hashCombine(Seed, structuralHash(Guard));
+      Seed = hashCombine(Seed, structuralHash(Program));
+    }
+    return hashCombine(Seed, structuralHash(C->defaultBranch()));
+  }
+  }
+  MCNK_UNREACHABLE("unhandled node kind");
+}
+
+namespace {
+
+template <typename Fn> void forEachChild(const Node *N, Fn Visit) {
+  switch (N->kind()) {
+  case NodeKind::Drop:
+  case NodeKind::Skip:
+  case NodeKind::Test:
+  case NodeKind::Assign:
+    return;
+  case NodeKind::Not:
+    Visit(cast<NotNode>(N)->operand());
+    return;
+  case NodeKind::Seq:
+    Visit(cast<SeqNode>(N)->lhs());
+    Visit(cast<SeqNode>(N)->rhs());
+    return;
+  case NodeKind::Union:
+    Visit(cast<UnionNode>(N)->lhs());
+    Visit(cast<UnionNode>(N)->rhs());
+    return;
+  case NodeKind::Choice:
+    Visit(cast<ChoiceNode>(N)->lhs());
+    Visit(cast<ChoiceNode>(N)->rhs());
+    return;
+  case NodeKind::Star:
+    Visit(cast<StarNode>(N)->body());
+    return;
+  case NodeKind::IfThenElse:
+    Visit(cast<IfThenElseNode>(N)->cond());
+    Visit(cast<IfThenElseNode>(N)->thenBranch());
+    Visit(cast<IfThenElseNode>(N)->elseBranch());
+    return;
+  case NodeKind::While:
+    Visit(cast<WhileNode>(N)->cond());
+    Visit(cast<WhileNode>(N)->body());
+    return;
+  case NodeKind::Case: {
+    const auto *C = cast<CaseNode>(N);
+    for (const auto &[Guard, Program] : C->branches()) {
+      Visit(Guard);
+      Visit(Program);
+    }
+    Visit(C->defaultBranch());
+    return;
+  }
+  }
+  MCNK_UNREACHABLE("unhandled node kind");
+}
+
+} // namespace
+
+std::size_t ast::countNodes(const Node *N) {
+  std::size_t Count = 1;
+  forEachChild(N, [&Count](const Node *C) { Count += countNodes(C); });
+  return Count;
+}
+
+std::size_t ast::depth(const Node *N) {
+  std::size_t MaxChild = 0;
+  forEachChild(N, [&MaxChild](const Node *C) {
+    MaxChild = std::max(MaxChild, depth(C));
+  });
+  return MaxChild + 1;
+}
+
+bool ast::isGuarded(const Node *N) {
+  if (isa<StarNode>(N))
+    return false;
+  if (isa<UnionNode>(N) && !N->isPredicate())
+    return false;
+  bool Guarded = true;
+  forEachChild(N, [&Guarded](const Node *C) {
+    if (!isGuarded(C))
+      Guarded = false;
+  });
+  return Guarded;
+}
+
+static void collectValuesInto(const Node *N,
+                              std::map<FieldId, std::set<FieldValue>> &Out) {
+  if (const auto *T = dyn_cast<TestNode>(N)) {
+    Out[T->field()].insert(T->value());
+    return;
+  }
+  if (const auto *A = dyn_cast<AssignNode>(N)) {
+    Out[A->field()].insert(A->value());
+    return;
+  }
+  forEachChild(N, [&Out](const Node *C) { collectValuesInto(C, Out); });
+}
+
+std::map<FieldId, std::set<FieldValue>> ast::collectValues(const Node *N) {
+  std::map<FieldId, std::set<FieldValue>> Result;
+  collectValuesInto(N, Result);
+  return Result;
+}

@@ -1,0 +1,175 @@
+#include "baseline/Exhaustive.h"
+
+#include "ast/Traversal.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace mcnk;
+using namespace mcnk::baseline;
+using namespace mcnk::ast;
+
+Rational InferenceResult::deliveredMass() const {
+  Rational Total;
+  for (const auto &[P, W] : Outputs)
+    Total += W;
+  return Total;
+}
+
+namespace {
+
+/// Evaluates a predicate on a concrete packet.
+bool evalPredicate(const Node *P, const Packet &Pkt) {
+  switch (P->kind()) {
+  case NodeKind::Drop:
+    return false;
+  case NodeKind::Skip:
+    return true;
+  case NodeKind::Test: {
+    const auto *T = cast<TestNode>(P);
+    return Pkt.get(T->field()) == T->value();
+  }
+  case NodeKind::Not:
+    return !evalPredicate(cast<NotNode>(P)->operand(), Pkt);
+  case NodeKind::Seq: {
+    const auto *S = cast<SeqNode>(P);
+    return evalPredicate(S->lhs(), Pkt) && evalPredicate(S->rhs(), Pkt);
+  }
+  case NodeKind::Union: {
+    const auto *U = cast<UnionNode>(P);
+    return evalPredicate(U->lhs(), Pkt) || evalPredicate(U->rhs(), Pkt);
+  }
+  default:
+    MCNK_UNREACHABLE("not a predicate");
+  }
+}
+
+/// Path-at-a-time evaluator. Each probabilistic choice forks the
+/// exploration; continuations are passed explicitly so sequencing works
+/// without materializing intermediate distributions (that would be the
+/// FDD-style optimization this baseline deliberately lacks).
+class PathExplorer {
+public:
+  PathExplorer(const InferenceOptions &Options, InferenceResult &Result)
+      : Options(Options), Result(Result) {}
+
+  using Continuation = std::function<void(const Packet &, const Rational &)>;
+
+  void run(const Node *Program, const Packet &Input) {
+    eval(Program, Input, Rational(1), [this](const Packet &Out,
+                                             const Rational &W) {
+      Result.Outputs[Out] += W;
+      ++Result.NumPaths;
+    });
+  }
+
+private:
+  bool budgetLeft() {
+    if (Options.PathBudget == 0)
+      return true;
+    if (Result.NumPaths < Options.PathBudget)
+      return true;
+    Result.BudgetExhausted = true;
+    return false;
+  }
+
+  void eval(const Node *P, const Packet &Pkt, const Rational &Weight,
+            const Continuation &K) {
+    if (!budgetLeft())
+      return;
+    if (P->isPredicate()) {
+      if (evalPredicate(P, Pkt)) {
+        K(Pkt, Weight);
+      } else {
+        Result.Dropped += Weight;
+        ++Result.NumPaths;
+      }
+      return;
+    }
+    switch (P->kind()) {
+    case NodeKind::Assign: {
+      const auto *A = cast<AssignNode>(P);
+      K(Pkt.with(A->field(), A->value()), Weight);
+      return;
+    }
+    case NodeKind::Seq: {
+      const auto *S = cast<SeqNode>(P);
+      eval(S->lhs(), Pkt, Weight,
+           [this, S, &K](const Packet &Mid, const Rational &W) {
+             eval(S->rhs(), Mid, W, K);
+           });
+      return;
+    }
+    case NodeKind::Choice: {
+      const auto *C = cast<ChoiceNode>(P);
+      eval(C->lhs(), Pkt, Weight * C->probability(), K);
+      eval(C->rhs(), Pkt, Weight * (Rational(1) - C->probability()), K);
+      return;
+    }
+    case NodeKind::IfThenElse: {
+      const auto *I = cast<IfThenElseNode>(P);
+      eval(evalPredicate(I->cond(), Pkt) ? I->thenBranch()
+                                         : I->elseBranch(),
+           Pkt, Weight, K);
+      return;
+    }
+    case NodeKind::While: {
+      const auto *W = cast<WhileNode>(P);
+      evalLoop(W, Pkt, Weight, Options.LoopBound, K);
+      return;
+    }
+    case NodeKind::Case: {
+      const auto *C = cast<CaseNode>(P);
+      for (const auto &[Guard, Program] : C->branches())
+        if (evalPredicate(Guard, Pkt)) {
+          eval(Program, Pkt, Weight, K);
+          return;
+        }
+      eval(C->defaultBranch(), Pkt, Weight, K);
+      return;
+    }
+    case NodeKind::Union:
+    case NodeKind::Star:
+      fatalError("baseline interpreter requires the guarded fragment");
+    default:
+      MCNK_UNREACHABLE("predicates handled above");
+    }
+  }
+
+  void evalLoop(const WhileNode *W, const Packet &Pkt,
+                const Rational &Weight, std::size_t Remaining,
+                const Continuation &K) {
+    if (!budgetLeft())
+      return;
+    if (!evalPredicate(W->cond(), Pkt)) {
+      K(Pkt, Weight);
+      return;
+    }
+    if (Remaining == 0) {
+      // Unrolling bound reached with the guard still true.
+      Result.Residual += Weight;
+      ++Result.NumPaths;
+      return;
+    }
+    eval(W->body(), Pkt, Weight,
+         [this, W, Remaining, &K](const Packet &Next, const Rational &V) {
+           evalLoop(W, Next, V, Remaining - 1, K);
+         });
+  }
+
+  const InferenceOptions &Options;
+  InferenceResult &Result;
+};
+
+} // namespace
+
+InferenceResult baseline::infer(const Node *Program, const Packet &Input,
+                                const InferenceOptions &Options) {
+  assert(isGuarded(Program) && "baseline requires guarded programs");
+  InferenceResult Result;
+  PathExplorer Explorer(Options, Result);
+  Explorer.run(Program, Input);
+  return Result;
+}

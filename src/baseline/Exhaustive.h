@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// General-purpose exact inference baseline (the Bayonet/PSI stand-in for
+/// the Fig 10 comparison; see DESIGN.md). Computes output distributions
+/// by exhaustively enumerating the probabilistic execution paths of a
+/// guarded program on a concrete input — no FDDs, no domain reduction, no
+/// sparse linear algebra. Loops unroll up to a caller-supplied bound, the
+/// same restriction Bayonet imposes ("programmers must supply an upper
+/// bound on loops", §8); mass still circulating at the bound is reported
+/// as residual.
+///
+/// Path count grows exponentially with the number of probabilistic
+/// choices encountered, which is exactly the scaling behavior the
+/// comparison is meant to exhibit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_BASELINE_EXHAUSTIVE_H
+#define MCNK_BASELINE_EXHAUSTIVE_H
+
+#include "ast/Node.h"
+#include "packet/Packet.h"
+#include "support/Rational.h"
+
+#include <cstddef>
+#include <map>
+
+namespace mcnk {
+namespace baseline {
+
+struct InferenceOptions {
+  /// Maximum iterations unrolled per while loop (Bayonet-style bound).
+  std::size_t LoopBound = 256;
+  /// Abort once this many paths have been expanded (0 = unlimited).
+  std::size_t PathBudget = 0;
+};
+
+struct InferenceResult {
+  std::map<Packet, Rational> Outputs;
+  Rational Dropped;
+  /// Mass still inside a loop when the unrolling bound was hit.
+  Rational Residual;
+  /// Number of complete root-to-leaf probabilistic paths explored.
+  std::size_t NumPaths = 0;
+  /// True if PathBudget stopped the exploration early.
+  bool BudgetExhausted = false;
+
+  /// Total probability of producing any packet (1 - drop - residual).
+  Rational deliveredMass() const;
+};
+
+/// Runs exhaustive exact inference of \p Program on \p Input. The program
+/// must be guarded (no star, no program-level union).
+InferenceResult infer(const ast::Node *Program, const Packet &Input,
+                      const InferenceOptions &Options = {});
+
+} // namespace baseline
+} // namespace mcnk
+
+#endif // MCNK_BASELINE_EXHAUSTIVE_H

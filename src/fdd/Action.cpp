@@ -1,0 +1,110 @@
+#include "fdd/Action.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mcnk;
+using namespace mcnk::fdd;
+
+Action Action::modify(std::vector<Mod> ModList) {
+  std::sort(ModList.begin(), ModList.end());
+  // Later entries for the same field win (matches `then` semantics when a
+  // caller assembles writes left to right). After sort, equal fields are
+  // adjacent; keep the last occurrence.
+  std::vector<Mod> Unique;
+  for (std::size_t I = 0; I < ModList.size(); ++I) {
+    if (!Unique.empty() && Unique.back().first == ModList[I].first)
+      Unique.back().second = ModList[I].second;
+    else
+      Unique.push_back(ModList[I]);
+  }
+  Action Result;
+  Result.Mods = std::move(Unique);
+  return Result;
+}
+
+std::optional<FieldValue> Action::writeTo(FieldId Field) const {
+  for (const Mod &M : Mods)
+    if (M.first == Field)
+      return M.second;
+  return std::nullopt;
+}
+
+Action Action::then(const Action &Other) const {
+  if (IsDrop || Other.IsDrop)
+    return drop();
+  // Merge two sorted mod lists; Other's writes override ours.
+  Action Result;
+  Result.Mods.reserve(Mods.size() + Other.Mods.size());
+  std::size_t I = 0, J = 0;
+  while (I < Mods.size() || J < Other.Mods.size()) {
+    if (J == Other.Mods.size() ||
+        (I < Mods.size() && Mods[I].first < Other.Mods[J].first)) {
+      Result.Mods.push_back(Mods[I++]);
+    } else if (I == Mods.size() || Other.Mods[J].first < Mods[I].first) {
+      Result.Mods.push_back(Other.Mods[J++]);
+    } else {
+      Result.Mods.push_back(Other.Mods[J++]); // Same field: Other wins.
+      ++I;
+    }
+  }
+  return Result;
+}
+
+Action Action::dropMod(FieldId Field) const {
+  assert(!IsDrop && "dropMod on drop");
+  Action Result;
+  Result.Mods.reserve(Mods.size());
+  for (const Mod &M : Mods)
+    if (M.first != Field)
+      Result.Mods.push_back(M);
+  return Result;
+}
+
+Packet Action::applyTo(const Packet &P) const {
+  assert(!IsDrop && "applyTo on drop");
+  Packet Result = P;
+  for (const Mod &M : Mods)
+    Result.set(M.first, M.second);
+  return Result;
+}
+
+ActionDist
+ActionDist::fromEntries(std::vector<std::pair<Action, Rational>> Raw) {
+  std::sort(Raw.begin(), Raw.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  ActionDist Result;
+  Rational Total;
+  for (auto &Entry : Raw) {
+    if (Entry.second.isZero())
+      continue;
+    assert(!Entry.second.isNegative() && "negative probability");
+    Total += Entry.second;
+    if (!Result.Entries.empty() && Result.Entries.back().first == Entry.first)
+      Result.Entries.back().second += Entry.second;
+    else
+      Result.Entries.push_back(std::move(Entry));
+  }
+  assert(Total.isOne() && "action distribution must sum to one");
+  return Result;
+}
+
+ActionDist ActionDist::convex(const Rational &R, const ActionDist &Lhs,
+                              const ActionDist &Rhs) {
+  assert(R.isProbability() && "convex weight outside [0,1]");
+  std::vector<std::pair<Action, Rational>> Raw;
+  Raw.reserve(Lhs.Entries.size() + Rhs.Entries.size());
+  Rational OneMinusR = Rational(1) - R;
+  for (const auto &[A, W] : Lhs.Entries)
+    Raw.emplace_back(A, R * W);
+  for (const auto &[A, W] : Rhs.Entries)
+    Raw.emplace_back(A, OneMinusR * W);
+  return fromEntries(std::move(Raw));
+}
+
+Rational ActionDist::dropMass() const {
+  for (const auto &[A, W] : Entries)
+    if (A.isDrop())
+      return W;
+  return Rational();
+}

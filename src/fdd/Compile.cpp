@@ -1,0 +1,115 @@
+#include "fdd/Compile.h"
+
+#include "fdd/Export.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace mcnk;
+using namespace mcnk::fdd;
+using namespace mcnk::ast;
+
+namespace {
+
+FddRef compileNode(FddManager &M, const Node *P, const CompileOptions &O);
+
+/// Compiles the branches of a `case` on a worker pool: one FddManager per
+/// branch (managers are single-threaded), results shipped back through the
+/// portable format and merged with guarded branches — the map-reduce
+/// strategy of §6 on a single machine.
+FddRef compileCaseParallel(FddManager &M, const CaseNode *C,
+                           const CompileOptions &O) {
+  const auto &Branches = C->branches();
+  std::vector<PortableFdd> Compiled(Branches.size());
+  {
+    ThreadPool Pool(O.Threads);
+    CompileOptions Inner = O;
+    Inner.ParallelCase = false; // Workers compile their branch serially.
+    Pool.parallelFor(Branches.size(), [&](std::size_t I) {
+      FddManager Worker(M.solverKind());
+      FddRef Ref = compileNode(Worker, Branches[I].second, Inner);
+      Compiled[I] = exportFdd(Worker, Ref);
+    });
+  }
+
+  // Reduce: guards compile serially (they are tiny predicates), branches
+  // are imported and folded right-to-left.
+  FddRef Acc = compileNode(M, C->defaultBranch(), O);
+  for (std::size_t I = Branches.size(); I-- > 0;) {
+    FddRef Guard = compileNode(M, Branches[I].first, O);
+    FddRef Branch = importFdd(M, Compiled[I]);
+    Acc = M.branch(Guard, Branch, Acc);
+  }
+  return Acc;
+}
+
+FddRef compileNode(FddManager &M, const Node *P, const CompileOptions &O) {
+  switch (P->kind()) {
+  case NodeKind::Drop:
+    return M.dropLeaf();
+  case NodeKind::Skip:
+    return M.identityLeaf();
+  case NodeKind::Test: {
+    const auto *T = cast<TestNode>(P);
+    return M.test(T->field(), T->value());
+  }
+  case NodeKind::Assign: {
+    const auto *A = cast<AssignNode>(P);
+    return M.assign(A->field(), A->value());
+  }
+  case NodeKind::Not:
+    return M.negate(compileNode(M, cast<NotNode>(P)->operand(), O));
+  case NodeKind::Seq: {
+    const auto *S = cast<SeqNode>(P);
+    return M.seq(compileNode(M, S->lhs(), O), compileNode(M, S->rhs(), O));
+  }
+  case NodeKind::Union: {
+    const auto *U = cast<UnionNode>(P);
+    if (!U->isPredicate())
+      fatalError("program-level union is outside the guarded fragment; "
+                 "the native backend only compiles guarded programs (§5)");
+    return M.disjoin(compileNode(M, U->lhs(), O),
+                     compileNode(M, U->rhs(), O));
+  }
+  case NodeKind::Choice: {
+    const auto *C = cast<ChoiceNode>(P);
+    return M.choice(C->probability(), compileNode(M, C->lhs(), O),
+                    compileNode(M, C->rhs(), O));
+  }
+  case NodeKind::Star:
+    fatalError("star is outside the guarded fragment; use while loops");
+  case NodeKind::IfThenElse: {
+    const auto *I = cast<IfThenElseNode>(P);
+    return M.branch(compileNode(M, I->cond(), O),
+                    compileNode(M, I->thenBranch(), O),
+                    compileNode(M, I->elseBranch(), O));
+  }
+  case NodeKind::While: {
+    const auto *W = cast<WhileNode>(P);
+    return M.solveLoop(compileNode(M, W->cond(), O),
+                       compileNode(M, W->body(), O));
+  }
+  case NodeKind::Case: {
+    const auto *C = cast<CaseNode>(P);
+    if (O.ParallelCase && C->branches().size() > 1)
+      return compileCaseParallel(M, C, O);
+    FddRef Acc = compileNode(M, C->defaultBranch(), O);
+    for (std::size_t I = C->branches().size(); I-- > 0;) {
+      FddRef Guard = compileNode(M, C->branches()[I].first, O);
+      FddRef Branch = compileNode(M, C->branches()[I].second, O);
+      Acc = M.branch(Guard, Branch, Acc);
+    }
+    return Acc;
+  }
+  }
+  MCNK_UNREACHABLE("unhandled node kind");
+}
+
+} // namespace
+
+FddRef fdd::compile(FddManager &Manager, const Node *Program,
+                    const CompileOptions &Options) {
+  return compileNode(Manager, Program, Options);
+}

@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST -> FDD compilation (the native backend of §5.1). Accepts exactly
+/// the guarded fragment (ast::isGuarded); the n-ary `case` construct can
+/// be compiled in parallel, one worker manager per branch, merging results
+/// through the portable format — the single-machine analogue of the
+/// paper's map-reduce backend (§6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_FDD_COMPILE_H
+#define MCNK_FDD_COMPILE_H
+
+#include "ast/Node.h"
+#include "fdd/Fdd.h"
+
+namespace mcnk {
+namespace fdd {
+
+struct CompileOptions {
+  /// Compile `case` branches on a worker pool.
+  bool ParallelCase = false;
+  /// Worker count for ParallelCase (0 = hardware concurrency).
+  unsigned Threads = 0;
+};
+
+/// Compiles a guarded ProbNetKAT program into an FDD owned by \p Manager.
+/// Precondition: ast::isGuarded(Program); Star or program-level Union
+/// abort with a diagnostic.
+FddRef compile(FddManager &Manager, const ast::Node *Program,
+               const CompileOptions &Options = {});
+
+} // namespace fdd
+} // namespace mcnk
+
+#endif // MCNK_FDD_COMPILE_H

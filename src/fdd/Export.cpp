@@ -1,0 +1,107 @@
+#include "fdd/Export.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace mcnk;
+using namespace mcnk::fdd;
+
+PortableFdd fdd::exportFdd(const FddManager &Manager, FddRef Ref) {
+  PortableFdd Result;
+  std::unordered_map<FddRef, uint32_t> Ids;
+
+  // Post-order emission so children precede parents.
+  std::vector<std::pair<FddRef, bool>> Stack = {{Ref, false}};
+  while (!Stack.empty()) {
+    auto [Cur, ChildrenDone] = Stack.back();
+    Stack.pop_back();
+    if (Ids.count(Cur))
+      continue;
+    if (isLeafRef(Cur)) {
+      PortableFdd::Node Node;
+      Node.IsLeaf = true;
+      Node.Dist = Manager.leafDist(Cur).entries();
+      Ids.emplace(Cur, static_cast<uint32_t>(Result.Nodes.size()));
+      Result.Nodes.push_back(std::move(Node));
+      continue;
+    }
+    const FddManager::InnerNode &N = Manager.innerNode(Cur);
+    if (!ChildrenDone) {
+      Stack.push_back({Cur, true});
+      Stack.push_back({N.Hi, false});
+      Stack.push_back({N.Lo, false});
+      continue;
+    }
+    PortableFdd::Node Node;
+    Node.Field = N.Field;
+    Node.Value = N.Value;
+    Node.Hi = Ids.at(N.Hi);
+    Node.Lo = Ids.at(N.Lo);
+    Ids.emplace(Cur, static_cast<uint32_t>(Result.Nodes.size()));
+    Result.Nodes.push_back(std::move(Node));
+  }
+  Result.Root = Ids.at(Ref);
+  return Result;
+}
+
+FddRef fdd::importFdd(FddManager &Manager, const PortableFdd &Portable) {
+  std::vector<FddRef> Refs(Portable.Nodes.size());
+  for (std::size_t I = 0; I < Portable.Nodes.size(); ++I) {
+    const PortableFdd::Node &Node = Portable.Nodes[I];
+    if (Node.IsLeaf) {
+      Refs[I] = Manager.leaf(ActionDist::fromEntries(Node.Dist));
+      continue;
+    }
+    assert(Node.Hi < I && Node.Lo < I && "portable FDD not topological");
+    Refs[I] =
+        Manager.inner(Node.Field, Node.Value, Refs[Node.Hi], Refs[Node.Lo]);
+  }
+  return Refs.at(Portable.Root);
+}
+
+namespace {
+
+void dumpInto(const FddManager &M, FddRef Ref, const FieldTable &Fields,
+              unsigned Indent, std::string &Out) {
+  std::string Pad(Indent * 2, ' ');
+  if (isLeafRef(Ref)) {
+    Out += Pad + "{";
+    bool First = true;
+    for (const auto &[A, W] : M.leafDist(Ref).entries()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      if (A.isDrop()) {
+        Out += "drop";
+      } else if (A.isIdentity()) {
+        Out += "id";
+      } else {
+        bool FirstMod = true;
+        for (const auto &[F, V] : A.mods()) {
+          if (!FirstMod)
+            Out += ",";
+          FirstMod = false;
+          Out += Fields.name(F) + ":=" + std::to_string(V);
+        }
+      }
+      Out += " @ " + W.toString();
+    }
+    Out += "}\n";
+    return;
+  }
+  const FddManager::InnerNode &N = M.innerNode(Ref);
+  Out += Pad + Fields.name(N.Field) + "=" + std::to_string(N.Value) + "?\n";
+  dumpInto(M, N.Hi, Fields, Indent + 1, Out);
+  dumpInto(M, N.Lo, Fields, Indent + 1, Out);
+}
+
+} // namespace
+
+std::string fdd::dumpFdd(const FddManager &Manager, FddRef Ref,
+                         const FieldTable &Fields) {
+  std::string Out;
+  dumpInto(Manager, Ref, Fields, 0, Out);
+  return Out;
+}

@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Portable FDD representation for moving diagrams between managers. The
+/// paper's parallelizing backend compiles each switch program in its own
+/// process and merges the results (§6); our workers use separate
+/// FddManagers (they are not thread-safe by design) and ship diagrams
+/// through this format. Also handy for tests and golden files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_FDD_EXPORT_H
+#define MCNK_FDD_EXPORT_H
+
+#include "fdd/Fdd.h"
+
+#include <string>
+#include <vector>
+
+namespace mcnk {
+namespace fdd {
+
+/// Self-contained DAG in topological order (children precede parents).
+struct PortableFdd {
+  struct Node {
+    bool IsLeaf = false;
+    // Interior payload.
+    FieldId Field = 0;
+    FieldValue Value = 0;
+    uint32_t Hi = 0; // Indices into Nodes.
+    uint32_t Lo = 0;
+    // Leaf payload.
+    std::vector<std::pair<Action, Rational>> Dist;
+  };
+  std::vector<Node> Nodes;
+  uint32_t Root = 0;
+};
+
+/// Extracts the diagram rooted at \p Ref into a portable form.
+PortableFdd exportFdd(const FddManager &Manager, FddRef Ref);
+
+/// Rebuilds a portable diagram inside \p Manager (hash-consing dedups
+/// against existing nodes).
+FddRef importFdd(FddManager &Manager, const PortableFdd &Portable);
+
+/// Renders the diagram as an indented text tree (debugging / golden
+/// tests). Field names come from \p Fields.
+std::string dumpFdd(const FddManager &Manager, FddRef Ref,
+                    const FieldTable &Fields);
+
+} // namespace fdd
+} // namespace mcnk
+
+#endif // MCNK_FDD_EXPORT_H

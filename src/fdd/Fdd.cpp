@@ -1,0 +1,376 @@
+#include "fdd/Fdd.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+
+using namespace mcnk;
+using namespace mcnk::fdd;
+
+namespace {
+constexpr FieldId NoField = std::numeric_limits<FieldId>::max();
+constexpr FieldValue NoValue = std::numeric_limits<FieldValue>::max();
+
+/// Lexicographic order on tests; leaves order after every real test.
+bool testLess(std::pair<FieldId, FieldValue> A,
+              std::pair<FieldId, FieldValue> B) {
+  return A.first != B.first ? A.first < B.first : A.second < B.second;
+}
+} // namespace
+
+FddManager::FddManager(markov::SolverKind SolverMode) : Solver(SolverMode) {
+  IdentityLeaf = leaf(ActionDist::dirac(Action()));
+  DropLeaf = leaf(ActionDist::dirac(Action::drop()));
+}
+
+FddRef FddManager::leaf(const ActionDist &Dist) {
+  std::size_t Hash = Dist.hash();
+  auto &Bucket = LeafTable[Hash];
+  for (uint32_t Idx : Bucket)
+    if (Leaves[Idx] == Dist)
+      return (Idx << 1) | 1;
+  uint32_t Idx = static_cast<uint32_t>(Leaves.size());
+  Leaves.push_back(Dist);
+  Bucket.push_back(Idx);
+  return (Idx << 1) | 1;
+}
+
+FddRef FddManager::inner(FieldId Field, FieldValue Value, FddRef Hi,
+                         FddRef Lo) {
+  if (Hi == Lo)
+    return Hi;
+  assert((isLeafRef(Hi) || innerNode(Hi).Field > Field) &&
+         "true-subtree re-tests the decided field");
+  assert((isLeafRef(Lo) || innerNode(Lo).Field > Field ||
+          (innerNode(Lo).Field == Field && innerNode(Lo).Value > Value)) &&
+         "false-subtree violates test ordering");
+  // Second reduction rule (beyond Hi == Lo): the test is redundant when
+  // the false-subtree already behaves like Hi for packets with
+  // Field == Value — i.e. its true-cofactor equals Hi. Without this rule
+  // multi-valued FDDs are not canonical and equivalence checking by
+  // reference equality would report false negatives.
+  if (cofactorTrue(Lo, Field, Value) == Hi)
+    return Lo;
+  InnerNode Node{Field, Value, Hi, Lo};
+  std::size_t Hash = hashCombine(
+      hashCombine(hashCombine(static_cast<std::size_t>(Field), Value), Hi),
+      static_cast<std::size_t>(Lo));
+  auto &Bucket = InnerTable[Hash];
+  for (uint32_t Idx : Bucket)
+    if (Inners[Idx] == Node)
+      return Idx << 1;
+  uint32_t Idx = static_cast<uint32_t>(Inners.size());
+  Inners.push_back(Node);
+  Bucket.push_back(Idx);
+  return Idx << 1;
+}
+
+const ActionDist &FddManager::leafDist(FddRef Leaf) const {
+  assert(isLeafRef(Leaf) && "leafDist on interior node");
+  return Leaves[Leaf >> 1];
+}
+
+const FddManager::InnerNode &FddManager::innerNode(FddRef Ref) const {
+  assert(!isLeafRef(Ref) && "innerNode on leaf");
+  return Inners[Ref >> 1];
+}
+
+uint32_t FddManager::internAction(const Action &A) {
+  std::size_t Hash = A.hash();
+  auto &Bucket = ActionTable[Hash];
+  for (uint32_t Idx : Bucket)
+    if (Actions[Idx] == A)
+      return Idx;
+  uint32_t Idx = static_cast<uint32_t>(Actions.size());
+  Actions.push_back(A);
+  Bucket.push_back(Idx);
+  return Idx;
+}
+
+FddRef FddManager::test(FieldId Field, FieldValue Value) {
+  return inner(Field, Value, IdentityLeaf, DropLeaf);
+}
+
+FddRef FddManager::assign(FieldId Field, FieldValue Value) {
+  return leaf(ActionDist::dirac(Action::modify({{Field, Value}})));
+}
+
+std::pair<FieldId, FieldValue> FddManager::rootTest(FddRef Ref) const {
+  if (isLeafRef(Ref))
+    return {NoField, NoValue};
+  const InnerNode &N = innerNode(Ref);
+  return {N.Field, N.Value};
+}
+
+FddRef FddManager::cofactorTrue(FddRef Ref, FieldId Field,
+                                FieldValue Value) const {
+  // Assumption Field == Value; precondition: Ref's root test is not
+  // smaller than (Field, Value) in the global test order.
+  while (!isLeafRef(Ref)) {
+    const InnerNode &N = innerNode(Ref);
+    if (N.Field != Field)
+      break; // N.Field > Field: no test on Field anywhere below.
+    if (N.Value == Value)
+      return N.Hi;
+    assert(N.Value > Value && "cofactor precondition violated");
+    Ref = N.Lo; // Test Field = N.Value fails under Field == Value.
+  }
+  return Ref;
+}
+
+FddRef FddManager::cofactorFalse(FddRef Ref, FieldId Field,
+                                 FieldValue Value) const {
+  if (isLeafRef(Ref))
+    return Ref;
+  const InnerNode &N = innerNode(Ref);
+  if (N.Field == Field && N.Value == Value)
+    return N.Lo;
+  return Ref; // Larger tests stay undetermined under Field != Value.
+}
+
+FddRef FddManager::negate(FddRef Pred) {
+  if (Pred == IdentityLeaf)
+    return DropLeaf;
+  if (Pred == DropLeaf)
+    return IdentityLeaf;
+  assert(!isLeafRef(Pred) && "negate on a non-predicate leaf");
+  auto It = NegateCache.find(Pred);
+  if (It != NegateCache.end())
+    return It->second;
+  // Copy: recursive calls may grow the node pool and invalidate refs.
+  const InnerNode N = innerNode(Pred);
+  FddRef Result = inner(N.Field, N.Value, negate(N.Hi), negate(N.Lo));
+  NegateCache.emplace(Pred, Result);
+  return Result;
+}
+
+FddRef FddManager::disjoin(FddRef PredA, FddRef PredB) {
+  if (PredA == PredB || PredB == DropLeaf)
+    return PredA;
+  if (PredA == DropLeaf)
+    return PredB;
+  if (PredA == IdentityLeaf || PredB == IdentityLeaf)
+    return IdentityLeaf;
+  assert(!isLeafRef(PredA) && !isLeafRef(PredB) &&
+         "disjoin on a non-predicate leaf");
+  std::pair<FddRef, FddRef> Key = {std::min(PredA, PredB),
+                                   std::max(PredA, PredB)};
+  auto It = DisjoinCache.find(Key);
+  if (It != DisjoinCache.end())
+    return It->second;
+  auto Test = std::min(rootTest(PredA), rootTest(PredB), testLess);
+  auto [F, V] = Test;
+  FddRef Hi =
+      disjoin(cofactorTrue(PredA, F, V), cofactorTrue(PredB, F, V));
+  FddRef Lo =
+      disjoin(cofactorFalse(PredA, F, V), cofactorFalse(PredB, F, V));
+  FddRef Result = inner(F, V, Hi, Lo);
+  DisjoinCache.emplace(Key, Result);
+  return Result;
+}
+
+FddRef FddManager::choice(const Rational &R, FddRef P, FddRef Q) {
+  assert(R.isProbability() && "choice weight outside [0,1]");
+  if (P == Q || R.isOne())
+    return P;
+  if (R.isZero())
+    return Q;
+  ChoiceKey Key{R, P, Q};
+  auto It = ChoiceCache.find(Key);
+  if (It != ChoiceCache.end())
+    return It->second;
+  FddRef Result;
+  if (isLeafRef(P) && isLeafRef(Q)) {
+    Result = leaf(ActionDist::convex(R, leafDist(P), leafDist(Q)));
+  } else {
+    auto [F, V] = std::min(rootTest(P), rootTest(Q), testLess);
+    FddRef Hi = choice(R, cofactorTrue(P, F, V), cofactorTrue(Q, F, V));
+    FddRef Lo = choice(R, cofactorFalse(P, F, V), cofactorFalse(Q, F, V));
+    Result = inner(F, V, Hi, Lo);
+  }
+  ChoiceCache.emplace(Key, Result);
+  return Result;
+}
+
+FddRef FddManager::branch(FddRef Guard, FddRef Then, FddRef Else) {
+  if (Guard == IdentityLeaf)
+    return Then;
+  if (Guard == DropLeaf)
+    return Else;
+  if (Then == Else)
+    return Then;
+  assert(!isLeafRef(Guard) && "guard leaf must be pass or drop");
+  auto Key = std::make_tuple(Guard, Then, Else);
+  auto It = BranchCache.find(Key);
+  if (It != BranchCache.end())
+    return It->second;
+  auto Test = std::min({rootTest(Guard), rootTest(Then), rootTest(Else)},
+                       testLess);
+  auto [F, V] = Test;
+  FddRef Hi = branch(cofactorTrue(Guard, F, V), cofactorTrue(Then, F, V),
+                     cofactorTrue(Else, F, V));
+  FddRef Lo = branch(cofactorFalse(Guard, F, V), cofactorFalse(Then, F, V),
+                     cofactorFalse(Else, F, V));
+  FddRef Result = inner(F, V, Hi, Lo);
+  BranchCache.emplace(Key, Result);
+  return Result;
+}
+
+FddRef FddManager::seqAction(uint32_t ActionId, FddRef Q) {
+  const Action &A = Actions[ActionId];
+  if (A.isDrop())
+    return DropLeaf;
+  std::pair<uint32_t, FddRef> Key = {ActionId, Q};
+  auto It = SeqActionCache.find(Key);
+  if (It != SeqActionCache.end())
+    return It->second;
+  FddRef Result;
+  if (isLeafRef(Q)) {
+    std::vector<std::pair<Action, Rational>> Entries;
+    for (const auto &[B, W] : leafDist(Q).entries())
+      Entries.emplace_back(A.then(B), W);
+    Result = leaf(ActionDist::fromEntries(std::move(Entries)));
+  } else {
+    // Copy: recursive calls may grow the node pool and invalidate refs.
+    const InnerNode N = innerNode(Q);
+    if (std::optional<FieldValue> Written = A.writeTo(N.Field)) {
+      // The action pins this field before Q tests it; resolve statically.
+      Result = seqAction(ActionId, *Written == N.Value ? N.Hi : N.Lo);
+    } else {
+      Result = inner(N.Field, N.Value, seqAction(ActionId, N.Hi),
+                     seqAction(ActionId, N.Lo));
+    }
+  }
+  SeqActionCache.emplace(Key, Result);
+  return Result;
+}
+
+FddRef FddManager::weightedSum(
+    std::vector<std::pair<Rational, FddRef>> Terms) {
+  assert(!Terms.empty() && "weighted sum of nothing");
+  FddRef Acc = Terms.back().second;
+  Rational Mass = Terms.back().first;
+  for (std::size_t I = Terms.size() - 1; I-- > 0;) {
+    const auto &[W, Ref] = Terms[I];
+    Mass += W;
+    Acc = choice(W / Mass, Ref, Acc);
+  }
+  assert(Mass.isOne() && "weighted sum must be a full decomposition");
+  return Acc;
+}
+
+FddRef FddManager::seq(FddRef P, FddRef Q) {
+  if (P == DropLeaf || Q == IdentityLeaf || Q == DropLeaf) {
+    // p ; skip = p, drop ; q = drop, p ; drop = drop (all mass dropped).
+    return Q == DropLeaf ? DropLeaf : P;
+  }
+  if (P == IdentityLeaf)
+    return Q;
+  std::pair<FddRef, FddRef> Key = {P, Q};
+  auto It = SeqCache.find(Key);
+  if (It != SeqCache.end())
+    return It->second;
+  FddRef Result;
+  if (isLeafRef(P)) {
+    std::vector<std::pair<Rational, FddRef>> Terms;
+    for (const auto &[A, W] : leafDist(P).entries())
+      Terms.emplace_back(W, seqAction(internAction(A), Q));
+    Result = weightedSum(std::move(Terms));
+  } else {
+    // Copy: recursive calls may grow the node pool and invalidate refs.
+    const InnerNode N = innerNode(P);
+    // Q's tests read the packet *after* P's actions, so they may need to
+    // float above this node's test; route through branch() which
+    // re-interleaves in canonical order.
+    Result = branch(test(N.Field, N.Value), seq(N.Hi, Q), seq(N.Lo, Q));
+  }
+  SeqCache.emplace(Key, Result);
+  return Result;
+}
+
+bool FddManager::isPredicateFdd(FddRef Ref) const {
+  std::set<FddRef> Visited;
+  std::vector<FddRef> Stack = {Ref};
+  while (!Stack.empty()) {
+    FddRef Cur = Stack.back();
+    Stack.pop_back();
+    if (!Visited.insert(Cur).second)
+      continue;
+    if (isLeafRef(Cur)) {
+      if (Cur != IdentityLeaf && Cur != DropLeaf)
+        return false;
+      continue;
+    }
+    const InnerNode &N = innerNode(Cur);
+    Stack.push_back(N.Hi);
+    Stack.push_back(N.Lo);
+  }
+  return true;
+}
+
+const ActionDist &FddManager::evalToLeaf(FddRef Ref, const Packet &P) const {
+  while (!isLeafRef(Ref)) {
+    const InnerNode &N = innerNode(Ref);
+    Ref = P.get(N.Field) == N.Value ? N.Hi : N.Lo;
+  }
+  return leafDist(Ref);
+}
+
+FddManager::OutputDist FddManager::outputDistribution(FddRef Ref,
+                                                      const Packet &P) const {
+  OutputDist Result;
+  for (const auto &[A, W] : evalToLeaf(Ref, P).entries()) {
+    if (A.isDrop())
+      Result.Dropped += W;
+    else
+      Result.Outputs[A.applyTo(P)] += W;
+  }
+  return Result;
+}
+
+std::size_t FddManager::diagramSize(FddRef Ref) const {
+  std::set<FddRef> Visited;
+  std::vector<FddRef> Stack = {Ref};
+  while (!Stack.empty()) {
+    FddRef Cur = Stack.back();
+    Stack.pop_back();
+    if (!Visited.insert(Cur).second || isLeafRef(Cur))
+      continue;
+    const InnerNode &N = innerNode(Cur);
+    Stack.push_back(N.Hi);
+    Stack.push_back(N.Lo);
+  }
+  return Visited.size();
+}
+
+std::map<FieldId, std::vector<FieldValue>>
+FddManager::collectDomain(FddRef Ref) const {
+  std::map<FieldId, std::set<FieldValue>> Sets;
+  std::set<FddRef> Visited;
+  std::vector<FddRef> Stack = {Ref};
+  while (!Stack.empty()) {
+    FddRef Cur = Stack.back();
+    Stack.pop_back();
+    if (!Visited.insert(Cur).second)
+      continue;
+    if (isLeafRef(Cur)) {
+      for (const auto &[A, W] : leafDist(Cur).entries()) {
+        (void)W;
+        for (const auto &[F, V] : A.mods())
+          Sets[F].insert(V);
+      }
+      continue;
+    }
+    const InnerNode &N = innerNode(Cur);
+    Sets[N.Field].insert(N.Value);
+    Stack.push_back(N.Hi);
+    Stack.push_back(N.Lo);
+  }
+  std::map<FieldId, std::vector<FieldValue>> Result;
+  for (auto &[F, Values] : Sets)
+    Result.emplace(F, std::vector<FieldValue>(Values.begin(), Values.end()));
+  return Result;
+}

@@ -1,0 +1,206 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Probabilistic Forwarding Decision Diagrams (paper §5.1): hash-consed,
+/// ordered decision diagrams whose interior nodes test `field = value` and
+/// whose leaves hold exact-rational distributions over actions. An FDD
+/// denotes a function Pk -> D(Pk + ∅), i.e. a (sub)stochastic matrix over
+/// the single-packet state space (§5's pragmatic restriction).
+///
+/// Node invariants (which make FDDs canonical, so program equivalence is
+/// reference equality — Corollary 3.2 made executable):
+///  - Tests are ordered lexicographically by (field, value); a node's
+///    true-subtree never re-tests its field, and its false-subtree's root
+///    test is strictly larger.
+///  - No node has identical true/false children.
+///  - Leaves and interior nodes are interned (structural sharing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_FDD_FDD_H
+#define MCNK_FDD_FDD_H
+
+#include "fdd/Action.h"
+#include "markov/Absorbing.h"
+#include "packet/Packet.h"
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace mcnk {
+namespace fdd {
+
+/// Handle to an interned FDD node (tagged index into the manager's pools;
+/// low bit set = leaf). Handles are only meaningful relative to their
+/// FddManager.
+using FddRef = uint32_t;
+
+inline bool isLeafRef(FddRef Ref) { return Ref & 1; }
+
+/// Statistics describing the last solved loop (benchmark diagnostics).
+struct LoopSolveStats {
+  std::size_t NumStates = 0;    ///< Symbolic-packet product size.
+  std::size_t NumTransient = 0; ///< Guard-true classes (matrix dimension).
+  std::size_t NumAbsorbing = 0; ///< Distinct exit classes.
+  std::size_t NumQEntries = 0;  ///< Sparse entries of Q.
+};
+
+/// Owns all FDD nodes and implements the compiler's operations. Not
+/// thread-safe; the parallel backend uses one manager per worker and
+/// merges results via Export/Import (mirroring the paper's multi-process
+/// map-reduce design).
+class FddManager {
+public:
+  explicit FddManager(
+      markov::SolverKind Solver = markov::SolverKind::Exact);
+
+  markov::SolverKind solverKind() const { return Solver; }
+
+  // --- Node construction and inspection ---------------------------------
+  FddRef leaf(const ActionDist &Dist);
+  /// Interning constructor; collapses Hi == Lo and checks ordering
+  /// invariants in assert builds.
+  FddRef inner(FieldId Field, FieldValue Value, FddRef Hi, FddRef Lo);
+
+  FddRef identityLeaf() const { return IdentityLeaf; }
+  FddRef dropLeaf() const { return DropLeaf; }
+
+  const ActionDist &leafDist(FddRef Leaf) const;
+
+  struct InnerNode {
+    FieldId Field;
+    FieldValue Value;
+    FddRef Hi;
+    FddRef Lo;
+    bool operator==(const InnerNode &R) const {
+      return Field == R.Field && Value == R.Value && Hi == R.Hi && Lo == R.Lo;
+    }
+  };
+  const InnerNode &innerNode(FddRef Ref) const;
+
+  // --- Primitive programs ------------------------------------------------
+  /// f = n as an FDD (identity when the test passes, drop otherwise).
+  FddRef test(FieldId Field, FieldValue Value);
+  /// f := n as an FDD (a single modification leaf).
+  FddRef assign(FieldId Field, FieldValue Value);
+
+  // --- Compiler operations ------------------------------------------------
+  /// Sequential composition p ; q.
+  FddRef seq(FddRef P, FddRef Q);
+  /// Negation of a predicate FDD (leaves swap pass/drop).
+  FddRef negate(FddRef Pred);
+  /// Disjunction of two predicate FDDs (t & u on predicates).
+  FddRef disjoin(FddRef PredA, FddRef PredB);
+  /// Probabilistic choice p ⊕_r q.
+  FddRef choice(const Rational &R, FddRef P, FddRef Q);
+  /// Guarded branching: if Guard then Then else Else.
+  FddRef branch(FddRef Guard, FddRef Then, FddRef Else);
+  /// Closed-form while loop (paper §4/§5): builds the absorbing chain
+  /// over symbolic packets via dynamic domain reduction, solves
+  /// A = (I-Q)^{-1} R with the configured solver, and converts the
+  /// absorption matrix back into an FDD.
+  FddRef solveLoop(FddRef Guard, FddRef Body);
+
+  /// True if every leaf reachable from \p Ref is dirac pass or dirac drop.
+  bool isPredicateFdd(FddRef Ref) const;
+
+  // --- Concrete evaluation -------------------------------------------------
+  /// Follows tests for a concrete packet down to the leaf distribution.
+  const ActionDist &evalToLeaf(FddRef Ref, const Packet &P) const;
+  /// Full output distribution for a concrete input packet; the ∅ outcome
+  /// is reported under `Dropped`.
+  struct OutputDist {
+    std::map<Packet, Rational> Outputs;
+    Rational Dropped;
+  };
+  OutputDist outputDistribution(FddRef Ref, const Packet &P) const;
+
+  // --- Diagnostics ---------------------------------------------------------
+  std::size_t numInnerNodes() const { return Inners.size(); }
+  std::size_t numLeaves() const { return Leaves.size(); }
+  /// Reachable node count of one diagram (DAG size).
+  std::size_t diagramSize(FddRef Ref) const;
+  const LoopSolveStats &lastLoopStats() const { return LastLoop; }
+
+  /// Collected per-field values mentioned in tests/modifications under
+  /// \p Ref — the seed of dynamic domain reduction (§5.1). Exposed for
+  /// tests and the matrix-conversion benches.
+  std::map<FieldId, std::vector<FieldValue>> collectDomain(FddRef Ref) const;
+
+  // --- Shared cofactor helpers (also used by queries) ----------------------
+  /// Specializes \p Ref under the assumption Field == Value. Only valid
+  /// when \p Ref's root test is not smaller than (Field, Value).
+  FddRef cofactorTrue(FddRef Ref, FieldId Field, FieldValue Value) const;
+  /// Specializes \p Ref under the assumption Field != Value.
+  FddRef cofactorFalse(FddRef Ref, FieldId Field, FieldValue Value) const;
+  /// The root test of \p Ref, or (max, max) for leaves.
+  std::pair<FieldId, FieldValue> rootTest(FddRef Ref) const;
+
+private:
+  FddRef internAction(const Action &A);
+  /// a ▷ q: runs q on the output of the single action a.
+  FddRef seqAction(uint32_t ActionId, FddRef Q);
+  /// Weighted sum of FDDs (weights positive, summing to at most one; the
+  /// missing mass is implicit drop — callers pass full decompositions).
+  FddRef weightedSum(std::vector<std::pair<Rational, FddRef>> Terms);
+
+  markov::SolverKind Solver;
+
+  // Interning pools.
+  std::vector<ActionDist> Leaves;
+  std::unordered_map<std::size_t, std::vector<uint32_t>> LeafTable;
+  std::vector<InnerNode> Inners;
+  std::unordered_map<std::size_t, std::vector<uint32_t>> InnerTable;
+  std::vector<Action> Actions;
+  std::unordered_map<std::size_t, std::vector<uint32_t>> ActionTable;
+
+  FddRef IdentityLeaf = 0;
+  FddRef DropLeaf = 0;
+
+  // Operation caches.
+  struct PairHash {
+    std::size_t operator()(const std::pair<FddRef, FddRef> &P) const {
+      return hashCombine(P.first, static_cast<std::size_t>(P.second));
+    }
+  };
+  std::unordered_map<std::pair<FddRef, FddRef>, FddRef, PairHash> SeqCache;
+  std::unordered_map<std::pair<FddRef, FddRef>, FddRef, PairHash>
+      DisjoinCache;
+  std::unordered_map<FddRef, FddRef> NegateCache;
+  struct ChoiceKey {
+    Rational R;
+    FddRef P, Q;
+    bool operator==(const ChoiceKey &K) const {
+      return R == K.R && P == K.P && Q == K.Q;
+    }
+  };
+  struct ChoiceKeyHash {
+    std::size_t operator()(const ChoiceKey &K) const {
+      return hashCombine(hashCombine(K.R.hash(), K.P),
+                         static_cast<std::size_t>(K.Q));
+    }
+  };
+  std::unordered_map<ChoiceKey, FddRef, ChoiceKeyHash> ChoiceCache;
+  struct TripleHash {
+    std::size_t operator()(
+        const std::tuple<FddRef, FddRef, FddRef> &T) const {
+      return hashCombine(
+          hashCombine(std::get<0>(T), std::get<1>(T)),
+          static_cast<std::size_t>(std::get<2>(T)));
+    }
+  };
+  std::unordered_map<std::tuple<FddRef, FddRef, FddRef>, FddRef, TripleHash>
+      BranchCache;
+  std::unordered_map<std::pair<uint32_t, FddRef>, FddRef, PairHash>
+      SeqActionCache;
+  std::unordered_map<std::pair<FddRef, FddRef>, FddRef, PairHash> LoopCache;
+
+  LoopSolveStats LastLoop;
+};
+
+} // namespace fdd
+} // namespace mcnk
+
+#endif // MCNK_FDD_FDD_H

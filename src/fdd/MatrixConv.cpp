@@ -1,0 +1,110 @@
+#include "fdd/MatrixConv.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mcnk;
+using namespace mcnk::fdd;
+
+SymbolicPacket StochasticMatrix::decode(std::size_t State) const {
+  SymbolicPacket Result;
+  Result.ValueIndex.resize(Fields.size());
+  for (std::size_t I = Fields.size(); I-- > 0;) {
+    Result.ValueIndex[I] = State % (Domain[I].size() + 1);
+    State /= Domain[I].size() + 1;
+  }
+  return Result;
+}
+
+std::string StochasticMatrix::renderState(std::size_t State,
+                                          const FieldTable &Table) const {
+  SymbolicPacket Sym = decode(State);
+  std::string Out;
+  for (std::size_t I = 0; I < Fields.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Table.name(Fields[I]) + "=";
+    if (Sym.ValueIndex[I] < Domain[I].size())
+      Out += std::to_string(Domain[I][Sym.ValueIndex[I]]);
+    else
+      Out += "*";
+  }
+  return Out.empty() ? "<any>" : Out;
+}
+
+std::size_t StochasticMatrix::stateOf(const Packet &P) const {
+  std::size_t State = 0;
+  for (std::size_t I = 0; I < Fields.size(); ++I) {
+    const std::vector<FieldValue> &Values = Domain[I];
+    FieldValue V = P.get(Fields[I]);
+    auto It = std::lower_bound(Values.begin(), Values.end(), V);
+    std::size_t Index = (It != Values.end() && *It == V)
+                            ? static_cast<std::size_t>(It - Values.begin())
+                            : Values.size(); // Wildcard.
+    State = State * (Values.size() + 1) + Index;
+  }
+  return State;
+}
+
+StochasticMatrix fdd::toMatrix(const FddManager &Manager, FddRef Ref,
+                               std::size_t MaxStates) {
+  StochasticMatrix Result;
+  for (const auto &[Field, Values] : Manager.collectDomain(Ref)) {
+    Result.Fields.push_back(Field);
+    Result.Domain.push_back(Values);
+  }
+  Result.NumStates = 1;
+  for (const std::vector<FieldValue> &Values : Result.Domain) {
+    if (Result.NumStates > MaxStates / (Values.size() + 1))
+      fatalError("symbolic matrix exceeds the state cap");
+    Result.NumStates *= Values.size() + 1;
+  }
+
+  std::vector<std::size_t> Sym(Result.Fields.size());
+  Result.DropMass.resize(Result.NumStates);
+  for (std::size_t State = 0; State < Result.NumStates; ++State) {
+    // Decode in place.
+    std::size_t Rest = State;
+    for (std::size_t I = Result.Fields.size(); I-- > 0;) {
+      Sym[I] = Rest % (Result.Domain[I].size() + 1);
+      Rest /= Result.Domain[I].size() + 1;
+    }
+    // Walk the diagram; the wildcard fails every test by construction.
+    FddRef Cur = Ref;
+    while (!isLeafRef(Cur)) {
+      const FddManager::InnerNode &N = Manager.innerNode(Cur);
+      auto Pos = std::lower_bound(Result.Fields.begin(),
+                                  Result.Fields.end(), N.Field) -
+                 Result.Fields.begin();
+      assert(static_cast<std::size_t>(Pos) < Result.Fields.size() &&
+             Result.Fields[Pos] == N.Field && "test outside the domain");
+      std::size_t SymVal = Sym[Pos];
+      bool Matches = SymVal < Result.Domain[Pos].size() &&
+                     Result.Domain[Pos][SymVal] == N.Value;
+      Cur = Matches ? N.Hi : N.Lo;
+    }
+    for (const auto &[A, W] : Manager.leafDist(Cur).entries()) {
+      if (A.isDrop()) {
+        Result.DropMass[State] += W;
+        continue;
+      }
+      // Apply modifications to obtain the target state.
+      std::size_t Target = 0;
+      for (std::size_t I = 0; I < Result.Fields.size(); ++I) {
+        std::size_t Index = Sym[I];
+        if (std::optional<FieldValue> Written = A.writeTo(Result.Fields[I])) {
+          auto It = std::lower_bound(Result.Domain[I].begin(),
+                                     Result.Domain[I].end(), *Written);
+          assert(It != Result.Domain[I].end() && *It == *Written &&
+                 "modification outside the collected domain");
+          Index = static_cast<std::size_t>(It - Result.Domain[I].begin());
+        }
+        Target = Target * (Result.Domain[I].size() + 1) + Index;
+      }
+      Result.Entries.push_back({State, Target, W});
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Explicit stochastic-matrix view of a compiled FDD — the "Convert" step
+/// of the paper's Fig 5 pipeline. The state space is built by dynamic
+/// domain reduction (§5.1): for every field mentioned in the diagram, the
+/// values appearing in tests or modifications plus one wildcard `*`
+/// representing all other values; states are the product of these
+/// per-field symbolic domains. Rows are substochastic; the missing mass
+/// per row is the drop probability (the ∅ column of §3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_FDD_MATRIXCONV_H
+#define MCNK_FDD_MATRIXCONV_H
+
+#include "fdd/Fdd.h"
+
+#include <string>
+#include <vector>
+
+namespace mcnk {
+namespace fdd {
+
+/// One symbolic packet: a value index per domain field, where index ==
+/// domain size encodes the wildcard.
+struct SymbolicPacket {
+  std::vector<std::size_t> ValueIndex;
+};
+
+/// Sparse stochastic matrix over symbolic packets.
+struct StochasticMatrix {
+  /// Fields of the reduced domain, ascending.
+  std::vector<FieldId> Fields;
+  /// Mentioned values per field, ascending (wildcard is implicit).
+  std::vector<std::vector<FieldValue>> Domain;
+  /// Number of symbolic packets (product of |domain|+1).
+  std::size_t NumStates = 0;
+  /// Sparse entries: probability of input state Row producing Col.
+  std::vector<markov::RationalTriplet> Entries;
+  /// Per-row drop mass (1 - row sum).
+  std::vector<Rational> DropMass;
+
+  /// Decodes a state index into a symbolic packet.
+  SymbolicPacket decode(std::size_t State) const;
+  /// Renders a state like "sw=2, pt=*".
+  std::string renderState(std::size_t State,
+                          const FieldTable &Fields) const;
+  /// The state containing the concrete packet \p P.
+  std::size_t stateOf(const Packet &P) const;
+};
+
+/// Converts the diagram into its matrix form. Aborts if the symbolic
+/// product exceeds \p MaxStates (a deliberately explicit cap; the paper's
+/// pipeline converts per-loop-body diagrams, which stay small after
+/// reduction).
+StochasticMatrix toMatrix(const FddManager &Manager, FddRef Ref,
+                          std::size_t MaxStates = 1u << 20);
+
+} // namespace fdd
+} // namespace mcnk
+
+#endif // MCNK_FDD_MATRIXCONV_H

@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decision procedures on compiled FDDs. Because FDDs are canonical
+/// (ordered, reduced, hash-consed, exact-rational leaves), program
+/// equivalence is reference equality — the executable form of Corollary
+/// 3.2/B.4. Refinement (p ≤ q, §2/§7) and epsilon-equivalence (for
+/// float-solved diagrams) walk the product of the two diagrams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_FDD_QUERY_H
+#define MCNK_FDD_QUERY_H
+
+#include "fdd/Fdd.h"
+
+namespace mcnk {
+namespace fdd {
+
+/// Exact program equivalence p ≡ q for diagrams from the same manager.
+inline bool equivalent(FddRef A, FddRef B) { return A == B; }
+
+/// Structural product-walk equivalence with tolerance: every input class
+/// assigns each output action a probability within \p Eps in both
+/// diagrams. Use for diagrams produced by the floating-point solver.
+bool approxEquivalent(const FddManager &Manager, FddRef A, FddRef B,
+                      double Eps);
+
+/// Refinement p ≤ q (the ⊑ order on programs restricted to the
+/// single-packet space): for every input class and every non-drop output,
+/// p's probability is at most q's (+ \p Eps). q may drop strictly less.
+/// `p < q` in the paper is `refines(p, q) && !equivalent(p, q)`.
+bool refines(const FddManager &Manager, FddRef P, FddRef Q,
+             double Eps = 0.0);
+
+} // namespace fdd
+} // namespace mcnk
+
+#endif // MCNK_FDD_QUERY_H

@@ -1,0 +1,27 @@
+#include "linalg/Solve.h"
+
+#include <cassert>
+
+using namespace mcnk;
+using namespace mcnk::linalg;
+
+std::size_t linalg::neumannSolve(const SparseMatrix &Q,
+                                 const std::vector<double> &B,
+                                 std::vector<double> &X, double Tol,
+                                 std::size_t MaxIters) {
+  assert(Q.numRows() == Q.numCols() && "Q must be square");
+  assert(B.size() == Q.numRows() && "RHS length mismatch");
+  X = B;
+  for (std::size_t Iter = 1; Iter <= MaxIters; ++Iter) {
+    std::vector<double> Next = Q.multiply(X);
+    double Delta = 0.0;
+    for (std::size_t I = 0; I < Next.size(); ++I) {
+      Next[I] += B[I];
+      Delta = std::max(Delta, std::fabs(Next[I] - X[I]));
+    }
+    X = std::move(Next);
+    if (Delta < Tol)
+      return Iter;
+  }
+  return 0;
+}

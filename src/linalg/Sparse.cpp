@@ -1,0 +1,81 @@
+#include "linalg/Sparse.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mcnk;
+using namespace mcnk::linalg;
+
+SparseMatrix SparseMatrix::fromTriplets(std::size_t NumRows,
+                                        std::size_t NumCols,
+                                        std::vector<Triplet> Entries) {
+  SparseMatrix Result;
+  Result.Rows = NumRows;
+  Result.Cols = NumCols;
+
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Triplet &A, const Triplet &B) {
+              return A.Col != B.Col ? A.Col < B.Col : A.Row < B.Row;
+            });
+
+  Result.ColPtr.assign(NumCols + 1, 0);
+  Result.RowIdx.reserve(Entries.size());
+  Result.Values.reserve(Entries.size());
+
+  for (std::size_t I = 0; I < Entries.size();) {
+    const Triplet &First = Entries[I];
+    assert(First.Row < NumRows && First.Col < NumCols &&
+           "triplet index out of range");
+    double Sum = 0.0;
+    std::size_t J = I;
+    while (J < Entries.size() && Entries[J].Row == First.Row &&
+           Entries[J].Col == First.Col) {
+      Sum += Entries[J].Value;
+      ++J;
+    }
+    if (Sum != 0.0) {
+      Result.RowIdx.push_back(First.Row);
+      Result.Values.push_back(Sum);
+      ++Result.ColPtr[First.Col + 1];
+    }
+    I = J;
+  }
+  for (std::size_t C = 0; C < NumCols; ++C)
+    Result.ColPtr[C + 1] += Result.ColPtr[C];
+  return Result;
+}
+
+std::vector<double> SparseMatrix::multiply(const std::vector<double> &X) const {
+  assert(X.size() == Cols && "vector length mismatch");
+  std::vector<double> Y(Rows, 0.0);
+  for (std::size_t C = 0; C < Cols; ++C) {
+    double Scale = X[C];
+    if (Scale == 0.0)
+      continue;
+    for (std::size_t K = colBegin(C); K < colEnd(C); ++K)
+      Y[RowIdx[K]] += Values[K] * Scale;
+  }
+  return Y;
+}
+
+std::vector<double>
+SparseMatrix::multiplyTranspose(const std::vector<double> &X) const {
+  assert(X.size() == Rows && "vector length mismatch");
+  std::vector<double> Y(Cols, 0.0);
+  for (std::size_t C = 0; C < Cols; ++C) {
+    double Sum = 0.0;
+    for (std::size_t K = colBegin(C); K < colEnd(C); ++K)
+      Sum += Values[K] * X[RowIdx[K]];
+    Y[C] = Sum;
+  }
+  return Y;
+}
+
+SparseMatrix SparseMatrix::transpose() const {
+  std::vector<Triplet> Entries;
+  Entries.reserve(Values.size());
+  for (std::size_t C = 0; C < Cols; ++C)
+    for (std::size_t K = colBegin(C); K < colEnd(C); ++K)
+      Entries.push_back({C, RowIdx[K], Values[K]});
+  return fromTriplets(Cols, Rows, std::move(Entries));
+}

@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compressed-sparse-column matrices over double. This is the input format
+/// for the sparse LU factorization (our UMFPACK stand-in, see DESIGN.md) and
+/// for the iterative solvers used by the prismlite approximate engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_LINALG_SPARSE_H
+#define MCNK_LINALG_SPARSE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace mcnk {
+namespace linalg {
+
+/// A (row, col, value) entry used to assemble sparse matrices.
+struct Triplet {
+  std::size_t Row;
+  std::size_t Col;
+  double Value;
+};
+
+/// Immutable CSC (compressed sparse column) matrix of doubles.
+class SparseMatrix {
+public:
+  SparseMatrix() : Rows(0), Cols(0) {}
+
+  /// Builds from triplets; duplicate (row, col) entries are summed.
+  static SparseMatrix fromTriplets(std::size_t NumRows, std::size_t NumCols,
+                                   std::vector<Triplet> Entries);
+
+  std::size_t numRows() const { return Rows; }
+  std::size_t numCols() const { return Cols; }
+  std::size_t numNonZeros() const { return Values.size(); }
+
+  /// Column slice accessors: entries of column \p Col live at indices
+  /// [colBegin(Col), colEnd(Col)) of rowIndex()/values().
+  std::size_t colBegin(std::size_t Col) const { return ColPtr[Col]; }
+  std::size_t colEnd(std::size_t Col) const { return ColPtr[Col + 1]; }
+  const std::vector<std::size_t> &rowIndex() const { return RowIdx; }
+  const std::vector<double> &values() const { return Values; }
+
+  /// Dense column-oriented product Y = A * X.
+  std::vector<double> multiply(const std::vector<double> &X) const;
+
+  /// Dense row-oriented product Y = A^T * X.
+  std::vector<double> multiplyTranspose(const std::vector<double> &X) const;
+
+  /// Structural transpose (also CSC; equals CSR view of this matrix).
+  SparseMatrix transpose() const;
+
+private:
+  std::size_t Rows, Cols;
+  std::vector<std::size_t> ColPtr; // size Cols + 1
+  std::vector<std::size_t> RowIdx; // size nnz
+  std::vector<double> Values;      // size nnz
+};
+
+} // namespace linalg
+} // namespace mcnk
+
+#endif // MCNK_LINALG_SPARSE_H

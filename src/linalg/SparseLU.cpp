@@ -1,0 +1,163 @@
+#include "linalg/SparseLU.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace mcnk;
+using namespace mcnk::linalg;
+
+namespace {
+constexpr std::size_t NotPivotal = std::numeric_limits<std::size_t>::max();
+} // namespace
+
+bool SparseLU::factor(const SparseMatrix &A, double PivotTol) {
+  assert(A.numRows() == A.numCols() && "LU requires a square matrix");
+  N = A.numCols();
+  LCols.assign(N, {});
+  UCols.assign(N, {});
+  Perm.assign(N, 0);
+
+  // PInv[origRow] = pivot step at which the row became pivotal.
+  std::vector<std::size_t> PInv(N, NotPivotal);
+  std::vector<double> X(N, 0.0);
+  std::vector<unsigned> VisitStamp(N, 0);
+  unsigned Stamp = 0;
+  std::vector<std::size_t> PostOrder;
+  // Explicit DFS stack of (node, next child position) to avoid deep
+  // recursion on long elimination chains.
+  std::vector<std::pair<std::size_t, std::size_t>> Stack;
+
+  for (std::size_t J = 0; J < N; ++J) {
+    // --- Symbolic step: nodes reachable from the pattern of A(:,J) through
+    // the graph of already-computed L columns, in DFS postorder.
+    ++Stamp;
+    PostOrder.clear();
+    for (std::size_t K = A.colBegin(J); K < A.colEnd(J); ++K) {
+      std::size_t Root = A.rowIndex()[K];
+      if (VisitStamp[Root] == Stamp)
+        continue;
+      VisitStamp[Root] = Stamp;
+      X[Root] = 0.0;
+      Stack.clear();
+      Stack.emplace_back(Root, 0);
+      while (!Stack.empty()) {
+        auto &[Node, ChildPos] = Stack.back();
+        const std::vector<Entry> *Children =
+            PInv[Node] != NotPivotal ? &LCols[PInv[Node]] : nullptr;
+        std::size_t NumChildren = Children ? Children->size() : 0;
+        bool Descended = false;
+        while (ChildPos < NumChildren) {
+          std::size_t Child = (*Children)[ChildPos].first;
+          ++ChildPos;
+          if (VisitStamp[Child] != Stamp) {
+            VisitStamp[Child] = Stamp;
+            X[Child] = 0.0;
+            Stack.emplace_back(Child, 0);
+            Descended = true;
+            break;
+          }
+        }
+        if (Descended)
+          continue;
+        PostOrder.push_back(Node);
+        Stack.pop_back();
+      }
+    }
+
+    // --- Numeric step: x = L \ A(:,J) over the reached pattern.
+    for (std::size_t K = A.colBegin(J); K < A.colEnd(J); ++K)
+      X[A.rowIndex()[K]] += A.values()[K];
+    for (std::size_t P = PostOrder.size(); P-- > 0;) {
+      std::size_t Node = PostOrder[P];
+      if (PInv[Node] == NotPivotal)
+        continue;
+      double XNode = X[Node];
+      if (XNode == 0.0)
+        continue;
+      for (const Entry &E : LCols[PInv[Node]])
+        X[E.first] -= E.second * XNode;
+    }
+
+    // --- Partial pivoting over non-pivotal rows of the pattern.
+    std::size_t PivotRow = NotPivotal;
+    double PivotMag = 0.0;
+    for (std::size_t Node : PostOrder) {
+      if (PInv[Node] != NotPivotal)
+        continue;
+      double Mag = std::fabs(X[Node]);
+      if (Mag > PivotMag) {
+        PivotRow = Node;
+        PivotMag = Mag;
+      }
+    }
+    if (PivotRow == NotPivotal || PivotMag <= PivotTol)
+      return false; // Structurally or numerically singular.
+
+    double PivotValue = X[PivotRow];
+
+    // --- Emit U(:,J) (pivotal rows) and L(:,J) (non-pivotal rows, scaled).
+    for (std::size_t Node : PostOrder) {
+      if (PInv[Node] != NotPivotal) {
+        if (X[Node] != 0.0)
+          UCols[J].emplace_back(PInv[Node], X[Node]);
+        continue;
+      }
+      if (Node == PivotRow)
+        continue;
+      if (X[Node] != 0.0)
+        LCols[J].emplace_back(Node, X[Node] / PivotValue);
+    }
+    UCols[J].emplace_back(J, PivotValue); // Diagonal last, by convention.
+    Perm[J] = PivotRow;
+    PInv[PivotRow] = J;
+  }
+
+  // Remap L's row indices from original space to pivot space so the solver
+  // can run forward substitution directly.
+  for (std::size_t J = 0; J < N; ++J)
+    for (Entry &E : LCols[J]) {
+      assert(PInv[E.first] != NotPivotal && "unpivoted row after factor");
+      E.first = PInv[E.first];
+    }
+  return true;
+}
+
+void SparseLU::solve(std::vector<double> &B) const {
+  assert(B.size() == N && "RHS length mismatch");
+  // Apply the row permutation: y = P b.
+  std::vector<double> Y(N);
+  for (std::size_t K = 0; K < N; ++K)
+    Y[K] = B[Perm[K]];
+
+  // Forward substitution with unit lower-triangular L.
+  for (std::size_t J = 0; J < N; ++J) {
+    double YJ = Y[J];
+    if (YJ == 0.0)
+      continue;
+    for (const Entry &E : LCols[J])
+      Y[E.first] -= E.second * YJ;
+  }
+
+  // Back substitution with U (diagonal entry stored last in each column).
+  for (std::size_t J = N; J-- > 0;) {
+    const std::vector<Entry> &Col = UCols[J];
+    assert(!Col.empty() && Col.back().first == J && "missing U diagonal");
+    Y[J] /= Col.back().second;
+    double YJ = Y[J];
+    if (YJ == 0.0)
+      continue;
+    for (std::size_t K = 0; K + 1 < Col.size(); ++K)
+      Y[Col[K].first] -= Col[K].second * YJ;
+  }
+  B = std::move(Y);
+}
+
+std::size_t SparseLU::numFactorEntries() const {
+  std::size_t Count = 0;
+  for (const auto &Col : LCols)
+    Count += Col.size();
+  for (const auto &Col : UCols)
+    Count += Col.size();
+  return Count;
+}

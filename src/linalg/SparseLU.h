@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sparse LU factorization with partial pivoting (left-looking
+/// Gilbert-Peierls algorithm). This is the repository's stand-in for the
+/// UMFPACK solver the paper uses to compute loop limits (§5): McNetKAT
+/// factors I - Q once and back-solves for each absorbing column of R.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_LINALG_SPARSELU_H
+#define MCNK_LINALG_SPARSELU_H
+
+#include "linalg/Sparse.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mcnk {
+namespace linalg {
+
+/// LU factorization PA = LU of a square sparse matrix, with one
+/// factor-many-solves usage: factor() once, then solve() per right-hand side.
+class SparseLU {
+public:
+  /// Factors \p A (must be square). Returns false if the matrix is singular
+  /// (no pivot with magnitude > \p PivotTol found in some column).
+  bool factor(const SparseMatrix &A, double PivotTol = 1e-300);
+
+  /// Solves A x = b in place (\p B holds b on entry, x on return).
+  /// Requires a successful factor().
+  void solve(std::vector<double> &B) const;
+
+  std::size_t dimension() const { return N; }
+
+  /// Total stored entries in L and U (fill-in diagnostics for benches).
+  std::size_t numFactorEntries() const;
+
+private:
+  using Entry = std::pair<std::size_t, double>; // (row, value)
+
+  std::size_t N = 0;
+  /// L: strictly-below-diagonal entries per column, unit diagonal implicit,
+  /// rows in pivot space after factor() completes.
+  std::vector<std::vector<Entry>> LCols;
+  /// U: at/above-diagonal entries per column, diagonal entry stored last.
+  std::vector<std::vector<Entry>> UCols;
+  /// Perm[k] = original row index chosen as the k-th pivot.
+  std::vector<std::size_t> Perm;
+};
+
+} // namespace linalg
+} // namespace mcnk
+
+#endif // MCNK_LINALG_SPARSELU_H

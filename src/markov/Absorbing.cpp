@@ -1,0 +1,258 @@
+#include "markov/Absorbing.h"
+
+#include "linalg/Solve.h"
+#include "linalg/SparseLU.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace mcnk;
+using namespace mcnk::markov;
+using linalg::DenseMatrix;
+using linalg::SparseMatrix;
+using linalg::Triplet;
+
+namespace {
+
+/// Computes which transient states can reach an absorbing state (reverse
+/// BFS from rows with R mass through Q edges). Mass in states that cannot
+/// reach absorption diverges; the language interprets it as dropped, so
+/// those rows of the absorption matrix are zero and the states are pruned
+/// from the linear system. After pruning, I - Q is nonsingular (every
+/// remaining state reaches a defective row; Lemma B.3 of the paper).
+struct PrunedChain {
+  std::vector<bool> CanReach;          // indexed by transient state
+  std::vector<std::size_t> Compact;    // old index -> compact index
+  std::vector<std::size_t> Original;   // compact index -> old index
+  std::size_t NumKept = 0;
+};
+
+PrunedChain pruneUnreachable(const AbsorbingChain &Chain) {
+  std::size_t NT = Chain.NumTransient;
+  // Reverse adjacency over Q.
+  std::vector<std::vector<std::size_t>> Preds(NT);
+  for (const RationalTriplet &E : Chain.QEntries)
+    if (!E.Value.isZero())
+      Preds[E.Col].push_back(E.Row);
+
+  PrunedChain Result;
+  Result.CanReach.assign(NT, false);
+  std::vector<std::size_t> Worklist;
+  for (const RationalTriplet &E : Chain.REntries)
+    if (!E.Value.isZero() && !Result.CanReach[E.Row]) {
+      Result.CanReach[E.Row] = true;
+      Worklist.push_back(E.Row);
+    }
+  while (!Worklist.empty()) {
+    std::size_t S = Worklist.back();
+    Worklist.pop_back();
+    for (std::size_t P : Preds[S])
+      if (!Result.CanReach[P]) {
+        Result.CanReach[P] = true;
+        Worklist.push_back(P);
+      }
+  }
+
+  Result.Compact.assign(NT, 0);
+  for (std::size_t I = 0; I < NT; ++I)
+    if (Result.CanReach[I]) {
+      Result.Compact[I] = Result.NumKept++;
+      Result.Original.push_back(I);
+    }
+  return Result;
+}
+
+} // namespace
+
+bool markov::solveAbsorptionExact(const AbsorbingChain &Chain,
+                                  DenseMatrix<Rational> &Out) {
+  std::size_t NT = Chain.NumTransient, NA = Chain.NumAbsorbing;
+  PrunedChain Pruned = pruneUnreachable(Chain);
+  std::size_t NK = Pruned.NumKept;
+
+  Out = DenseMatrix<Rational>(NT, NA);
+  if (NK == 0)
+    return true;
+
+  // Sparse Gauss-Jordan elimination on (I - Q) X = R with min-degree
+  // pivoting on the (always nonzero) diagonal. Network chains are nearly
+  // acyclic, so a fill-minimizing order keeps both the sparsity and the
+  // rational coefficient growth under control — a dense elimination over
+  // bignum rationals is hopeless beyond a few dozen states.
+  std::vector<std::map<std::size_t, Rational>> Rows(NK);
+  std::vector<std::vector<Rational>> Rhs(NK,
+                                         std::vector<Rational>(NA));
+  for (std::size_t K = 0; K < NK; ++K)
+    Rows[K][K] = Rational(1);
+  for (const RationalTriplet &E : Chain.QEntries) {
+    assert(E.Row < NT && E.Col < NT && "Q entry out of range");
+    if (Pruned.CanReach[E.Row] && Pruned.CanReach[E.Col]) {
+      Rational &Cell =
+          Rows[Pruned.Compact[E.Row]][Pruned.Compact[E.Col]];
+      Cell -= E.Value;
+      if (Cell.isZero())
+        Rows[Pruned.Compact[E.Row]].erase(Pruned.Compact[E.Col]);
+    }
+  }
+  for (const RationalTriplet &E : Chain.REntries) {
+    assert(E.Row < NT && E.Col < NA && "R entry out of range");
+    if (Pruned.CanReach[E.Row])
+      Rhs[Pruned.Compact[E.Row]][E.Col] += E.Value;
+  }
+
+  // Column -> rows currently holding a nonzero in that column.
+  std::vector<std::set<std::size_t>> ColRows(NK);
+  for (std::size_t K = 0; K < NK; ++K)
+    for (const auto &[Col, V] : Rows[K]) {
+      (void)V;
+      ColRows[Col].insert(K);
+    }
+
+  std::vector<bool> Eliminated(NK, false);
+  for (std::size_t Step = 0; Step < NK; ++Step) {
+    // Min-degree pivot: cheapest (row nnz - 1) * (col nnz - 1) product.
+    std::size_t Pivot = SIZE_MAX, BestScore = SIZE_MAX;
+    for (std::size_t K = 0; K < NK; ++K) {
+      if (Eliminated[K])
+        continue;
+      std::size_t Score =
+          (Rows[K].size() - 1) * (ColRows[K].size() - 1);
+      if (Score < BestScore) {
+        BestScore = Score;
+        Pivot = K;
+        if (Score == 0)
+          break;
+      }
+    }
+    assert(Pivot != SIZE_MAX && "no pivot left");
+    auto PivIt = Rows[Pivot].find(Pivot);
+    if (PivIt == Rows[Pivot].end() || PivIt->second.isZero())
+      return false; // Should not happen after pruning.
+
+    // Normalize the pivot row.
+    Rational Inv = PivIt->second.reciprocal();
+    if (!Inv.isOne()) {
+      for (auto &[Col, V] : Rows[Pivot])
+        V *= Inv;
+      for (Rational &V : Rhs[Pivot])
+        if (!V.isZero())
+          V *= Inv;
+    }
+    Eliminated[Pivot] = true;
+
+    // Substitute into every other row holding the pivot column.
+    std::vector<std::size_t> Users(ColRows[Pivot].begin(),
+                                   ColRows[Pivot].end());
+    for (std::size_t User : Users) {
+      if (User == Pivot)
+        continue;
+      auto It = Rows[User].find(Pivot);
+      if (It == Rows[User].end())
+        continue;
+      Rational Coeff = It->second;
+      Rows[User].erase(It);
+      ColRows[Pivot].erase(User);
+      for (const auto &[Col, V] : Rows[Pivot]) {
+        if (Col == Pivot)
+          continue;
+        Rational &Cell = Rows[User][Col];
+        bool WasZero = Cell.isZero();
+        Cell -= Coeff * V;
+        if (Cell.isZero())
+          Rows[User].erase(Col);
+        else if (WasZero)
+          ColRows[Col].insert(User);
+      }
+      for (std::size_t C = 0; C < NA; ++C)
+        if (!Rhs[Pivot][C].isZero())
+          Rhs[User][C] -= Coeff * Rhs[Pivot][C];
+    }
+  }
+
+  for (std::size_t K = 0; K < NK; ++K) {
+    assert(Rows[K].size() == 1 && Rows[K].count(K) == 1 &&
+           "Gauss-Jordan left a non-diagonal entry");
+    for (std::size_t C = 0; C < NA; ++C)
+      Out.at(Pruned.Original[K], C) = Rhs[K][C];
+  }
+  return true;
+}
+
+bool markov::solveAbsorptionDouble(const AbsorbingChain &Chain,
+                                   DenseMatrix<double> &Out,
+                                   SolverKind Kind) {
+  assert(Kind != SolverKind::Exact && "use solveAbsorptionExact");
+  std::size_t NT = Chain.NumTransient, NA = Chain.NumAbsorbing;
+  PrunedChain Pruned = pruneUnreachable(Chain);
+  std::size_t NK = Pruned.NumKept;
+
+  Out = DenseMatrix<double>(NT, NA);
+  if (NK == 0)
+    return true;
+
+  std::vector<Triplet> QT;
+  QT.reserve(Chain.QEntries.size());
+  for (const RationalTriplet &E : Chain.QEntries)
+    if (Pruned.CanReach[E.Row] && Pruned.CanReach[E.Col])
+      QT.push_back({Pruned.Compact[E.Row], Pruned.Compact[E.Col],
+                    E.Value.toDouble()});
+
+  DenseMatrix<double> R(NK, NA);
+  for (const RationalTriplet &E : Chain.REntries)
+    if (Pruned.CanReach[E.Row])
+      R.at(Pruned.Compact[E.Row], E.Col) += E.Value.toDouble();
+
+  DenseMatrix<double> Solved(NK, NA);
+  if (Kind == SolverKind::Direct) {
+    // Assemble I - Q and factor once; back-solve per absorbing column.
+    std::vector<Triplet> Entries = QT;
+    for (Triplet &E : Entries)
+      E.Value = -E.Value;
+    for (std::size_t I = 0; I < NK; ++I)
+      Entries.push_back({I, I, 1.0});
+    SparseMatrix IminusQ = SparseMatrix::fromTriplets(NK, NK, Entries);
+    linalg::SparseLU LU;
+    if (!LU.factor(IminusQ))
+      return false;
+    std::vector<double> Col(NK);
+    for (std::size_t J = 0; J < NA; ++J) {
+      for (std::size_t I = 0; I < NK; ++I)
+        Col[I] = R.at(I, J);
+      LU.solve(Col);
+      for (std::size_t I = 0; I < NK; ++I)
+        Solved.at(I, J) = Col[I];
+    }
+  } else {
+    // Iterative: x = Qx + r per absorbing column.
+    SparseMatrix Q = SparseMatrix::fromTriplets(NK, NK, QT);
+    std::vector<double> Col(NK), X;
+    for (std::size_t J = 0; J < NA; ++J) {
+      for (std::size_t I = 0; I < NK; ++I)
+        Col[I] = R.at(I, J);
+      if (linalg::neumannSolve(Q, Col, X) == 0)
+        return false;
+      for (std::size_t I = 0; I < NK; ++I)
+        Solved.at(I, J) = X[I];
+    }
+  }
+
+  for (std::size_t K = 0; K < NK; ++K)
+    for (std::size_t C = 0; C < NA; ++C)
+      Out.at(Pruned.Original[K], C) = Solved.at(K, C);
+  return true;
+}
+
+bool markov::rowsAreStochastic(const AbsorbingChain &Chain, double Tol) {
+  std::vector<double> RowSum(Chain.NumTransient, 0.0);
+  for (const RationalTriplet &E : Chain.QEntries)
+    RowSum[E.Row] += E.Value.toDouble();
+  for (const RationalTriplet &E : Chain.REntries)
+    RowSum[E.Row] += E.Value.toDouble();
+  for (double Sum : RowSum)
+    if (std::fabs(Sum - 1.0) > Tol)
+      return false;
+  return true;
+}

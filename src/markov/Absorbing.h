@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Absorbing Markov chain analysis (paper §4). Given the transient-to-
+/// transient block Q and transient-to-absorbing block R of an absorbing
+/// chain, computes the absorption probabilities A = (I - Q)^{-1} R
+/// (Equation 2 / Theorem 4.7). Three engines:
+///   - exact:     dense Gaussian elimination over Rational
+///   - direct:    sparse LU over double (the paper's UMFPACK configuration)
+///   - iterative: Neumann-series iteration over double (PRISM-style approx)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_MARKOV_ABSORBING_H
+#define MCNK_MARKOV_ABSORBING_H
+
+#include "linalg/Dense.h"
+#include "linalg/Sparse.h"
+#include "support/Rational.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace mcnk {
+namespace markov {
+
+/// A rational-valued sparse entry of the Q or R block.
+struct RationalTriplet {
+  std::size_t Row;
+  std::size_t Col;
+  Rational Value;
+};
+
+/// Sparse description of an absorbing chain's transient rows: Q is
+/// NumTransient x NumTransient, R is NumTransient x NumAbsorbing. Rows must
+/// be substochastic: Q-row sum + R-row sum == 1 for genuine chains.
+struct AbsorbingChain {
+  std::size_t NumTransient = 0;
+  std::size_t NumAbsorbing = 0;
+  std::vector<RationalTriplet> QEntries;
+  std::vector<RationalTriplet> REntries;
+};
+
+/// Solver selection for absorption probabilities.
+enum class SolverKind {
+  Exact,     ///< Rational Gaussian elimination; no rounding anywhere.
+  Direct,    ///< Sparse LU over double (paper's native configuration).
+  Iterative, ///< Neumann iteration over double.
+};
+
+/// Exact absorption probabilities. States that cannot reach any absorbing
+/// state (a ProbNetKAT loop diverging on some input) get absorption
+/// probability 0 into every absorbing state — the minimal solution, which
+/// matches the language semantics where diverging mass lands on ∅/drop.
+/// Returns false only if the pruned system is singular (cannot happen for a
+/// well-formed substochastic chain; guards against malformed input).
+bool solveAbsorptionExact(const AbsorbingChain &Chain,
+                          linalg::DenseMatrix<Rational> &Out);
+
+/// Floating-point absorption probabilities via sparse LU (Direct) or
+/// Neumann iteration (Iterative). Returns false on singularity /
+/// non-convergence.
+bool solveAbsorptionDouble(const AbsorbingChain &Chain,
+                           linalg::DenseMatrix<double> &Out,
+                           SolverKind Kind = SolverKind::Direct);
+
+/// Checks that every transient row of the chain sums to one (within \p Tol
+/// when evaluated in floating point). Used by tests and assertions.
+bool rowsAreStochastic(const AbsorbingChain &Chain, double Tol = 1e-9);
+
+} // namespace markov
+} // namespace mcnk
+
+#endif // MCNK_MARKOV_ABSORBING_H

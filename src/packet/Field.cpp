@@ -1,0 +1,29 @@
+#include "packet/Field.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace mcnk;
+
+FieldId FieldTable::intern(const std::string &Name) {
+  auto It = Ids.find(Name);
+  if (It != Ids.end())
+    return It->second;
+  if (Names.size() >= NotFound)
+    fatalError("too many fields interned");
+  FieldId Id = static_cast<FieldId>(Names.size());
+  Names.push_back(Name);
+  Ids.emplace(Name, Id);
+  return Id;
+}
+
+FieldId FieldTable::lookup(const std::string &Name) const {
+  auto It = Ids.find(Name);
+  return It == Ids.end() ? NotFound : It->second;
+}
+
+const std::string &FieldTable::name(FieldId Id) const {
+  assert(Id < Names.size() && "field id out of range");
+  return Names[Id];
+}

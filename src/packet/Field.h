@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Packet fields. A packet is a record mapping a finite set of fields to
+/// bounded integers (paper §3); fields include real headers (src, dst) and
+/// logical fields (sw, pt, up_i) used for modeling. FieldTable interns
+/// field names to dense ids so packets and FDD tests index by integer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_PACKET_FIELD_H
+#define MCNK_PACKET_FIELD_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mcnk {
+
+/// Dense id of an interned field. Also the FDD variable-ordering position:
+/// fields are ordered by id (first interned tests first).
+using FieldId = uint16_t;
+
+/// Field values are bounded naturals.
+using FieldValue = uint32_t;
+
+/// Interns field names; stable dense ids in interning order.
+class FieldTable {
+public:
+  /// Returns the id for \p Name, interning it on first use.
+  FieldId intern(const std::string &Name);
+
+  /// Returns the id for \p Name or NotFound if never interned.
+  static constexpr FieldId NotFound = 0xffff;
+  FieldId lookup(const std::string &Name) const;
+
+  const std::string &name(FieldId Id) const;
+  std::size_t numFields() const { return Names.size(); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, FieldId> Ids;
+};
+
+} // namespace mcnk
+
+#endif // MCNK_PACKET_FIELD_H

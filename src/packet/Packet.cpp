@@ -1,0 +1,44 @@
+#include "packet/Packet.h"
+
+#include <cassert>
+
+using namespace mcnk;
+
+PacketDomain::PacketDomain(std::vector<FieldValue> FieldSizes)
+    : Sizes(std::move(FieldSizes)) {
+  for (FieldValue Size : Sizes) {
+    assert(Size > 0 && "field with empty value range");
+    Count *= Size;
+  }
+}
+
+std::size_t PacketDomain::index(const Packet &P) const {
+  assert(P.numFields() == Sizes.size() && "packet/domain mismatch");
+  std::size_t Result = 0;
+  for (std::size_t F = 0; F < Sizes.size(); ++F) {
+    assert(P.get(static_cast<FieldId>(F)) < Sizes[F] &&
+           "packet value out of domain");
+    Result = Result * Sizes[F] + P.get(static_cast<FieldId>(F));
+  }
+  return Result;
+}
+
+Packet PacketDomain::packet(std::size_t Index) const {
+  assert(Index < Count && "packet index out of range");
+  Packet Result(Sizes.size());
+  for (std::size_t F = Sizes.size(); F-- > 0;) {
+    Result.set(static_cast<FieldId>(F),
+               static_cast<FieldValue>(Index % Sizes[F]));
+    Index /= Sizes[F];
+  }
+  return Result;
+}
+
+bool PacketDomain::contains(const Packet &P) const {
+  if (P.numFields() != Sizes.size())
+    return false;
+  for (std::size_t F = 0; F < Sizes.size(); ++F)
+    if (P.get(static_cast<FieldId>(F)) >= Sizes[F])
+      return false;
+  return true;
+}

@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete packets and finite packet domains. Packets assign a value to
+/// every field of a domain; PacketDomain enumerates the (finite) packet
+/// space for the reference set semantics, which is exponential and only
+/// used as a test oracle on tiny spaces (DESIGN.md S4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_PACKET_PACKET_H
+#define MCNK_PACKET_PACKET_H
+
+#include "packet/Field.h"
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace mcnk {
+
+/// A concrete packet: one value per field of the ambient domain.
+class Packet {
+public:
+  Packet() = default;
+  explicit Packet(std::size_t NumFields) : Values(NumFields, 0) {}
+  explicit Packet(std::vector<FieldValue> FieldValues)
+      : Values(std::move(FieldValues)) {}
+
+  std::size_t numFields() const { return Values.size(); }
+
+  FieldValue get(FieldId Field) const {
+    assert(Field < Values.size() && "field out of range");
+    return Values[Field];
+  }
+  void set(FieldId Field, FieldValue Value) {
+    assert(Field < Values.size() && "field out of range");
+    Values[Field] = Value;
+  }
+
+  /// π[f := n] — functional update (paper §3 notation).
+  Packet with(FieldId Field, FieldValue Value) const {
+    Packet Result = *this;
+    Result.set(Field, Value);
+    return Result;
+  }
+
+  bool operator==(const Packet &RHS) const { return Values == RHS.Values; }
+  bool operator!=(const Packet &RHS) const { return !(*this == RHS); }
+  bool operator<(const Packet &RHS) const { return Values < RHS.Values; }
+
+  std::size_t hash() const {
+    return hashRange(Values.begin(), Values.end());
+  }
+
+private:
+  std::vector<FieldValue> Values;
+};
+
+/// A finite packet space: field f ranges over {0, ..., Size[f] - 1}.
+class PacketDomain {
+public:
+  PacketDomain() = default;
+  explicit PacketDomain(std::vector<FieldValue> FieldSizes);
+
+  std::size_t numFields() const { return Sizes.size(); }
+  FieldValue fieldSize(FieldId Field) const {
+    assert(Field < Sizes.size() && "field out of range");
+    return Sizes[Field];
+  }
+
+  /// Total number of packets (product of field sizes).
+  std::size_t numPackets() const { return Count; }
+
+  /// Bijection between packets and [0, numPackets()).
+  std::size_t index(const Packet &P) const;
+  Packet packet(std::size_t Index) const;
+
+  /// True if every field value is within range.
+  bool contains(const Packet &P) const;
+
+private:
+  std::vector<FieldValue> Sizes;
+  std::size_t Count = 1;
+};
+
+} // namespace mcnk
+
+template <> struct std::hash<mcnk::Packet> {
+  std::size_t operator()(const mcnk::Packet &P) const { return P.hash(); }
+};
+
+#endif // MCNK_PACKET_PACKET_H

@@ -1,0 +1,191 @@
+#include "parser/Lexer.h"
+
+#include "support/Error.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace mcnk;
+using namespace mcnk::parser;
+
+const char *parser::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::KwDrop:
+    return "'drop'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::ColonEq:
+    return "':='";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  }
+  MCNK_UNREACHABLE("unhandled token kind");
+}
+
+char Lexer::peek(std::size_t Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/') && peek() != '\0')
+        advance();
+      if (peek() != '\0') {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, std::string Text, unsigned TokLine,
+                       unsigned TokCol) const {
+  Token T;
+  T.Kind = Kind;
+  T.Text = std::move(Text);
+  T.Line = TokLine;
+  T.Column = TokCol;
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  unsigned TokLine = Line, TokCol = Column;
+  if (Pos >= Source.size())
+    return makeToken(TokenKind::Eof, "", TokLine, TokCol);
+
+  char C = advance();
+  switch (C) {
+  case '=':
+    return makeToken(TokenKind::Equal, "=", TokLine, TokCol);
+  case '!':
+    return makeToken(TokenKind::Bang, "!", TokLine, TokCol);
+  case '&':
+    return makeToken(TokenKind::Amp, "&", TokLine, TokCol);
+  case ';':
+    return makeToken(TokenKind::Semi, ";", TokLine, TokCol);
+  case '*':
+    return makeToken(TokenKind::Star, "*", TokLine, TokCol);
+  case '+':
+    return makeToken(TokenKind::Plus, "+", TokLine, TokCol);
+  case '/':
+    return makeToken(TokenKind::Slash, "/", TokLine, TokCol);
+  case '.':
+    return makeToken(TokenKind::Dot, ".", TokLine, TokCol);
+  case '(':
+    return makeToken(TokenKind::LParen, "(", TokLine, TokCol);
+  case ')':
+    return makeToken(TokenKind::RParen, ")", TokLine, TokCol);
+  case '[':
+    return makeToken(TokenKind::LBracket, "[", TokLine, TokCol);
+  case ']':
+    return makeToken(TokenKind::RBracket, "]", TokLine, TokCol);
+  case ':':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::ColonEq, ":=", TokLine, TokCol);
+    }
+    return makeToken(TokenKind::Error, "expected '=' after ':'", TokLine,
+                     TokCol);
+  default:
+    break;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Text(1, C);
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Text.push_back(advance());
+    return makeToken(TokenKind::Number, std::move(Text), TokLine, TokCol);
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text.push_back(advance());
+    static const std::unordered_map<std::string, TokenKind> Keywords = {
+        {"drop", TokenKind::KwDrop},   {"skip", TokenKind::KwSkip},
+        {"if", TokenKind::KwIf},       {"then", TokenKind::KwThen},
+        {"else", TokenKind::KwElse},   {"while", TokenKind::KwWhile},
+        {"do", TokenKind::KwDo},       {"var", TokenKind::KwVar},
+        {"in", TokenKind::KwIn},
+    };
+    auto It = Keywords.find(Text);
+    if (It != Keywords.end())
+      return makeToken(It->second, std::move(Text), TokLine, TokCol);
+    return makeToken(TokenKind::Ident, std::move(Text), TokLine, TokCol);
+  }
+
+  return makeToken(TokenKind::Error,
+                   std::string("unexpected character '") + C + "'", TokLine,
+                   TokCol);
+}

@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the `.pnk` surface syntax. Produces a token stream with
+/// source positions for diagnostics; supports `//` line and `/* */` block
+/// comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_PARSER_LEXER_H
+#define MCNK_PARSER_LEXER_H
+
+#include <cstdint>
+#include <string>
+
+namespace mcnk {
+namespace parser {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Error,
+  Ident,
+  Number,
+  KwDrop,
+  KwSkip,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwVar,
+  KwIn,
+  Equal,     // =
+  ColonEq,   // :=
+  Bang,      // !
+  Amp,       // &
+  Semi,      // ;
+  Star,      // *
+  Plus,      // +
+  Slash,     // /
+  Dot,       // .
+  LParen,    // (
+  RParen,    // )
+  LBracket,  // [
+  RBracket,  // ]
+};
+
+/// Human-readable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;    // Identifier or number spelling; error message text.
+  unsigned Line = 1;   // 1-based.
+  unsigned Column = 1; // 1-based.
+};
+
+/// Single-pass lexer over an in-memory buffer.
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Source(Source) {}
+
+  /// Scans and returns the next token (Eof forever at end of input).
+  Token next();
+
+private:
+  char peek(std::size_t Ahead = 0) const;
+  char advance();
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, std::string Text, unsigned Line,
+                  unsigned Col) const;
+
+  const std::string &Source;
+  std::size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace parser
+} // namespace mcnk
+
+#endif // MCNK_PARSER_LEXER_H

@@ -1,0 +1,334 @@
+#include "parser/Parser.h"
+
+#include "parser/Lexer.h"
+#include "support/BigInt.h"
+
+#include <cstdint>
+
+using namespace mcnk;
+using namespace mcnk::parser;
+using ast::Context;
+using ast::Node;
+
+std::string Diagnostic::render() const {
+  return std::to_string(Line) + ":" + std::to_string(Column) + ": " + Message;
+}
+
+namespace {
+
+class ParserImpl {
+public:
+  ParserImpl(const std::string &Source, Context &Ctx)
+      : Lex(Source), Ctx(Ctx) {
+    Tok = Lex.next();
+  }
+
+  ParseResult run() {
+    ParseResult Result;
+    const Node *Program = parseChoice();
+    if (Program && !expect(TokenKind::Eof))
+      Program = nullptr;
+    Result.Program = Failed ? nullptr : Program;
+    Result.Diagnostics = std::move(Diags);
+    return Result;
+  }
+
+private:
+  // --- Token plumbing ---------------------------------------------------
+  void bump() { Tok = Lex.next(); }
+
+  bool at(TokenKind Kind) const { return Tok.Kind == Kind; }
+
+  bool accept(TokenKind Kind) {
+    if (!at(Kind))
+      return false;
+    bump();
+    return true;
+  }
+
+  bool expect(TokenKind Kind) {
+    if (accept(Kind))
+      return true;
+    error(std::string("expected ") + tokenKindName(Kind) + ", found " +
+          describeCurrent());
+    return false;
+  }
+
+  std::string describeCurrent() const {
+    if (Tok.Kind == TokenKind::Ident || Tok.Kind == TokenKind::Number)
+      return std::string(tokenKindName(Tok.Kind)) + " '" + Tok.Text + "'";
+    if (Tok.Kind == TokenKind::Error)
+      return Tok.Text;
+    return tokenKindName(Tok.Kind);
+  }
+
+  void error(const std::string &Message) {
+    if (Failed)
+      return; // Report only the first error; later ones are cascades.
+    Failed = true;
+    Diags.push_back({Tok.Line, Tok.Column, Message});
+  }
+
+  // --- Grammar ----------------------------------------------------------
+  const Node *parseChoice() {
+    const Node *Lhs = parseUnion();
+    while (!Failed && at(TokenKind::Plus)) {
+      bump();
+      if (!expect(TokenKind::LBracket))
+        return nullptr;
+      Rational Prob;
+      if (!parseRational(Prob))
+        return nullptr;
+      if (!Prob.isProbability()) {
+        error("choice probability must lie in [0, 1], got " +
+              Prob.toString());
+        return nullptr;
+      }
+      if (!expect(TokenKind::RBracket))
+        return nullptr;
+      const Node *Rhs = parseUnion();
+      if (Failed)
+        return nullptr;
+      Lhs = Ctx.choice(Prob, Lhs, Rhs);
+    }
+    return Failed ? nullptr : Lhs;
+  }
+
+  const Node *parseUnion() {
+    const Node *Lhs = parseSeq();
+    while (!Failed && accept(TokenKind::Amp)) {
+      const Node *Rhs = parseSeq();
+      if (Failed)
+        return nullptr;
+      Lhs = Ctx.unite(Lhs, Rhs);
+    }
+    return Failed ? nullptr : Lhs;
+  }
+
+  const Node *parseSeq() {
+    const Node *Lhs = parseUnary();
+    while (!Failed && accept(TokenKind::Semi)) {
+      const Node *Rhs = parseUnary();
+      if (Failed)
+        return nullptr;
+      Lhs = Ctx.seq(Lhs, Rhs);
+    }
+    return Failed ? nullptr : Lhs;
+  }
+
+  const Node *parseUnary() {
+    if (at(TokenKind::Bang)) {
+      Token BangTok = Tok;
+      bump();
+      const Node *Operand = parseUnary();
+      if (Failed)
+        return nullptr;
+      if (!Operand->isPredicate()) {
+        Failed = true;
+        Diags.push_back({BangTok.Line, BangTok.Column,
+                         "negation '!' applies only to predicates"});
+        return nullptr;
+      }
+      return Ctx.negate(Operand);
+    }
+    return parsePostfix();
+  }
+
+  const Node *parsePostfix() {
+    const Node *Atom = parseAtom();
+    while (!Failed && accept(TokenKind::Star))
+      Atom = Ctx.star(Atom);
+    return Failed ? nullptr : Atom;
+  }
+
+  const Node *parseAtom() {
+    switch (Tok.Kind) {
+    case TokenKind::KwDrop:
+      bump();
+      return Ctx.drop();
+    case TokenKind::KwSkip:
+      bump();
+      return Ctx.skip();
+    case TokenKind::LParen: {
+      bump();
+      const Node *Inner = parseChoice();
+      if (Failed || !expect(TokenKind::RParen))
+        return nullptr;
+      return Inner;
+    }
+    case TokenKind::Ident:
+      return parseTestOrAssign();
+    case TokenKind::KwIf:
+      return parseIf();
+    case TokenKind::KwWhile:
+      return parseWhile();
+    case TokenKind::KwVar:
+      return parseVar();
+    default:
+      error("expected a program, found " + describeCurrent());
+      return nullptr;
+    }
+  }
+
+  const Node *parseTestOrAssign() {
+    std::string Name = Tok.Text;
+    if (Name == "dup") {
+      error("'dup' is not supported: McNetKAT handles the history-free "
+            "fragment of ProbNetKAT (paper Sec. 3)");
+      return nullptr;
+    }
+    bump();
+    bool IsAssign = at(TokenKind::ColonEq);
+    if (!IsAssign && !at(TokenKind::Equal)) {
+      error("expected '=' (test) or ':=' (assignment) after field '" + Name +
+            "'");
+      return nullptr;
+    }
+    bump();
+    FieldValue Value;
+    if (!parseFieldValue(Value))
+      return nullptr;
+    FieldId Field = Ctx.field(Name);
+    return IsAssign ? Ctx.assign(Field, Value) : Ctx.test(Field, Value);
+  }
+
+  const Node *parseIf() {
+    bump(); // 'if'
+    const Node *Cond = parsePredicate("if-condition");
+    if (Failed || !expect(TokenKind::KwThen))
+      return nullptr;
+    const Node *Then = parseSeq();
+    if (Failed || !expect(TokenKind::KwElse))
+      return nullptr;
+    const Node *Else = parseSeq();
+    if (Failed)
+      return nullptr;
+    return Ctx.ite(Cond, Then, Else);
+  }
+
+  const Node *parseWhile() {
+    bump(); // 'while'
+    const Node *Cond = parsePredicate("while-condition");
+    if (Failed || !expect(TokenKind::KwDo))
+      return nullptr;
+    const Node *Body = parseSeq();
+    if (Failed)
+      return nullptr;
+    return Ctx.whileLoop(Cond, Body);
+  }
+
+  const Node *parseVar() {
+    bump(); // 'var'
+    if (!at(TokenKind::Ident)) {
+      error("expected field name after 'var'");
+      return nullptr;
+    }
+    std::string Name = Tok.Text;
+    bump();
+    if (!expect(TokenKind::ColonEq))
+      return nullptr;
+    FieldValue Init;
+    if (!parseFieldValue(Init))
+      return nullptr;
+    if (!expect(TokenKind::KwIn))
+      return nullptr;
+    const Node *Body = parseSeq();
+    if (Failed)
+      return nullptr;
+    return Ctx.local(Ctx.field(Name), Init, Body);
+  }
+
+  const Node *parsePredicate(const char *What) {
+    Token Start = Tok;
+    const Node *Pred = parseChoice();
+    if (Failed)
+      return nullptr;
+    if (!Pred->isPredicate()) {
+      Failed = true;
+      Diags.push_back({Start.Line, Start.Column,
+                       std::string(What) + " must be a predicate"});
+      return nullptr;
+    }
+    return Pred;
+  }
+
+  // --- Literals ----------------------------------------------------------
+  bool parseFieldValue(FieldValue &Out) {
+    if (!at(TokenKind::Number)) {
+      error("expected a natural number, found " + describeCurrent());
+      return false;
+    }
+    unsigned long long Value = 0;
+    for (char C : Tok.Text) {
+      Value = Value * 10 + static_cast<unsigned>(C - '0');
+      if (Value > 0xffffffffULL) {
+        error("field value '" + Tok.Text + "' exceeds 32 bits");
+        return false;
+      }
+    }
+    Out = static_cast<FieldValue>(Value);
+    bump();
+    return true;
+  }
+
+  /// nat | nat '/' nat | nat '.' digits
+  bool parseRational(Rational &Out) {
+    if (!at(TokenKind::Number)) {
+      error("expected a probability, found " + describeCurrent());
+      return false;
+    }
+    std::string First = Tok.Text;
+    bump();
+    if (accept(TokenKind::Slash)) {
+      if (!at(TokenKind::Number)) {
+        error("expected denominator after '/'");
+        return false;
+      }
+      std::string Second = Tok.Text;
+      bump();
+      BigInt Num, Den;
+      if (!BigInt::fromString(First, Num) ||
+          !BigInt::fromString(Second, Den) || Den.isZero()) {
+        error("malformed rational " + First + "/" + Second);
+        return false;
+      }
+      Out = Rational(std::move(Num), std::move(Den));
+      return true;
+    }
+    if (accept(TokenKind::Dot)) {
+      if (!at(TokenKind::Number)) {
+        error("expected digits after '.'");
+        return false;
+      }
+      std::string Frac = Tok.Text;
+      bump();
+      BigInt Num;
+      if (!BigInt::fromString(First + Frac, Num)) {
+        error("malformed decimal " + First + "." + Frac);
+        return false;
+      }
+      BigInt Den = BigInt::pow(BigInt(10), static_cast<unsigned>(Frac.size()));
+      Out = Rational(std::move(Num), std::move(Den));
+      return true;
+    }
+    BigInt Num;
+    if (!BigInt::fromString(First, Num)) {
+      error("malformed number " + First);
+      return false;
+    }
+    Out = Rational(std::move(Num), BigInt(1));
+    return true;
+  }
+
+  Lexer Lex;
+  Context &Ctx;
+  Token Tok;
+  bool Failed = false;
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace
+
+ParseResult parser::parseProgram(const std::string &Source, Context &Ctx) {
+  return ParserImpl(Source, Ctx).run();
+}

@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the `.pnk` surface syntax.
+///
+/// Grammar (loosest to tightest binding):
+///   program := choice
+///   choice  := union ('+[' rational ']' union)*        (left-assoc)
+///   union   := seq ('&' seq)*
+///   seq     := unary (';' unary)*
+///   unary   := '!' unary | postfix
+///   postfix := atom '*'*
+///   atom    := 'drop' | 'skip' | ident '=' nat | ident ':=' nat
+///            | '(' program ')'
+///            | 'if' program 'then' seq 'else' seq
+///            | 'while' program 'do' seq
+///            | 'var' ident ':=' nat 'in' seq
+///   rational := nat | nat '/' nat | nat '.' digits
+///
+/// if/while conditions must be predicates (checked with a diagnostic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_PARSER_PARSER_H
+#define MCNK_PARSER_PARSER_H
+
+#include "ast/Context.h"
+
+#include <string>
+#include <vector>
+
+namespace mcnk {
+namespace parser {
+
+/// A parse-time error with 1-based source coordinates.
+struct Diagnostic {
+  unsigned Line = 0;
+  unsigned Column = 0;
+  std::string Message;
+
+  std::string render() const;
+};
+
+/// Outcome of a parse: a program on success, diagnostics on failure.
+struct ParseResult {
+  const ast::Node *Program = nullptr;
+  std::vector<Diagnostic> Diagnostics;
+
+  bool ok() const { return Program != nullptr; }
+};
+
+/// Parses \p Source into AST nodes owned by \p Ctx. Field names are
+/// interned into Ctx's field table in order of first occurrence.
+ParseResult parseProgram(const std::string &Source, ast::Context &Ctx);
+
+} // namespace parser
+} // namespace mcnk
+
+#endif // MCNK_PARSER_PARSER_H

@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// prismlite: an explicit-state DTMC model checker for the PRISM subset
+/// emitted by the translation backend (and for hand-written models of the
+/// same shape). This is the repository's stand-in for the PRISM binary
+/// (see DESIGN.md): parse a `dtmc` module, build the reachable state
+/// space, and compute reachability probabilities Pr[F goal] with either
+/// the exact rational engine or the iterative floating-point engine
+/// (PRISM's "exact" and default configurations in Fig 10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_PRISM_CHECKER_H
+#define MCNK_PRISM_CHECKER_H
+
+#include "markov/Absorbing.h"
+#include "support/Rational.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcnk {
+namespace prism {
+
+/// Boolean guard expression over model variables (parsed form).
+struct GuardExpr {
+  enum class Kind : uint8_t { True, False, Eq, Neq, Not, And, Or };
+  Kind K = Kind::True;
+  unsigned Var = 0;   // Eq/Neq
+  uint32_t Value = 0; // Eq/Neq
+  std::vector<GuardExpr> Children; // Not (1), And/Or (2)
+
+  bool eval(const std::vector<uint32_t> &Valuation) const;
+};
+
+/// One guarded command: guard -> p1:(updates) + ... + pk:(updates).
+struct Command {
+  GuardExpr Guard;
+  struct Alternative {
+    Rational Prob;
+    std::vector<std::pair<unsigned, uint32_t>> Updates; // (var, value)
+  };
+  std::vector<Alternative> Alternatives;
+};
+
+/// A parsed DTMC module.
+struct Model {
+  std::vector<std::string> VarNames;
+  std::vector<uint32_t> LowerBounds;
+  std::vector<uint32_t> UpperBounds;
+  std::vector<uint32_t> Init;
+  std::vector<Command> Commands;
+
+  unsigned varIndex(const std::string &Name) const;
+};
+
+/// Parses the PRISM subset; returns false with a message on malformed
+/// input (including syntax accepted by PRISM but outside our subset).
+bool parseModel(const std::string &Source, Model &Out, std::string &Error);
+
+/// Parses a standalone guard expression (for properties) against the
+/// model's variables.
+bool parseGuard(const std::string &Text, const Model &M, GuardExpr &Out,
+                std::string &Error);
+
+/// Result of a reachability query.
+struct CheckResult {
+  Rational Probability;
+  std::size_t NumStates = 0;      ///< Reachable states explored.
+  std::size_t NumTransitions = 0; ///< Transition entries.
+};
+
+/// Computes Pr[F goal] from the initial valuation by explicit-state
+/// exploration and an absorbing-chain solve. States where no command is
+/// enabled, or more than one is, are model errors (guards must partition).
+/// Returns false with a message on such errors or solver failure.
+bool checkReachability(const Model &M, const GuardExpr &Goal,
+                       markov::SolverKind Solver, CheckResult &Out,
+                       std::string &Error);
+
+} // namespace prism
+} // namespace mcnk
+
+#endif // MCNK_PRISM_CHECKER_H

@@ -1,0 +1,305 @@
+#include "prism/Translate.h"
+
+#include "ast/Traversal.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace mcnk;
+using namespace mcnk::prism;
+using namespace mcnk::ast;
+
+namespace {
+
+/// One automaton transition: fires when Guard holds (null = true), with
+/// probability Prob, applying Updates, moving to Target.
+struct Edge {
+  const Node *Guard = nullptr; // Predicate AST; nullptr means `true`.
+  Rational Prob = Rational(1);
+  std::vector<std::pair<FieldId, FieldValue>> Updates;
+  unsigned Target = 0;
+};
+
+/// Thompson-style automaton builder. States 0.. are allocated on demand;
+/// state edges obey the well-formedness conditions of §5.2 (per state:
+/// either one family of guarded prob-1 edges with mutually exclusive
+/// guards, or one family of unguarded probabilistic edges summing to 1).
+class AutomatonBuilder {
+public:
+  AutomatonBuilder(Context &Ctx) : Ctx(Ctx) {
+    Entry = fresh();
+    Done = fresh();
+    Drop = fresh();
+  }
+
+  unsigned fresh() {
+    States.emplace_back();
+    return static_cast<unsigned>(States.size() - 1);
+  }
+
+  void addEdge(unsigned From, Edge E) { States[From].push_back(std::move(E)); }
+
+  /// Emits the automaton for \p P between \p From and a returned exit.
+  unsigned build(const Node *P, unsigned From) {
+    if (P->isPredicate()) {
+      // Predicates become a guard split: pass / drop.
+      unsigned Exit = fresh();
+      addEdge(From, {P, Rational(1), {}, Exit});
+      addEdge(From, {Ctx.negate(P), Rational(1), {}, Drop});
+      return Exit;
+    }
+    switch (P->kind()) {
+    case NodeKind::Assign: {
+      const auto *A = cast<AssignNode>(P);
+      unsigned Exit = fresh();
+      addEdge(From, {nullptr, Rational(1), {{A->field(), A->value()}}, Exit});
+      return Exit;
+    }
+    case NodeKind::Seq: {
+      const auto *S = cast<SeqNode>(P);
+      return build(S->rhs(), build(S->lhs(), From));
+    }
+    case NodeKind::Choice: {
+      const auto *C = cast<ChoiceNode>(P);
+      unsigned LEntry = fresh(), REntry = fresh(), Exit = fresh();
+      addEdge(From, {nullptr, C->probability(), {}, LEntry});
+      addEdge(From,
+              {nullptr, Rational(1) - C->probability(), {}, REntry});
+      epsilon(build(C->lhs(), LEntry), Exit);
+      epsilon(build(C->rhs(), REntry), Exit);
+      return Exit;
+    }
+    case NodeKind::IfThenElse: {
+      const auto *I = cast<IfThenElseNode>(P);
+      unsigned TEntry = fresh(), EEntry = fresh(), Exit = fresh();
+      addEdge(From, {I->cond(), Rational(1), {}, TEntry});
+      addEdge(From, {Ctx.negate(I->cond()), Rational(1), {}, EEntry});
+      epsilon(build(I->thenBranch(), TEntry), Exit);
+      epsilon(build(I->elseBranch(), EEntry), Exit);
+      return Exit;
+    }
+    case NodeKind::While: {
+      const auto *W = cast<WhileNode>(P);
+      unsigned BEntry = fresh(), Exit = fresh();
+      addEdge(From, {W->cond(), Rational(1), {}, BEntry});
+      addEdge(From, {Ctx.negate(W->cond()), Rational(1), {}, Exit});
+      epsilon(build(W->body(), BEntry), From);
+      return Exit;
+    }
+    case NodeKind::Case: {
+      // Branch guards are disjoint by the CaseNode contract, so each
+      // branch keeps its own guard; the default takes the conjoined
+      // negations.
+      const auto *C = cast<CaseNode>(P);
+      unsigned Exit = fresh();
+      const Node *AllFail = Ctx.skip();
+      for (const auto &[Guard, Program] : C->branches()) {
+        unsigned BEntry = fresh();
+        addEdge(From, {Guard, Rational(1), {}, BEntry});
+        epsilon(build(Program, BEntry), Exit);
+        AllFail = Ctx.seq(AllFail, Ctx.negate(Guard));
+      }
+      unsigned DEntry = fresh();
+      addEdge(From, {AllFail, Rational(1), {}, DEntry});
+      epsilon(build(C->defaultBranch(), DEntry), Exit);
+      return Exit;
+    }
+    case NodeKind::Union:
+    case NodeKind::Star:
+      fatalError("PRISM backend requires the guarded fragment");
+    default:
+      MCNK_UNREACHABLE("predicates handled above");
+    }
+  }
+
+  /// Adds an unconditional no-op transition (a basic-block boundary; the
+  /// collapse pass removes it).
+  void epsilon(unsigned From, unsigned To) {
+    addEdge(From, {nullptr, Rational(1), {}, To});
+  }
+
+  /// Collapses ε-chains: any state whose single outgoing edge is an
+  /// unguarded, update-free, probability-1 edge is merged into its
+  /// target. This is the basic-block collapse of §5.2.
+  void collapse() {
+    Redirect.assign(States.size(), 0);
+    for (unsigned S = 0; S < States.size(); ++S)
+      Redirect[S] = S;
+    for (unsigned S = 0; S < States.size(); ++S) {
+      if (States[S].size() != 1)
+        continue;
+      const Edge &E = States[S][0];
+      if (E.Guard == nullptr && E.Prob.isOne() && E.Updates.empty())
+        Redirect[S] = E.Target; // Union toward the target.
+    }
+    // Path-compress the redirect chains (cycles of pure ε-states can only
+    // arise from empty loops, which the smart constructors eliminate; a
+    // defensive visit guard breaks them anyway).
+    for (unsigned S = 0; S < States.size(); ++S) {
+      std::vector<unsigned> Path;
+      unsigned Cur = S;
+      while (Redirect[Cur] != Cur) {
+        Path.push_back(Cur);
+        Cur = Redirect[Cur];
+        if (Path.size() > States.size())
+          break; // ε-cycle: map the whole cycle onto Cur.
+      }
+      for (unsigned Node : Path)
+        Redirect[Node] = Cur;
+    }
+    for (auto &StateEdges : States)
+      for (Edge &E : StateEdges)
+        E.Target = Redirect[E.Target];
+  }
+
+  Context &Ctx;
+  std::vector<std::vector<Edge>> States;
+  std::vector<unsigned> Redirect;
+  unsigned Entry = 0, Done = 0, Drop = 0;
+};
+
+/// Renders a predicate AST as a PRISM boolean expression.
+void renderPredicate(const Node *P, const FieldTable &Fields,
+                     std::ostringstream &Out) {
+  switch (P->kind()) {
+  case NodeKind::Drop:
+    Out << "false";
+    return;
+  case NodeKind::Skip:
+    Out << "true";
+    return;
+  case NodeKind::Test: {
+    const auto *T = cast<TestNode>(P);
+    Out << Fields.name(T->field()) << "=" << T->value();
+    return;
+  }
+  case NodeKind::Not:
+    Out << "!(";
+    renderPredicate(cast<NotNode>(P)->operand(), Fields, Out);
+    Out << ")";
+    return;
+  case NodeKind::Seq: {
+    const auto *S = cast<SeqNode>(P);
+    Out << "(";
+    renderPredicate(S->lhs(), Fields, Out);
+    Out << " & ";
+    renderPredicate(S->rhs(), Fields, Out);
+    Out << ")";
+    return;
+  }
+  case NodeKind::Union: {
+    const auto *U = cast<UnionNode>(P);
+    Out << "(";
+    renderPredicate(U->lhs(), Fields, Out);
+    Out << " | ";
+    renderPredicate(U->rhs(), Fields, Out);
+    Out << ")";
+    return;
+  }
+  default:
+    MCNK_UNREACHABLE("not a predicate");
+  }
+}
+
+} // namespace
+
+Translation prism::translate(Context &Ctx, const Node *Program,
+                             const Packet &Initial) {
+  assert(isGuarded(Program) && "PRISM backend requires guarded programs");
+  AutomatonBuilder B(Ctx);
+  unsigned Exit = B.build(Program, B.Entry);
+  B.epsilon(Exit, B.Done);
+  // Absorbing self-loops so the DTMC is total.
+  B.addEdge(B.Done, {nullptr, Rational(1), {}, B.Done});
+  B.addEdge(B.Drop, {nullptr, Rational(1), {}, B.Drop});
+
+  Translation Result;
+  Result.NumPcStatesExpanded = static_cast<unsigned>(B.States.size());
+  B.collapse();
+
+  // Renumber the live states (those that own edges and are reachable
+  // targets) densely.
+  std::map<unsigned, unsigned> Dense;
+  auto DenseId = [&](unsigned S) {
+    auto [It, Inserted] = Dense.emplace(S, Dense.size());
+    (void)Inserted;
+    return It->second;
+  };
+  unsigned Entry = B.Redirect[B.Entry];
+  unsigned Done = B.Redirect[B.Done];
+  unsigned Drop = B.Redirect[B.Drop];
+  DenseId(Entry); // pc = 0 is the entry.
+
+  const FieldTable &Fields = Ctx.fields();
+  // Field bounds: maximum of mentioned and initial values.
+  std::map<FieldId, FieldValue> Bounds;
+  for (const auto &[F, Values] : collectValues(Program))
+    Bounds[F] = *Values.rbegin();
+  for (std::size_t F = 0; F < Initial.numFields(); ++F) {
+    FieldValue V = Initial.get(static_cast<FieldId>(F));
+    auto [It, Inserted] = Bounds.emplace(static_cast<FieldId>(F), V);
+    if (!Inserted)
+      It->second = std::max(It->second, V);
+  }
+
+  std::ostringstream Body;
+  unsigned NumCommands = 0;
+  for (unsigned S = 0; S < B.States.size(); ++S) {
+    if (B.Redirect[S] != S || B.States[S].empty())
+      continue;
+    unsigned Id = DenseId(S);
+    // Partition edges: unguarded probabilistic family vs guarded edges.
+    std::vector<const Edge *> Unguarded;
+    std::vector<const Edge *> Guarded;
+    for (const Edge &E : B.States[S])
+      (E.Guard ? Guarded : Unguarded).push_back(&E);
+    assert((Unguarded.empty() || Guarded.empty()) &&
+           "state mixes guarded and probabilistic edges");
+
+    auto RenderUpdates = [&](const Edge &E) {
+      std::ostringstream U;
+      U << "(pc'=" << DenseId(E.Target) << ")";
+      for (const auto &[F, V] : E.Updates)
+        U << " & (" << Fields.name(F) << "'=" << V << ")";
+      return U.str();
+    };
+
+    if (!Unguarded.empty()) {
+      Body << "  [] pc=" << Id << " -> ";
+      for (std::size_t I = 0; I < Unguarded.size(); ++I) {
+        if (I)
+          Body << " + ";
+        Body << Unguarded[I]->Prob.toString() << " : "
+             << RenderUpdates(*Unguarded[I]);
+      }
+      Body << ";\n";
+      ++NumCommands;
+    }
+    for (const Edge *E : Guarded) {
+      std::ostringstream G;
+      renderPredicate(E->Guard, Fields, G);
+      Body << "  [] pc=" << Id << " & " << G.str() << " -> 1 : "
+           << RenderUpdates(*E) << ";\n";
+      ++NumCommands;
+    }
+  }
+
+  std::ostringstream Out;
+  Out << "dtmc\n\nmodule net\n";
+  Out << "  pc : [0.." << (Dense.size() ? Dense.size() - 1 : 0)
+      << "] init 0;\n";
+  for (const auto &[F, Bound] : Bounds)
+    Out << "  " << Fields.name(F) << " : [0.." << Bound << "] init "
+        << (F < Initial.numFields() ? Initial.get(F) : 0) << ";\n";
+  Out << Body.str();
+  Out << "endmodule\n";
+
+  Result.Source = Out.str();
+  Result.DoneGuard = "pc=" + std::to_string(DenseId(Done));
+  Result.DropGuard = "pc=" + std::to_string(DenseId(Drop));
+  Result.NumPcStates = static_cast<unsigned>(Dense.size());
+  return Result;
+}

@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PRISM backend (paper §5.2): a purely syntactic translation from
+/// guarded ProbNetKAT to a PRISM DTMC module. The program becomes a
+/// guarded-command automaton via a Thompson-style construction; basic
+/// blocks (ε-chains) are collapsed to keep the program counter small; the
+/// result is rendered in PRISM's input language. Model checking itself is
+/// done by `prismlite` (Checker.h), our stand-in for the PRISM binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_PRISM_TRANSLATE_H
+#define MCNK_PRISM_TRANSLATE_H
+
+#include "ast/Context.h"
+#include "packet/Packet.h"
+
+#include <string>
+
+namespace mcnk {
+namespace prism {
+
+/// A PRISM model plus the bookkeeping needed to query it.
+struct Translation {
+  std::string Source;      ///< PRISM model text (`dtmc` module).
+  std::string DoneGuard;   ///< Expression: program terminated normally.
+  std::string DropGuard;   ///< Expression: packet was dropped.
+  unsigned NumPcStatesExpanded = 0; ///< pc states before collapsing.
+  unsigned NumPcStates = 0;         ///< pc states after collapsing.
+};
+
+/// Translates \p Program (guarded fragment) into a PRISM DTMC whose
+/// variables are the packet fields (bounded by the values mentioned in the
+/// program and in \p Initial) plus a program counter. The initial state is
+/// the concrete packet \p Initial at the program entry. Reaching DoneGuard
+/// means the program produced the current valuation as output; DropGuard
+/// absorbs dropped packets.
+Translation translate(ast::Context &Ctx, const ast::Node *Program,
+                      const Packet &Initial);
+
+} // namespace prism
+} // namespace mcnk
+
+#endif // MCNK_PRISM_TRANSLATE_H

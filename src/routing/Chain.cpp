@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chain-of-diamonds reliability model (paper Fig 9, used for the
+/// Bayonet comparison of Fig 10): K diamonds in sequence; each split
+/// forwards uniformly to an upper (safe) or lower (fallible) branch; the
+/// lower link fails with probability pfail. Exact delivery probability is
+/// (1 - pfail/2)^K, which the tests cross-check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "routing/Routing.h"
+
+using namespace mcnk;
+using namespace mcnk::routing;
+using namespace mcnk::topology;
+using ast::Context;
+using ast::Node;
+
+NetworkModel routing::buildChainModel(const ChainLayout &Layout,
+                                      const Rational &PFail, Context &Ctx) {
+  NetworkModel Model;
+  FieldId Sw = Ctx.field("sw");
+  Model.SwField = Sw;
+  Model.PtField = Sw; // The chain model is port-free; alias for queries.
+
+  // Sentinel switch value: delivered to H2.
+  const SwitchId Delivered = Layout.numSwitches() + 1;
+  FieldId Up = Ctx.field("up");
+  Rational UpProb = Rational(1) - PFail;
+
+  std::vector<ast::CaseNode::Branch> Branches;
+  auto Go = [&](SwitchId To) { return Ctx.assign(Sw, To); };
+  for (unsigned D = 0; D < Layout.K; ++D) {
+    // Split: uniform over the two branches.
+    Branches.push_back(
+        {Ctx.test(Sw, Layout.split(D)),
+         Ctx.choice(Rational(1, 2), Go(Layout.upper(D)),
+                    Go(Layout.lower(D)))});
+    // Upper branch: always delivers to the join.
+    Branches.push_back({Ctx.test(Sw, Layout.upper(D)), Go(Layout.join(D))});
+    // Lower branch: the link to the join fails with pfail.
+    const Node *Sample = Ctx.choice(UpProb, Ctx.assign(Up, 1),
+                                    Ctx.assign(Up, 0));
+    const Node *Fwd = Ctx.ite(Ctx.test(Up, 1), Go(Layout.join(D)),
+                              Ctx.drop());
+    Branches.push_back(
+        {Ctx.test(Sw, Layout.lower(D)), Ctx.seq(Sample, Fwd)});
+    // Join: continue to the next diamond, or deliver.
+    SwitchId Next =
+        D + 1 < Layout.K ? Layout.split(D + 1) : Delivered;
+    Branches.push_back({Ctx.test(Sw, Layout.join(D)), Go(Next)});
+  }
+  const Node *Step = Ctx.caseOf(std::move(Branches), Ctx.drop());
+  // Re-canonicalize the sampled flag so it stays out of the loop state.
+  const Node *Body = Ctx.seq(Step, Ctx.assign(Up, 1));
+
+  const Node *Loop =
+      Ctx.whileLoop(Ctx.negate(Ctx.test(Sw, Delivered)), Body);
+  const Node *InPred = Ctx.test(Sw, Layout.split(0));
+  const Node *Core = Ctx.seq(InPred, Loop);
+  const Node *Teleport = Ctx.seq(InPred, Ctx.assign(Sw, Delivered));
+
+  Model.Program = Ctx.local(Up, 1, Core);
+  Model.Teleport = Ctx.local(Up, 1, Teleport);
+  // PtField aliases SwField in this port-free model; the ingress "port"
+  // repeats the switch so ingressPacket writes the same value twice.
+  Model.Ingresses.push_back({Layout.split(0), Layout.split(0)});
+  return Model;
+}

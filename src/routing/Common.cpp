@@ -1,0 +1,121 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared synthesis helpers: per-hop failure samplers (the f_k family),
+/// alive-port uniform choice, hop counters, and topology programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "routing/Routing.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace mcnk;
+using namespace mcnk::routing;
+using ast::Context;
+using ast::Node;
+
+Packet NetworkModel::ingressPacket(std::size_t Index,
+                                   const Context &Ctx) const {
+  assert(Index < Ingresses.size() && "ingress index out of range");
+  Packet P(Ctx.fields().numFields());
+  P.set(SwField, Ingresses[Index].first);
+  P.set(PtField, Ingresses[Index].second);
+  return P;
+}
+
+const Node *routing::sampleFlags(Context &Ctx,
+                                 const std::vector<FieldId> &Flags,
+                                 const Rational &Pr, unsigned K) {
+  // All-up fast path (no failures possible).
+  auto AllUp = [&] {
+    std::vector<const Node *> Writes;
+    for (FieldId F : Flags)
+      Writes.push_back(Ctx.assign(F, 1));
+    return Ctx.seqAll(Writes);
+  };
+  if (Flags.empty() || Pr.isZero() || K == 0)
+    return AllUp();
+
+  assert(Flags.size() <= 16 && "flag set too large to enumerate");
+  std::size_t N = Flags.size();
+  Rational Up = Rational(1) - Pr;
+
+  // Enumerate failure subsets S with |S| <= K; weight pr^|S| (1-pr)^(N-|S|),
+  // normalized over the admissible subsets (the conditioning in f_k).
+  std::vector<std::pair<const Node *, Rational>> Cases;
+  Rational Total;
+  for (std::size_t Mask = 0; Mask < (1u << N); ++Mask) {
+    unsigned Down = static_cast<unsigned>(__builtin_popcount(Mask));
+    if (Down > K)
+      continue;
+    Rational Weight(1);
+    std::vector<const Node *> Writes;
+    for (std::size_t I = 0; I < N; ++I) {
+      bool Failed = (Mask >> I) & 1;
+      Writes.push_back(Ctx.assign(Flags[I], Failed ? 0 : 1));
+      Weight *= Failed ? Pr : Up;
+    }
+    Cases.emplace_back(Ctx.seqAll(Writes), Weight);
+    Total += Weight;
+  }
+  for (auto &[Program, Weight] : Cases) {
+    (void)Program;
+    Weight /= Total;
+  }
+  return Ctx.choiceWeighted(Cases);
+}
+
+const Node *routing::uniformAliveChoice(
+    Context &Ctx, const std::vector<topology::PortId> &Ports,
+    const std::vector<FieldId> &FlagOf,
+    const std::vector<const Node *> &Forward, const Node *Fallback) {
+  assert(Ports.size() == FlagOf.size() && Ports.size() == Forward.size() &&
+         "parallel arrays expected");
+  // Nested conditionals over the flags; at the base, a uniform choice over
+  // the alive subset (or the fallback when everything is down).
+  std::function<const Node *(std::size_t, std::vector<std::size_t>)> Rec =
+      [&](std::size_t I, std::vector<std::size_t> Alive) -> const Node * {
+    if (I == Ports.size()) {
+      if (Alive.empty())
+        return Fallback;
+      std::vector<const Node *> Options;
+      for (std::size_t A : Alive)
+        Options.push_back(Forward[A]);
+      return Ctx.choiceUniform(Options);
+    }
+    std::vector<std::size_t> WithThis = Alive;
+    WithThis.push_back(I);
+    return Ctx.ite(Ctx.test(FlagOf[I], 1), Rec(I + 1, std::move(WithThis)),
+                   Rec(I + 1, std::move(Alive)));
+  };
+  return Rec(0, {});
+}
+
+const Node *routing::hopIncrement(Context &Ctx, FieldId Hop, unsigned Cap) {
+  // hop := min(hop + 1, Cap), written as a test cascade (values saturate
+  // into the Cap bucket).
+  const Node *Acc = Ctx.assign(Hop, Cap);
+  for (unsigned V = Cap; V-- > 0;)
+    Acc = Ctx.ite(Ctx.test(Hop, V), Ctx.assign(Hop, V + 1), Acc);
+  return Acc;
+}
+
+const Node *routing::topologyProgram(Context &Ctx,
+                                     const topology::Topology &T, FieldId Sw,
+                                     FieldId Pt) {
+  std::vector<ast::CaseNode::Branch> Branches;
+  Branches.reserve(T.links().size());
+  for (const topology::Link &L : T.links()) {
+    const Node *Guard = Ctx.seq(Ctx.test(Sw, L.Src), Ctx.test(Pt, L.SrcPort));
+    const Node *Move =
+        Ctx.seq(Ctx.assign(Sw, L.Dst), Ctx.assign(Pt, L.DstPort));
+    Branches.push_back({Guard, Move});
+  }
+  // Packets at a non-link location are malformed; dropping them makes
+  // modeling bugs visible as lost probability mass.
+  return Ctx.caseOf(std::move(Branches), Ctx.drop());
+}

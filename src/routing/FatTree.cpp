@@ -1,0 +1,243 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// F10 case-study model synthesis on (AB) FatTrees (paper §7): ECMP
+/// routing with optional 3-hop and 5-hop rerouting, per-hop failure
+/// sampling on the downward links, hop counting, and the matching
+/// teleport specification.
+///
+//===----------------------------------------------------------------------===//
+
+#include "routing/Routing.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <set>
+
+using namespace mcnk;
+using namespace mcnk::routing;
+using namespace mcnk::topology;
+using ast::Context;
+using ast::Node;
+
+NetworkModel routing::buildFatTreeModel(const FatTreeLayout &Layout,
+                                        const ModelOptions &Options,
+                                        Context &Ctx) {
+  const unsigned H = Layout.H;
+  const unsigned P = Layout.P;
+  assert(H >= 1 && "degenerate FatTree");
+
+  // Rebuild the wired topology for the layout.
+  FatTreeLayout Check;
+  Topology Topo = Layout.AB ? makeAbFatTree(P, Check) : makeFatTree(P, Check);
+
+  NetworkModel Model;
+  // Interning order fixes the FDD variable order: location fields first
+  // keeps diagrams switch-major and compact.
+  FieldId Sw = Ctx.field("sw");
+  FieldId Pt = Ctx.field("pt");
+  Model.SwField = Sw;
+  Model.PtField = Pt;
+
+  // The detour flag and (with failures) the full port-flag set are
+  // declared by every scheme — even ones that never read them — so that
+  // all schemes erase the same local fields and their outputs stay
+  // comparable (the Fig 11c refinement table compares across schemes).
+  const bool FlagsDeclared = Options.Failures.enabled();
+  const bool WantDetourFlag = Options.RoutingScheme == Scheme::F1035;
+  FieldId Dtr = Ctx.field("dtr");
+  FieldId Hop =
+      Options.CountHops ? Ctx.field("hop") : FieldTable::NotFound;
+  Model.HopField = Hop;
+
+  const bool FailOn = Options.Failures.enabled();
+  std::vector<FieldId> UpFlag(P + 1, FieldTable::NotFound);
+  if (FlagsDeclared)
+    for (PortId Port = 1; Port <= P; ++Port)
+      UpFlag[Port] = Ctx.field("up" + std::to_string(Port));
+
+  const SwitchId Dest = Layout.edgeId(0, 0); // Switch 1 (paper §7).
+  const Rational &Pr = Options.Failures.LinkFailProb;
+  const unsigned K = Options.Failures.MaxFailuresPerHop;
+
+  auto Fwd = [&](PortId Port) { return Ctx.assign(Pt, Port); };
+
+  std::set<FieldId> UsedFlags;
+  std::vector<ast::CaseNode::Branch> SwitchBranches;
+
+  for (SwitchId S = 1; S <= Layout.numSwitches(); ++S) {
+    if (S == Dest)
+      continue; // The loop guard exits before the destination routes.
+    const Node *Route = nullptr;
+    std::vector<FieldId> Fallible;
+
+    if (Layout.isEdge(S)) {
+      // ECMP upward: uniform over the alive... upward links never fail in
+      // this model (failures live on downward paths, §7), so plain
+      // uniform choice. A detour flag, if present, is cleared here.
+      std::vector<const Node *> Ups;
+      for (unsigned X = 0; X < H; ++X)
+        Ups.push_back(Fwd(Layout.edgeUpPort(X)));
+      Route = Ctx.choiceUniform(Ups);
+      if (WantDetourFlag)
+        Route = Ctx.seq(Ctx.assign(Dtr, 0), Route);
+    } else if (Layout.isAgg(S)) {
+      unsigned Pod = Layout.podOf(S);
+      if (Pod == 0) {
+        // Destination pod: the down-link to edge 1 is on the failure-prone
+        // downward path.
+        const Node *Down = Fwd(Layout.aggDownPort(0));
+        if (!FailOn) {
+          Route = Down;
+        } else {
+          FieldId Flag = UpFlag[Layout.aggDownPort(0)];
+          Fallible.push_back(Flag);
+          const Node *Detour = Ctx.drop();
+          if (Options.RoutingScheme != Scheme::F100 && H >= 2) {
+            // 3-hop rerouting inside the pod: bounce via a sibling edge,
+            // which sends the packet back up to a (random) fresh agg.
+            std::vector<const Node *> Others;
+            for (unsigned J = 1; J < H; ++J)
+              Others.push_back(Fwd(Layout.aggDownPort(J)));
+            Detour = Ctx.choiceUniform(Others);
+          }
+          Route = Ctx.ite(Ctx.test(Flag, 1), Down, Detour);
+        }
+      } else {
+        std::vector<const Node *> Ups;
+        for (unsigned M = 0; M < H; ++M)
+          Ups.push_back(Fwd(Layout.aggUpPort(M)));
+        const Node *GoUp = Ctx.choiceUniform(Ups);
+        if (WantDetourFlag) {
+          // A detoured packet dives to an edge of this pod and resurfaces
+          // through a different agg (the middle of the 5-hop path).
+          std::vector<const Node *> Downs;
+          for (unsigned J = 0; J < H; ++J)
+            Downs.push_back(Fwd(Layout.aggDownPort(J)));
+          Route =
+              Ctx.ite(Ctx.test(Dtr, 1), Ctx.choiceUniform(Downs), GoUp);
+        } else {
+          Route = GoUp;
+        }
+      }
+    } else {
+      // Core switch: the down-link to pod 0 may fail; fall back to 3-hop
+      // (opposite-type pods) and then 5-hop (same-type pods, flagged)
+      // rerouting per scheme.
+      const PortId DownPort = Layout.corePodPort(0);
+      const Node *Down = Fwd(DownPort);
+      if (!FailOn) {
+        Route = Down;
+      } else {
+        const Node *Fallback = Ctx.drop();
+        if (Options.RoutingScheme == Scheme::F1035) {
+          std::vector<PortId> Same;
+          for (unsigned Pod = 1; Pod < P; ++Pod)
+            if (!Layout.isTypeB(Pod))
+              Same.push_back(Layout.corePodPort(Pod));
+          if (!Same.empty()) {
+            std::vector<FieldId> Flags;
+            std::vector<const Node *> Forwards;
+            for (PortId Port : Same) {
+              Flags.push_back(UpFlag[Port]);
+              Forwards.push_back(Ctx.seq(Ctx.assign(Dtr, 1), Fwd(Port)));
+            }
+            Fallback =
+                uniformAliveChoice(Ctx, Same, Flags, Forwards, Ctx.drop());
+            Fallible.insert(Fallible.end(), Flags.begin(), Flags.end());
+          }
+        }
+        if (Options.RoutingScheme != Scheme::F100) {
+          std::vector<PortId> Opposite;
+          for (unsigned Pod = 1; Pod < P; ++Pod)
+            if (Layout.isTypeB(Pod))
+              Opposite.push_back(Layout.corePodPort(Pod));
+          if (!Opposite.empty()) {
+            std::vector<FieldId> Flags;
+            std::vector<const Node *> Forwards;
+            for (PortId Port : Opposite) {
+              Flags.push_back(UpFlag[Port]);
+              Forwards.push_back(Fwd(Port));
+            }
+            Fallback =
+                uniformAliveChoice(Ctx, Opposite, Flags, Forwards, Fallback);
+            Fallible.insert(Fallible.end(), Flags.begin(), Flags.end());
+          }
+        }
+        FieldId DownFlag = UpFlag[DownPort];
+        Fallible.push_back(DownFlag);
+        Route = Ctx.ite(Ctx.test(DownFlag, 1), Down, Fallback);
+      }
+    }
+
+    // Sample this hop's failure flags before the routing logic reads them
+    // (M̂ executes f before p at every hop).
+    if (!Fallible.empty()) {
+      Route = Ctx.seq(sampleFlags(Ctx, Fallible, Pr, K), Route);
+      UsedFlags.insert(Fallible.begin(), Fallible.end());
+    }
+    SwitchBranches.push_back({Ctx.test(Sw, S), Route});
+  }
+
+  const Node *PHop = Ctx.caseOf(std::move(SwitchBranches), Ctx.drop());
+  const Node *Topo_ = topologyProgram(Ctx, Topo, Sw, Pt);
+
+  // Body = p ; t [; hop++] ; flag reset. The reset re-canonicalizes the
+  // (dead) flags so they stay out of the loop-head state space.
+  std::vector<const Node *> BodyParts = {PHop, Topo_};
+  if (Options.CountHops)
+    BodyParts.push_back(hopIncrement(Ctx, Hop, Options.HopCap));
+  if (Options.HopLocalFlags) {
+    std::vector<const Node *> Resets;
+    for (FieldId Flag : UsedFlags)
+      Resets.push_back(Ctx.assign(Flag, 1));
+    BodyParts.push_back(Ctx.seqAll(Resets));
+  }
+  const Node *Body = Ctx.seqAll(BodyParts);
+
+  const Node *Loop =
+      Ctx.whileLoop(Ctx.negate(Ctx.test(Sw, Dest)), Body);
+
+  // Ingress: one host-facing port on every edge switch except the
+  // destination.
+  std::vector<const Node *> InDisjuncts;
+  for (unsigned Pod = 0; Pod < P; ++Pod)
+    for (unsigned E = 0; E < H; ++E) {
+      SwitchId Edge = Layout.edgeId(Pod, E);
+      if (Edge == Dest)
+        continue;
+      Model.Ingresses.push_back({Edge, Layout.edgeHostPort()});
+      InDisjuncts.push_back(Ctx.seq(Ctx.test(Sw, Edge),
+                                    Ctx.test(Pt, Layout.edgeHostPort())));
+    }
+  const Node *InPred = Ctx.uniteAll(InDisjuncts);
+
+  // Delivered packets are canonicalized to (sw=Dest, pt=0); the hop field
+  // (when present) carries the path length.
+  std::vector<const Node *> CoreParts = {InPred};
+  if (Options.CountHops)
+    CoreParts.push_back(Ctx.assign(Hop, 0));
+  CoreParts.push_back(Loop);
+  CoreParts.push_back(Ctx.assign(Pt, 0));
+  const Node *Core = Ctx.seqAll(CoreParts);
+
+  const Node *Teleport =
+      Ctx.seqAll({InPred, Ctx.assign(Sw, Dest), Ctx.assign(Pt, 0)});
+
+  // Local-field wrappers erase the model-only fields from the outputs of
+  // both the model and its specification. The whole declared flag set is
+  // wrapped (not just the sampled flags) for cross-scheme comparability.
+  if (FlagsDeclared) {
+    for (PortId Port = 1; Port <= P; ++Port) {
+      Core = Ctx.local(UpFlag[Port], 1, Core);
+      Teleport = Ctx.local(UpFlag[Port], 1, Teleport);
+    }
+  }
+  Core = Ctx.local(Dtr, 0, Core);
+  Teleport = Ctx.local(Dtr, 0, Teleport);
+
+  Model.Program = Core;
+  Model.Teleport = Teleport;
+  return Model;
+}

@@ -1,0 +1,148 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesis of ProbNetKAT network models (paper §2, §6, §7): routing
+/// schemes (ECMP/F10 variants), per-hop probabilistic failure models f_k,
+/// and the model builders M and M̂ that combine policy, topology, and
+/// failures into a single guarded program.
+///
+/// Modeling notes (see DESIGN.md for the full discussion):
+///  - Failure flags are sampled at each hop before the switch program
+///    reads them — exactly the paper's M̂(p,t,f) ≜ M((f;p), t), where f
+///    executes at every hop. Bounding `MaxFailuresPerHop` reproduces the
+///    f_k family (§2's f_1 is bounded(1) with pr = 1/3).
+///  - In the FatTree models the flags are re-canonicalized after each hop
+///    (they are dead by then: the next hop's f re-samples before any
+///    read). This keeps the loop-head state space at (sw, pt[, dtr, hop]),
+///    which is what lets the while-solver scale to thousands of switches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_ROUTING_ROUTING_H
+#define MCNK_ROUTING_ROUTING_H
+
+#include "ast/Context.h"
+#include "packet/Packet.h"
+#include "support/Rational.h"
+#include "topology/Topology.h"
+
+#include <limits>
+#include <vector>
+
+namespace mcnk {
+namespace routing {
+
+/// The §7 routing schemes, in increasing resilience.
+enum class Scheme {
+  F100,  ///< ECMP on shortest paths; drops on downward failures.
+  F103,  ///< + 3-hop rerouting (opposite-type aggs / sibling edges).
+  F1035, ///< + 5-hop rerouting with a detour flag.
+};
+
+/// Per-hop link failure model (the f_k family of §7).
+struct FailureModel {
+  Rational LinkFailProb;            ///< pr — zero disables failures.
+  unsigned MaxFailuresPerHop = 0;   ///< k; Unbounded for k = ∞.
+
+  static constexpr unsigned Unbounded =
+      std::numeric_limits<unsigned>::max();
+
+  static FailureModel none() { return {Rational(), 0}; }
+  static FailureModel bounded(Rational Pr, unsigned K) {
+    return {std::move(Pr), K};
+  }
+  static FailureModel iid(Rational Pr) {
+    return {std::move(Pr), Unbounded};
+  }
+
+  bool enabled() const { return !LinkFailProb.isZero(); }
+};
+
+struct ModelOptions {
+  Scheme RoutingScheme = Scheme::F100;
+  FailureModel Failures = FailureModel::none();
+  bool CountHops = false;  ///< Adds a saturating hop counter field.
+  unsigned HopCap = 16;    ///< Saturation bucket for the counter.
+  /// Re-canonicalize failure flags after every hop (the state-space
+  /// reduction described in DESIGN.md). Semantically neutral; disabling it
+  /// exists only for the ablation bench that measures its effect on the
+  /// while-loop chain size.
+  bool HopLocalFlags = true;
+};
+
+/// A synthesized model plus everything needed to query it.
+struct NetworkModel {
+  const ast::Node *Program = nullptr;  ///< Full model (ingress-filtered).
+  const ast::Node *Teleport = nullptr; ///< Matching ideal specification.
+  FieldId SwField = 0;
+  FieldId PtField = 0;
+  FieldId HopField = FieldTable::NotFound; ///< Valid iff CountHops.
+  /// Ingress locations (switch, port); one query packet per entry.
+  std::vector<std::pair<topology::SwitchId, topology::PortId>> Ingresses;
+
+  /// A concrete input packet for the given ingress (other fields at their
+  /// declared initial values).
+  Packet ingressPacket(std::size_t Index, const ast::Context &Ctx) const;
+};
+
+/// Builds the F10 case-study model on a (AB) FatTree: all traffic destined
+/// to edge switch 1 (paper §7), loop exits on sw=1, outputs canonicalized
+/// to (sw=1, pt=0) with local fields erased.
+NetworkModel buildFatTreeModel(const topology::FatTreeLayout &Layout,
+                               const ModelOptions &Options,
+                               ast::Context &Ctx);
+
+/// The chain-of-diamonds reliability model (Fig 9/10): packets start at
+/// S0; within each diamond the split forwards uniformly up/down; the lower
+/// link fails with probability \p PFail; delivery means traversing all K
+/// diamonds. Returned Teleport is the perfect-delivery spec.
+NetworkModel buildChainModel(const topology::ChainLayout &Layout,
+                             const Rational &PFail, ast::Context &Ctx);
+
+/// The §2 running example on the Fig 1 triangle: policies p (naive) and p̂
+/// (resilient), failure models f0/f1/f2, teleport spec.
+struct TriangleExample {
+  const ast::Node *NaiveF0 = nullptr;
+  const ast::Node *NaiveF1 = nullptr;
+  const ast::Node *NaiveF2 = nullptr;
+  const ast::Node *ResilientF0 = nullptr;
+  const ast::Node *ResilientF1 = nullptr;
+  const ast::Node *ResilientF2 = nullptr;
+  const ast::Node *Teleport = nullptr;
+  FieldId SwField = 0;
+  FieldId PtField = 0;
+  /// The single ingress packet (sw=1, pt=1).
+  Packet ingressPacket(const ast::Context &Ctx) const;
+};
+TriangleExample buildTriangleExample(ast::Context &Ctx);
+
+// --- Shared synthesis helpers (exposed for tests) -----------------------
+
+/// Distribution over up/down assignments of \p Flags with at most \p K
+/// simultaneous failures, each flag failing with probability \p Pr
+/// (conditioned on the bound). K = 0 or Pr = 0 yields the all-up program.
+const ast::Node *sampleFlags(ast::Context &Ctx,
+                             const std::vector<FieldId> &Flags,
+                             const Rational &Pr, unsigned K);
+
+/// Uniform choice among the alive members of \p Ports (flag tests nest in
+/// order); falls back to \p Fallback when all are down.
+const ast::Node *uniformAliveChoice(
+    ast::Context &Ctx, const std::vector<topology::PortId> &Ports,
+    const std::vector<FieldId> &FlagOf,
+    const std::vector<const ast::Node *> &Forward,
+    const ast::Node *Fallback);
+
+/// Saturating increment cascade for a hop-counter field.
+const ast::Node *hopIncrement(ast::Context &Ctx, FieldId Hop, unsigned Cap);
+
+/// Case program moving packets across topology links:
+/// sw=a ; pt=b  ->  sw:=c ; pt:=d, default drop.
+const ast::Node *topologyProgram(ast::Context &Ctx,
+                                 const topology::Topology &T, FieldId Sw,
+                                 FieldId Pt);
+
+} // namespace routing
+} // namespace mcnk
+
+#endif // MCNK_ROUTING_ROUTING_H

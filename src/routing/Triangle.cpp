@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §2 running example, built exactly as the paper writes it: the Fig 1
+/// triangle, naive policy p and resilient policy p̂, link program t̂ with
+/// health guards, failure models f0/f1/f2, and the network models
+/// M̂(p, t̂, f) ≜ var up2 := 1 in var up3 := 1 in M((f ; p), t̂)
+/// with M(q, t) ≜ in ; q ; while ¬out do (t ; q).
+///
+//===----------------------------------------------------------------------===//
+
+#include "routing/Routing.h"
+
+using namespace mcnk;
+using namespace mcnk::routing;
+using ast::Context;
+using ast::Node;
+
+Packet TriangleExample::ingressPacket(const Context &Ctx) const {
+  Packet P(Ctx.fields().numFields());
+  P.set(SwField, 1);
+  P.set(PtField, 1);
+  return P;
+}
+
+TriangleExample routing::buildTriangleExample(Context &Ctx) {
+  TriangleExample Ex;
+  FieldId Sw = Ctx.field("sw");
+  FieldId Pt = Ctx.field("pt");
+  FieldId Up2 = Ctx.field("up2");
+  FieldId Up3 = Ctx.field("up3");
+  Ex.SwField = Sw;
+  Ex.PtField = Pt;
+
+  // p: forward out of port 2 at switches 1 and 2; switch 3 is unreachable
+  // under the naive scheme.
+  const Node *P = Ctx.ite(
+      Ctx.test(Sw, 1), Ctx.assign(Pt, 2),
+      Ctx.ite(Ctx.test(Sw, 2), Ctx.assign(Pt, 2), Ctx.drop()));
+
+  // p̂: switch 1 detours via port 3 when the port-2 link is down; switches
+  // 2 and 3 forward toward the destination.
+  const Node *PHat = Ctx.ite(
+      Ctx.test(Sw, 1),
+      Ctx.ite(Ctx.test(Up2, 1), Ctx.assign(Pt, 2), Ctx.assign(Pt, 3)),
+      Ctx.ite(Ctx.test(Sw, 2), Ctx.assign(Pt, 2), Ctx.assign(Pt, 2)));
+
+  // t̂: the topology with link-health guards on switch 1's links.
+  auto LinkCase = [&](topology::SwitchId A, topology::PortId PA,
+                      topology::SwitchId B,
+                      topology::PortId PB,
+                      FieldId Guard) -> ast::CaseNode::Branch {
+    const Node *Cond = Ctx.seq(Ctx.test(Sw, A), Ctx.test(Pt, PA));
+    if (Guard != FieldTable::NotFound)
+      Cond = Ctx.seq(Cond, Ctx.test(Guard, 1));
+    return {Cond, Ctx.seq(Ctx.assign(Sw, B), Ctx.assign(Pt, PB))};
+  };
+  std::vector<ast::CaseNode::Branch> Links = {
+      LinkCase(1, 2, 2, 1, Up2),
+      LinkCase(1, 3, 3, 1, Up3),
+      LinkCase(3, 2, 2, 3, FieldTable::NotFound),
+  };
+  const Node *THat = Ctx.caseOf(std::move(Links), Ctx.drop());
+
+  // Failure models (§2, verbatim).
+  const Node *F0 = Ctx.seq(Ctx.assign(Up2, 1), Ctx.assign(Up3, 1));
+  const Node *F1 = Ctx.choiceWeighted({
+      {F0, Rational(1, 2)},
+      {Ctx.seq(Ctx.assign(Up2, 0), Ctx.assign(Up3, 1)), Rational(1, 4)},
+      {Ctx.seq(Ctx.assign(Up2, 1), Ctx.assign(Up3, 0)), Rational(1, 4)},
+  });
+  const Node *F2 = Ctx.seq(
+      Ctx.choice(Rational(4, 5), Ctx.assign(Up2, 1), Ctx.assign(Up2, 0)),
+      Ctx.choice(Rational(4, 5), Ctx.assign(Up3, 1), Ctx.assign(Up3, 0)));
+
+  // in ≜ sw=1 ; pt=1 and out ≜ sw=2 ; pt=2.
+  const Node *In = Ctx.seq(Ctx.test(Sw, 1), Ctx.test(Pt, 1));
+  const Node *Out = Ctx.seq(Ctx.test(Sw, 2), Ctx.test(Pt, 2));
+
+  // M(q, t) ≜ in ; q ; while ¬out do (t ; q), wrapped in the up-flag
+  // declarations.
+  auto MHat = [&](const Node *Policy, const Node *Failure) {
+    const Node *Q = Ctx.seq(Failure, Policy);
+    const Node *Loop =
+        Ctx.whileLoop(Ctx.negate(Out), Ctx.seq(THat, Q));
+    const Node *Core = Ctx.seqAll({In, Q, Loop});
+    return Ctx.local(Up2, 1, Ctx.local(Up3, 1, Core));
+  };
+
+  Ex.NaiveF0 = MHat(P, F0);
+  Ex.NaiveF1 = MHat(P, F1);
+  Ex.NaiveF2 = MHat(P, F2);
+  Ex.ResilientF0 = MHat(PHat, F0);
+  Ex.ResilientF1 = MHat(PHat, F1);
+  Ex.ResilientF2 = MHat(PHat, F2);
+
+  // Teleport: in ; sw := 2 ; pt := 2, with identical local-field erasure.
+  const Node *Tele =
+      Ctx.seqAll({In, Ctx.assign(Sw, 2), Ctx.assign(Pt, 2)});
+  Ex.Teleport = Ctx.local(Up2, 1, Ctx.local(Up3, 1, Tele));
+  return Ex;
+}

@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable reference semantics: the denotational model J·K : 2^Pk ->
+/// D(2^Pk) of Fig 13 (appendix A), computed exactly over a finite packet
+/// domain. Handles the *full* language including parallel composition `&`
+/// and iteration `p*`; star limits are computed in closed form via the
+/// small-step chain of §4 (states (a, b), saturation quotient U, absorbing
+/// solve per Theorem 4.7).
+///
+/// The state space is exponential in the domain (2^Pk), so this module is
+/// strictly a test oracle for tiny domains; the production path is the FDD
+/// backend. Soundness (Theorem 3.1) is validated by comparing the two on
+/// randomized programs in the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_SEMANTICS_SETSEMANTICS_H
+#define MCNK_SEMANTICS_SETSEMANTICS_H
+
+#include "ast/Context.h"
+#include "packet/Packet.h"
+#include "support/Rational.h"
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace mcnk {
+namespace semantics {
+
+/// A set of packets encoded as a bitmask over PacketDomain indices.
+/// Domains are limited to 64 packets — ample for an oracle.
+using PacketSet = uint64_t;
+
+/// A discrete distribution over packet sets; entries are positive and sum
+/// to one.
+using SetDist = std::map<PacketSet, Rational>;
+
+/// Exact evaluator for ProbNetKAT terms over a finite packet domain.
+class SetSemantics {
+public:
+  /// \p Ctx provides field ids (and owns any nodes evaluated);
+  /// \p Domain fixes the finite packet space (at most 64 packets).
+  SetSemantics(ast::Context &Ctx, PacketDomain Domain);
+
+  const PacketDomain &domain() const { return Domain; }
+
+  /// The full packet set (all packets of the domain).
+  PacketSet fullSet() const;
+
+  /// Singleton set containing \p P.
+  PacketSet singleton(const Packet &P) const;
+
+  /// JpK(a) — the exact output distribution on input set \p Input.
+  /// Evaluations are memoized per (node, input).
+  const SetDist &eval(const ast::Node *Program, PacketSet Input);
+
+  /// Probability that JpK(a) produces exactly \p Output (BJpK_{a,b}).
+  Rational outputProbability(const ast::Node *Program, PacketSet Input,
+                             PacketSet Output);
+
+  /// Pointwise semantic equivalence p ≡ q: JpK(a) = JqK(a) for all inputs
+  /// a ⊆ Pk. Exponential in the domain; oracle use only.
+  bool equivalent(const ast::Node *P, const ast::Node *Q);
+
+  /// Semantic refinement p ≤ q in the ⊑ order of appendix A.1:
+  /// JpK(a)({b}↑) ≤ JqK(a)({b}↑) for all inputs a and sets b.
+  bool refines(const ast::Node *P, const ast::Node *Q);
+
+private:
+  SetDist evalUncached(const ast::Node *Program, PacketSet Input);
+  SetDist evalStar(const ast::Node *Body, PacketSet Input);
+
+  /// Probability mass JpK(a) assigns to the up-set {b}↑ = {c | b ⊆ c}.
+  Rational upSetMass(const ast::Node *P, PacketSet Input, PacketSet UpSet);
+
+  ast::Context &Ctx;
+  PacketDomain Domain;
+  std::vector<Packet> Packets; // Index -> concrete packet.
+  std::unordered_map<const ast::Node *, std::map<PacketSet, SetDist>> Cache;
+};
+
+} // namespace semantics
+} // namespace mcnk
+
+#endif // MCNK_SEMANTICS_SETSEMANTICS_H

@@ -1,0 +1,482 @@
+#include "support/BigInt.h"
+
+#include "support/Error.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace mcnk;
+
+BigInt::BigInt(int64_t Value) {
+  Negative = Value < 0;
+  // Negate via unsigned arithmetic so INT64_MIN is handled.
+  uint64_t Mag =
+      Negative ? ~static_cast<uint64_t>(Value) + 1 : static_cast<uint64_t>(Value);
+  if (Mag != 0)
+    Limbs.push_back(static_cast<Limb>(Mag & 0xffffffffULL));
+  if (Mag >> 32)
+    Limbs.push_back(static_cast<Limb>(Mag >> 32));
+  if (Limbs.empty())
+    Negative = false;
+}
+
+BigInt BigInt::fromUnsigned(uint64_t Value) {
+  BigInt Result;
+  if (Value != 0)
+    Result.Limbs.push_back(static_cast<Limb>(Value & 0xffffffffULL));
+  if (Value >> 32)
+    Result.Limbs.push_back(static_cast<Limb>(Value >> 32));
+  return Result;
+}
+
+void BigInt::trim() {
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+  if (Limbs.empty())
+    Negative = false;
+}
+
+unsigned BigInt::bitLength() const {
+  if (Limbs.empty())
+    return 0;
+  unsigned TopBits = 32 - __builtin_clz(Limbs.back());
+  return static_cast<unsigned>(Limbs.size() - 1) * LimbBits + TopBits;
+}
+
+bool BigInt::fitsInt64() const {
+  unsigned Bits = bitLength();
+  if (Bits < 64)
+    return true;
+  // INT64_MIN has magnitude 2^63, bit length 64.
+  if (Bits == 64 && Negative && Limbs[0] == 0 && Limbs[1] == 0x80000000u)
+    return true;
+  return false;
+}
+
+int64_t BigInt::toInt64() const {
+  assert(fitsInt64() && "BigInt does not fit in int64_t");
+  uint64_t Mag = 0;
+  if (Limbs.size() > 0)
+    Mag |= static_cast<uint64_t>(Limbs[0]);
+  if (Limbs.size() > 1)
+    Mag |= static_cast<uint64_t>(Limbs[1]) << 32;
+  if (Negative)
+    return static_cast<int64_t>(~Mag + 1);
+  return static_cast<int64_t>(Mag);
+}
+
+double BigInt::toDouble() const {
+  if (Limbs.empty())
+    return 0.0;
+  unsigned Bits = bitLength();
+  double Result;
+  if (Bits <= 64) {
+    uint64_t Mag = static_cast<uint64_t>(Limbs[0]);
+    if (Limbs.size() > 1)
+      Mag |= static_cast<uint64_t>(Limbs[1]) << 32;
+    Result = static_cast<double>(Mag);
+  } else {
+    // Take the top 64 bits and scale; enough precision for a double.
+    BigInt Top = shr(Bits - 64);
+    uint64_t Mag = static_cast<uint64_t>(Top.Limbs[0]);
+    if (Top.Limbs.size() > 1)
+      Mag |= static_cast<uint64_t>(Top.Limbs[1]) << 32;
+    Result = std::ldexp(static_cast<double>(Mag),
+                        static_cast<int>(Bits) - 64);
+  }
+  return Negative ? -Result : Result;
+}
+
+int BigInt::compareMagnitude(const std::vector<Limb> &A,
+                             const std::vector<Limb> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (std::size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+std::vector<BigInt::Limb> BigInt::addMagnitude(const std::vector<Limb> &A,
+                                               const std::vector<Limb> &B) {
+  const std::vector<Limb> &Long = A.size() >= B.size() ? A : B;
+  const std::vector<Limb> &Short = A.size() >= B.size() ? B : A;
+  std::vector<Limb> Result;
+  Result.reserve(Long.size() + 1);
+  DoubleLimb Carry = 0;
+  for (std::size_t I = 0; I < Long.size(); ++I) {
+    DoubleLimb Sum = Carry + Long[I];
+    if (I < Short.size())
+      Sum += Short[I];
+    Result.push_back(static_cast<Limb>(Sum & 0xffffffffULL));
+    Carry = Sum >> 32;
+  }
+  if (Carry)
+    Result.push_back(static_cast<Limb>(Carry));
+  return Result;
+}
+
+std::vector<BigInt::Limb> BigInt::subMagnitude(const std::vector<Limb> &A,
+                                               const std::vector<Limb> &B) {
+  assert(compareMagnitude(A, B) >= 0 && "subMagnitude requires |A| >= |B|");
+  std::vector<Limb> Result;
+  Result.reserve(A.size());
+  int64_t Borrow = 0;
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    int64_t Diff = static_cast<int64_t>(A[I]) - Borrow -
+                   (I < B.size() ? static_cast<int64_t>(B[I]) : 0);
+    if (Diff < 0) {
+      Diff += (1LL << 32);
+      Borrow = 1;
+    } else {
+      Borrow = 0;
+    }
+    Result.push_back(static_cast<Limb>(Diff));
+  }
+  assert(Borrow == 0 && "underflow in subMagnitude");
+  while (!Result.empty() && Result.back() == 0)
+    Result.pop_back();
+  return Result;
+}
+
+std::vector<BigInt::Limb> BigInt::mulMagnitude(const std::vector<Limb> &A,
+                                               const std::vector<Limb> &B) {
+  if (A.empty() || B.empty())
+    return {};
+  std::vector<Limb> Result(A.size() + B.size(), 0);
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    DoubleLimb Carry = 0;
+    DoubleLimb AV = A[I];
+    for (std::size_t J = 0; J < B.size(); ++J) {
+      DoubleLimb Cur = Result[I + J] + AV * B[J] + Carry;
+      Result[I + J] = static_cast<Limb>(Cur & 0xffffffffULL);
+      Carry = Cur >> 32;
+    }
+    std::size_t K = I + B.size();
+    while (Carry) {
+      DoubleLimb Cur = Result[K] + Carry;
+      Result[K] = static_cast<Limb>(Cur & 0xffffffffULL);
+      Carry = Cur >> 32;
+      ++K;
+    }
+  }
+  while (!Result.empty() && Result.back() == 0)
+    Result.pop_back();
+  return Result;
+}
+
+void BigInt::divModMagnitude(const std::vector<Limb> &A,
+                             const std::vector<Limb> &B, std::vector<Limb> &Q,
+                             std::vector<Limb> &R) {
+  assert(!B.empty() && "division by zero");
+  Q.clear();
+  R.clear();
+  if (compareMagnitude(A, B) < 0) {
+    R = A;
+    return;
+  }
+
+  // Fast path: single-limb divisor.
+  if (B.size() == 1) {
+    DoubleLimb Den = B[0];
+    Q.assign(A.size(), 0);
+    DoubleLimb Rem = 0;
+    for (std::size_t I = A.size(); I-- > 0;) {
+      DoubleLimb Cur = (Rem << 32) | A[I];
+      Q[I] = static_cast<Limb>(Cur / Den);
+      Rem = Cur % Den;
+    }
+    while (!Q.empty() && Q.back() == 0)
+      Q.pop_back();
+    if (Rem != 0)
+      R.push_back(static_cast<Limb>(Rem));
+    return;
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D. Normalize so that the divisor's top
+  // limb has its high bit set.
+  unsigned Shift = __builtin_clz(B.back());
+  std::size_t N = B.size();
+  std::size_t M = A.size() - N;
+
+  std::vector<Limb> V(N);
+  for (std::size_t I = N; I-- > 0;) {
+    V[I] = B[I] << Shift;
+    if (Shift && I > 0)
+      V[I] |= static_cast<Limb>(static_cast<DoubleLimb>(B[I - 1]) >>
+                                (32 - Shift));
+  }
+
+  std::vector<Limb> U(A.size() + 1, 0);
+  U[A.size()] =
+      Shift ? static_cast<Limb>(static_cast<DoubleLimb>(A.back()) >>
+                                (32 - Shift))
+            : 0;
+  for (std::size_t I = A.size(); I-- > 0;) {
+    U[I] = A[I] << Shift;
+    if (Shift && I > 0)
+      U[I] |= static_cast<Limb>(static_cast<DoubleLimb>(A[I - 1]) >>
+                                (32 - Shift));
+  }
+
+  Q.assign(M + 1, 0);
+  const DoubleLimb Base = 1ULL << 32;
+  for (std::size_t J = M + 1; J-- > 0;) {
+    // Estimate the quotient limb from the top two limbs of the current
+    // remainder prefix against the top limb of the divisor.
+    DoubleLimb Top = (static_cast<DoubleLimb>(U[J + N]) << 32) | U[J + N - 1];
+    DoubleLimb QHat = Top / V[N - 1];
+    DoubleLimb RHat = Top % V[N - 1];
+    while (QHat >= Base ||
+           QHat * V[N - 2] > ((RHat << 32) | U[J + N - 2])) {
+      --QHat;
+      RHat += V[N - 1];
+      if (RHat >= Base)
+        break;
+    }
+
+    // Multiply-subtract QHat * V from U[J .. J+N].
+    int64_t Borrow = 0;
+    DoubleLimb Carry = 0;
+    for (std::size_t I = 0; I < N; ++I) {
+      DoubleLimb Prod = QHat * V[I] + Carry;
+      Carry = Prod >> 32;
+      int64_t Diff = static_cast<int64_t>(U[I + J]) -
+                     static_cast<int64_t>(Prod & 0xffffffffULL) - Borrow;
+      if (Diff < 0) {
+        Diff += static_cast<int64_t>(Base);
+        Borrow = 1;
+      } else {
+        Borrow = 0;
+      }
+      U[I + J] = static_cast<Limb>(Diff);
+    }
+    int64_t TopDiff = static_cast<int64_t>(U[J + N]) -
+                      static_cast<int64_t>(Carry) - Borrow;
+    if (TopDiff < 0) {
+      // QHat was one too large; add the divisor back.
+      TopDiff += static_cast<int64_t>(Base);
+      --QHat;
+      DoubleLimb AddCarry = 0;
+      for (std::size_t I = 0; I < N; ++I) {
+        DoubleLimb Sum =
+            static_cast<DoubleLimb>(U[I + J]) + V[I] + AddCarry;
+        U[I + J] = static_cast<Limb>(Sum & 0xffffffffULL);
+        AddCarry = Sum >> 32;
+      }
+      TopDiff += static_cast<int64_t>(AddCarry);
+      TopDiff &= static_cast<int64_t>(Base - 1);
+    }
+    U[J + N] = static_cast<Limb>(TopDiff);
+    Q[J] = static_cast<Limb>(QHat);
+  }
+
+  while (!Q.empty() && Q.back() == 0)
+    Q.pop_back();
+
+  // Denormalize the remainder (low N limbs of U, shifted back).
+  R.assign(N, 0);
+  for (std::size_t I = 0; I < N; ++I) {
+    R[I] = U[I] >> Shift;
+    if (Shift && I + 1 < U.size())
+      R[I] |= static_cast<Limb>(static_cast<DoubleLimb>(U[I + 1])
+                                << (32 - Shift));
+  }
+  while (!R.empty() && R.back() == 0)
+    R.pop_back();
+}
+
+BigInt BigInt::operator-() const {
+  BigInt Result = *this;
+  if (!Result.Limbs.empty())
+    Result.Negative = !Result.Negative;
+  return Result;
+}
+
+BigInt BigInt::abs() const {
+  BigInt Result = *this;
+  Result.Negative = false;
+  return Result;
+}
+
+BigInt BigInt::operator+(const BigInt &RHS) const {
+  BigInt Result;
+  if (Negative == RHS.Negative) {
+    Result.Limbs = addMagnitude(Limbs, RHS.Limbs);
+    Result.Negative = Negative;
+  } else if (compareMagnitude(Limbs, RHS.Limbs) >= 0) {
+    Result.Limbs = subMagnitude(Limbs, RHS.Limbs);
+    Result.Negative = Negative;
+  } else {
+    Result.Limbs = subMagnitude(RHS.Limbs, Limbs);
+    Result.Negative = RHS.Negative;
+  }
+  Result.trim();
+  return Result;
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const { return *this + (-RHS); }
+
+BigInt BigInt::operator*(const BigInt &RHS) const {
+  BigInt Result;
+  Result.Limbs = mulMagnitude(Limbs, RHS.Limbs);
+  Result.Negative = Negative != RHS.Negative;
+  Result.trim();
+  return Result;
+}
+
+std::pair<BigInt, BigInt> BigInt::divMod(const BigInt &Num,
+                                         const BigInt &Den) {
+  assert(!Den.isZero() && "BigInt division by zero");
+  BigInt Q, R;
+  divModMagnitude(Num.Limbs, Den.Limbs, Q.Limbs, R.Limbs);
+  Q.Negative = !Q.Limbs.empty() && (Num.Negative != Den.Negative);
+  R.Negative = !R.Limbs.empty() && Num.Negative;
+  return {Q, R};
+}
+
+BigInt BigInt::operator/(const BigInt &RHS) const {
+  return divMod(*this, RHS).first;
+}
+
+BigInt BigInt::operator%(const BigInt &RHS) const {
+  return divMod(*this, RHS).second;
+}
+
+BigInt BigInt::shl(unsigned Bits) const {
+  if (Limbs.empty() || Bits == 0)
+    return *this;
+  unsigned LimbShift = Bits / LimbBits;
+  unsigned BitShift = Bits % LimbBits;
+  BigInt Result;
+  Result.Negative = Negative;
+  Result.Limbs.assign(Limbs.size() + LimbShift + 1, 0);
+  for (std::size_t I = 0; I < Limbs.size(); ++I) {
+    DoubleLimb Shifted = static_cast<DoubleLimb>(Limbs[I]) << BitShift;
+    Result.Limbs[I + LimbShift] |= static_cast<Limb>(Shifted & 0xffffffffULL);
+    Result.Limbs[I + LimbShift + 1] |= static_cast<Limb>(Shifted >> 32);
+  }
+  Result.trim();
+  return Result;
+}
+
+BigInt BigInt::shr(unsigned Bits) const {
+  if (Limbs.empty() || Bits == 0)
+    return *this;
+  unsigned LimbShift = Bits / LimbBits;
+  unsigned BitShift = Bits % LimbBits;
+  if (LimbShift >= Limbs.size())
+    return BigInt();
+  BigInt Result;
+  Result.Negative = Negative;
+  Result.Limbs.assign(Limbs.size() - LimbShift, 0);
+  for (std::size_t I = 0; I < Result.Limbs.size(); ++I) {
+    DoubleLimb Cur = static_cast<DoubleLimb>(Limbs[I + LimbShift]) >> BitShift;
+    if (BitShift && I + LimbShift + 1 < Limbs.size())
+      Cur |= static_cast<DoubleLimb>(Limbs[I + LimbShift + 1])
+             << (32 - BitShift);
+    Result.Limbs[I] = static_cast<Limb>(Cur & 0xffffffffULL);
+  }
+  Result.trim();
+  return Result;
+}
+
+BigInt BigInt::gcd(const BigInt &A, const BigInt &B) {
+  BigInt X = A.abs(), Y = B.abs();
+  while (!Y.isZero()) {
+    BigInt R = X % Y;
+    X = Y;
+    Y = R;
+  }
+  return X;
+}
+
+BigInt BigInt::pow(const BigInt &Base, unsigned Exp) {
+  BigInt Result(1), Acc = Base;
+  while (Exp) {
+    if (Exp & 1)
+      Result *= Acc;
+    Exp >>= 1;
+    if (Exp)
+      Acc *= Acc;
+  }
+  return Result;
+}
+
+int BigInt::compare(const BigInt &RHS) const {
+  if (Negative != RHS.Negative)
+    return Negative ? -1 : 1;
+  int MagCmp = compareMagnitude(Limbs, RHS.Limbs);
+  return Negative ? -MagCmp : MagCmp;
+}
+
+bool BigInt::fromString(const std::string &Text, BigInt &Out) {
+  std::size_t Pos = 0;
+  bool Neg = false;
+  if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+')) {
+    Neg = Text[Pos] == '-';
+    ++Pos;
+  }
+  if (Pos >= Text.size())
+    return false;
+
+  BigInt Result;
+  const BigInt Chunk(1000000000);
+  // Consume digits in 9-digit groups: value = value * 10^k + group.
+  while (Pos < Text.size()) {
+    std::size_t GroupLen = std::min<std::size_t>(9, Text.size() - Pos);
+    uint32_t Group = 0;
+    for (std::size_t I = 0; I < GroupLen; ++I) {
+      char C = Text[Pos + I];
+      if (C < '0' || C > '9')
+        return false;
+      Group = Group * 10 + static_cast<uint32_t>(C - '0');
+    }
+    BigInt Scale =
+        GroupLen == 9 ? Chunk : BigInt(static_cast<int64_t>(
+                                    std::pow(10.0, static_cast<double>(GroupLen))));
+    Result = Result * Scale + BigInt(static_cast<int64_t>(Group));
+    Pos += GroupLen;
+  }
+  if (Neg && !Result.Limbs.empty())
+    Result.Negative = true;
+  Out = Result;
+  return true;
+}
+
+std::string BigInt::toString() const {
+  if (Limbs.empty())
+    return "0";
+  std::vector<Limb> Mag = Limbs;
+  std::string Digits;
+  // Peel 9 decimal digits at a time by dividing by 10^9.
+  while (!Mag.empty()) {
+    DoubleLimb Rem = 0;
+    for (std::size_t I = Mag.size(); I-- > 0;) {
+      DoubleLimb Cur = (Rem << 32) | Mag[I];
+      Mag[I] = static_cast<Limb>(Cur / 1000000000ULL);
+      Rem = Cur % 1000000000ULL;
+    }
+    while (!Mag.empty() && Mag.back() == 0)
+      Mag.pop_back();
+    for (int I = 0; I < 9; ++I) {
+      Digits.push_back(static_cast<char>('0' + Rem % 10));
+      Rem /= 10;
+    }
+  }
+  while (Digits.size() > 1 && Digits.back() == '0')
+    Digits.pop_back();
+  if (Negative)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+std::size_t BigInt::hash() const {
+  std::size_t Seed = Negative ? 0x5bd1e995u : 0x42u;
+  for (Limb L : Limbs)
+    Seed = hashCombine(Seed, static_cast<std::size_t>(L));
+  return Seed;
+}

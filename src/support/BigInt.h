@@ -1,0 +1,135 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arbitrary-precision signed integers. McNetKAT's frontend and FDD backend
+/// use exact rational arithmetic (paper §5); BigInt is the magnitude type
+/// underlying Rational. Sign-magnitude representation with little-endian
+/// 32-bit limbs; schoolbook multiplication and Knuth Algorithm D division.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_SUPPORT_BIGINT_H
+#define MCNK_SUPPORT_BIGINT_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcnk {
+
+/// Arbitrary-precision signed integer.
+///
+/// Invariants: no trailing (most-significant) zero limbs; zero is the empty
+/// limb vector with a non-negative sign, so every value has one canonical
+/// representation and operator== can compare representations directly.
+class BigInt {
+public:
+  BigInt() = default;
+  BigInt(int64_t Value);
+  static BigInt fromUnsigned(uint64_t Value);
+
+  /// Parses a decimal string with optional leading '-'. Returns false on
+  /// malformed input (empty string, non-digit characters).
+  static bool fromString(const std::string &Text, BigInt &Out);
+
+  bool isZero() const { return Limbs.empty(); }
+  bool isNegative() const { return Negative; }
+  bool isOne() const { return !Negative && Limbs.size() == 1 && Limbs[0] == 1; }
+
+  /// Number of significant bits in the magnitude (0 for zero).
+  unsigned bitLength() const;
+
+  /// True if the value is representable as int64_t.
+  bool fitsInt64() const;
+
+  /// Value as int64_t; asserts fitsInt64().
+  int64_t toInt64() const;
+
+  /// Best-effort conversion to double (rounds; may overflow to +/-inf).
+  double toDouble() const;
+
+  std::string toString() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt operator+(const BigInt &RHS) const;
+  BigInt operator-(const BigInt &RHS) const;
+  BigInt operator*(const BigInt &RHS) const;
+  /// Quotient truncated toward zero (C++ semantics). Asserts RHS != 0.
+  BigInt operator/(const BigInt &RHS) const;
+  /// Remainder with the sign of the dividend (C++ semantics).
+  BigInt operator%(const BigInt &RHS) const;
+
+  BigInt &operator+=(const BigInt &RHS) { return *this = *this + RHS; }
+  BigInt &operator-=(const BigInt &RHS) { return *this = *this - RHS; }
+  BigInt &operator*=(const BigInt &RHS) { return *this = *this * RHS; }
+  BigInt &operator/=(const BigInt &RHS) { return *this = *this / RHS; }
+
+  /// Computes quotient and remainder in one pass.
+  static std::pair<BigInt, BigInt> divMod(const BigInt &Num,
+                                          const BigInt &Den);
+
+  /// Logical shifts of the magnitude (sign preserved).
+  BigInt shl(unsigned Bits) const;
+  BigInt shr(unsigned Bits) const;
+
+  /// Greatest common divisor of magnitudes; gcd(0,0) == 0.
+  static BigInt gcd(const BigInt &A, const BigInt &B);
+
+  /// Integer exponentiation; asserts Exp fits normal use (no overflow guard).
+  static BigInt pow(const BigInt &Base, unsigned Exp);
+
+  /// Three-way comparison: negative/zero/positive as *this <=> RHS.
+  int compare(const BigInt &RHS) const;
+
+  bool operator==(const BigInt &RHS) const {
+    return Negative == RHS.Negative && Limbs == RHS.Limbs;
+  }
+  bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
+  bool operator<(const BigInt &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const BigInt &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const BigInt &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const BigInt &RHS) const { return compare(RHS) >= 0; }
+
+  std::size_t hash() const;
+
+  /// Number of 32-bit limbs (for tests and capacity diagnostics).
+  std::size_t numLimbs() const { return Limbs.size(); }
+
+private:
+  using Limb = uint32_t;
+  using DoubleLimb = uint64_t;
+  static constexpr unsigned LimbBits = 32;
+
+  /// Magnitude comparison ignoring sign.
+  static int compareMagnitude(const std::vector<Limb> &A,
+                              const std::vector<Limb> &B);
+  static std::vector<Limb> addMagnitude(const std::vector<Limb> &A,
+                                        const std::vector<Limb> &B);
+  /// Requires |A| >= |B|.
+  static std::vector<Limb> subMagnitude(const std::vector<Limb> &A,
+                                        const std::vector<Limb> &B);
+  static std::vector<Limb> mulMagnitude(const std::vector<Limb> &A,
+                                        const std::vector<Limb> &B);
+  /// Knuth Algorithm D on magnitudes; quotient in Q, remainder in R.
+  static void divModMagnitude(const std::vector<Limb> &A,
+                              const std::vector<Limb> &B, std::vector<Limb> &Q,
+                              std::vector<Limb> &R);
+
+  void trim();
+
+  bool Negative = false;
+  std::vector<Limb> Limbs; // little-endian
+};
+
+} // namespace mcnk
+
+template <> struct std::hash<mcnk::BigInt> {
+  std::size_t operator()(const mcnk::BigInt &Value) const {
+    return Value.hash();
+  }
+};
+
+#endif // MCNK_SUPPORT_BIGINT_H

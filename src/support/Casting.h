@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal LLVM-style RTTI helpers (isa<>, cast<>, dyn_cast<>) driven by a
+/// static `classof` predicate on the target class. The AST node hierarchy
+/// opts in by defining `static bool classof(const Node *)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_SUPPORT_CASTING_H
+#define MCNK_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace mcnk {
+
+/// Returns true if \p Val is an instance of type To (per To::classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that the dynamic type matches.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that returns null when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace mcnk
+
+#endif // MCNK_SUPPORT_CASTING_H

@@ -1,0 +1,17 @@
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mcnk;
+
+void mcnk::fatalError(const std::string &Msg) {
+  std::fprintf(stderr, "mcnetkat fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void mcnk::unreachableInternal(const char *Msg, const char *File,
+                               unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

@@ -1,0 +1,30 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and the MCNK_UNREACHABLE marker. The library avoids
+/// C++ exceptions (LLVM style); unrecoverable conditions abort with a
+/// diagnostic, recoverable ones surface through module-specific diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_SUPPORT_ERROR_H
+#define MCNK_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace mcnk {
+
+/// Prints \p Msg to stderr and aborts. Use for invariant violations that are
+/// bugs, not user errors.
+[[noreturn]] void fatalError(const std::string &Msg);
+
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace mcnk
+
+/// Marks a point in code that must never be reached.
+#define MCNK_UNREACHABLE(msg)                                                  \
+  ::mcnk::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // MCNK_SUPPORT_ERROR_H

@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-combination utilities used by the hash-consing tables in the FDD
+/// manager and by interned AST nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_SUPPORT_HASHING_H
+#define MCNK_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mcnk {
+
+/// Mixes \p Value into \p Seed (boost::hash_combine-style with a 64-bit
+/// golden-ratio constant).
+inline std::size_t hashCombine(std::size_t Seed, std::size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+  return Seed;
+}
+
+template <typename T>
+std::size_t hashCombine(std::size_t Seed, const T &Value) {
+  return hashCombine(Seed, std::hash<T>{}(Value));
+}
+
+/// Hashes the range [First, Last) into an accumulated seed.
+template <typename It> std::size_t hashRange(It First, It Last) {
+  std::size_t Seed = 0x42ULL;
+  for (; First != Last; ++First)
+    Seed = hashCombine(Seed, *First);
+  return Seed;
+}
+
+} // namespace mcnk
+
+#endif // MCNK_SUPPORT_HASHING_H

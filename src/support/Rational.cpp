@@ -1,0 +1,126 @@
+#include "support/Rational.h"
+
+#include "support/Error.h"
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace mcnk;
+
+Rational::Rational(int64_t Numerator, int64_t Denominator)
+    : Num(Numerator), Den(Denominator) {
+  assert(Denominator != 0 && "Rational with zero denominator");
+  normalize();
+}
+
+Rational::Rational(BigInt Numerator, BigInt Denominator)
+    : Num(std::move(Numerator)), Den(std::move(Denominator)) {
+  assert(!Den.isZero() && "Rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (Den.isNegative()) {
+    Num = -Num;
+    Den = -Den;
+  }
+  if (Num.isZero()) {
+    Den = BigInt(1);
+    return;
+  }
+  BigInt G = BigInt::gcd(Num, Den);
+  if (!G.isOne()) {
+    Num = Num / G;
+    Den = Den / G;
+  }
+}
+
+bool Rational::isProbability() const {
+  return !Num.isNegative() && Num.compare(Den) <= 0;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  return Rational(Num * RHS.Num, Den * RHS.Den);
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "Rational division by zero");
+  return Rational(Num * RHS.Den, Den * RHS.Num);
+}
+
+Rational Rational::operator-() const { return Rational(-Num, Den); }
+
+Rational Rational::reciprocal() const {
+  assert(!isZero() && "reciprocal of zero");
+  return Rational(Den, Num);
+}
+
+int Rational::compare(const Rational &RHS) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return (Num * RHS.Den).compare(RHS.Num * Den);
+}
+
+double Rational::toDouble() const {
+  if (Num.isZero())
+    return 0.0;
+  // Scale so the integer quotient carries ~64 significant bits, then divide
+  // exactly in BigInt and undo the scaling in the exponent.
+  int Scale = static_cast<int>(Den.bitLength()) + 64 -
+              static_cast<int>(Num.bitLength());
+  BigInt ScaledNum = Scale > 0 ? Num.shl(static_cast<unsigned>(Scale)) : Num;
+  BigInt ScaledDen =
+      Scale < 0 ? Den.shl(static_cast<unsigned>(-Scale)) : Den;
+  BigInt Quot = ScaledNum / ScaledDen;
+  return std::ldexp(Quot.toDouble(), -Scale);
+}
+
+std::string Rational::toString() const {
+  if (Den.isOne())
+    return Num.toString();
+  return Num.toString() + "/" + Den.toString();
+}
+
+bool Rational::fromString(const std::string &Text, Rational &Out) {
+  std::size_t Slash = Text.find('/');
+  if (Slash == std::string::npos) {
+    BigInt N;
+    if (!BigInt::fromString(Text, N))
+      return false;
+    Out = Rational(std::move(N), BigInt(1));
+    return true;
+  }
+  BigInt N, D;
+  if (!BigInt::fromString(Text.substr(0, Slash), N) ||
+      !BigInt::fromString(Text.substr(Slash + 1), D) || D.isZero())
+    return false;
+  Out = Rational(std::move(N), std::move(D));
+  return true;
+}
+
+Rational Rational::fromDouble(double Value) {
+  assert(std::isfinite(Value) && "fromDouble requires a finite value");
+  if (Value == 0.0)
+    return Rational();
+  int Exp = 0;
+  double Mantissa = std::frexp(Value, &Exp); // Value = Mantissa * 2^Exp.
+  // Scale the mantissa to a 53-bit integer; the result is exact.
+  int64_t Scaled = static_cast<int64_t>(std::ldexp(Mantissa, 53));
+  Exp -= 53;
+  BigInt Num(Scaled);
+  if (Exp >= 0)
+    return Rational(Num.shl(static_cast<unsigned>(Exp)), BigInt(1));
+  return Rational(std::move(Num), BigInt(1).shl(static_cast<unsigned>(-Exp)));
+}
+
+std::size_t Rational::hash() const {
+  return hashCombine(Num.hash(), Den.hash());
+}

@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over BigInt. ProbNetKAT probabilities are rational
+/// by definition (Fig 2: r in [0,1] ∩ Q); the FDD backend keeps them exact so
+/// program equivalence is decided without floating-point concerns (§5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_SUPPORT_RATIONAL_H
+#define MCNK_SUPPORT_RATIONAL_H
+
+#include "support/BigInt.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mcnk {
+
+/// Normalized rational number: denominator > 0, gcd(|num|, den) == 1, and
+/// zero is canonically 0/1 — so operator== compares representations.
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+  Rational(int64_t Numerator, int64_t Denominator);
+  Rational(BigInt Numerator, BigInt Denominator);
+
+  static Rational zero() { return Rational(); }
+  static Rational one() { return Rational(1); }
+
+  /// Parses "n", "-n", or "n/d" decimal forms. Returns false on malformed
+  /// input or zero denominator.
+  static bool fromString(const std::string &Text, Rational &Out);
+
+  /// Exact conversion of a finite double (every finite double is a
+  /// dyadic rational). Used when floating-point loop solutions are fed
+  /// back into exact FDD leaves (paper §5: UMFPACK results re-enter FDDs).
+  static Rational fromDouble(double Value);
+
+  const BigInt &numerator() const { return Num; }
+  const BigInt &denominator() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isOne() const { return Num.isOne() && Den.isOne(); }
+  bool isNegative() const { return Num.isNegative(); }
+
+  /// True if the value lies in [0, 1] — a valid probability.
+  bool isProbability() const;
+
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  /// Asserts RHS != 0.
+  Rational operator/(const Rational &RHS) const;
+  Rational operator-() const;
+
+  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
+  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
+  Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
+  Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
+
+  /// Asserts *this != 0.
+  Rational reciprocal() const;
+
+  int compare(const Rational &RHS) const;
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const Rational &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const Rational &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const Rational &RHS) const { return compare(RHS) >= 0; }
+
+  /// Best-effort double approximation (~53 bits of precision regardless of
+  /// operand magnitudes).
+  double toDouble() const;
+
+  /// "n" when the denominator is 1, otherwise "n/d".
+  std::string toString() const;
+
+  std::size_t hash() const;
+
+private:
+  void normalize();
+
+  BigInt Num;
+  BigInt Den;
+};
+
+} // namespace mcnk
+
+template <> struct std::hash<mcnk::Rational> {
+  std::size_t operator()(const mcnk::Rational &Value) const {
+    return Value.hash();
+  }
+};
+
+#endif // MCNK_SUPPORT_RATIONAL_H

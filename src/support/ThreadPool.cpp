@@ -1,0 +1,68 @@
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mcnk;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  TaskAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    assert(!ShuttingDown && "enqueue after shutdown");
+    Tasks.push(std::move(Task));
+  }
+  TaskAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Tasks.empty() && ActiveTasks == 0; });
+}
+
+void ThreadPool::parallelFor(std::size_t N,
+                             const std::function<void(std::size_t)> &Body) {
+  for (std::size_t I = 0; I < N; ++I)
+    enqueue([&Body, I] { Body(I); });
+  wait();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      TaskAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // Shutting down and drained.
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+      ++ActiveTasks;
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      --ActiveTasks;
+      if (Tasks.empty() && ActiveTasks == 0)
+        AllDone.notify_all();
+    }
+  }
+}

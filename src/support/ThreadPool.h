@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-size worker pool backing McNetKAT's parallelizing backend (§6): the
+/// n-ary `case sw=i` construct compiles each switch program on a separate
+/// worker and merges the resulting FDDs (map-reduce over switches).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_SUPPORT_THREADPOOL_H
+#define MCNK_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mcnk {
+
+/// A fixed pool of worker threads executing queued tasks.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers (0 means hardware concurrency, min 1).
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void enqueue(std::function<void()> Task);
+
+  /// Blocks until all enqueued tasks have finished.
+  void wait();
+
+  /// Runs Body(0..N-1) across the pool and blocks until all complete.
+  void parallelFor(std::size_t N, const std::function<void(std::size_t)> &Body);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable TaskAvailable;
+  std::condition_variable AllDone;
+  std::size_t ActiveTasks = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace mcnk
+
+#endif // MCNK_SUPPORT_THREADPOOL_H

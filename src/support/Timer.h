@@ -1,0 +1,35 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timer used by the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_SUPPORT_TIMER_H
+#define MCNK_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace mcnk {
+
+/// Measures elapsed wall-clock time in seconds from construction or the last
+/// reset().
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction/reset.
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace mcnk
+
+#endif // MCNK_SUPPORT_TIMER_H

@@ -1,0 +1,209 @@
+#include "topology/Topology.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <cctype>
+#include <sstream>
+
+using namespace mcnk;
+using namespace mcnk::topology;
+
+void Topology::addLink(SwitchId Src, PortId SrcPort, SwitchId Dst,
+                       PortId DstPort) {
+  assert(Src >= 1 && Src <= SwitchCount && "source switch out of range");
+  assert(Dst >= 1 && Dst <= SwitchCount && "target switch out of range");
+  auto [It, Inserted] =
+      OutIndex.emplace(std::make_pair(Src, SrcPort), Links.size());
+  (void)It;
+  assert(Inserted && "duplicate outgoing (switch, port)");
+  Links.push_back({Src, SrcPort, Dst, DstPort});
+}
+
+void Topology::addCable(SwitchId A, PortId PortA, SwitchId B, PortId PortB) {
+  addLink(A, PortA, B, PortB);
+  addLink(B, PortB, A, PortA);
+}
+
+std::optional<Link> Topology::linkFrom(SwitchId Src, PortId SrcPort) const {
+  auto It = OutIndex.find({Src, SrcPort});
+  if (It == OutIndex.end())
+    return std::nullopt;
+  return Links[It->second];
+}
+
+std::size_t Topology::degree(SwitchId Switch) const {
+  std::size_t Count = 0;
+  for (const Link &L : Links)
+    if (L.Src == Switch)
+      ++Count;
+  return Count;
+}
+
+std::string Topology::toDot() const {
+  std::ostringstream Out;
+  Out << "digraph topology {\n";
+  Out << "  // switches: " << SwitchCount << "\n";
+  for (const Link &L : Links)
+    Out << "  s" << L.Src << " -> s" << L.Dst << " [src_port=" << L.SrcPort
+        << ", dst_port=" << L.DstPort << "];\n";
+  Out << "}\n";
+  return Out.str();
+}
+
+namespace {
+
+/// Minimal tokenizer for the DOT subset: skips whitespace and comments.
+struct DotScanner {
+  const std::string &Text;
+  std::size_t Pos = 0;
+
+  void skip() {
+    while (Pos < Text.size()) {
+      if (std::isspace(static_cast<unsigned char>(Text[Pos]))) {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '/' && Pos + 1 < Text.size() &&
+          Text[Pos + 1] == '/') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      break;
+    }
+  }
+
+  bool literal(const std::string &Word) {
+    skip();
+    if (Text.compare(Pos, Word.size(), Word) != 0)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  bool number(uint64_t &Out) {
+    skip();
+    if (Pos >= Text.size() ||
+        !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      return false;
+    Out = 0;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      Out = Out * 10 + static_cast<uint64_t>(Text[Pos++] - '0');
+    return true;
+  }
+
+  bool done() {
+    skip();
+    return Pos >= Text.size();
+  }
+};
+
+} // namespace
+
+bool Topology::fromDot(const std::string &Text, Topology &Out,
+                       std::string &Error) {
+  DotScanner S{Text};
+  if (!S.literal("digraph")) {
+    Error = "expected 'digraph'";
+    return false;
+  }
+  // Optional graph name.
+  S.skip();
+  while (S.Pos < Text.size() && Text[S.Pos] != '{')
+    ++S.Pos;
+  if (!S.literal("{")) {
+    Error = "expected '{'";
+    return false;
+  }
+
+  Out = Topology();
+  SwitchId MaxSwitch = 0;
+  for (;;) {
+    if (S.literal("}"))
+      break;
+    uint64_t Src, Dst, SrcPort, DstPort;
+    if (!S.literal("s") || !S.number(Src) || !S.literal("->") ||
+        !S.literal("s") || !S.number(Dst) || !S.literal("[") ||
+        !S.literal("src_port=") || !S.number(SrcPort) || !S.literal(",") ||
+        !S.literal("dst_port=") || !S.number(DstPort) || !S.literal("]") ||
+        !S.literal(";")) {
+      Error = "malformed edge near offset " + std::to_string(S.Pos);
+      return false;
+    }
+    MaxSwitch = std::max<SwitchId>(
+        MaxSwitch, static_cast<SwitchId>(std::max(Src, Dst)));
+    Out.SwitchCount = MaxSwitch;
+    Out.addLink(static_cast<SwitchId>(Src), static_cast<PortId>(SrcPort),
+                static_cast<SwitchId>(Dst), static_cast<PortId>(DstPort));
+  }
+  if (!S.done()) {
+    Error = "trailing content after '}'";
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+Topology makeFatTreeImpl(unsigned P, bool AB, FatTreeLayout &Layout) {
+  if (P < 2 || P % 2 != 0)
+    fatalError("FatTree parameter must be even and >= 2");
+  Layout.P = P;
+  Layout.AB = AB;
+  Layout.H = P / 2;
+  unsigned H = Layout.H;
+
+  Topology T(Layout.numSwitches());
+  // Edge <-> agg cables within each pod.
+  for (unsigned Pod = 0; Pod < P; ++Pod)
+    for (unsigned E = 0; E < H; ++E)
+      for (unsigned X = 0; X < H; ++X)
+        T.addCable(Layout.edgeId(Pod, E), Layout.edgeUpPort(X),
+                   Layout.aggId(Pod, X), Layout.aggDownPort(E));
+  // Agg <-> core cables, staggered for type-B pods.
+  for (unsigned Pod = 0; Pod < P; ++Pod)
+    for (unsigned X = 0; X < H; ++X)
+      for (unsigned M = 0; M < H; ++M)
+        T.addCable(Layout.aggId(Pod, X), Layout.aggUpPort(M),
+                   Layout.coreAbove(Pod, X, M), Layout.corePodPort(Pod));
+  return T;
+}
+
+} // namespace
+
+Topology topology::makeFatTree(unsigned P, FatTreeLayout &Layout) {
+  return makeFatTreeImpl(P, /*AB=*/false, Layout);
+}
+
+Topology topology::makeAbFatTree(unsigned P, FatTreeLayout &Layout) {
+  return makeFatTreeImpl(P, /*AB=*/true, Layout);
+}
+
+Topology topology::makeChain(unsigned K, ChainLayout &Layout) {
+  if (K == 0)
+    fatalError("chain topology needs at least one diamond");
+  Layout.K = K;
+  Topology T(Layout.numSwitches());
+  for (unsigned D = 0; D < K; ++D) {
+    T.addLink(Layout.split(D), 1, Layout.upper(D), 1);
+    T.addLink(Layout.split(D), 2, Layout.lower(D), 1);
+    T.addLink(Layout.upper(D), 2, Layout.join(D), 1);
+    T.addLink(Layout.lower(D), 2, Layout.join(D), 2);
+    if (D + 1 < K)
+      T.addLink(Layout.join(D), 3, Layout.split(D + 1), 3);
+  }
+  return T;
+}
+
+Topology topology::makeTriangle() {
+  // Fig 1: switch 1 ports {1: source, 2: to sw2, 3: to sw3},
+  // switch 2 ports {1: from sw1, 2: destination, 3: from sw3},
+  // switch 3 ports {1: from sw1, 2: to sw2}.
+  Topology T(3);
+  T.addCable(1, 2, 2, 1);
+  T.addCable(1, 3, 3, 1);
+  T.addCable(3, 2, 2, 3);
+  return T;
+}

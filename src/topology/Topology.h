@@ -1,0 +1,166 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Network topologies: a directed port-level graph plus generators for the
+/// families the paper evaluates — FatTree (Fig 6), AB FatTree (Fig 11a,
+/// after Liu et al.'s F10), the chain-of-diamonds topology of the Bayonet
+/// comparison (Fig 9), and the §2 triangle. Graphviz DOT import/export
+/// mirrors McNetKAT's topology input format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_TOPOLOGY_TOPOLOGY_H
+#define MCNK_TOPOLOGY_TOPOLOGY_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcnk {
+namespace topology {
+
+/// Switches are 1-based ids (the paper's `sw=1` destination convention);
+/// ports are 1-based per switch.
+using SwitchId = uint32_t;
+using PortId = uint32_t;
+
+/// One directed hop: leaving (Src, SrcPort) delivers to (Dst, DstPort).
+struct Link {
+  SwitchId Src;
+  PortId SrcPort;
+  SwitchId Dst;
+  PortId DstPort;
+};
+
+/// A port-level directed multigraph. Physical cables appear as two
+/// directed links, added together via addCable.
+class Topology {
+public:
+  explicit Topology(std::size_t NumSwitches = 0)
+      : SwitchCount(NumSwitches) {}
+
+  std::size_t numSwitches() const { return SwitchCount; }
+  void setNumSwitches(std::size_t N) { SwitchCount = N; }
+
+  const std::vector<Link> &links() const { return Links; }
+
+  /// Adds one directed link.
+  void addLink(SwitchId Src, PortId SrcPort, SwitchId Dst, PortId DstPort);
+  /// Adds both directions of a cable.
+  void addCable(SwitchId A, PortId PortA, SwitchId B, PortId PortB);
+
+  /// The link leaving (Src, SrcPort), if any.
+  std::optional<Link> linkFrom(SwitchId Src, PortId SrcPort) const;
+
+  /// Out-degree (number of distinct outgoing ports) of a switch.
+  std::size_t degree(SwitchId Switch) const;
+
+  /// Graphviz DOT rendering: one `a -> b [src_port=i, dst_port=j]` edge
+  /// per directed link.
+  std::string toDot() const;
+
+  /// Parses the subset of DOT produced by toDot(). Returns false (with a
+  /// message) on malformed input.
+  static bool fromDot(const std::string &Text, Topology &Out,
+                      std::string &Error);
+
+private:
+  std::size_t SwitchCount;
+  std::vector<Link> Links;
+  std::map<std::pair<SwitchId, PortId>, std::size_t> OutIndex;
+};
+
+/// Structural metadata for (AB) FatTrees; all the routing generators need.
+struct FatTreeLayout {
+  unsigned P = 0;    ///< Ports per switch (even).
+  bool AB = false;   ///< AB FatTree (true) or standard FatTree (false).
+  unsigned H = 0;    ///< P / 2.
+
+  unsigned numPods() const { return P; }
+  unsigned numEdges() const { return P * H; }
+  unsigned numAggs() const { return P * H; }
+  unsigned numCores() const { return H * H; }
+  unsigned numSwitches() const { return numEdges() + numAggs() + numCores(); }
+
+  /// Pod types: pod 0 is always type A; in an AB FatTree pods alternate.
+  bool isTypeB(unsigned Pod) const { return AB && (Pod % 2 == 1); }
+
+  // Id layout: edges first, then aggregations, then cores (all 1-based).
+  SwitchId edgeId(unsigned Pod, unsigned Index) const {
+    return 1 + Pod * H + Index;
+  }
+  SwitchId aggId(unsigned Pod, unsigned Index) const {
+    return 1 + numEdges() + Pod * H + Index;
+  }
+  SwitchId coreId(unsigned X, unsigned Y) const {
+    return 1 + numEdges() + numAggs() + X * H + Y;
+  }
+
+  bool isEdge(SwitchId Sw) const { return Sw >= 1 && Sw <= numEdges(); }
+  bool isAgg(SwitchId Sw) const {
+    return Sw > numEdges() && Sw <= numEdges() + numAggs();
+  }
+  bool isCore(SwitchId Sw) const {
+    return Sw > numEdges() + numAggs() && Sw <= numSwitches();
+  }
+  unsigned podOf(SwitchId Sw) const {
+    if (isEdge(Sw))
+      return (Sw - 1) / H;
+    return (Sw - 1 - numEdges()) / H;
+  }
+  unsigned indexOf(SwitchId Sw) const {
+    if (isEdge(Sw))
+      return (Sw - 1) % H;
+    if (isAgg(Sw))
+      return (Sw - 1 - numEdges()) % H;
+    return Sw - 1 - numEdges() - numAggs(); // Core linear index X*H+Y.
+  }
+
+  // Port conventions (1-based):
+  //  - edge: ports 1..H up to aggs (port 1+x -> agg x), H+1..P to hosts
+  //  - agg:  ports 1..H down to edges (port 1+j -> edge j), H+1..P up
+  //  - core: port 1+i -> pod i
+  PortId edgeUpPort(unsigned AggIndex) const { return 1 + AggIndex; }
+  PortId edgeHostPort() const { return H + 1; }
+  PortId aggDownPort(unsigned EdgeIndex) const { return 1 + EdgeIndex; }
+  PortId aggUpPort(unsigned M) const { return H + 1 + M; }
+  PortId corePodPort(unsigned Pod) const { return 1 + Pod; }
+
+  /// The core an agg's M-th up port reaches: type A pods use (x, m),
+  /// type B pods use (m, y) — the staggered wiring that creates the short
+  /// detours (appendix E).
+  SwitchId coreAbove(unsigned Pod, unsigned AggIndex, unsigned M) const {
+    return isTypeB(Pod) ? coreId(M, AggIndex) : coreId(AggIndex, M);
+  }
+};
+
+/// Standard FatTree with parameter \p P (even, >= 2): 5P²/4 switches.
+Topology makeFatTree(unsigned P, FatTreeLayout &Layout);
+
+/// AB FatTree with parameter \p P: same size, staggered type-B pods.
+Topology makeAbFatTree(unsigned P, FatTreeLayout &Layout);
+
+/// Chain-of-diamonds metadata (Fig 9): K diamonds, switches S0..S_{4K-1};
+/// H1 injects at S0, H2 receives after S_{4K-1}.
+struct ChainLayout {
+  unsigned K = 0;
+  SwitchId split(unsigned D) const { return 1 + 4 * D; }
+  SwitchId upper(unsigned D) const { return 2 + 4 * D; }
+  SwitchId lower(unsigned D) const { return 3 + 4 * D; }
+  SwitchId join(unsigned D) const { return 4 + 4 * D; }
+  unsigned numSwitches() const { return 4 * K; }
+};
+
+/// Chain of \p K diamonds.
+Topology makeChain(unsigned K, ChainLayout &Layout);
+
+/// The §2 running-example triangle (Fig 1): switches 1..3; switch 1 and 2
+/// joined via port 2, detour via switch 3 on ports 3/2.
+Topology makeTriangle();
+
+} // namespace topology
+} // namespace mcnk
+
+#endif // MCNK_TOPOLOGY_TOPOLOGY_H

@@ -1,0 +1,206 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST tests: RTTI, predicate classification, smart-constructor
+/// normalizations, derived forms (n-ary choice, var, case), traversal
+/// analyses, and printing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Context.h"
+#include "ast/Printer.h"
+#include "ast/Traversal.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcnk;
+using namespace mcnk::ast;
+
+namespace {
+
+struct AstFixture : ::testing::Test {
+  Context Ctx;
+  FieldId Sw = Ctx.field("sw");
+  FieldId Pt = Ctx.field("pt");
+};
+
+} // namespace
+
+using AstTest = AstFixture;
+
+TEST_F(AstTest, KindsAndRtti) {
+  const Node *T = Ctx.test(Sw, 1);
+  EXPECT_TRUE(isa<TestNode>(T));
+  EXPECT_FALSE(isa<AssignNode>(T));
+  EXPECT_EQ(cast<TestNode>(T)->field(), Sw);
+  EXPECT_EQ(cast<TestNode>(T)->value(), 1u);
+  EXPECT_EQ(dyn_cast<AssignNode>(T), nullptr);
+  const Node *A = Ctx.assign(Pt, 2);
+  EXPECT_NE(dyn_cast<AssignNode>(A), nullptr);
+}
+
+TEST_F(AstTest, PredicateClassification) {
+  const Node *T1 = Ctx.test(Sw, 1);
+  const Node *T2 = Ctx.test(Pt, 2);
+  EXPECT_TRUE(Ctx.drop()->isPredicate());
+  EXPECT_TRUE(Ctx.skip()->isPredicate());
+  EXPECT_TRUE(T1->isPredicate());
+  EXPECT_TRUE(Ctx.seq(T1, T2)->isPredicate());       // Conjunction.
+  EXPECT_TRUE(Ctx.unite(T1, T2)->isPredicate());     // Disjunction.
+  EXPECT_TRUE(Ctx.negate(T1)->isPredicate());
+  EXPECT_FALSE(Ctx.assign(Sw, 1)->isPredicate());
+  EXPECT_FALSE(Ctx.seq(T1, Ctx.assign(Pt, 2))->isPredicate());
+  EXPECT_FALSE(Ctx.choice(Rational(1, 2), T1, T2)->isPredicate());
+}
+
+TEST_F(AstTest, SmartConstructorNormalization) {
+  const Node *P = Ctx.assign(Pt, 2);
+  // skip/drop units and absorption for ';'.
+  EXPECT_EQ(Ctx.seq(Ctx.skip(), P), P);
+  EXPECT_EQ(Ctx.seq(P, Ctx.skip()), P);
+  EXPECT_EQ(Ctx.seq(Ctx.drop(), P), Ctx.drop());
+  EXPECT_EQ(Ctx.seq(P, Ctx.drop()), Ctx.drop());
+  // drop is the unit of '&'.
+  EXPECT_EQ(Ctx.unite(Ctx.drop(), P), P);
+  EXPECT_EQ(Ctx.unite(P, Ctx.drop()), P);
+  // Trivial probabilities collapse.
+  const Node *Q = Ctx.assign(Pt, 3);
+  EXPECT_EQ(Ctx.choice(Rational(1), P, Q), P);
+  EXPECT_EQ(Ctx.choice(Rational(0), P, Q), Q);
+  EXPECT_EQ(Ctx.choice(Rational(1, 2), P, P), P);
+  // Double negation and constant negations.
+  const Node *T = Ctx.test(Sw, 1);
+  EXPECT_EQ(Ctx.negate(Ctx.negate(T)), T);
+  EXPECT_EQ(Ctx.negate(Ctx.drop()), Ctx.skip());
+  EXPECT_EQ(Ctx.negate(Ctx.skip()), Ctx.drop());
+  // Trivial guards collapse.
+  EXPECT_EQ(Ctx.ite(Ctx.skip(), P, Q), P);
+  EXPECT_EQ(Ctx.ite(Ctx.drop(), P, Q), Q);
+  EXPECT_EQ(Ctx.whileLoop(Ctx.drop(), P), Ctx.skip());
+  // Star of constants.
+  EXPECT_EQ(Ctx.star(Ctx.skip()), Ctx.skip());
+  EXPECT_EQ(Ctx.star(Ctx.drop()), Ctx.skip());
+}
+
+TEST_F(AstTest, UniformChoiceProbabilities) {
+  const Node *A = Ctx.assign(Pt, 1);
+  const Node *B = Ctx.assign(Pt, 2);
+  const Node *C = Ctx.assign(Pt, 3);
+  const Node *U = Ctx.choiceUniform({A, B, C});
+  // p1 ⊕_{1/3} (p2 ⊕_{1/2} p3).
+  const auto *Outer = dyn_cast<ChoiceNode>(U);
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_EQ(Outer->probability(), Rational(1, 3));
+  const auto *Inner = dyn_cast<ChoiceNode>(Outer->rhs());
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->probability(), Rational(1, 2));
+}
+
+TEST_F(AstTest, WeightedChoiceFromPaperSection2) {
+  // f1 ≜ ⊕ { f0 @ 1/2, a @ 1/4, b @ 1/4 } — §2's failure model shape.
+  const Node *F0 = Ctx.skip();
+  const Node *A = Ctx.assign(Pt, 1);
+  const Node *B = Ctx.assign(Pt, 2);
+  const Node *W = Ctx.choiceWeighted(
+      {{F0, Rational(1, 2)}, {A, Rational(1, 4)}, {B, Rational(1, 4)}});
+  const auto *Outer = dyn_cast<ChoiceNode>(W);
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_EQ(Outer->probability(), Rational(1, 2));
+  EXPECT_EQ(Outer->lhs(), F0);
+  const auto *Inner = dyn_cast<ChoiceNode>(Outer->rhs());
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->probability(), Rational(1, 2)); // 1/4 renormalized.
+}
+
+TEST_F(AstTest, LocalDesugarsToAssignSandwich) {
+  // var f := 1 in p  ≜  f := 1 ; p ; f := 0.
+  const Node *Body = Ctx.test(Sw, 1);
+  const Node *L = Ctx.local(Pt, 1, Body);
+  const auto *S = dyn_cast<SeqNode>(L);
+  ASSERT_NE(S, nullptr);
+  const auto *First = dyn_cast<AssignNode>(S->lhs());
+  ASSERT_NE(First, nullptr);
+  EXPECT_EQ(First->value(), 1u);
+  const auto *Rest = dyn_cast<SeqNode>(S->rhs());
+  ASSERT_NE(Rest, nullptr);
+  EXPECT_EQ(Rest->lhs(), Body);
+  EXPECT_EQ(cast<AssignNode>(Rest->rhs())->value(), 0u);
+}
+
+TEST_F(AstTest, StructuralEqualityAndHash) {
+  const Node *A = Ctx.seq(Ctx.test(Sw, 1), Ctx.assign(Pt, 2));
+  const Node *B = Ctx.seq(Ctx.test(Sw, 1), Ctx.assign(Pt, 2));
+  const Node *C = Ctx.seq(Ctx.test(Sw, 2), Ctx.assign(Pt, 2));
+  EXPECT_NE(A, B); // Different allocations...
+  EXPECT_TRUE(structurallyEqual(A, B));
+  EXPECT_EQ(structuralHash(A), structuralHash(B));
+  EXPECT_FALSE(structurallyEqual(A, C));
+}
+
+TEST_F(AstTest, GuardedFragmentCheck) {
+  const Node *T = Ctx.test(Sw, 1);
+  const Node *P = Ctx.assign(Pt, 2);
+  EXPECT_TRUE(isGuarded(Ctx.ite(T, P, Ctx.drop())));
+  EXPECT_TRUE(isGuarded(Ctx.whileLoop(Ctx.negate(T), P)));
+  EXPECT_TRUE(isGuarded(Ctx.unite(T, Ctx.test(Pt, 7)))); // Predicate union.
+  EXPECT_FALSE(isGuarded(Ctx.star(P)));
+  EXPECT_FALSE(isGuarded(Ctx.unite(P, Ctx.assign(Pt, 3))));
+  EXPECT_FALSE(isGuarded(Ctx.seq(T, Ctx.star(P))));
+  // Choice is allowed in the guarded fragment.
+  EXPECT_TRUE(isGuarded(Ctx.choice(Rational(1, 2), P, Ctx.drop())));
+}
+
+TEST_F(AstTest, CollectValues) {
+  const Node *P = Ctx.ite(Ctx.test(Sw, 1), Ctx.assign(Pt, 2),
+                          Ctx.seq(Ctx.test(Pt, 3), Ctx.assign(Sw, 4)));
+  auto Values = collectValues(P);
+  EXPECT_EQ(Values[Sw], (std::set<FieldValue>{1, 4}));
+  EXPECT_EQ(Values[Pt], (std::set<FieldValue>{2, 3}));
+}
+
+TEST_F(AstTest, CountAndDepth) {
+  const Node *T = Ctx.test(Sw, 1);
+  EXPECT_EQ(countNodes(T), 1u);
+  EXPECT_EQ(depth(T), 1u);
+  const Node *P = Ctx.seq(T, Ctx.seq(Ctx.assign(Pt, 1), Ctx.assign(Pt, 2)));
+  EXPECT_EQ(countNodes(P), 5u);
+  EXPECT_EQ(depth(P), 3u);
+}
+
+TEST_F(AstTest, PrintBasics) {
+  EXPECT_EQ(print(Ctx.drop(), Ctx.fields()), "drop");
+  EXPECT_EQ(print(Ctx.test(Sw, 1), Ctx.fields()), "sw=1");
+  EXPECT_EQ(print(Ctx.assign(Pt, 2), Ctx.fields()), "pt:=2");
+  EXPECT_EQ(print(Ctx.seq(Ctx.test(Sw, 1), Ctx.assign(Pt, 2)), Ctx.fields()),
+            "sw=1 ; pt:=2");
+  EXPECT_EQ(print(Ctx.negate(Ctx.test(Sw, 1)), Ctx.fields()), "!sw=1");
+  const Node *Choice = Ctx.choice(Rational(1, 2), Ctx.assign(Pt, 2),
+                                  Ctx.assign(Pt, 3));
+  EXPECT_EQ(print(Choice, Ctx.fields()), "pt:=2 +[1/2] pt:=3");
+  const Node *Ite =
+      Ctx.ite(Ctx.test(Sw, 1), Ctx.assign(Pt, 2), Ctx.drop());
+  EXPECT_EQ(print(Ite, Ctx.fields()), "if sw=1 then pt:=2 else drop");
+}
+
+TEST_F(AstTest, PrintParenthesizesNestedIf) {
+  const Node *Inner = Ctx.ite(Ctx.test(Sw, 2), Ctx.assign(Pt, 9), Ctx.drop());
+  const Node *Outer = Ctx.ite(Ctx.test(Sw, 1), Ctx.assign(Pt, 2), Inner);
+  EXPECT_EQ(print(Outer, Ctx.fields()),
+            "if sw=1 then pt:=2 else (if sw=2 then pt:=9 else drop)");
+  // A while in a sequence must parenthesize.
+  const Node *W = Ctx.whileLoop(Ctx.negate(Ctx.test(Sw, 1)),
+                                Ctx.assign(Sw, 1));
+  const Node *S = Ctx.seq(Ctx.test(Pt, 1), W);
+  EXPECT_EQ(print(S, Ctx.fields()), "pt=1 ; (while !sw=1 do sw:=1)");
+}
+
+TEST_F(AstTest, CasePrintsAsCascade) {
+  std::vector<CaseNode::Branch> Branches = {
+      {Ctx.test(Sw, 1), Ctx.assign(Pt, 1)},
+      {Ctx.test(Sw, 2), Ctx.assign(Pt, 2)},
+  };
+  const Node *C = Ctx.caseOf(std::move(Branches), Ctx.drop());
+  EXPECT_EQ(print(C, Ctx.fields()),
+            "if sw=1 then pt:=1 else (if sw=2 then pt:=2 else drop)");
+}

@@ -1,0 +1,193 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Baseline (Bayonet-substitute) tests: exact agreement with the native
+/// backend where loops terminate within the bound, residual accounting for
+/// diverging loops, path-count growth (the exponential behavior the Fig 10
+/// comparison exhibits), and budget cutoffs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "baseline/Exhaustive.h"
+#include "routing/Routing.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mcnk;
+using namespace mcnk::baseline;
+using ast::Context;
+using ast::Node;
+
+TEST(BaselineTest, SimpleChoice) {
+  Context Ctx;
+  FieldId F = Ctx.field("f");
+  const Node *P = Ctx.choice(Rational(1, 3), Ctx.assign(F, 1),
+                             Ctx.choice(Rational(1, 2), Ctx.assign(F, 2),
+                                        Ctx.drop()));
+  InferenceResult R = infer(P, Packet(1));
+  Packet One(1);
+  One.set(F, 1);
+  Packet Two(1);
+  Two.set(F, 2);
+  EXPECT_EQ(R.Outputs[One], Rational(1, 3));
+  EXPECT_EQ(R.Outputs[Two], Rational(1, 3));
+  EXPECT_EQ(R.Dropped, Rational(1, 3));
+  EXPECT_EQ(R.Residual, Rational(0));
+  EXPECT_EQ(R.NumPaths, 3u);
+}
+
+TEST(BaselineTest, TriangleMatchesPaperNumbers) {
+  Context Ctx;
+  routing::TriangleExample Ex = routing::buildTriangleExample(Ctx);
+  Packet In = Ex.ingressPacket(Ctx);
+  InferenceOptions O;
+  O.LoopBound = 16;
+  InferenceResult Naive = infer(Ex.NaiveF2, In, O);
+  EXPECT_EQ(Naive.deliveredMass(), Rational(4, 5));
+  InferenceResult Resilient = infer(Ex.ResilientF2, In, O);
+  EXPECT_EQ(Resilient.deliveredMass(), Rational(24, 25));
+  EXPECT_EQ(Resilient.Residual, Rational(0));
+}
+
+TEST(BaselineTest, ChainMatchesClosedFormAndGrowsPaths) {
+  Context Ctx;
+  std::size_t PrevPaths = 0;
+  for (unsigned K : {1u, 2u, 4u}) {
+    Context Local;
+    topology::ChainLayout L;
+    topology::makeChain(K, L);
+    routing::NetworkModel M =
+        routing::buildChainModel(L, Rational(1, 10), Local);
+    Packet In = M.ingressPacket(0, Local);
+    InferenceOptions O;
+    O.LoopBound = 6 * K + 4;
+    InferenceResult R = infer(M.Program, In, O);
+    Rational Expected(1);
+    for (unsigned I = 0; I < K; ++I)
+      Expected *= Rational(1) - Rational(1, 20);
+    EXPECT_EQ(R.deliveredMass(), Expected) << "K=" << K;
+    EXPECT_EQ(R.Residual, Rational(0));
+    // Exponential-ish path growth: the Fig 10 scaling story.
+    EXPECT_GT(R.NumPaths, PrevPaths);
+    PrevPaths = R.NumPaths;
+  }
+  (void)Ctx;
+}
+
+TEST(BaselineTest, DivergingLoopLeavesResidual) {
+  Context Ctx;
+  FieldId F = Ctx.field("f");
+  // while f=0 do (f:=0 ⊕½ f:=1): terminates a.s. but any finite unrolling
+  // leaves 2^-bound residual.
+  const Node *P = Ctx.whileLoop(
+      Ctx.test(F, 0),
+      Ctx.choice(Rational(1, 2), Ctx.assign(F, 0), Ctx.assign(F, 1)));
+  InferenceOptions O;
+  O.LoopBound = 10;
+  InferenceResult R = infer(P, Packet(1), O);
+  Rational ResidualExpected(1, 1024);
+  EXPECT_EQ(R.Residual, ResidualExpected);
+  EXPECT_EQ(R.deliveredMass(), Rational(1) - ResidualExpected);
+  // A truly diverging loop keeps everything as residual.
+  const Node *D = Ctx.whileLoop(Ctx.test(F, 0), Ctx.assign(F, 0));
+  InferenceResult RD = infer(D, Packet(1), O);
+  EXPECT_EQ(RD.Residual, Rational(1));
+}
+
+TEST(BaselineTest, PathBudgetStopsExploration) {
+  Context Ctx;
+  FieldId F = Ctx.field("f");
+  // A deep choice tree: 2^10 paths without a budget.
+  const Node *P = Ctx.skip();
+  for (int I = 0; I < 10; ++I)
+    P = Ctx.seq(P, Ctx.choice(Rational(1, 2), Ctx.assign(F, 1),
+                              Ctx.assign(F, 2)));
+  InferenceOptions O;
+  O.PathBudget = 100;
+  InferenceResult R = infer(P, Packet(1), O);
+  EXPECT_TRUE(R.BudgetExhausted);
+  EXPECT_LE(R.NumPaths, 100u);
+
+  InferenceResult Full = infer(P, Packet(1));
+  EXPECT_FALSE(Full.BudgetExhausted);
+  EXPECT_EQ(Full.NumPaths, 1024u);
+  EXPECT_EQ(Full.deliveredMass(), Rational(1));
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized agreement with the native backend
+//===----------------------------------------------------------------------===//
+
+class BaselineAgreementProperty : public ::testing::TestWithParam<unsigned> {
+};
+
+TEST_P(BaselineAgreementProperty, OutputsMatchNativeUpToResidual) {
+  Context Ctx;
+  FieldId A = Ctx.field("a"), B = Ctx.field("b");
+  std::mt19937_64 Rng(GetParam());
+  analysis::Verifier V;
+
+  auto Random = [&](auto &&Self, unsigned Depth) -> const Node * {
+    auto Value = [&] {
+      return std::uniform_int_distribution<FieldValue>(0, 2)(Rng);
+    };
+    auto Field = [&] {
+      return std::uniform_int_distribution<int>(0, 1)(Rng) ? A : B;
+    };
+    std::uniform_int_distribution<int> Pick(0, Depth == 0 ? 2 : 7);
+    switch (Pick(Rng)) {
+    case 0:
+      return Ctx.assign(Field(), Value());
+    case 1:
+      return Ctx.test(Field(), Value());
+    case 2:
+      return Ctx.skip();
+    case 3:
+      return Ctx.seq(Self(Self, Depth - 1), Self(Self, Depth - 1));
+    case 4:
+      return Ctx.choice(
+          Rational(std::uniform_int_distribution<int>(0, 4)(Rng), 4),
+          Self(Self, Depth - 1), Self(Self, Depth - 1));
+    case 5:
+      return Ctx.ite(Ctx.test(Field(), Value()), Self(Self, Depth - 1),
+                     Self(Self, Depth - 1));
+    case 6:
+      return Ctx.whileLoop(Ctx.test(Field(), Value()),
+                           Self(Self, Depth - 1));
+    default:
+      return Ctx.drop();
+    }
+  };
+
+  InferenceOptions O;
+  O.LoopBound = 40;
+  for (int Round = 0; Round < 20; ++Round) {
+    const Node *P = Random(Random, 3);
+    fdd::FddRef Native = V.compile(P);
+    for (FieldValue VA = 0; VA <= 2; ++VA) {
+      Packet In(2);
+      In.set(A, VA);
+      In.set(B, 1);
+      auto NativeOut = V.manager().outputDistribution(Native, In);
+      InferenceResult R = infer(P, In, O);
+      // Every baseline output weight is within the residual of native.
+      for (const auto &[Pkt, W] : NativeOut.Outputs) {
+        auto It = R.Outputs.find(Pkt);
+        Rational BaseW = It == R.Outputs.end() ? Rational() : It->second;
+        Rational Diff = W - BaseW;
+        EXPECT_TRUE(!Diff.isNegative() && Diff <= R.Residual)
+            << "output mass mismatch beyond residual";
+      }
+      Rational DropDiff = R.Dropped - NativeOut.Dropped;
+      // Native counts diverging mass as dropped; baseline as residual.
+      EXPECT_TRUE(DropDiff <= Rational(0) &&
+                  -DropDiff <= R.Residual + Rational(0));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineAgreementProperty,
+                         ::testing::Values(41u, 42u, 43u));

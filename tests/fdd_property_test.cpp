@@ -1,0 +1,277 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deeper FDD property suites: the action algebra, closed-form loop
+/// solving against textbook closed forms (gambler's ruin expressed as a
+/// ProbNetKAT program), algebraic-law sweeps on random subterms (canonical
+/// diagrams turn semantic laws into reference equalities), and
+/// export/import preservation on random programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Context.h"
+#include "fdd/Action.h"
+#include "fdd/Compile.h"
+#include "fdd/Export.h"
+#include "fdd/Query.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mcnk;
+using namespace mcnk::fdd;
+using ast::Context;
+using ast::Node;
+
+//===----------------------------------------------------------------------===//
+// Action algebra
+//===----------------------------------------------------------------------===//
+
+TEST(ActionTest, ThenComposition) {
+  Action A = Action::modify({{0, 1}, {2, 3}});
+  Action B = Action::modify({{0, 9}, {1, 7}});
+  Action C = A.then(B);
+  // B's writes win on overlap; union elsewhere.
+  EXPECT_EQ(C.writeTo(0), std::optional<FieldValue>(9));
+  EXPECT_EQ(C.writeTo(1), std::optional<FieldValue>(7));
+  EXPECT_EQ(C.writeTo(2), std::optional<FieldValue>(3));
+  EXPECT_EQ(C.writeTo(5), std::nullopt);
+  // Identity laws.
+  EXPECT_EQ(Action().then(A), A);
+  EXPECT_EQ(A.then(Action()), A);
+  // Drop absorbs.
+  EXPECT_TRUE(A.then(Action::drop()).isDrop());
+  EXPECT_TRUE(Action::drop().then(A).isDrop());
+  // Associativity on a sample.
+  Action D = Action::modify({{1, 1}});
+  EXPECT_EQ(A.then(B).then(D), A.then(B.then(D)));
+}
+
+TEST(ActionTest, ModifyNormalizes) {
+  // Unsorted input with a duplicate field: last write wins, sorted output.
+  Action A = Action::modify({{3, 1}, {0, 2}, {3, 9}});
+  ASSERT_EQ(A.mods().size(), 2u);
+  EXPECT_EQ(A.mods()[0], (Action::Mod{0, 2}));
+  EXPECT_EQ(A.mods()[1], (Action::Mod{3, 9}));
+  EXPECT_EQ(A.dropMod(3).mods().size(), 1u);
+}
+
+TEST(ActionTest, ApplyToPacket) {
+  Packet P(4);
+  P.set(1, 5);
+  Action A = Action::modify({{1, 7}, {3, 2}});
+  Packet Q = A.applyTo(P);
+  EXPECT_EQ(Q.get(1), 7u);
+  EXPECT_EQ(Q.get(3), 2u);
+  EXPECT_EQ(Q.get(0), 0u);
+}
+
+TEST(ActionDistTest, ConvexAndMerge) {
+  ActionDist A = ActionDist::dirac(Action::modify({{0, 1}}));
+  ActionDist B = ActionDist::dirac(Action::drop());
+  ActionDist C = ActionDist::convex(Rational(1, 4), A, B);
+  EXPECT_EQ(C.dropMass(), Rational(3, 4));
+  EXPECT_FALSE(C.isDirac());
+  // Convex of equal distributions is the distribution itself.
+  EXPECT_EQ(ActionDist::convex(Rational(1, 3), A, A), A);
+  // fromEntries merges duplicates.
+  ActionDist D = ActionDist::fromEntries({{Action::drop(), Rational(1, 2)},
+                                          {Action::drop(), Rational(1, 2)}});
+  EXPECT_TRUE(D.isDirac());
+  EXPECT_EQ(D.dropMass(), Rational(1));
+}
+
+//===----------------------------------------------------------------------===//
+// Gambler's ruin, as a ProbNetKAT program through the whole pipeline
+//===----------------------------------------------------------------------===//
+
+class GamblersRuinProgram
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GamblersRuinProgram, LoopSolveMatchesClosedForm) {
+  auto [N, StartPos] = GetParam();
+  Context Ctx;
+  FieldId Pos = Ctx.field("pos");
+
+  // while 0 < pos < N: pos += 1 with 2/3, pos -= 1 with 1/3.
+  const Node *Guard = Ctx.drop();
+  for (int I = 1; I < N; ++I)
+    Guard = Ctx.unite(Guard, Ctx.test(Pos, static_cast<FieldValue>(I)));
+  const Node *Step = Ctx.drop();
+  // Build the body as a cascade: if pos=i then (pos:=i+1 ⊕ pos:=i-1).
+  for (int I = N - 1; I >= 1; --I)
+    Step = Ctx.ite(
+        Ctx.test(Pos, static_cast<FieldValue>(I)),
+        Ctx.choice(Rational(2, 3),
+                   Ctx.assign(Pos, static_cast<FieldValue>(I + 1)),
+                   Ctx.assign(Pos, static_cast<FieldValue>(I - 1))),
+        Step);
+  const Node *Program = Ctx.whileLoop(Guard, Step);
+
+  FddManager M; // Exact.
+  FddRef Ref = compile(M, Program);
+  Packet In(1);
+  In.set(Pos, static_cast<FieldValue>(StartPos));
+  auto Out = M.outputDistribution(Ref, In);
+
+  // Pr[absorb at N | start k] = (1 - r^k)/(1 - r^N) with r = q/p = 1/2.
+  Rational RPowK = Rational(BigInt(1), BigInt(1).shl(StartPos));
+  Rational RPowN = Rational(BigInt(1), BigInt(1).shl(N));
+  Rational WinExpected =
+      (Rational(1) - RPowK) / (Rational(1) - RPowN);
+  Packet Win(1), Ruin(1);
+  Win.set(Pos, static_cast<FieldValue>(N));
+  Ruin.set(Pos, 0);
+  EXPECT_EQ(Out.Outputs[Win], WinExpected);
+  EXPECT_EQ(Out.Outputs[Ruin], Rational(1) - WinExpected);
+  EXPECT_EQ(Out.Dropped, Rational(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Walks, GamblersRuinProgram,
+                         ::testing::Values(std::make_pair(5, 1),
+                                           std::make_pair(5, 3),
+                                           std::make_pair(9, 4),
+                                           std::make_pair(12, 6)));
+
+//===----------------------------------------------------------------------===//
+// Algebraic-law sweep on random subterms
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct LawFixture {
+  Context Ctx;
+  FieldId A = Ctx.field("a");
+  FieldId B = Ctx.field("b");
+  FddManager M;
+  std::mt19937_64 Rng;
+
+  explicit LawFixture(unsigned Seed) : Rng(Seed) {}
+
+  const Node *randomProgram(unsigned Depth) {
+    std::uniform_int_distribution<int> Pick(0, Depth == 0 ? 2 : 6);
+    auto Value = [&] {
+      return std::uniform_int_distribution<FieldValue>(0, 2)(Rng);
+    };
+    auto Field = [&] {
+      return std::uniform_int_distribution<int>(0, 1)(Rng) ? A : B;
+    };
+    switch (Pick(Rng)) {
+    case 0:
+      return Ctx.assign(Field(), Value());
+    case 1:
+      return Ctx.test(Field(), Value());
+    case 2:
+      return Ctx.skip();
+    case 3:
+      return Ctx.seq(randomProgram(Depth - 1), randomProgram(Depth - 1));
+    case 4:
+      return Ctx.choice(Rational(1, 2), randomProgram(Depth - 1),
+                        randomProgram(Depth - 1));
+    case 5:
+      return Ctx.ite(Ctx.test(Field(), Value()),
+                     randomProgram(Depth - 1), randomProgram(Depth - 1));
+    default:
+      return Ctx.drop();
+    }
+  }
+
+  const Node *randomPredicate(unsigned Depth) {
+    std::uniform_int_distribution<int> Pick(0, Depth == 0 ? 0 : 3);
+    auto Value = [&] {
+      return std::uniform_int_distribution<FieldValue>(0, 2)(Rng);
+    };
+    switch (Pick(Rng)) {
+    case 0:
+      return Ctx.test(std::uniform_int_distribution<int>(0, 1)(Rng) ? A : B,
+                      Value());
+    case 1:
+      return Ctx.negate(randomPredicate(Depth - 1));
+    case 2:
+      return Ctx.unite(randomPredicate(Depth - 1),
+                       randomPredicate(Depth - 1));
+    default:
+      return Ctx.seq(randomPredicate(Depth - 1),
+                     randomPredicate(Depth - 1));
+    }
+  }
+};
+
+} // namespace
+
+class AlgebraicLaws : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AlgebraicLaws, HoldByReferenceEquality) {
+  LawFixture F(GetParam());
+  Context &Ctx = F.Ctx;
+  FddManager &M = F.M;
+
+  for (int Round = 0; Round < 25; ++Round) {
+    const Node *P = F.randomProgram(2);
+    const Node *Q = F.randomProgram(2);
+    const Node *R = F.randomProgram(2);
+    const Node *T = F.randomPredicate(2);
+    Rational Prob(std::uniform_int_distribution<int>(1, 3)(F.Rng), 4);
+
+    auto C = [&](const Node *X) { return compile(M, X); };
+
+    // Sequential composition is associative with unit skip.
+    EXPECT_EQ(C(Ctx.seq(P, Ctx.seq(Q, R))), C(Ctx.seq(Ctx.seq(P, Q), R)));
+    // Choice: skew/commutation and idempotence.
+    EXPECT_EQ(C(Ctx.choice(Prob, P, Q)),
+              C(Ctx.choice(Rational(1) - Prob, Q, P)));
+    EXPECT_EQ(C(Ctx.choice(Prob, P, P)), C(P));
+    // Left distributivity of ; over ⊕ (holds in ProbNetKAT).
+    EXPECT_EQ(C(Ctx.seq(Ctx.choice(Prob, P, Q), R)),
+              C(Ctx.choice(Prob, Ctx.seq(P, R), Ctx.seq(Q, R))));
+    // Guard laws: if t then p else p ≡ p; branch flipping.
+    EXPECT_EQ(C(Ctx.ite(T, P, P)), C(P));
+    EXPECT_EQ(C(Ctx.ite(T, P, Q)), C(Ctx.ite(Ctx.negate(T), Q, P)));
+    // Predicate conjunction with its negation annihilates the branch.
+    EXPECT_EQ(C(Ctx.seq(T, Ctx.seq(Ctx.negate(T), P))), C(Ctx.drop()));
+    // if t then (t ; p) else q ≡ if t then p else q (guard absorption).
+    EXPECT_EQ(C(Ctx.ite(T, Ctx.seq(T, P), Q)), C(Ctx.ite(T, P, Q)));
+    // Refinement: every program refines itself and drop refines it.
+    EXPECT_TRUE(refines(M, C(P), C(P)));
+    EXPECT_TRUE(refines(M, C(Ctx.drop()), C(P)));
+    // p ⊕ drop refines p.
+    EXPECT_TRUE(refines(M, C(Ctx.choice(Prob, P, Ctx.drop())), C(P)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraicLaws,
+                         ::testing::Values(71u, 72u, 73u, 74u, 75u));
+
+//===----------------------------------------------------------------------===//
+// Export/import preservation on random programs
+//===----------------------------------------------------------------------===//
+
+class ExportProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ExportProperty, RoundTripPreservesBehavior) {
+  LawFixture F(GetParam());
+  FddManager Fresh;
+  for (int Round = 0; Round < 20; ++Round) {
+    const Node *P = F.randomProgram(3);
+    FddRef Ref = compile(F.M, P);
+    PortableFdd Portable = exportFdd(F.M, Ref);
+    // Re-import into the same manager: identical diagram.
+    EXPECT_EQ(importFdd(F.M, Portable), Ref);
+    // Import into a fresh manager: identical behavior on all inputs.
+    FddRef Copy = importFdd(Fresh, Portable);
+    for (FieldValue VA = 0; VA <= 2; ++VA)
+      for (FieldValue VB = 0; VB <= 2; ++VB) {
+        Packet In(2);
+        In.set(F.A, VA);
+        In.set(F.B, VB);
+        auto D1 = F.M.outputDistribution(Ref, In);
+        auto D2 = Fresh.outputDistribution(Copy, In);
+        EXPECT_EQ(D1.Outputs, D2.Outputs);
+        EXPECT_EQ(D1.Dropped, D2.Dropped);
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExportProperty,
+                         ::testing::Values(81u, 82u, 83u));

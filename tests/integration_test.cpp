@@ -1,0 +1,292 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-cutting integration tests:
+///  - four-way agreement on randomized guarded programs between the native
+///    FDD backend, the reference set semantics, the PRISM pipeline, and
+///    the exhaustive baseline;
+///  - the Fig 5 pipeline demonstration (program -> FDD -> stochastic
+///    matrix) with row-stochasticity and pointwise agreement checks;
+///  - waypointing via instrumentation (§3: "recording whether a packet
+///    traversed a given switch allows reasoning about simple waypointing");
+///  - the `dup` diagnostic (history-free fragment, §3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "baseline/Exhaustive.h"
+#include "fdd/MatrixConv.h"
+#include "parser/Parser.h"
+#include "prism/Checker.h"
+#include "prism/Translate.h"
+#include "routing/Routing.h"
+#include "semantics/SetSemantics.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mcnk;
+using ast::Context;
+using ast::Node;
+
+//===----------------------------------------------------------------------===//
+// Four-way agreement
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const Node *randomGuarded(Context &Ctx, FieldId A, FieldId B,
+                          std::mt19937_64 &Rng, unsigned Depth) {
+  auto Value = [&] {
+    return std::uniform_int_distribution<FieldValue>(0, 1)(Rng);
+  };
+  auto Field = [&] {
+    return std::uniform_int_distribution<int>(0, 1)(Rng) ? A : B;
+  };
+  std::uniform_int_distribution<int> Pick(0, Depth == 0 ? 2 : 7);
+  switch (Pick(Rng)) {
+  case 0:
+    return Ctx.assign(Field(), Value());
+  case 1:
+    return Ctx.test(Field(), Value());
+  case 2:
+    return Ctx.skip();
+  case 3:
+    return Ctx.seq(randomGuarded(Ctx, A, B, Rng, Depth - 1),
+                   randomGuarded(Ctx, A, B, Rng, Depth - 1));
+  case 4:
+    return Ctx.choice(
+        Rational(std::uniform_int_distribution<int>(1, 3)(Rng), 4),
+        randomGuarded(Ctx, A, B, Rng, Depth - 1),
+        randomGuarded(Ctx, A, B, Rng, Depth - 1));
+  case 5:
+    return Ctx.ite(Ctx.test(Field(), Value()),
+                   randomGuarded(Ctx, A, B, Rng, Depth - 1),
+                   randomGuarded(Ctx, A, B, Rng, Depth - 1));
+  case 6:
+    return Ctx.whileLoop(Ctx.test(Field(), Value()),
+                         randomGuarded(Ctx, A, B, Rng, Depth - 1));
+  default:
+    return Ctx.drop();
+  }
+}
+
+} // namespace
+
+class FourWayAgreement : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FourWayAgreement, AllBackendsAgreeOnDelivery) {
+  Context Ctx;
+  FieldId A = Ctx.field("a"), B = Ctx.field("b");
+  std::mt19937_64 Rng(GetParam());
+  analysis::Verifier V;
+  semantics::SetSemantics Sem(Ctx, PacketDomain({2, 2}));
+
+  for (int Round = 0; Round < 10; ++Round) {
+    const Node *P = randomGuarded(Ctx, A, B, Rng, 3);
+    fdd::FddRef Native = V.compile(P);
+
+    for (FieldValue VA = 0; VA <= 1; ++VA)
+      for (FieldValue VB = 0; VB <= 1; ++VB) {
+        Packet In(2);
+        In.set(A, VA);
+        In.set(B, VB);
+
+        // 1. Native FDD backend.
+        Rational NativeDelivery = V.deliveryProbability(Native, In);
+
+        // 2. Reference set semantics: mass not mapped to ∅.
+        Rational RefDelivery;
+        for (const auto &[Set, W] : Sem.eval(P, Sem.singleton(In)))
+          if (Set != 0)
+            RefDelivery += W;
+        EXPECT_EQ(NativeDelivery, RefDelivery) << "native vs reference";
+
+        // 3. PRISM pipeline (exact).
+        prism::Translation T = prism::translate(Ctx, P, In);
+        prism::Model PM;
+        prism::GuardExpr Goal;
+        std::string Error;
+        ASSERT_TRUE(prism::parseModel(T.Source, PM, Error)) << Error;
+        ASSERT_TRUE(prism::parseGuard(T.DoneGuard, PM, Goal, Error));
+        prism::CheckResult CR;
+        ASSERT_TRUE(prism::checkReachability(
+            PM, Goal, markov::SolverKind::Exact, CR, Error))
+            << Error;
+        EXPECT_EQ(CR.Probability, NativeDelivery) << "prism vs native";
+
+        // 4. Exhaustive baseline (up to unrolling residual). Nested loops
+        // can make exhaustive unrolling combinatorial, so a path budget
+        // bounds the attempt; comparisons only apply to complete runs.
+        baseline::InferenceOptions BO;
+        BO.LoopBound = 24;
+        BO.PathBudget = 200000;
+        baseline::InferenceResult BR = baseline::infer(P, In, BO);
+        if (!BR.BudgetExhausted) {
+          Rational Gap = NativeDelivery - BR.deliveredMass();
+          EXPECT_TRUE(!Gap.isNegative() && Gap <= BR.Residual)
+              << "baseline vs native beyond residual";
+        }
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FourWayAgreement,
+                         ::testing::Values(51u, 52u, 53u, 54u));
+
+//===----------------------------------------------------------------------===//
+// Fig 5 pipeline: program -> FDD -> stochastic matrix
+//===----------------------------------------------------------------------===//
+
+TEST(MatrixConversionTest, Figure5Example) {
+  // The exact program of Fig 5: a port-uniform split at pt=1, returns to
+  // pt=1 from pt=2/3, drop otherwise.
+  Context Ctx;
+  FieldId Pt = Ctx.field("pt");
+  auto Parse = [&](const char *Text) {
+    auto R = parser::parseProgram(Text, Ctx);
+    EXPECT_TRUE(R.ok());
+    return R.Program;
+  };
+  const Node *P = Parse("if pt=1 then (pt:=2 +[0.5] pt:=3) else "
+                        "if pt=2 then pt:=1 else "
+                        "if pt=3 then pt:=1 else drop");
+  analysis::Verifier V;
+  fdd::FddRef Ref = V.compile(P);
+  fdd::StochasticMatrix M = fdd::toMatrix(V.manager(), Ref);
+
+  // Symbolic packets: pt ∈ {1, 2, 3, *} — exactly Fig 5's state space.
+  ASSERT_EQ(M.Fields.size(), 1u);
+  EXPECT_EQ(M.Fields[0], Pt);
+  EXPECT_EQ(M.NumStates, 4u);
+
+  // Row for pt=1 splits 1/2 to pt=2 and pt=3; pt=2/pt=3 go to pt=1;
+  // pt=* drops.
+  Packet P1(1), P2(1), P3(1), PStar(1);
+  P1.set(Pt, 1);
+  P2.set(Pt, 2);
+  P3.set(Pt, 3);
+  PStar.set(Pt, 99);
+  auto MassOf = [&](const Packet &From, const Packet &To) {
+    Rational Total;
+    for (const auto &E : M.Entries)
+      if (E.Row == M.stateOf(From) && E.Col == M.stateOf(To))
+        Total += E.Value;
+    return Total;
+  };
+  EXPECT_EQ(MassOf(P1, P2), Rational(1, 2));
+  EXPECT_EQ(MassOf(P1, P3), Rational(1, 2));
+  EXPECT_EQ(MassOf(P2, P1), Rational(1));
+  EXPECT_EQ(MassOf(P3, P1), Rational(1));
+  EXPECT_EQ(M.DropMass[M.stateOf(PStar)], Rational(1));
+  EXPECT_EQ(M.renderState(M.stateOf(PStar), Ctx.fields()), "pt=*");
+
+  // Rows are stochastic including the drop column.
+  std::vector<Rational> RowSums(M.NumStates);
+  for (const auto &E : M.Entries)
+    RowSums[E.Row] += E.Value;
+  for (std::size_t R = 0; R < M.NumStates; ++R)
+    EXPECT_EQ(RowSums[R] + M.DropMass[R], Rational(1)) << "row " << R;
+}
+
+TEST(MatrixConversionTest, AgreesWithOutputDistribution) {
+  Context Ctx;
+  FieldId A = Ctx.field("a"), B = Ctx.field("b");
+  std::mt19937_64 Rng(77);
+  analysis::Verifier V;
+  for (int Round = 0; Round < 10; ++Round) {
+    const Node *P = randomGuarded(Ctx, A, B, Rng, 3);
+    fdd::FddRef Ref = V.compile(P);
+    fdd::StochasticMatrix M = fdd::toMatrix(V.manager(), Ref);
+    for (FieldValue VA = 0; VA <= 1; ++VA) {
+      Packet In(2);
+      In.set(A, VA);
+      In.set(B, 1);
+      auto Out = V.manager().outputDistribution(Ref, In);
+      // The matrix row for In's symbolic class must give the same drop
+      // mass and the same per-output mass.
+      std::size_t Row = M.stateOf(In);
+      EXPECT_EQ(M.DropMass[Row], Out.Dropped);
+      Rational RowSum;
+      for (const auto &E : M.Entries)
+        if (E.Row == Row)
+          RowSum += E.Value;
+      Rational OutSum;
+      for (const auto &[Pkt, W] : Out.Outputs)
+        OutSum += W;
+      EXPECT_EQ(RowSum, OutSum);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Waypointing via instrumentation (§3)
+//===----------------------------------------------------------------------===//
+
+TEST(WaypointTest, DetourTrafficTraversesSwitchThree) {
+  // Instrument the §2 resilient model with a local `via3` flag set at
+  // switch 3. Under f2, the probability that a delivered packet went
+  // through switch 3 is exactly the detour probability.
+  Context Ctx;
+  FieldId Sw = Ctx.field("sw");
+  FieldId Pt = Ctx.field("pt");
+  FieldId Up2 = Ctx.field("up2");
+  FieldId Up3 = Ctx.field("up3");
+  FieldId Via3 = Ctx.field("via3");
+
+  // A compact hand-rolled M̂(p̂, t̂, f2) with the waypoint recorder fused
+  // into the policy.
+  const Node *Mark = Ctx.ite(Ctx.test(Sw, 3), Ctx.assign(Via3, 1),
+                             Ctx.skip());
+  const Node *PHat = Ctx.seq(
+      Mark,
+      Ctx.ite(Ctx.test(Sw, 1),
+              Ctx.ite(Ctx.test(Up2, 1), Ctx.assign(Pt, 2),
+                      Ctx.assign(Pt, 3)),
+              Ctx.assign(Pt, 2)));
+  const Node *F2 = Ctx.seq(
+      Ctx.choice(Rational(4, 5), Ctx.assign(Up2, 1), Ctx.assign(Up2, 0)),
+      Ctx.choice(Rational(4, 5), Ctx.assign(Up3, 1), Ctx.assign(Up3, 0)));
+  std::vector<ast::CaseNode::Branch> Links = {
+      {Ctx.seq(Ctx.seq(Ctx.test(Sw, 1), Ctx.test(Pt, 2)),
+               Ctx.test(Up2, 1)),
+       Ctx.seq(Ctx.assign(Sw, 2), Ctx.assign(Pt, 1))},
+      {Ctx.seq(Ctx.seq(Ctx.test(Sw, 1), Ctx.test(Pt, 3)),
+               Ctx.test(Up3, 1)),
+       Ctx.seq(Ctx.assign(Sw, 3), Ctx.assign(Pt, 1))},
+      {Ctx.seq(Ctx.test(Sw, 3), Ctx.test(Pt, 2)),
+       Ctx.seq(Ctx.assign(Sw, 2), Ctx.assign(Pt, 3))},
+  };
+  const Node *THat = Ctx.caseOf(std::move(Links), Ctx.drop());
+  const Node *In = Ctx.seq(Ctx.test(Sw, 1), Ctx.test(Pt, 1));
+  const Node *Out = Ctx.seq(Ctx.test(Sw, 2), Ctx.test(Pt, 2));
+  const Node *Q = Ctx.seq(F2, PHat);
+  const Node *Model = Ctx.seqAll(
+      {In, Ctx.assign(Via3, 0), Q,
+       Ctx.whileLoop(Ctx.negate(Out), Ctx.seq(THat, Q))});
+  Model = Ctx.local(Up2, 1, Ctx.local(Up3, 1, Model));
+
+  analysis::Verifier V;
+  fdd::FddRef Ref = V.compile(Model);
+  Packet Ingress(Ctx.fields().numFields());
+  Ingress.set(Sw, 1);
+  Ingress.set(Pt, 1);
+  auto Dist = V.outputFieldDistribution(Ref, Ingress, Via3);
+  // Direct path (up2 alive): 4/5 — never sees switch 3. Detour: up2 down
+  // (1/5) and up3 alive (4/5) = 4/25 through switch 3.
+  EXPECT_EQ(Dist[0], Rational(4, 5));
+  EXPECT_EQ(Dist[1], Rational(4, 25));
+}
+
+//===----------------------------------------------------------------------===//
+// dup rejection
+//===----------------------------------------------------------------------===//
+
+TEST(HistoryFreeTest, DupIsRejectedWithDiagnostic) {
+  Context Ctx;
+  auto Result = parser::parseProgram("sw=1 ; dup ; pt:=2", Ctx);
+  ASSERT_FALSE(Result.ok());
+  EXPECT_NE(Result.Diagnostics[0].Message.find("history-free"),
+            std::string::npos);
+}

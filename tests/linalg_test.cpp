@@ -1,0 +1,243 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear algebra tests: dense solves over double and Rational, CSC sparse
+/// construction and products, sparse LU vs the dense oracle on randomized
+/// systems, and Neumann iteration convergence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Dense.h"
+#include "linalg/Solve.h"
+#include "linalg/Sparse.h"
+#include "linalg/SparseLU.h"
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace mcnk;
+using namespace mcnk::linalg;
+
+TEST(DenseMatrixTest, IdentityAndProduct) {
+  auto I3 = DenseMatrix<double>::identity(3);
+  DenseMatrix<double> A(3, 3);
+  int V = 1;
+  for (std::size_t R = 0; R < 3; ++R)
+    for (std::size_t C = 0; C < 3; ++C)
+      A.at(R, C) = V++;
+  EXPECT_EQ(A * I3, A);
+  EXPECT_EQ(I3 * A, A);
+
+  DenseMatrix<double> B = A * A;
+  // Row 0 of A*A: [1 2 3]·columns.
+  EXPECT_DOUBLE_EQ(B.at(0, 0), 1 * 1 + 2 * 4 + 3 * 7);
+  EXPECT_DOUBLE_EQ(B.at(2, 1), 7 * 2 + 8 * 5 + 9 * 8);
+}
+
+TEST(DenseSolveTest, SolvesDouble2x2) {
+  DenseMatrix<double> A(2, 2), B(2, 1);
+  A.at(0, 0) = 2;
+  A.at(0, 1) = 1;
+  A.at(1, 0) = 1;
+  A.at(1, 1) = 3;
+  B.at(0, 0) = 5;
+  B.at(1, 0) = 10;
+  ASSERT_TRUE(denseSolveInPlace(A, B));
+  EXPECT_NEAR(B.at(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(B.at(1, 0), 3.0, 1e-12);
+}
+
+TEST(DenseSolveTest, SolvesRationalExactly) {
+  // Hilbert-style ill-conditioned matrix: exact arithmetic handles what
+  // floats cannot.
+  const std::size_t N = 6;
+  DenseMatrix<Rational> H(N, N);
+  for (std::size_t R = 0; R < N; ++R)
+    for (std::size_t C = 0; C < N; ++C)
+      H.at(R, C) = Rational(1, static_cast<int64_t>(R + C + 1));
+  // RHS = H * ones, so the solution must be exactly ones.
+  DenseMatrix<Rational> B(N, 1);
+  for (std::size_t R = 0; R < N; ++R)
+    for (std::size_t C = 0; C < N; ++C)
+      B.at(R, 0) += H.at(R, C);
+  ASSERT_TRUE(denseSolveInPlace(H, B));
+  for (std::size_t R = 0; R < N; ++R)
+    EXPECT_EQ(B.at(R, 0), Rational(1)) << "row " << R;
+}
+
+TEST(DenseSolveTest, DetectsSingular) {
+  DenseMatrix<double> A(2, 2), B(2, 1);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(1, 0) = 2;
+  A.at(1, 1) = 4;
+  B.at(0, 0) = 1;
+  B.at(1, 0) = 1;
+  EXPECT_FALSE(denseSolveInPlace(A, B));
+
+  DenseMatrix<Rational> AR(2, 2), BR(2, 1);
+  AR.at(0, 0) = Rational(1, 3);
+  AR.at(0, 1) = Rational(2, 3);
+  AR.at(1, 0) = Rational(1, 6);
+  AR.at(1, 1) = Rational(1, 3);
+  EXPECT_FALSE(denseSolveInPlace(AR, BR));
+}
+
+TEST(SparseMatrixTest, FromTripletsSumsDuplicates) {
+  SparseMatrix M = SparseMatrix::fromTriplets(
+      3, 3, {{0, 0, 1.0}, {0, 0, 2.0}, {2, 1, 4.0}, {1, 2, -1.0}});
+  EXPECT_EQ(M.numNonZeros(), 3u);
+  std::vector<double> X = {1.0, 1.0, 1.0};
+  std::vector<double> Y = M.multiply(X);
+  EXPECT_DOUBLE_EQ(Y[0], 3.0);
+  EXPECT_DOUBLE_EQ(Y[1], -1.0);
+  EXPECT_DOUBLE_EQ(Y[2], 4.0);
+}
+
+TEST(SparseMatrixTest, CancellingDuplicatesDrop) {
+  SparseMatrix M =
+      SparseMatrix::fromTriplets(2, 2, {{0, 0, 1.0}, {0, 0, -1.0}});
+  EXPECT_EQ(M.numNonZeros(), 0u);
+}
+
+TEST(SparseMatrixTest, TransposeRoundTrip) {
+  SparseMatrix M = SparseMatrix::fromTriplets(
+      2, 3, {{0, 0, 1.0}, {0, 2, 5.0}, {1, 1, -2.0}});
+  SparseMatrix T = M.transpose();
+  EXPECT_EQ(T.numRows(), 3u);
+  EXPECT_EQ(T.numCols(), 2u);
+  std::vector<double> X = {2.0, 3.0};
+  // M^T * x computed two ways.
+  std::vector<double> ViaT = T.multiply(X);
+  std::vector<double> ViaMT = M.multiplyTranspose(X);
+  ASSERT_EQ(ViaT.size(), ViaMT.size());
+  for (std::size_t I = 0; I < ViaT.size(); ++I)
+    EXPECT_DOUBLE_EQ(ViaT[I], ViaMT[I]);
+}
+
+TEST(SparseLUTest, SolvesSmallFixedSystem) {
+  // A = [4 1 0; 1 3 1; 0 1 2], b = A*[1 2 3]^T.
+  SparseMatrix A = SparseMatrix::fromTriplets(3, 3,
+                                              {{0, 0, 4.0},
+                                               {0, 1, 1.0},
+                                               {1, 0, 1.0},
+                                               {1, 1, 3.0},
+                                               {1, 2, 1.0},
+                                               {2, 1, 1.0},
+                                               {2, 2, 2.0}});
+  SparseLU LU;
+  ASSERT_TRUE(LU.factor(A));
+  std::vector<double> B = {4.0 + 2.0, 1.0 + 6.0 + 3.0, 2.0 + 6.0};
+  LU.solve(B);
+  EXPECT_NEAR(B[0], 1.0, 1e-12);
+  EXPECT_NEAR(B[1], 2.0, 1e-12);
+  EXPECT_NEAR(B[2], 3.0, 1e-12);
+}
+
+TEST(SparseLUTest, RequiresPivotingOnZeroDiagonal) {
+  // Diagonal starts at zero; factorization must row-swap to succeed.
+  SparseMatrix A = SparseMatrix::fromTriplets(
+      2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  SparseLU LU;
+  ASSERT_TRUE(LU.factor(A));
+  std::vector<double> B = {3.0, 7.0};
+  LU.solve(B);
+  EXPECT_NEAR(B[0], 7.0, 1e-12);
+  EXPECT_NEAR(B[1], 3.0, 1e-12);
+}
+
+TEST(SparseLUTest, DetectsSingular) {
+  SparseMatrix A = SparseMatrix::fromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 2.0}, {1, 1, 4.0}});
+  SparseLU LU;
+  EXPECT_FALSE(LU.factor(A));
+
+  // Structurally singular: empty column.
+  SparseMatrix A2 = SparseMatrix::fromTriplets(2, 2, {{0, 0, 1.0}});
+  SparseLU LU2;
+  EXPECT_FALSE(LU2.factor(A2));
+}
+
+/// Randomized diagonally-dominant systems: sparse LU must agree with the
+/// dense elimination oracle.
+class SparseLUProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SparseLUProperty, AgreesWithDenseOracle) {
+  std::mt19937_64 Rng(GetParam());
+  std::uniform_real_distribution<double> Coef(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> Size(5, 40);
+  std::uniform_int_distribution<int> Fill(0, 9);
+
+  for (int Round = 0; Round < 5; ++Round) {
+    std::size_t N = Size(Rng);
+    std::vector<Triplet> Entries;
+    DenseMatrix<double> Dense(N, N);
+    for (std::size_t R = 0; R < N; ++R) {
+      double RowSum = 0.0;
+      for (std::size_t C = 0; C < N; ++C) {
+        if (R != C && Fill(Rng) < 3) {
+          double V = Coef(Rng);
+          Entries.push_back({R, C, V});
+          Dense.at(R, C) = V;
+          RowSum += std::fabs(V);
+        }
+      }
+      double Diag = RowSum + 1.0; // Strict diagonal dominance.
+      Entries.push_back({R, R, Diag});
+      Dense.at(R, R) = Diag;
+    }
+
+    std::vector<double> B(N);
+    for (double &V : B)
+      V = Coef(Rng);
+
+    SparseMatrix A = SparseMatrix::fromTriplets(N, N, Entries);
+    SparseLU LU;
+    ASSERT_TRUE(LU.factor(A));
+    std::vector<double> XSparse = B;
+    LU.solve(XSparse);
+
+    DenseMatrix<double> RHS(N, 1);
+    for (std::size_t I = 0; I < N; ++I)
+      RHS.at(I, 0) = B[I];
+    ASSERT_TRUE(denseSolveInPlace(Dense, RHS));
+
+    for (std::size_t I = 0; I < N; ++I)
+      EXPECT_NEAR(XSparse[I], RHS.at(I, 0), 1e-9) << "row " << I;
+
+    // Residual check: A * x == b.
+    std::vector<double> Residual = A.multiply(XSparse);
+    for (std::size_t I = 0; I < N; ++I)
+      EXPECT_NEAR(Residual[I], B[I], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseLUProperty,
+                         ::testing::Values(100u, 200u, 300u, 400u, 500u,
+                                           600u));
+
+TEST(NeumannSolveTest, MatchesClosedForm) {
+  // Q = [[0, 1/2], [1/4, 0]]; solve (I-Q)x = b.
+  SparseMatrix Q =
+      SparseMatrix::fromTriplets(2, 2, {{0, 1, 0.5}, {1, 0, 0.25}});
+  std::vector<double> B = {1.0, 1.0};
+  std::vector<double> X;
+  ASSERT_GT(neumannSolve(Q, B, X), 0u);
+  // (I-Q)^-1 = 1/(1-1/8) * [[1, 1/2],[1/4, 1]].
+  double Scale = 1.0 / (1.0 - 0.125);
+  EXPECT_NEAR(X[0], Scale * 1.5, 1e-9);
+  EXPECT_NEAR(X[1], Scale * 1.25, 1e-9);
+}
+
+TEST(NeumannSolveTest, ReportsNonConvergence) {
+  // Spectral radius 1: the Neumann series diverges (row sums to 1 with no
+  // drain), so the solver must give up.
+  SparseMatrix Q =
+      SparseMatrix::fromTriplets(2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  std::vector<double> B = {1.0, 1.0};
+  std::vector<double> X;
+  EXPECT_EQ(neumannSolve(Q, B, X, 1e-12, 500), 0u);
+}

@@ -1,0 +1,218 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Absorbing Markov chain tests: textbook chains with known closed forms
+/// (gambler's ruin, §4's coin-flip example), cross-engine agreement between
+/// exact, direct, and iterative solvers, and singularity detection for
+/// chains with unreachable absorption.
+///
+//===----------------------------------------------------------------------===//
+
+#include "markov/Absorbing.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mcnk;
+using namespace mcnk::markov;
+using linalg::DenseMatrix;
+
+namespace {
+
+/// Gambler's ruin on {0..N} with win probability P: transient 1..N-1,
+/// absorbing 0 and N. Absorption probability into N starting from K is
+/// ((q/p)^K - 1)/((q/p)^N - 1) for p != q.
+AbsorbingChain gamblersRuin(std::size_t N, const Rational &P) {
+  AbsorbingChain Chain;
+  Chain.NumTransient = N - 1;
+  Chain.NumAbsorbing = 2; // 0 = ruin, 1 = win.
+  Rational Q = Rational(1) - P;
+  for (std::size_t K = 1; K < N; ++K) {
+    std::size_t Row = K - 1;
+    if (K + 1 < N)
+      Chain.QEntries.push_back({Row, Row + 1, P});
+    else
+      Chain.REntries.push_back({Row, 1, P});
+    if (K - 1 >= 1)
+      Chain.QEntries.push_back({Row, Row - 1, Q});
+    else
+      Chain.REntries.push_back({Row, 0, Q});
+  }
+  return Chain;
+}
+
+} // namespace
+
+TEST(AbsorbingTest, CoinFlipLoopFromPaper) {
+  // The §4 example: p* with p = (f<-0 ⊕_1/2 f<-1) keeps flipping; from the
+  // small-step chain's perspective a single state loops with prob 1/2 and
+  // absorbs into each of two outcomes with prob 1/4... Simplified model:
+  // one transient state, self-loop 1/2, absorption 1/4 + 1/4.
+  AbsorbingChain Chain;
+  Chain.NumTransient = 1;
+  Chain.NumAbsorbing = 2;
+  Chain.QEntries.push_back({0, 0, Rational(1, 2)});
+  Chain.REntries.push_back({0, 0, Rational(1, 4)});
+  Chain.REntries.push_back({0, 1, Rational(1, 4)});
+  ASSERT_TRUE(rowsAreStochastic(Chain));
+
+  DenseMatrix<Rational> A;
+  ASSERT_TRUE(solveAbsorptionExact(Chain, A));
+  EXPECT_EQ(A.at(0, 0), Rational(1, 2));
+  EXPECT_EQ(A.at(0, 1), Rational(1, 2));
+}
+
+TEST(AbsorbingTest, GamblersRuinExactMatchesClosedForm) {
+  // N=5, p=2/3: ratio r = q/p = 1/2; Pr[win | start K] =
+  // (1 - r^K)/(1 - r^N).
+  AbsorbingChain Chain = gamblersRuin(5, Rational(2, 3));
+  ASSERT_TRUE(rowsAreStochastic(Chain));
+  DenseMatrix<Rational> A;
+  ASSERT_TRUE(solveAbsorptionExact(Chain, A));
+  Rational RatioPow(1);
+  const Rational Ratio(1, 2);
+  Rational Denom = Rational(1) - Rational(1, 32); // 1 - r^5
+  for (std::size_t K = 1; K <= 4; ++K) {
+    RatioPow *= Ratio;
+    Rational Expected = (Rational(1) - RatioPow) / Denom;
+    EXPECT_EQ(A.at(K - 1, 1), Expected) << "start " << K;
+    // Rows of the absorption matrix are stochastic (total absorption = 1).
+    EXPECT_EQ(A.at(K - 1, 0) + A.at(K - 1, 1), Rational(1));
+  }
+}
+
+TEST(AbsorbingTest, EnginesAgree) {
+  AbsorbingChain Chain = gamblersRuin(8, Rational(3, 5));
+  DenseMatrix<Rational> Exact;
+  ASSERT_TRUE(solveAbsorptionExact(Chain, Exact));
+
+  DenseMatrix<double> Direct, Iterative;
+  ASSERT_TRUE(solveAbsorptionDouble(Chain, Direct, SolverKind::Direct));
+  ASSERT_TRUE(solveAbsorptionDouble(Chain, Iterative, SolverKind::Iterative));
+
+  for (std::size_t R = 0; R < Chain.NumTransient; ++R)
+    for (std::size_t C = 0; C < Chain.NumAbsorbing; ++C) {
+      double Reference = Exact.at(R, C).toDouble();
+      EXPECT_NEAR(Direct.at(R, C), Reference, 1e-10);
+      EXPECT_NEAR(Iterative.at(R, C), Reference, 1e-9);
+    }
+}
+
+TEST(AbsorbingTest, SubStochasticRowsLoseMass) {
+  // A row that drops mass (models a drop action): absorption sums < 1.
+  AbsorbingChain Chain;
+  Chain.NumTransient = 1;
+  Chain.NumAbsorbing = 1;
+  Chain.QEntries.push_back({0, 0, Rational(1, 2)});
+  Chain.REntries.push_back({0, 0, Rational(1, 4)});
+  EXPECT_FALSE(rowsAreStochastic(Chain));
+  DenseMatrix<Rational> A;
+  ASSERT_TRUE(solveAbsorptionExact(Chain, A));
+  // Σ (1/2)^n * 1/4 = 1/2.
+  EXPECT_EQ(A.at(0, 0), Rational(1, 2));
+}
+
+TEST(AbsorbingTest, DivergingStatesDropAllMass) {
+  // Two transient states that only communicate with each other: absorption
+  // is unreachable, so the absorption probabilities are zero. ProbNetKAT
+  // interprets the lost mass as landing on ∅ (the loop diverges ≡ drop).
+  AbsorbingChain Chain;
+  Chain.NumTransient = 2;
+  Chain.NumAbsorbing = 1;
+  Chain.QEntries.push_back({0, 1, Rational(1)});
+  Chain.QEntries.push_back({1, 0, Rational(1)});
+  DenseMatrix<Rational> A;
+  ASSERT_TRUE(solveAbsorptionExact(Chain, A));
+  EXPECT_EQ(A.at(0, 0), Rational(0));
+  EXPECT_EQ(A.at(1, 0), Rational(0));
+  DenseMatrix<double> AD;
+  ASSERT_TRUE(solveAbsorptionDouble(Chain, AD, SolverKind::Direct));
+  EXPECT_DOUBLE_EQ(AD.at(0, 0), 0.0);
+  ASSERT_TRUE(solveAbsorptionDouble(Chain, AD, SolverKind::Iterative));
+  EXPECT_DOUBLE_EQ(AD.at(1, 0), 0.0);
+}
+
+TEST(AbsorbingTest, PartiallyDivergingChain) {
+  // State 0 flips a fair coin: heads -> absorb, tails -> state 1 which
+  // loops forever. Absorption probability from state 0 is exactly 1/2.
+  AbsorbingChain Chain;
+  Chain.NumTransient = 2;
+  Chain.NumAbsorbing = 1;
+  Chain.QEntries.push_back({0, 1, Rational(1, 2)});
+  Chain.QEntries.push_back({1, 1, Rational(1)});
+  Chain.REntries.push_back({0, 0, Rational(1, 2)});
+  DenseMatrix<Rational> A;
+  ASSERT_TRUE(solveAbsorptionExact(Chain, A));
+  EXPECT_EQ(A.at(0, 0), Rational(1, 2));
+  EXPECT_EQ(A.at(1, 0), Rational(0));
+  DenseMatrix<double> AD;
+  ASSERT_TRUE(solveAbsorptionDouble(Chain, AD, SolverKind::Direct));
+  EXPECT_NEAR(AD.at(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(AD.at(1, 0), 0.0, 1e-12);
+}
+
+TEST(AbsorbingTest, EmptyChainTrivial) {
+  AbsorbingChain Chain;
+  Chain.NumTransient = 0;
+  Chain.NumAbsorbing = 3;
+  DenseMatrix<double> A;
+  ASSERT_TRUE(solveAbsorptionDouble(Chain, A, SolverKind::Direct));
+  EXPECT_EQ(A.numRows(), 0u);
+  EXPECT_EQ(A.numCols(), 3u);
+}
+
+/// Randomized chains: the exact sparse Gauss-Jordan engine and the sparse
+/// LU engine must agree entry-wise, and no row may exceed total mass one.
+class AbsorbingEngineProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AbsorbingEngineProperty, ExactAndDirectAgree) {
+  std::mt19937_64 Rng(GetParam());
+  for (int Round = 0; Round < 40; ++Round) {
+    std::uniform_int_distribution<std::size_t> Size(2, 40);
+    std::size_t NT = Size(Rng), NA = 2;
+    AbsorbingChain Chain;
+    Chain.NumTransient = NT;
+    Chain.NumAbsorbing = NA;
+    std::uniform_int_distribution<int> Den(2, 6);
+    std::uniform_int_distribution<std::size_t> Col(0, NT - 1);
+    for (std::size_t R = 0; R < NT; ++R) {
+      int D = Den(Rng);
+      for (int I = 0; I < D; ++I) {
+        Rational W(1, D);
+        if (I == 0 && (Rng() & 3) == 0)
+          Chain.REntries.push_back(
+              {R, static_cast<std::size_t>(Rng() % NA), W});
+        else if ((Rng() & 7) == 0)
+          continue; // Dropped mass: substochastic row.
+        else
+          Chain.QEntries.push_back({R, Col(Rng), W});
+      }
+    }
+    DenseMatrix<Rational> Exact;
+    DenseMatrix<double> Direct;
+    ASSERT_TRUE(solveAbsorptionExact(Chain, Exact));
+    ASSERT_TRUE(solveAbsorptionDouble(Chain, Direct, SolverKind::Direct));
+    for (std::size_t R = 0; R < NT; ++R) {
+      Rational RowSum;
+      for (std::size_t A = 0; A < NA; ++A) {
+        EXPECT_NEAR(Exact.at(R, A).toDouble(), Direct.at(R, A), 1e-8);
+        RowSum += Exact.at(R, A);
+      }
+      EXPECT_LE(RowSum, Rational(1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbsorbingEngineProperty,
+                         ::testing::Values(61u, 62u, 63u, 64u));
+
+TEST(AbsorbingTest, LongChainDirectSolver) {
+  // A 400-state birth-death chain exercises sparse LU at moderate size.
+  AbsorbingChain Chain = gamblersRuin(400, Rational(1, 2));
+  DenseMatrix<double> A;
+  ASSERT_TRUE(solveAbsorptionDouble(Chain, A, SolverKind::Direct));
+  // Symmetric ruin: Pr[win | start K] = K / N.
+  for (std::size_t K = 1; K < 400; K += 37)
+    EXPECT_NEAR(A.at(K - 1, 1), static_cast<double>(K) / 400.0, 1e-8);
+}

@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FieldTable and Packet/PacketDomain tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "packet/Packet.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace mcnk;
+
+TEST(FieldTableTest, InternIsIdempotent) {
+  FieldTable Table;
+  FieldId Sw = Table.intern("sw");
+  FieldId Pt = Table.intern("pt");
+  EXPECT_NE(Sw, Pt);
+  EXPECT_EQ(Table.intern("sw"), Sw);
+  EXPECT_EQ(Table.name(Sw), "sw");
+  EXPECT_EQ(Table.name(Pt), "pt");
+  EXPECT_EQ(Table.numFields(), 2u);
+}
+
+TEST(FieldTableTest, LookupWithoutIntern) {
+  FieldTable Table;
+  EXPECT_EQ(Table.lookup("missing"), FieldTable::NotFound);
+  Table.intern("dst");
+  EXPECT_EQ(Table.lookup("dst"), 0);
+}
+
+TEST(PacketTest, GetSetWith) {
+  Packet P(3);
+  EXPECT_EQ(P.get(0), 0u);
+  P.set(1, 42);
+  EXPECT_EQ(P.get(1), 42u);
+  Packet Q = P.with(2, 7);
+  EXPECT_EQ(Q.get(2), 7u);
+  EXPECT_EQ(P.get(2), 0u); // Functional update does not mutate.
+  EXPECT_NE(P, Q);
+  EXPECT_EQ(Q, P.with(2, 7));
+  EXPECT_EQ(Q.hash(), P.with(2, 7).hash());
+}
+
+TEST(PacketDomainTest, IndexBijection) {
+  PacketDomain Domain({3, 2, 4});
+  EXPECT_EQ(Domain.numPackets(), 24u);
+  std::set<std::size_t> Seen;
+  for (std::size_t I = 0; I < Domain.numPackets(); ++I) {
+    Packet P = Domain.packet(I);
+    EXPECT_TRUE(Domain.contains(P));
+    EXPECT_EQ(Domain.index(P), I);
+    Seen.insert(I);
+  }
+  EXPECT_EQ(Seen.size(), 24u);
+}
+
+TEST(PacketDomainTest, ContainsRejectsOutOfRange) {
+  PacketDomain Domain({2, 2});
+  Packet P(2);
+  P.set(0, 1);
+  EXPECT_TRUE(Domain.contains(P));
+  P.set(0, 2);
+  EXPECT_FALSE(Domain.contains(P));
+  EXPECT_FALSE(Domain.contains(Packet(3)));
+}

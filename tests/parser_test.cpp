@@ -1,0 +1,204 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser tests: grammar coverage, precedence, §2's running example,
+/// diagnostics for malformed input, and print/parse round trips.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Printer.h"
+#include "ast/Traversal.h"
+#include "parser/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcnk;
+using namespace mcnk::ast;
+using parser::ParseResult;
+
+namespace {
+
+struct ParserFixture : ::testing::Test {
+  Context Ctx;
+
+  const Node *parseOk(const std::string &Source) {
+    ParseResult Result = parser::parseProgram(Source, Ctx);
+    EXPECT_TRUE(Result.ok()) << (Result.Diagnostics.empty()
+                                     ? std::string("no diagnostics")
+                                     : Result.Diagnostics[0].render());
+    // Keep callers null-safe even when the expectation above fails.
+    return Result.ok() ? Result.Program : Ctx.drop();
+  }
+
+  std::string parseError(const std::string &Source) {
+    ParseResult Result = parser::parseProgram(Source, Ctx);
+    EXPECT_FALSE(Result.ok()) << "expected failure for: " << Source;
+    if (Result.Diagnostics.empty())
+      return "";
+    return Result.Diagnostics[0].render();
+  }
+};
+
+} // namespace
+
+using ParserTest = ParserFixture;
+
+TEST_F(ParserTest, Primitives) {
+  EXPECT_TRUE(isa<DropNode>(parseOk("drop")));
+  EXPECT_TRUE(isa<SkipNode>(parseOk("skip")));
+  const Node *T = parseOk("sw=3");
+  ASSERT_TRUE(isa<TestNode>(T));
+  EXPECT_EQ(cast<TestNode>(T)->value(), 3u);
+  const Node *A = parseOk("pt:=2");
+  ASSERT_TRUE(isa<AssignNode>(A));
+  EXPECT_EQ(cast<AssignNode>(A)->value(), 2u);
+}
+
+TEST_F(ParserTest, PrecedenceSeqOverUnion) {
+  // '&' binds looser than ';': a=1;b=2 & c=3 ≡ (a=1;b=2) & (c=3).
+  const Node *P = parseOk("a=1 ; b=2 & c=3");
+  const auto *U = dyn_cast<UnionNode>(P);
+  ASSERT_NE(U, nullptr);
+  EXPECT_TRUE(isa<SeqNode>(U->lhs()));
+  EXPECT_TRUE(isa<TestNode>(U->rhs()));
+}
+
+TEST_F(ParserTest, ChoiceBindsLoosest) {
+  const Node *P = parseOk("pt:=1 ; pt:=2 +[1/3] pt:=3");
+  const auto *C = dyn_cast<ChoiceNode>(P);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->probability(), Rational(1, 3));
+  EXPECT_TRUE(isa<SeqNode>(C->lhs()));
+}
+
+TEST_F(ParserTest, ProbabilitySyntaxes) {
+  const auto *Half = dyn_cast<ChoiceNode>(parseOk("pt:=1 +[0.5] pt:=2"));
+  ASSERT_NE(Half, nullptr);
+  EXPECT_EQ(Half->probability(), Rational(1, 2));
+  const auto *Fifth = dyn_cast<ChoiceNode>(parseOk("pt:=1 +[2/10] pt:=2"));
+  ASSERT_NE(Fifth, nullptr);
+  EXPECT_EQ(Fifth->probability(), Rational(1, 5));
+  // +[1] collapses to the left branch via the smart constructor.
+  EXPECT_TRUE(isa<AssignNode>(parseOk("pt:=1 +[1] pt:=2")));
+}
+
+TEST_F(ParserTest, StarAndNegation) {
+  const Node *S = parseOk("(pt:=1)*");
+  EXPECT_TRUE(isa<StarNode>(S));
+  const Node *N = parseOk("!(sw=1 & sw=2)");
+  EXPECT_TRUE(isa<NotNode>(N));
+  // Double negation normalizes away.
+  EXPECT_TRUE(isa<TestNode>(parseOk("!!sw=1")));
+}
+
+TEST_F(ParserTest, IfThenElseNesting) {
+  const Node *P = parseOk(
+      "if sw=1 then pt:=2 else if sw=2 then pt:=2 else drop");
+  const auto *Outer = dyn_cast<IfThenElseNode>(P);
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_TRUE(isa<IfThenElseNode>(Outer->elseBranch()));
+}
+
+TEST_F(ParserTest, WhileLoop) {
+  const Node *P = parseOk("while !sw=2 do (sw:=2 ; pt:=1)");
+  const auto *W = dyn_cast<WhileNode>(P);
+  ASSERT_NE(W, nullptr);
+  EXPECT_TRUE(isa<NotNode>(W->cond()));
+  EXPECT_TRUE(isa<SeqNode>(W->body()));
+}
+
+TEST_F(ParserTest, VarDesugars) {
+  const Node *P = parseOk("var up2 := 1 in (up2=1 ; pt:=2)");
+  // var f := n in p ≜ f := n ; p ; f := 0.
+  const auto *S = dyn_cast<SeqNode>(P);
+  ASSERT_NE(S, nullptr);
+  const auto *Init = dyn_cast<AssignNode>(S->lhs());
+  ASSERT_NE(Init, nullptr);
+  EXPECT_EQ(Init->value(), 1u);
+  EXPECT_EQ(Ctx.fields().name(Init->field()), "up2");
+}
+
+TEST_F(ParserTest, RunningExampleFromPaper) {
+  // §2's forwarding policy p for the three-switch triangle.
+  const Node *P = parseOk("if sw=1 then pt:=2 else "
+                          "if sw=2 then pt:=2 else drop");
+  ASSERT_TRUE(isa<IfThenElseNode>(P));
+  EXPECT_TRUE(isGuarded(P));
+
+  // The full model shape: in ; p ; while !out do (t ; p).
+  const Node *M = parseOk(
+      "sw=1 ; pt=1 ; "
+      "(if sw=1 then pt:=2 else if sw=2 then pt:=2 else drop) ; "
+      "while !(sw=2 ; pt=2) do ("
+      "  (if sw=1 ; pt=2 then sw:=2 ; pt:=1 else skip) ; "
+      "  (if sw=1 then pt:=2 else if sw=2 then pt:=2 else drop))");
+  EXPECT_TRUE(isGuarded(M));
+}
+
+TEST_F(ParserTest, CommentsAndWhitespace) {
+  const Node *P = parseOk("// leading comment\n"
+                          "sw=1 ; /* inline */ pt:=2 // trailing\n");
+  EXPECT_TRUE(isa<SeqNode>(P));
+}
+
+TEST_F(ParserTest, DiagnosticsCarryPositions) {
+  std::string Msg = parseError("sw=1 ;\n@");
+  EXPECT_NE(Msg.find("2:1"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("unexpected character"), std::string::npos) << Msg;
+}
+
+TEST_F(ParserTest, RejectsMalformedPrograms) {
+  EXPECT_NE(parseError(""), "");
+  EXPECT_NE(parseError("sw="), "");
+  EXPECT_NE(parseError("sw"), "");
+  EXPECT_NE(parseError("pt:="), "");
+  EXPECT_NE(parseError("(sw=1"), "");
+  EXPECT_NE(parseError("if sw=1 then pt:=1"), ""); // Missing else.
+  EXPECT_NE(parseError("while sw=1 pt:=1"), "");   // Missing do.
+  EXPECT_NE(parseError("pt:=1 +[] pt:=2"), "");
+  EXPECT_NE(parseError("pt:=1 +[1/0] pt:=2"), "");
+  EXPECT_NE(parseError("sw=1 ; ; sw=2"), "");
+}
+
+TEST_F(ParserTest, RejectsSemanticErrors) {
+  // Negation of a non-predicate.
+  std::string Msg = parseError("!(pt:=1)");
+  EXPECT_NE(Msg.find("predicate"), std::string::npos) << Msg;
+  // Conditions must be predicates.
+  Msg = parseError("if pt:=1 then skip else drop");
+  EXPECT_NE(Msg.find("predicate"), std::string::npos) << Msg;
+  Msg = parseError("while pt:=1 do skip");
+  EXPECT_NE(Msg.find("predicate"), std::string::npos) << Msg;
+  // Probability outside [0,1].
+  Msg = parseError("pt:=1 +[3/2] pt:=2");
+  EXPECT_NE(Msg.find("[0, 1]"), std::string::npos) << Msg;
+  // Oversized field value.
+  Msg = parseError("pt:=4294967296");
+  EXPECT_NE(Msg.find("32 bits"), std::string::npos) << Msg;
+}
+
+TEST_F(ParserTest, PrintParseRoundTrip) {
+  const char *Sources[] = {
+      "drop",
+      "skip",
+      "sw=1",
+      "pt:=2",
+      "sw=1 ; pt:=2",
+      "sw=1 & pt=2",
+      "!sw=1",
+      "pt:=1 +[1/3] pt:=2",
+      "(pt:=1 +[1/2] pt:=2) +[1/3] pt:=3",
+      "if sw=1 then pt:=2 else drop",
+      "while !sw=2 do (pt:=1 ; sw:=2)",
+      "if sw=1 then (pt:=1 +[1/2] pt:=2) else (if sw=2 then skip else drop)",
+      "(sw=1 ; pt:=2)*",
+  };
+  for (const char *Source : Sources) {
+    const Node *First = parseOk(Source);
+    std::string Printed = print(First, Ctx.fields());
+    const Node *Second = parseOk(Printed);
+    EXPECT_TRUE(structurallyEqual(First, Second))
+        << Source << " printed as " << Printed;
+  }
+}

@@ -1,0 +1,280 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PRISM backend tests: translation well-formedness, prismlite parsing and
+/// model checking (exact and iterative), agreement with the native FDD
+/// backend on the paper's models and on randomized guarded programs, and
+/// model-error diagnostics (overlapping / non-exhaustive guards).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "prism/Checker.h"
+#include "prism/Translate.h"
+#include "routing/Routing.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mcnk;
+using namespace mcnk::prism;
+using ast::Context;
+using ast::Node;
+
+namespace {
+
+/// Translates, parses, and checks delivery (Pr[F done]) for a program on
+/// one input packet.
+Rational prismDelivery(Context &Ctx, const Node *Program,
+                       const Packet &Input, markov::SolverKind Solver,
+                       CheckResult *Stats = nullptr) {
+  Translation T = translate(Ctx, Program, Input);
+  Model M;
+  std::string Error;
+  EXPECT_TRUE(parseModel(T.Source, M, Error)) << Error << "\n" << T.Source;
+  GuardExpr Goal;
+  EXPECT_TRUE(parseGuard(T.DoneGuard, M, Goal, Error)) << Error;
+  CheckResult Result;
+  EXPECT_TRUE(checkReachability(M, Goal, Solver, Result, Error)) << Error;
+  if (Stats)
+    *Stats = Result;
+  return Result.Probability;
+}
+
+} // namespace
+
+TEST(PrismTranslateTest, EmitsWellFormedModel) {
+  Context Ctx;
+  FieldId F = Ctx.field("f");
+  const Node *P = Ctx.ite(Ctx.test(F, 0),
+                          Ctx.choice(Rational(1, 2), Ctx.assign(F, 1),
+                                     Ctx.assign(F, 2)),
+                          Ctx.drop());
+  Packet In(1);
+  Translation T = translate(Ctx, P, In);
+  EXPECT_NE(T.Source.find("dtmc"), std::string::npos);
+  EXPECT_NE(T.Source.find("module net"), std::string::npos);
+  EXPECT_NE(T.Source.find("pc :"), std::string::npos);
+  // Basic-block collapse shrinks the automaton.
+  EXPECT_LT(T.NumPcStates, T.NumPcStatesExpanded);
+
+  Model M;
+  std::string Error;
+  ASSERT_TRUE(parseModel(T.Source, M, Error)) << Error << T.Source;
+  EXPECT_EQ(M.VarNames.size(), 2u); // pc and f.
+}
+
+TEST(PrismTranslateTest, SimpleProgramProbabilities) {
+  Context Ctx;
+  FieldId F = Ctx.field("f");
+  // f=0 ; (f:=1 ⊕¼ drop): delivery 1/4 from f=0, 0 from f=1.
+  const Node *P = Ctx.seq(Ctx.test(F, 0),
+                          Ctx.choice(Rational(1, 4), Ctx.assign(F, 1),
+                                     Ctx.drop()));
+  Packet In0(1);
+  EXPECT_EQ(prismDelivery(Ctx, P, In0, markov::SolverKind::Exact),
+            Rational(1, 4));
+  Packet In1(1);
+  In1.set(F, 1);
+  EXPECT_EQ(prismDelivery(Ctx, P, In1, markov::SolverKind::Exact),
+            Rational(0));
+}
+
+TEST(PrismTranslateTest, WhileLoopSolvedWithoutUnrolling) {
+  Context Ctx;
+  FieldId F = Ctx.field("f");
+  // while f=0 do (f:=1 ⊕½ f:=0): the DTMC has a cycle; exact reachability
+  // still gives probability 1 — no loop bound involved (unlike Bayonet).
+  const Node *P = Ctx.whileLoop(
+      Ctx.test(F, 0),
+      Ctx.choice(Rational(1, 2), Ctx.assign(F, 1), Ctx.assign(F, 0)));
+  Packet In(1);
+  EXPECT_EQ(prismDelivery(Ctx, P, In, markov::SolverKind::Exact),
+            Rational(1));
+  // A diverging loop keeps the mass forever: delivery 0.
+  const Node *D = Ctx.whileLoop(Ctx.test(F, 0), Ctx.assign(F, 0));
+  EXPECT_EQ(prismDelivery(Ctx, D, In, markov::SolverKind::Exact),
+            Rational(0));
+}
+
+TEST(PrismTranslateTest, TriangleMatchesNativeBackend) {
+  Context Ctx;
+  routing::TriangleExample Ex = routing::buildTriangleExample(Ctx);
+  Packet In = Ex.ingressPacket(Ctx);
+  // §2 numbers through the PRISM pipeline.
+  EXPECT_EQ(prismDelivery(Ctx, Ex.NaiveF2, In, markov::SolverKind::Exact),
+            Rational(4, 5));
+  EXPECT_EQ(
+      prismDelivery(Ctx, Ex.ResilientF2, In, markov::SolverKind::Exact),
+      Rational(24, 25));
+  // Iterative engine agrees to solver tolerance.
+  Rational Approx =
+      prismDelivery(Ctx, Ex.ResilientF2, In, markov::SolverKind::Iterative);
+  EXPECT_NEAR(Approx.toDouble(), 24.0 / 25.0, 1e-9);
+}
+
+TEST(PrismTranslateTest, ChainMatchesClosedForm) {
+  Context Ctx;
+  topology::ChainLayout L;
+  topology::makeChain(4, L);
+  routing::NetworkModel M =
+      routing::buildChainModel(L, Rational(1, 1000), Ctx);
+  Packet In = M.ingressPacket(0, Ctx);
+  Rational Expected(1);
+  for (unsigned I = 0; I < 4; ++I)
+    Expected *= Rational(1) - Rational(1, 2000);
+  CheckResult Stats;
+  EXPECT_EQ(prismDelivery(Ctx, M.Program, In, markov::SolverKind::Exact,
+                          &Stats),
+            Expected);
+  EXPECT_GT(Stats.NumStates, 16u); // pc × sw product is explored.
+}
+
+TEST(PrismCheckerTest, ParsesHandWrittenModel) {
+  // The Fig 10 "hand-written PRISM" shape: a direct DTMC over sw.
+  const char *Source = R"(dtmc
+module chain
+  sw : [0..4] init 0;
+  // 0: split, 1: upper, 2: lower, 3: join/delivered, 4: dropped
+  [] sw=0 -> 1/2 : (sw'=1) + 1/2 : (sw'=2);
+  [] sw=1 -> 1 : (sw'=3);
+  [] sw=2 -> 999/1000 : (sw'=3) + 1/1000 : (sw'=4);
+  [] sw=3 -> 1 : true;
+  [] sw=4 -> 1 : true;
+endmodule
+)";
+  Model M;
+  std::string Error;
+  ASSERT_TRUE(parseModel(Source, M, Error)) << Error;
+  GuardExpr Goal;
+  ASSERT_TRUE(parseGuard("sw=3", M, Goal, Error)) << Error;
+  CheckResult Result;
+  ASSERT_TRUE(checkReachability(M, Goal, markov::SolverKind::Exact, Result,
+                                Error))
+      << Error;
+  EXPECT_EQ(Result.Probability, Rational(1999, 2000));
+  EXPECT_EQ(Result.NumStates, 5u); // Goal interned but not expanded.
+}
+
+TEST(PrismCheckerTest, RejectsMalformedModels) {
+  Model M;
+  std::string Error;
+  EXPECT_FALSE(parseModel("mdp\nmodule m endmodule", M, Error));
+  EXPECT_FALSE(parseModel("dtmc\nmodule m\n  x : [0..1] init 5;\nendmodule",
+                          M, Error));
+  EXPECT_FALSE(parseModel(
+      "dtmc\nmodule m\n  x : [0..1] init 0;\n  [] x=0 -> 1/2 : (x'=1);\n"
+      "endmodule",
+      M, Error)); // Probabilities do not sum to one.
+  EXPECT_FALSE(parseModel(
+      "dtmc\nmodule m\n  x : [0..1] init 0;\n  [] y=0 -> 1 : true;\n"
+      "endmodule",
+      M, Error)); // Unknown variable.
+}
+
+TEST(PrismCheckerTest, DetectsGuardErrors) {
+  // Overlapping guards.
+  const char *Overlap = R"(dtmc
+module m
+  x : [0..2] init 0;
+  [] x=0 -> 1 : (x'=1);
+  [] x!=1 -> 1 : (x'=2);
+  [] x=1 -> 1 : true;
+  [] x=2 -> 1 : true;
+endmodule
+)";
+  Model M;
+  std::string Error;
+  ASSERT_TRUE(parseModel(Overlap, M, Error)) << Error;
+  GuardExpr Goal;
+  ASSERT_TRUE(parseGuard("x=1", M, Goal, Error));
+  CheckResult Result;
+  EXPECT_FALSE(
+      checkReachability(M, Goal, markov::SolverKind::Exact, Result, Error));
+  EXPECT_NE(Error.find("overlap"), std::string::npos);
+
+  // Non-exhaustive guards.
+  const char *Gap = R"(dtmc
+module m
+  x : [0..1] init 0;
+  [] x=1 -> 1 : true;
+endmodule
+)";
+  ASSERT_TRUE(parseModel(Gap, M, Error)) << Error;
+  ASSERT_TRUE(parseGuard("x=1", M, Goal, Error));
+  EXPECT_FALSE(
+      checkReachability(M, Goal, markov::SolverKind::Exact, Result, Error));
+  EXPECT_NE(Error.find("exhaustive"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized agreement with the native backend
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const Node *randomGuarded(Context &Ctx, std::mt19937_64 &Rng,
+                          unsigned Depth) {
+  FieldId A = Ctx.field("a"), B = Ctx.field("b");
+  auto Value = [&] {
+    return std::uniform_int_distribution<FieldValue>(0, 2)(Rng);
+  };
+  auto Field = [&] {
+    return std::uniform_int_distribution<int>(0, 1)(Rng) ? A : B;
+  };
+  std::uniform_int_distribution<int> Pick(0, Depth == 0 ? 2 : 7);
+  switch (Pick(Rng)) {
+  case 0:
+    return Ctx.assign(Field(), Value());
+  case 1:
+    return Ctx.test(Field(), Value());
+  case 2:
+    return Ctx.skip();
+  case 3:
+    return Ctx.seq(randomGuarded(Ctx, Rng, Depth - 1),
+                   randomGuarded(Ctx, Rng, Depth - 1));
+  case 4:
+    return Ctx.choice(
+        Rational(std::uniform_int_distribution<int>(0, 4)(Rng), 4),
+        randomGuarded(Ctx, Rng, Depth - 1),
+        randomGuarded(Ctx, Rng, Depth - 1));
+  case 5:
+    return Ctx.ite(Ctx.test(Field(), Value()),
+                   randomGuarded(Ctx, Rng, Depth - 1),
+                   randomGuarded(Ctx, Rng, Depth - 1));
+  case 6:
+    return Ctx.whileLoop(Ctx.test(Field(), Value()),
+                         randomGuarded(Ctx, Rng, Depth - 1));
+  default:
+    return Ctx.drop();
+  }
+}
+
+} // namespace
+
+class PrismAgreementProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PrismAgreementProperty, DeliveryMatchesNativeBackend) {
+  Context Ctx;
+  std::mt19937_64 Rng(GetParam());
+  analysis::Verifier V;
+
+  for (int Round = 0; Round < 15; ++Round) {
+    const Node *P = randomGuarded(Ctx, Rng, 3);
+    fdd::FddRef Native = V.compile(P);
+    for (FieldValue VA = 0; VA <= 2; ++VA)
+      for (FieldValue VB = 0; VB <= 2; ++VB) {
+        Packet In(2);
+        In.set(Ctx.fields().lookup("a"), VA);
+        In.set(Ctx.fields().lookup("b"), VB);
+        Rational NativeDelivery = V.deliveryProbability(Native, In);
+        Rational PrismDelivery =
+            prismDelivery(Ctx, P, In, markov::SolverKind::Exact);
+        EXPECT_EQ(PrismDelivery, NativeDelivery);
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrismAgreementProperty,
+                         ::testing::Values(31u, 32u, 33u, 34u));

@@ -1,0 +1,239 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reference set-semantics tests: Fig 13 primitives, §4's star
+/// construction, algebraic laws of the language (KAT and probabilistic),
+/// and §2's running example verified end to end through the parser.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Context.h"
+#include "parser/Parser.h"
+#include "semantics/SetSemantics.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcnk;
+using namespace mcnk::ast;
+using namespace mcnk::semantics;
+
+namespace {
+
+/// One boolean field "f": domain {f=0, f=1}; packet index == value.
+struct BoolFieldFixture : ::testing::Test {
+  Context Ctx;
+  FieldId F = Ctx.field("f");
+  SetSemantics Sem{Ctx, PacketDomain({2})};
+
+  static constexpr PacketSet None = 0b00;
+  static constexpr PacketSet P0 = 0b01;
+  static constexpr PacketSet P1 = 0b10;
+  static constexpr PacketSet Both = 0b11;
+};
+
+} // namespace
+
+using SetSemanticsTest = BoolFieldFixture;
+
+TEST_F(SetSemanticsTest, Primitives) {
+  EXPECT_EQ(Sem.eval(Ctx.drop(), Both), (SetDist{{None, Rational(1)}}));
+  EXPECT_EQ(Sem.eval(Ctx.skip(), P1), (SetDist{{P1, Rational(1)}}));
+  EXPECT_EQ(Sem.eval(Ctx.test(F, 0), Both), (SetDist{{P0, Rational(1)}}));
+  EXPECT_EQ(Sem.eval(Ctx.test(F, 1), P0), (SetDist{{None, Rational(1)}}));
+  EXPECT_EQ(Sem.eval(Ctx.assign(F, 1), Both), (SetDist{{P1, Rational(1)}}));
+  EXPECT_EQ(Sem.eval(Ctx.assign(F, 0), P1), (SetDist{{P0, Rational(1)}}));
+}
+
+TEST_F(SetSemanticsTest, NegationIsComplementWithinInput) {
+  const Node *T = Ctx.test(F, 0);
+  EXPECT_EQ(Sem.eval(Ctx.negate(T), Both), (SetDist{{P1, Rational(1)}}));
+  EXPECT_EQ(Sem.eval(Ctx.negate(T), P0), (SetDist{{None, Rational(1)}}));
+  EXPECT_EQ(Sem.eval(Ctx.negate(T), P1), (SetDist{{P1, Rational(1)}}));
+}
+
+TEST_F(SetSemanticsTest, ChoiceSplitsMass) {
+  const Node *P = Ctx.choice(Rational(1, 3), Ctx.assign(F, 0),
+                             Ctx.assign(F, 1));
+  SetDist Expected{{P0, Rational(1, 3)}, {P1, Rational(2, 3)}};
+  EXPECT_EQ(Sem.eval(P, P0), Expected);
+  EXPECT_EQ(Sem.eval(P, Both), Expected);
+}
+
+TEST_F(SetSemanticsTest, UnionIsNotIdempotentOnRandomPrograms) {
+  // p & p correlates two independent runs of p (appendix A): for
+  // p = f:=0 ⊕½ f:=1 on a singleton, p&p yields {0}@¼, {0,1}@½, {1}@¼.
+  const Node *P = Ctx.choice(Rational(1, 2), Ctx.assign(F, 0),
+                             Ctx.assign(F, 1));
+  const Node *PP = Ctx.unite(P, P);
+  SetDist Expected{
+      {P0, Rational(1, 4)}, {Both, Rational(1, 2)}, {P1, Rational(1, 4)}};
+  EXPECT_EQ(Sem.eval(PP, P0), Expected);
+  EXPECT_FALSE(Sem.equivalent(PP, P));
+}
+
+TEST_F(SetSemanticsTest, StarCoinFlipFromSection4) {
+  // p* with p = (f:=0 ⊕½ f:=1): the §4 example. From {0} the accumulator
+  // reaches {0,1} almost surely.
+  const Node *P = Ctx.choice(Rational(1, 2), Ctx.assign(F, 0),
+                             Ctx.assign(F, 1));
+  const Node *Star = Ctx.star(P);
+  EXPECT_EQ(Sem.eval(Star, P0), (SetDist{{Both, Rational(1)}}));
+  EXPECT_EQ(Sem.eval(Star, None), (SetDist{{None, Rational(1)}}));
+}
+
+TEST_F(SetSemanticsTest, StarCharacteristicEquation) {
+  // p* ≡ skip & p ; p*.
+  const Node *P = Ctx.choice(Rational(1, 3), Ctx.assign(F, 0),
+                             Ctx.assign(F, 1));
+  const Node *Star = Ctx.star(P);
+  const Node *Unrolled = Ctx.unite(Ctx.skip(), Ctx.seq(P, Star));
+  EXPECT_TRUE(Sem.equivalent(Star, Unrolled));
+}
+
+TEST_F(SetSemanticsTest, PredicateBooleanAlgebra) {
+  // Lemma B.2: predicates form a Boolean algebra.
+  const Node *T = Ctx.test(F, 0);
+  EXPECT_TRUE(Sem.equivalent(Ctx.unite(T, Ctx.negate(T)), Ctx.skip()));
+  EXPECT_TRUE(Sem.equivalent(Ctx.seq(T, Ctx.negate(T)), Ctx.drop()));
+  EXPECT_TRUE(Sem.equivalent(Ctx.seq(T, T), T));
+  EXPECT_TRUE(Sem.equivalent(Ctx.unite(T, T), T));
+  // De Morgan (on this two-element field, ¬(f=0) behaves as f=1 only when
+  // restricted to the input; check the algebraic identity instead).
+  const Node *U = Ctx.test(F, 1);
+  EXPECT_TRUE(Sem.equivalent(Ctx.negate(Ctx.unite(T, U)),
+                             Ctx.seq(Ctx.negate(T), Ctx.negate(U))));
+  EXPECT_TRUE(Sem.equivalent(Ctx.negate(Ctx.seq(T, U)),
+                             Ctx.unite(Ctx.negate(T), Ctx.negate(U))));
+}
+
+TEST_F(SetSemanticsTest, GuardedDesugarings) {
+  // if t then p else q ≡ t;p & ¬t;q and the while unrolling law.
+  const Node *T = Ctx.test(F, 0);
+  const Node *P = Ctx.assign(F, 1);
+  const Node *Q = Ctx.choice(Rational(1, 2), Ctx.assign(F, 0), Ctx.drop());
+  const Node *Ite = Ctx.ite(T, P, Q);
+  const Node *Desugared =
+      Ctx.unite(Ctx.seq(T, P), Ctx.seq(Ctx.negate(T), Q));
+  EXPECT_TRUE(Sem.equivalent(Ite, Desugared));
+
+  const Node *Loop = Ctx.whileLoop(T, P);
+  const Node *Unrolled = Ctx.ite(T, Ctx.seq(P, Loop), Ctx.skip());
+  EXPECT_TRUE(Sem.equivalent(Loop, Unrolled));
+}
+
+TEST_F(SetSemanticsTest, WhileLoopProbabilisticExit) {
+  // while f=0 do (f:=1 ⊕½ f:=0): a.s. termination with output f=1 from
+  // either start.
+  const Node *Loop = Ctx.whileLoop(
+      Ctx.test(F, 0),
+      Ctx.choice(Rational(1, 2), Ctx.assign(F, 1), Ctx.assign(F, 0)));
+  EXPECT_EQ(Sem.eval(Loop, P0), (SetDist{{P1, Rational(1)}}));
+  EXPECT_EQ(Sem.eval(Loop, P1), (SetDist{{P1, Rational(1)}}));
+}
+
+TEST_F(SetSemanticsTest, DivergingWhileDrops) {
+  // while skip do skip never exits; all mass diverges to ∅.
+  const Node *Loop = Ctx.whileLoop(Ctx.test(F, 0), Ctx.assign(F, 0));
+  EXPECT_EQ(Sem.eval(Loop, P0), (SetDist{{None, Rational(1)}}));
+  // From f=1 the guard fails immediately.
+  EXPECT_EQ(Sem.eval(Loop, P1), (SetDist{{P1, Rational(1)}}));
+}
+
+TEST_F(SetSemanticsTest, RefinementOrder) {
+  const Node *P = Ctx.choice(Rational(1, 2), Ctx.assign(F, 1), Ctx.drop());
+  const Node *Q = Ctx.assign(F, 1);
+  EXPECT_TRUE(Sem.refines(Ctx.drop(), P));
+  EXPECT_TRUE(Sem.refines(P, Q));
+  EXPECT_FALSE(Sem.refines(Q, P));
+  EXPECT_TRUE(Sem.refines(Q, Q));
+}
+
+TEST_F(SetSemanticsTest, SeqAssociativityAndUnits) {
+  const Node *P = Ctx.choice(Rational(1, 4), Ctx.assign(F, 0),
+                             Ctx.assign(F, 1));
+  const Node *Q = Ctx.test(F, 0);
+  const Node *R = Ctx.assign(F, 1);
+  EXPECT_TRUE(Sem.equivalent(Ctx.seq(Ctx.seq(P, Q), R),
+                             Ctx.seq(P, Ctx.seq(Q, R))));
+  // Choice commutes with flipped probability.
+  EXPECT_TRUE(Sem.equivalent(
+      Ctx.choice(Rational(1, 4), Q, R),
+      Ctx.choice(Rational(3, 4), R, Q)));
+}
+
+namespace {
+
+/// §2 running example: triangle topology, switches 1..3, ports 1..3.
+/// Fields sw and pt take values in {0..3} (0 unused).
+struct RunningExampleFixture : ::testing::Test {
+  Context Ctx;
+  SetSemantics Sem{Ctx, PacketDomain({4, 4})};
+
+  const Node *parse(const std::string &Source) {
+    auto Result = parser::parseProgram(Source, Ctx);
+    EXPECT_TRUE(Result.ok()) << (Result.Diagnostics.empty()
+                                     ? std::string("?")
+                                     : Result.Diagnostics[0].render());
+    return Result.ok() ? Result.Program : Ctx.drop();
+  }
+
+  /// Compares programs on every singleton input (the per-packet view the
+  /// tool works with; see §5's single-packet restriction).
+  bool equivalentOnSingletons(const Node *P, const Node *Q) {
+    for (std::size_t I = 0; I < Sem.domain().numPackets(); ++I) {
+      PacketSet A = 1ULL << I;
+      if (Sem.eval(P, A) != Sem.eval(Q, A))
+        return false;
+    }
+    return Sem.eval(P, 0) == Sem.eval(Q, 0);
+  }
+};
+
+} // namespace
+
+TEST_F(RunningExampleFixture, ModelEquivalentToTeleport) {
+  // Field order: this fixture interns sw then pt inside the sources.
+  const Node *Model = parse(
+      "sw=1 ; pt=1 ; "
+      "(if sw=1 then pt:=2 else if sw=2 then pt:=2 else drop) ; "
+      "while !(sw=2 ; pt=2) do ("
+      "  (if sw=1 ; pt=2 then sw:=2 ; pt:=1 else "
+      "   if sw=2 ; pt=2 then skip else "
+      "   if sw=1 ; pt=3 then sw:=3 ; pt:=1 else "
+      "   if sw=3 ; pt=2 then sw:=2 ; pt:=3 else drop) ; "
+      "  (if sw=1 then pt:=2 else if sw=2 then pt:=2 else drop))");
+  const Node *Teleport = parse("sw=1 ; pt=1 ; sw:=2 ; pt:=2");
+  EXPECT_TRUE(equivalentOnSingletons(Model, Teleport));
+}
+
+TEST_F(RunningExampleFixture, DeliveryProbabilityUnderFailures) {
+  // A §2-flavored single-hop failure model: the link from switch 1 to 2
+  // fails with probability 1/5; packets take it if it is up and are
+  // dropped otherwise. Delivery probability must be exactly 4/5.
+  const Node *Model = parse(
+      "var up2 := 1 in ("
+      "  sw=1 ; pt=1 ; "
+      "  (up2:=1 +[4/5] up2:=0) ; "
+      "  (if up2=1 then sw:=2 ; pt:=2 else drop))");
+  // Output packet: sw=2, pt=2 (up2 is erased to 0 by the var scope).
+  FieldId Sw = Ctx.fields().lookup("sw");
+  FieldId Pt = Ctx.fields().lookup("pt");
+  FieldId Up2 = Ctx.fields().lookup("up2");
+  ASSERT_NE(Up2, FieldTable::NotFound);
+  // Domain: sw, pt interned first by the *fixture*? They are interned by
+  // parse order: var up2 first! Rebuild indices from the table.
+  SetSemantics Local(Ctx, PacketDomain(std::vector<FieldValue>(
+                              Ctx.fields().numFields(), 4)));
+  Packet In(Ctx.fields().numFields());
+  In.set(Sw, 1);
+  In.set(Pt, 1);
+  Packet Out(Ctx.fields().numFields());
+  Out.set(Sw, 2);
+  Out.set(Pt, 2);
+  PacketSet A = Local.singleton(In);
+  Rational Delivered =
+      Local.outputProbability(Model, A, Local.singleton(Out));
+  Rational Dropped = Local.outputProbability(Model, A, 0);
+  EXPECT_EQ(Delivered, Rational(4, 5));
+  EXPECT_EQ(Dropped, Rational(1, 5));
+}

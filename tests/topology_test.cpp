@@ -1,0 +1,163 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Topology tests: generator structure (sizes, degrees, wiring
+/// invariants), the AB FatTree detour property (appendix E), and DOT
+/// round-tripping.
+///
+//===----------------------------------------------------------------------===//
+
+#include "topology/Topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace mcnk;
+using namespace mcnk::topology;
+
+TEST(TopologyTest, LinkLookup) {
+  Topology T(2);
+  T.addCable(1, 5, 2, 7);
+  auto L = T.linkFrom(1, 5);
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->Dst, 2u);
+  EXPECT_EQ(L->DstPort, 7u);
+  auto R = T.linkFrom(2, 7);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Dst, 1u);
+  EXPECT_FALSE(T.linkFrom(1, 1).has_value());
+  EXPECT_EQ(T.degree(1), 1u);
+}
+
+class FatTreeParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FatTreeParam, SizesMatchFormula) {
+  unsigned P = GetParam();
+  FatTreeLayout L;
+  Topology T = makeFatTree(P, L);
+  // 5p²/4 switches (paper §6).
+  EXPECT_EQ(T.numSwitches(), 5 * P * P / 4);
+  EXPECT_EQ(L.numSwitches(), T.numSwitches());
+  // Every link leaves a valid port and lands on its reverse.
+  for (const Link &Lk : T.links()) {
+    auto Back = T.linkFrom(Lk.Dst, Lk.DstPort);
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(Back->Dst, Lk.Src);
+    EXPECT_EQ(Back->DstPort, Lk.SrcPort);
+  }
+  // Core count and degrees.
+  unsigned H = P / 2;
+  EXPECT_EQ(L.numCores(), H * H);
+  for (unsigned X = 0; X < H; ++X)
+    for (unsigned Y = 0; Y < H; ++Y)
+      EXPECT_EQ(T.degree(L.coreId(X, Y)), P); // One port per pod.
+  // Edge/agg fabric degrees (host ports carry no links).
+  EXPECT_EQ(T.degree(L.edgeId(0, 0)), H);
+  EXPECT_EQ(T.degree(L.aggId(0, 0)), P);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, FatTreeParam, ::testing::Values(2u, 4u, 6u, 8u));
+
+TEST(TopologyTest, AbFatTreeDetourProperty) {
+  // The defining property (appendix E): in an AB FatTree, each core
+  // reaches aggs of *different indices* in A-pods vs B-pods, so an
+  // opposite-type agg leads to cores that reach the destination pod at a
+  // different agg — the 3-hop detour. In a standard FatTree every pod
+  // attaches a core at the same agg index.
+  FatTreeLayout L;
+  Topology T = makeAbFatTree(4, L);
+  unsigned H = L.H;
+  for (unsigned X = 0; X < H; ++X)
+    for (unsigned Y = 0; Y < H; ++Y) {
+      SwitchId Core = L.coreId(X, Y);
+      for (unsigned Pod = 0; Pod < L.numPods(); ++Pod) {
+        auto Down = T.linkFrom(Core, L.corePodPort(Pod));
+        ASSERT_TRUE(Down.has_value());
+        unsigned AggIndex = L.indexOf(Down->Dst);
+        EXPECT_EQ(AggIndex, L.isTypeB(Pod) ? Y : X);
+      }
+    }
+  // Cross-check agg-side wiring against coreAbove.
+  for (unsigned Pod = 0; Pod < L.numPods(); ++Pod)
+    for (unsigned AggIdx = 0; AggIdx < H; ++AggIdx)
+      for (unsigned M = 0; M < H; ++M) {
+        auto Up = T.linkFrom(L.aggId(Pod, AggIdx), L.aggUpPort(M));
+        ASSERT_TRUE(Up.has_value());
+        EXPECT_EQ(Up->Dst, L.coreAbove(Pod, AggIdx, M));
+      }
+}
+
+TEST(TopologyTest, StandardVsAbDifferOnlyInBPods) {
+  FatTreeLayout LStd, LAb;
+  Topology Std = makeFatTree(4, LStd);
+  Topology Ab = makeAbFatTree(4, LAb);
+  EXPECT_EQ(Std.numSwitches(), Ab.numSwitches());
+  // Pod 0 (type A in both) is wired identically.
+  for (unsigned M = 0; M < LStd.H; ++M) {
+    auto S = Std.linkFrom(LStd.aggId(0, 1), LStd.aggUpPort(M));
+    auto A = Ab.linkFrom(LAb.aggId(0, 1), LAb.aggUpPort(M));
+    ASSERT_TRUE(S && A);
+    EXPECT_EQ(S->Dst, A->Dst);
+  }
+  // Pod 1 differs (type B in the AB variant).
+  bool Differs = false;
+  for (unsigned M = 0; M < LStd.H; ++M) {
+    auto S = Std.linkFrom(LStd.aggId(1, 1), LStd.aggUpPort(M));
+    auto A = Ab.linkFrom(LAb.aggId(1, 1), LAb.aggUpPort(M));
+    ASSERT_TRUE(S && A);
+    if (S->Dst != A->Dst)
+      Differs = true;
+  }
+  EXPECT_TRUE(Differs);
+}
+
+TEST(TopologyTest, ChainStructure) {
+  ChainLayout L;
+  Topology T = makeChain(3, L);
+  EXPECT_EQ(T.numSwitches(), 12u);
+  // Each diamond: split -> {upper, lower} -> join -> next split.
+  for (unsigned D = 0; D < 3; ++D) {
+    EXPECT_EQ(T.linkFrom(L.split(D), 1)->Dst, L.upper(D));
+    EXPECT_EQ(T.linkFrom(L.split(D), 2)->Dst, L.lower(D));
+    EXPECT_EQ(T.linkFrom(L.upper(D), 2)->Dst, L.join(D));
+    EXPECT_EQ(T.linkFrom(L.lower(D), 2)->Dst, L.join(D));
+  }
+  EXPECT_EQ(T.linkFrom(L.join(0), 3)->Dst, L.split(1));
+  EXPECT_FALSE(T.linkFrom(L.join(2), 3).has_value());
+}
+
+TEST(TopologyTest, TriangleMatchesFigure1) {
+  Topology T = makeTriangle();
+  EXPECT_EQ(T.numSwitches(), 3u);
+  EXPECT_EQ(T.linkFrom(1, 2)->Dst, 2u);
+  EXPECT_EQ(T.linkFrom(1, 3)->Dst, 3u);
+  EXPECT_EQ(T.linkFrom(3, 2)->Dst, 2u);
+  EXPECT_EQ(T.linkFrom(3, 2)->DstPort, 3u);
+}
+
+TEST(TopologyTest, DotRoundTrip) {
+  FatTreeLayout L;
+  Topology T = makeAbFatTree(4, L);
+  std::string Dot = T.toDot();
+  Topology Parsed;
+  std::string Error;
+  ASSERT_TRUE(Topology::fromDot(Dot, Parsed, Error)) << Error;
+  EXPECT_EQ(Parsed.numSwitches(), T.numSwitches());
+  ASSERT_EQ(Parsed.links().size(), T.links().size());
+  for (const Link &Lk : T.links()) {
+    auto Found = Parsed.linkFrom(Lk.Src, Lk.SrcPort);
+    ASSERT_TRUE(Found.has_value());
+    EXPECT_EQ(Found->Dst, Lk.Dst);
+    EXPECT_EQ(Found->DstPort, Lk.DstPort);
+  }
+}
+
+TEST(TopologyTest, DotRejectsMalformed) {
+  Topology Out;
+  std::string Error;
+  EXPECT_FALSE(Topology::fromDot("graph { }", Out, Error));
+  EXPECT_FALSE(Topology::fromDot("digraph {", Out, Error));
+  EXPECT_FALSE(
+      Topology::fromDot("digraph { s1 -> s2; }", Out, Error));
+}
