@@ -2,7 +2,7 @@
 ///
 /// \file
 /// Ablation: the three absorbing-chain engines behind the while-loop
-/// solver (DESIGN.md S7) — exact sparse Gauss-Jordan over rationals,
+/// solver (docs/ARCHITECTURE.md S7) — exact sparse Gauss-Jordan over rationals,
 /// direct sparse LU over doubles (the paper's UMFPACK configuration), and
 /// Neumann iteration (PRISM-style). Measures solve time on the chain and
 /// FatTree models and verifies the engines agree.

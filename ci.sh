@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, and run the full test suite (the
+# repository's tier-1 verify command) in a fresh build directory.
+#
+# Usage: ./ci.sh [build-dir]
+#   BUILD_TYPE=Debug ./ci.sh        # non-Release build
+#   MCNK_SANITIZE=ON ./ci.sh        # ASan/UBSan run
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+BUILD_DIR="${1:-build}"
+BUILD_TYPE="${BUILD_TYPE:-Release}"
+SANITIZE="${MCNK_SANITIZE:-OFF}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+# Only clobber directories that are clearly CMake build trees.
+if [ -e "$BUILD_DIR" ] && [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  echo "error: '$BUILD_DIR' exists but is not a CMake build directory; refusing to delete it" >&2
+  exit 1
+fi
+rm -rf "$BUILD_DIR"
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+  -DMCNK_WERROR=ON \
+  -DMCNK_SANITIZE="$SANITIZE"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$JOBS"

@@ -1,3 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the verification facade: wires AST->FDD compilation to the
+/// query procedures and derives delivery probabilities and hop-count
+/// statistics from per-input output distributions.
+///
+//===----------------------------------------------------------------------===//
+
 #include "analysis/Verifier.h"
 
 #include <cassert>

@@ -48,6 +48,12 @@ public:
 
   /// Compiles a guarded program; optionally compiles `case` constructs on
   /// a worker pool (the §6 parallel backend).
+  ///
+  /// \param Program   Guarded-fragment program (ast::isGuarded must hold).
+  /// \param Parallel  Compile n-ary `case` branches on worker threads.
+  /// \param Threads   Worker count; 0 means hardware concurrency.
+  /// \return The compiled diagram, owned by this verifier's manager. All
+  ///         query methods below expect diagrams from that same manager.
   fdd::FddRef compile(const ast::Node *Program, bool Parallel = false,
                       unsigned Threads = 0);
 
@@ -59,9 +65,17 @@ public:
     return refines(P, Q) && !equivalent(P, Q);
   }
 
-  /// Probability the program emits any packet for this input (1 - drop).
+  /// Probability the program emits any packet for this input.
+  ///
+  /// \param Program  A diagram compiled by this verifier.
+  /// \param In       Concrete input packet (must assign every field the
+  ///                 diagram tests or modifies).
+  /// \return An exact rational in [0, 1]: one minus the drop mass of the
+  ///         output distribution for \p In.
   Rational deliveryProbability(fdd::FddRef Program, const Packet &In) const;
-  /// Mean delivery probability over a uniform ingress mix.
+  /// Mean delivery probability over a uniform ingress mix: the arithmetic
+  /// average of deliveryProbability over \p In (Pr[delivered] under a
+  /// uniform choice of ingress, as in the §7 resilience tables).
   Rational averageDeliveryProbability(fdd::FddRef Program,
                                       const std::vector<Packet> &In) const;
 

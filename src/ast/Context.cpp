@@ -1,3 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arena allocation and smart constructors for AST nodes, applying the
+/// light normalizations (drop/skip absorption, trivial-probability
+/// collapse) and the Sec 2/3 desugarings of derived forms.
+///
+//===----------------------------------------------------------------------===//
+
 #include "ast/Context.h"
 
 #include "support/Casting.h"

@@ -1,3 +1,11 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty printer emitting the `.pnk` surface syntax with minimal
+/// parenthesization; output round-trips through the parser.
+///
+//===----------------------------------------------------------------------===//
+
 #include "ast/Printer.h"
 
 #include "support/Casting.h"

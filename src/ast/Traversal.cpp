@@ -1,3 +1,11 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST analyses: structural equality and hashing, node statistics,
+/// guarded-fragment checking, and mentioned-value collection.
+///
+//===----------------------------------------------------------------------===//
+
 #include "ast/Traversal.h"
 
 #include "support/Casting.h"

@@ -1,3 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact-inference baseline by exhaustive enumeration of probabilistic
+/// execution paths, with caller-bounded loop unrolling and no FDDs or
+/// domain reduction (the Fig 10 comparison stand-in).
+///
+//===----------------------------------------------------------------------===//
+
 #include "baseline/Exhaustive.h"
 
 #include "ast/Traversal.h"

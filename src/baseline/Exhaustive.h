@@ -2,7 +2,7 @@
 ///
 /// \file
 /// General-purpose exact inference baseline (the Bayonet/PSI stand-in for
-/// the Fig 10 comparison; see DESIGN.md). Computes output distributions
+/// the Fig 10 comparison; see docs/ARCHITECTURE.md). Computes output distributions
 /// by exhaustively enumerating the probabilistic execution paths of a
 /// guarded program on a concrete input — no FDDs, no domain reduction, no
 /// sparse linear algebra. Loops unroll up to a caller-supplied bound, the

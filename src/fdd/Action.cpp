@@ -1,3 +1,11 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Action and distribution interning for FDD leaves; distribution
+/// arithmetic (convex combination, composition) over exact rationals.
+///
+//===----------------------------------------------------------------------===//
+
 #include "fdd/Action.h"
 
 #include <algorithm>

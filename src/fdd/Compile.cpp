@@ -1,3 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural-recursion compiler from the guarded AST fragment to FDDs,
+/// including the parallel `case` path that compiles branches on worker
+/// managers and merges them through the portable format (Sec 6).
+///
+//===----------------------------------------------------------------------===//
+
 #include "fdd/Compile.h"
 
 #include "fdd/Export.h"

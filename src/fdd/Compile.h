@@ -26,8 +26,18 @@ struct CompileOptions {
 };
 
 /// Compiles a guarded ProbNetKAT program into an FDD owned by \p Manager.
-/// Precondition: ast::isGuarded(Program); Star or program-level Union
-/// abort with a diagnostic.
+///
+/// \param Manager  The manager that will own (and hash-cons) every node of
+///                 the result; while-loop bodies are solved with the
+///                 manager's configured markov::SolverKind.
+/// \param Program  A guarded-fragment program (ast::isGuarded must hold).
+///                 General Star or program-level Union abort with a
+///                 diagnostic rather than returning an error value.
+/// \param Options  Parallel-`case` toggle and worker count.
+/// \return A canonical diagram denoting \p Program's sub-stochastic
+///         single-packet semantics: each leaf maps actions to exact
+///         rational probabilities summing to at most 1, the deficit being
+///         the probability of dropping the packet.
 FddRef compile(FddManager &Manager, const ast::Node *Program,
                const CompileOptions &Options = {});
 

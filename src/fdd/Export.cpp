@@ -1,3 +1,11 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of FDDs to and from the portable format used to move
+/// diagrams between managers (worker-to-main merges, tests, goldens).
+///
+//===----------------------------------------------------------------------===//
+
 #include "fdd/Export.h"
 
 #include "support/Error.h"

@@ -1,3 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The FddManager: hash-consed node construction, the ordered-diagram
+/// invariants, apply-style binary operations, and leaf algebra that keep
+/// diagrams canonical so equivalence is reference equality.
+///
+//===----------------------------------------------------------------------===//
+
 #include "fdd/Fdd.h"
 
 #include "support/Error.h"

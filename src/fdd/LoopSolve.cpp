@@ -13,7 +13,7 @@
 /// never tested (e.g. hop-local link-health flags resolved away by
 /// sequential composition) are kept out of the transient state space and
 /// reattached to exits as output decorations, which is what keeps
-/// thousand-switch models tractable (see DESIGN.md).
+/// thousand-switch models tractable (see docs/ARCHITECTURE.md).
 ///
 //===----------------------------------------------------------------------===//
 

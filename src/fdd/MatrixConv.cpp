@@ -1,3 +1,11 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamic domain reduction (Sec 5.1) and the FDD-to-stochastic-matrix
+/// conversion of the Fig 5 "Convert" step.
+///
+//===----------------------------------------------------------------------===//
+
 #include "fdd/MatrixConv.h"
 
 #include "support/Error.h"

@@ -1,3 +1,11 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Product-walk decision procedures over pairs of FDDs: refinement
+/// p <= q and epsilon-equivalence for float-solved diagrams.
+///
+//===----------------------------------------------------------------------===//
+
 #include "fdd/Query.h"
 
 #include <algorithm>

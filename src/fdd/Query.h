@@ -18,18 +18,33 @@ namespace mcnk {
 namespace fdd {
 
 /// Exact program equivalence p ≡ q for diagrams from the same manager.
+/// Sound and complete only when both diagrams were built with the Exact
+/// solver (canonical form + exact rationals, Corollary 3.2/B.4).
 inline bool equivalent(FddRef A, FddRef B) { return A == B; }
 
-/// Structural product-walk equivalence with tolerance: every input class
-/// assigns each output action a probability within \p Eps in both
-/// diagrams. Use for diagrams produced by the floating-point solver.
+/// Structural product-walk equivalence with tolerance.
+///
+/// \param Manager  The manager owning both diagrams.
+/// \param A,B      Diagrams to compare; must come from \p Manager.
+/// \param Eps      Absolute per-action probability tolerance.
+/// \return true iff every input packet class assigns each output action a
+///         probability within \p Eps in both diagrams. Use for diagrams
+///         produced by a floating-point solver, where hash-consing alone
+///         cannot identify semantically equal leaves.
 bool approxEquivalent(const FddManager &Manager, FddRef A, FddRef B,
                       double Eps);
 
 /// Refinement p ≤ q (the ⊑ order on programs restricted to the
-/// single-packet space): for every input class and every non-drop output,
-/// p's probability is at most q's (+ \p Eps). q may drop strictly less.
-/// `p < q` in the paper is `refines(p, q) && !equivalent(p, q)`.
+/// single-packet space).
+///
+/// \param Manager  The manager owning both diagrams.
+/// \param P,Q      Candidate refinement pair (is \p P at most \p Q?).
+/// \param Eps      Slack added to \p Q's probabilities; 0 for exact
+///                 diagrams.
+/// \return true iff for every input class and every non-drop output
+///         action, P's probability is at most Q's + \p Eps — i.e. Q
+///         delivers at least as reliably on every input. Strict
+///         refinement `p < q` is `refines(P, Q) && !equivalent(P, Q)`.
 bool refines(const FddManager &Manager, FddRef P, FddRef Q,
              double Eps = 0.0);
 

@@ -1,3 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear solvers: exact dense Gaussian elimination over Rational, dense
+/// partial-pivot elimination over double, and Neumann-series iteration
+/// for (I - Q) x = b.
+///
+//===----------------------------------------------------------------------===//
+
 #include "linalg/Solve.h"
 
 #include <cassert>

@@ -1,3 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compressed-sparse-column matrix construction and the kernels
+/// (transpose, mat-vec, column gather) used by the sparse LU and the
+/// iterative engines.
+///
+//===----------------------------------------------------------------------===//
+
 #include "linalg/Sparse.h"
 
 #include <algorithm>

@@ -2,7 +2,7 @@
 ///
 /// \file
 /// Compressed-sparse-column matrices over double. This is the input format
-/// for the sparse LU factorization (our UMFPACK stand-in, see DESIGN.md) and
+/// for the sparse LU factorization (our UMFPACK stand-in, see docs/ARCHITECTURE.md) and
 /// for the iterative solvers used by the prismlite approximate engine.
 ///
 //===----------------------------------------------------------------------===//

@@ -1,3 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Left-looking Gilbert-Peierls sparse LU with partial pivoting: the
+/// UMFPACK stand-in that factors I - Q once and back-solves per
+/// absorbing column (Sec 5).
+///
+//===----------------------------------------------------------------------===//
+
 #include "linalg/SparseLU.h"
 
 #include <cassert>

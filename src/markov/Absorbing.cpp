@@ -1,3 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Absorption probabilities A = (I - Q)^{-1} R (Thm 4.7) via the three
+/// engines: exact rational elimination, sparse-LU over double, and
+/// Neumann iteration.
+///
+//===----------------------------------------------------------------------===//
+
 #include "markov/Absorbing.h"
 
 #include "linalg/Solve.h"

@@ -1,3 +1,11 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FieldTable: interning of field names to dense ids with bounds
+/// metadata.
+///
+//===----------------------------------------------------------------------===//
+
 #include "packet/Field.h"
 
 #include "support/Error.h"

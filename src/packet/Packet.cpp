@@ -1,3 +1,11 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Packet operations and finite packet-domain enumeration for the
+/// reference set semantics (test oracle on tiny spaces).
+///
+//===----------------------------------------------------------------------===//
+
 #include "packet/Packet.h"
 
 #include <cassert>

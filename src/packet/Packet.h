@@ -4,7 +4,7 @@
 /// Concrete packets and finite packet domains. Packets assign a value to
 /// every field of a domain; PacketDomain enumerates the (finite) packet
 /// space for the reference set semantics, which is exponential and only
-/// used as a test oracle on tiny spaces (DESIGN.md S4).
+/// used as a test oracle on tiny spaces (docs/ARCHITECTURE.md S4).
 ///
 //===----------------------------------------------------------------------===//
 

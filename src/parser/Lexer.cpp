@@ -1,3 +1,11 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token scanner for the `.pnk` surface syntax with source positions and
+/// line/block comment handling.
+///
+//===----------------------------------------------------------------------===//
+
 #include "parser/Lexer.h"
 
 #include "support/Error.h"

@@ -1,3 +1,11 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for `.pnk`, following the precedence ladder
+/// documented in Parser.h; errors carry source positions.
+///
+//===----------------------------------------------------------------------===//
+
 #include "parser/Parser.h"
 
 #include "parser/Lexer.h"

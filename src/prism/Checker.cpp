@@ -1,3 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// prismlite: parser for the emitted PRISM `dtmc` subset, reachable
+/// state-space construction, and reachability probability computation by
+/// Gaussian elimination or Gauss-Seidel iteration.
+///
+//===----------------------------------------------------------------------===//
+
 #include "prism/Checker.h"
 
 #include "support/Error.h"
@@ -232,7 +241,7 @@ struct GuardParser {
 
 bool prism::parseModel(const std::string &Source, Model &Out,
                        std::string &Error) {
-  Scanner S{Source};
+  Scanner S{Source, 0, {}};
   Out = Model();
   if (!S.literal("dtmc")) {
     Error = "expected 'dtmc' header";
@@ -343,7 +352,7 @@ bool prism::parseModel(const std::string &Source, Model &Out,
 
 bool prism::parseGuard(const std::string &Text, const Model &M,
                        GuardExpr &Out, std::string &Error) {
-  Scanner S{Text};
+  Scanner S{Text, 0, {}};
   GuardParser GP{S, M};
   if (!GP.parseOr(Out)) {
     Error = S.Error.empty() ? "malformed guard" : S.Error;

@@ -4,7 +4,7 @@
 /// prismlite: an explicit-state DTMC model checker for the PRISM subset
 /// emitted by the translation backend (and for hand-written models of the
 /// same shape). This is the repository's stand-in for the PRISM binary
-/// (see DESIGN.md): parse a `dtmc` module, build the reachable state
+/// (see docs/ARCHITECTURE.md): parse a `dtmc` module, build the reachable state
 /// space, and compute reachability probabilities Pr[F goal] with either
 /// the exact rational engine or the iterative floating-point engine
 /// (PRISM's "exact" and default configurations in Fig 10).

@@ -1,3 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PRISM backend (Sec 5.2): Thompson-style guarded-command
+/// construction from guarded ProbNetKAT, epsilon-chain collapse of basic
+/// blocks, and rendering into PRISM's input language.
+///
+//===----------------------------------------------------------------------===//
+
 #include "prism/Translate.h"
 
 #include "ast/Traversal.h"

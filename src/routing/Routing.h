@@ -6,7 +6,7 @@
 /// and the model builders M and M̂ that combine policy, topology, and
 /// failures into a single guarded program.
 ///
-/// Modeling notes (see DESIGN.md for the full discussion):
+/// Modeling notes (see docs/ARCHITECTURE.md for the full discussion):
 ///  - Failure flags are sampled at each hop before the switch program
 ///    reads them — exactly the paper's M̂(p,t,f) ≜ M((f;p), t), where f
 ///    executes at every hop. Bounding `MaxFailuresPerHop` reproduces the
@@ -64,7 +64,7 @@ struct ModelOptions {
   bool CountHops = false;  ///< Adds a saturating hop counter field.
   unsigned HopCap = 16;    ///< Saturation bucket for the counter.
   /// Re-canonicalize failure flags after every hop (the state-space
-  /// reduction described in DESIGN.md). Semantically neutral; disabling it
+  /// reduction described in docs/ARCHITECTURE.md). Semantically neutral; disabling it
   /// exists only for the ablation bench that measures its effect on the
   /// while-loop chain size.
   bool HopLocalFlags = true;

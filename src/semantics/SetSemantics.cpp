@@ -1,3 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference denotational semantics of Fig 13 over a finite packet
+/// domain, including closed-form star limits computed from the small-step
+/// absorbing chain of Sec 4.
+///
+//===----------------------------------------------------------------------===//
+
 #include "semantics/SetSemantics.h"
 
 #include "ast/Traversal.h"

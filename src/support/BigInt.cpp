@@ -1,3 +1,11 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sign-magnitude bignum arithmetic on 32-bit limbs: schoolbook
+/// multiplication and Knuth Algorithm D division.
+///
+//===----------------------------------------------------------------------===//
+
 #include "support/BigInt.h"
 
 #include "support/Error.h"

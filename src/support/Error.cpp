@@ -1,3 +1,10 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting: print a diagnostic to stderr and abort.
+///
+//===----------------------------------------------------------------------===//
+
 #include "support/Error.h"
 
 #include <cstdio>

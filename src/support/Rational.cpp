@@ -1,3 +1,11 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Normalized exact rational arithmetic (gcd-reduced, sign on the
+/// numerator) over BigInt.
+///
+//===----------------------------------------------------------------------===//
+
 #include "support/Rational.h"
 
 #include "support/Error.h"

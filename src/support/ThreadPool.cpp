@@ -1,3 +1,11 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-size worker pool: a mutex/condvar task queue feeding N worker
+/// threads, with wait-for-drain used by the parallel compiler.
+///
+//===----------------------------------------------------------------------===//
+
 #include "support/ThreadPool.h"
 
 #include <algorithm>

@@ -1,3 +1,12 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Port-level topology graph, the generators for the paper's topology
+/// families (FatTree, AB FatTree, chain of diamonds, triangle), and
+/// Graphviz DOT import/export.
+///
+//===----------------------------------------------------------------------===//
+
 #include "topology/Topology.h"
 
 #include "support/Error.h"
