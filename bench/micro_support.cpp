@@ -40,6 +40,58 @@ static void BM_BigIntGcd(benchmark::State &State) {
 }
 BENCHMARK(BM_BigIntGcd)->Arg(8)->Arg(64);
 
+static void BM_BigIntSmallAdd(benchmark::State &State) {
+  // Word-sized operands: the common case for FDD leaf numerators.
+  BigInt A(123456789), B(987654321);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A + B);
+}
+BENCHMARK(BM_BigIntSmallAdd);
+
+static void BM_BigIntSmallMul(benchmark::State &State) {
+  BigInt A(1000003), B(999999937);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A * B);
+}
+BENCHMARK(BM_BigIntSmallMul);
+
+static void BM_BigIntSmallAccumulate(benchmark::State &State) {
+  // In-place compound ops on word-sized values (hash-cons bucket sums).
+  for (auto _ : State) {
+    BigInt Acc(0);
+    for (int I = 0; I < 64; ++I)
+      Acc += BigInt(I * 7919);
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_BigIntSmallAccumulate);
+
+static void BM_RationalSmallAdd(benchmark::State &State) {
+  // Small-operand add: the weightedSum / leaf-merge hot path.
+  Rational A(3, 7), B(5, 9);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A + B);
+}
+BENCHMARK(BM_RationalSmallAdd);
+
+static void BM_RationalSmallMul(benchmark::State &State) {
+  Rational A(355, 113), B(999, 1000);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A * B);
+}
+BENCHMARK(BM_RationalSmallMul);
+
+static void BM_RationalSmallAccumulate(benchmark::State &State) {
+  // Mass += W over a full decomposition, as in FddManager::weightedSum.
+  for (auto _ : State) {
+    Rational Mass(0);
+    for (int I = 0; I < 64; ++I)
+      Mass += Rational(1, 64);
+    benchmark::DoNotOptimize(Mass);
+  }
+}
+BENCHMARK(BM_RationalSmallAccumulate);
+
 static void BM_RationalConvex(benchmark::State &State) {
   // The inner operation of every probabilistic-choice leaf merge.
   Rational R(1, 3), P(999, 1000), Q(1, 1000);

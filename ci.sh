@@ -1,18 +1,64 @@
 #!/usr/bin/env bash
-# CI entry point: configure, build, and run the full test suite (the
-# repository's tier-1 verify command) in a fresh build directory.
+# CI entry point.
 #
-# Usage: ./ci.sh [build-dir]
+# Usage: ./ci.sh [build-dir]        # configure + build + full test suite
+#                                   # (the repository's tier-1 verify) in a
+#                                   # fresh build directory
+#        ./ci.sh bench [build-dir]  # build micro_support + micro_linalg and
+#                                   # emit bench/results/BENCH_<name>.json
+#                                   # (the recorded performance trajectory)
 #   BUILD_TYPE=Debug ./ci.sh        # non-Release build
 #   MCNK_SANITIZE=ON ./ci.sh        # ASan/UBSan run
+#   MCNK_BENCH_MIN_TIME=2 ./ci.sh bench   # longer per-benchmark runtime
 set -euo pipefail
 
 cd "$(dirname "$0")"
+
+MODE=verify
+if [ "${1:-}" = "bench" ]; then
+  MODE=bench
+  shift
+fi
 
 BUILD_DIR="${1:-build}"
 BUILD_TYPE="${BUILD_TYPE:-Release}"
 SANITIZE="${MCNK_SANITIZE:-OFF}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [ "$MODE" = "bench" ]; then
+  # Bench mode reuses an existing build tree (benchmarks want a warm
+  # Release build, not a from-scratch rebuild) — but refuses Debug or
+  # sanitized trees so slow-by-10x numbers never land in bench/results/.
+  if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+      -DMCNK_WERROR=ON \
+      -DMCNK_SANITIZE="$SANITIZE"
+  fi
+  if ! grep -q '^CMAKE_BUILD_TYPE:STRING=Release$' "$BUILD_DIR/CMakeCache.txt"; then
+    echo "error: '$BUILD_DIR' is not a Release build; bench numbers would be meaningless" >&2
+    echo "hint: ./ci.sh bench <fresh-dir>  or reconfigure with -DCMAKE_BUILD_TYPE=Release" >&2
+    exit 1
+  fi
+  if grep -q '^MCNK_SANITIZE:BOOL=ON$' "$BUILD_DIR/CMakeCache.txt"; then
+    echo "error: '$BUILD_DIR' has sanitizers enabled; refusing to record bench numbers" >&2
+    exit 1
+  fi
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_support micro_linalg
+  mkdir -p bench/results
+  for bench in micro_support micro_linalg; do
+    if [ ! -x "$BUILD_DIR/$bench" ]; then
+      echo "error: $bench was not built (is Google Benchmark installed?)" >&2
+      exit 1
+    fi
+    "$BUILD_DIR/$bench" \
+      --benchmark_out="bench/results/BENCH_${bench}.json" \
+      --benchmark_out_format=json \
+      --benchmark_min_time="${MCNK_BENCH_MIN_TIME:-0.2}"
+  done
+  echo "Wrote bench/results/BENCH_micro_support.json and BENCH_micro_linalg.json"
+  exit 0
+fi
 
 # Only clobber directories that are clearly CMake build trees.
 if [ -e "$BUILD_DIR" ] && [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then

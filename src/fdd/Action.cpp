@@ -102,11 +102,18 @@ ActionDist ActionDist::convex(const Rational &R, const ActionDist &Lhs,
   assert(R.isProbability() && "convex weight outside [0,1]");
   std::vector<std::pair<Action, Rational>> Raw;
   Raw.reserve(Lhs.Entries.size() + Rhs.Entries.size());
-  Rational OneMinusR = Rational(1) - R;
-  for (const auto &[A, W] : Lhs.Entries)
-    Raw.emplace_back(A, R * W);
-  for (const auto &[A, W] : Rhs.Entries)
-    Raw.emplace_back(A, OneMinusR * W);
+  Rational OneMinusR(1);
+  OneMinusR -= R;
+  // Scale each copied weight in place rather than materializing R * W
+  // temporaries (the distribution-arithmetic hot path of choice()).
+  for (const auto &[A, W] : Lhs.Entries) {
+    Raw.emplace_back(A, W);
+    Raw.back().second *= R;
+  }
+  for (const auto &[A, W] : Rhs.Entries) {
+    Raw.emplace_back(A, W);
+    Raw.back().second *= OneMinusR;
+  }
   return fromEntries(std::move(Raw));
 }
 

@@ -64,9 +64,7 @@ FddRef FddManager::inner(FieldId Field, FieldValue Value, FddRef Hi,
   if (cofactorTrue(Lo, Field, Value) == Hi)
     return Lo;
   InnerNode Node{Field, Value, Hi, Lo};
-  std::size_t Hash = hashCombine(
-      hashCombine(hashCombine(static_cast<std::size_t>(Field), Value), Hi),
-      static_cast<std::size_t>(Lo));
+  std::size_t Hash = hashValues(Field, Value, Hi, Lo);
   auto &Bucket = InnerTable[Hash];
   for (uint32_t Idx : Bucket)
     if (Inners[Idx] == Node)
@@ -261,11 +259,14 @@ FddRef FddManager::weightedSum(
     std::vector<std::pair<Rational, FddRef>> Terms) {
   assert(!Terms.empty() && "weighted sum of nothing");
   FddRef Acc = Terms.back().second;
-  Rational Mass = Terms.back().first;
+  // Mass accumulates in place (int64 fast path for the typical small
+  // per-leaf weights); the per-step ratio W / Mass is the only temporary.
+  Rational Mass = std::move(Terms.back().first);
   for (std::size_t I = Terms.size() - 1; I-- > 0;) {
-    const auto &[W, Ref] = Terms[I];
+    auto &[W, Ref] = Terms[I];
     Mass += W;
-    Acc = choice(W / Mass, Ref, Acc);
+    W /= Mass;
+    Acc = choice(W, Ref, Acc);
   }
   assert(Mass.isOne() && "weighted sum must be a full decomposition");
   return Acc;

@@ -23,6 +23,7 @@
 #include "fdd/Action.h"
 #include "markov/Absorbing.h"
 #include "packet/Packet.h"
+#include "support/Hashing.h"
 
 #include <cstdint>
 #include <map>
@@ -159,12 +160,7 @@ private:
   FddRef IdentityLeaf = 0;
   FddRef DropLeaf = 0;
 
-  // Operation caches.
-  struct PairHash {
-    std::size_t operator()(const std::pair<FddRef, FddRef> &P) const {
-      return hashCombine(P.first, static_cast<std::size_t>(P.second));
-    }
-  };
+  // Operation caches (generic hashers from support/Hashing.h).
   std::unordered_map<std::pair<FddRef, FddRef>, FddRef, PairHash> SeqCache;
   std::unordered_map<std::pair<FddRef, FddRef>, FddRef, PairHash>
       DisjoinCache;
@@ -178,20 +174,11 @@ private:
   };
   struct ChoiceKeyHash {
     std::size_t operator()(const ChoiceKey &K) const {
-      return hashCombine(hashCombine(K.R.hash(), K.P),
-                         static_cast<std::size_t>(K.Q));
+      return hashValues(K.R, K.P, K.Q);
     }
   };
   std::unordered_map<ChoiceKey, FddRef, ChoiceKeyHash> ChoiceCache;
-  struct TripleHash {
-    std::size_t operator()(
-        const std::tuple<FddRef, FddRef, FddRef> &T) const {
-      return hashCombine(
-          hashCombine(std::get<0>(T), std::get<1>(T)),
-          static_cast<std::size_t>(std::get<2>(T)));
-    }
-  };
-  std::unordered_map<std::tuple<FddRef, FddRef, FddRef>, FddRef, TripleHash>
+  std::unordered_map<std::tuple<FddRef, FddRef, FddRef>, FddRef, TupleHash>
       BranchCache;
   std::unordered_map<std::pair<uint32_t, FddRef>, FddRef, PairHash>
       SeqActionCache;

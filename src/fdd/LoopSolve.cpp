@@ -322,8 +322,12 @@ FddRef FddManager::solveLoop(FddRef Guard, FddRef Body) {
       Total += W;
     }
     assert(Total <= Rational(1) && "absorption mass exceeds one");
-    if (!Total.isOne())
-      Entries.emplace_back(Action::drop(), Rational(1) - Total);
+    if (!Total.isOne()) {
+      // Missing mass is drop; computed in place on the accumulator.
+      Rational DropMass(1);
+      DropMass -= Total;
+      Entries.emplace_back(Action::drop(), std::move(DropMass));
+    }
     return leaf(ActionDist::fromEntries(std::move(Entries)));
   };
 

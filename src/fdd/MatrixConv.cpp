@@ -72,6 +72,9 @@ StochasticMatrix fdd::toMatrix(const FddManager &Manager, FddRef Ref,
 
   std::vector<std::size_t> Sym(Result.Fields.size());
   Result.DropMass.resize(Result.NumStates);
+  // Every non-drop leaf action contributes one entry; most states carry at
+  // least one, so NumStates is a sound reserve floor.
+  Result.Entries.reserve(Result.NumStates);
   for (std::size_t State = 0; State < Result.NumStates; ++State) {
     // Decode in place.
     std::size_t Rest = State;

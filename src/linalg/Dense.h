@@ -4,12 +4,16 @@
 /// Dense row-major matrices, parameterized over the scalar type. Used with
 /// `double` for floating-point solves and with `Rational` for the exact
 /// backend (paper §5 uses exact rationals in the frontend/FDDs and floats in
-/// the linear solver; we provide both ends).
+/// the linear solver; we provide both ends). The axpy-style helpers route
+/// Rational accumulation through the fused in-place API so the exact engine
+/// never rebuilds operand temporaries in its inner loops.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MCNK_LINALG_DENSE_H
 #define MCNK_LINALG_DENSE_H
+
+#include "support/Rational.h"
 
 #include <cassert>
 #include <cstddef>
@@ -17,6 +21,27 @@
 
 namespace mcnk {
 namespace linalg {
+
+namespace detail {
+
+/// Acc += A * B. The generic form materializes the product; the Rational
+/// overload uses the fused in-place kernel (int64 fast path end to end).
+template <typename T> inline void addMulAssign(T &Acc, const T &A, const T &B) {
+  Acc += A * B;
+}
+inline void addMulAssign(Rational &Acc, const Rational &A, const Rational &B) {
+  Acc.addMul(A, B);
+}
+
+/// Acc -= A * B (the elimination kernel of Gaussian solvers).
+template <typename T> inline void subMulAssign(T &Acc, const T &A, const T &B) {
+  Acc -= A * B;
+}
+inline void subMulAssign(Rational &Acc, const Rational &A, const Rational &B) {
+  Acc.subMul(A, B);
+}
+
+} // namespace detail
 
 /// Dense NumRows x NumCols matrix with row-major storage.
 template <typename T> class DenseMatrix {
@@ -49,19 +74,29 @@ public:
   }
   bool operator!=(const DenseMatrix &RHS) const { return !(*this == RHS); }
 
-  DenseMatrix operator+(const DenseMatrix &RHS) const {
+  DenseMatrix &operator+=(const DenseMatrix &RHS) {
     assert(Rows == RHS.Rows && Cols == RHS.Cols && "shape mismatch");
-    DenseMatrix Result(Rows, Cols);
     for (std::size_t I = 0; I < Data.size(); ++I)
-      Result.Data[I] = Data[I] + RHS.Data[I];
+      Data[I] += RHS.Data[I];
+    return *this;
+  }
+
+  DenseMatrix &operator-=(const DenseMatrix &RHS) {
+    assert(Rows == RHS.Rows && Cols == RHS.Cols && "shape mismatch");
+    for (std::size_t I = 0; I < Data.size(); ++I)
+      Data[I] -= RHS.Data[I];
+    return *this;
+  }
+
+  DenseMatrix operator+(const DenseMatrix &RHS) const {
+    DenseMatrix Result = *this;
+    Result += RHS;
     return Result;
   }
 
   DenseMatrix operator-(const DenseMatrix &RHS) const {
-    assert(Rows == RHS.Rows && Cols == RHS.Cols && "shape mismatch");
-    DenseMatrix Result(Rows, Cols);
-    for (std::size_t I = 0; I < Data.size(); ++I)
-      Result.Data[I] = Data[I] - RHS.Data[I];
+    DenseMatrix Result = *this;
+    Result -= RHS;
     return Result;
   }
 
@@ -74,16 +109,22 @@ public:
         if (Lhs == T())
           continue; // Skip structural zeros; big win for Rational.
         for (std::size_t J = 0; J < RHS.Cols; ++J)
-          Result.at(I, J) += Lhs * RHS.at(K, J);
+          detail::addMulAssign(Result.at(I, J), Lhs, RHS.at(K, J));
       }
     return Result;
   }
 
+  /// Scales every entry by \p Factor, in place.
+  DenseMatrix &scaleInPlace(const T &Factor) {
+    for (T &Value : Data)
+      Value *= Factor;
+    return *this;
+  }
+
   /// Scales every entry by \p Factor.
   DenseMatrix scaled(const T &Factor) const {
-    DenseMatrix Result(Rows, Cols);
-    for (std::size_t I = 0; I < Data.size(); ++I)
-      Result.Data[I] = Data[I] * Factor;
+    DenseMatrix Result = *this;
+    Result.scaleInPlace(Factor);
     return Result;
   }
 

@@ -21,14 +21,17 @@ std::size_t linalg::neumannSolve(const SparseMatrix &Q,
   assert(Q.numRows() == Q.numCols() && "Q must be square");
   assert(B.size() == Q.numRows() && "RHS length mismatch");
   X = B;
+  // One scratch buffer for the whole iteration: Q.multiplyInto reuses its
+  // allocation, and std::swap rotates it with X instead of reallocating.
+  std::vector<double> Next;
   for (std::size_t Iter = 1; Iter <= MaxIters; ++Iter) {
-    std::vector<double> Next = Q.multiply(X);
+    Q.multiplyInto(X, Next);
     double Delta = 0.0;
     for (std::size_t I = 0; I < Next.size(); ++I) {
       Next[I] += B[I];
       Delta = std::max(Delta, std::fabs(Next[I] - X[I]));
     }
-    X = std::move(Next);
+    std::swap(X, Next);
     if (Delta < Tol)
       return Iter;
   }

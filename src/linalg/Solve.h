@@ -64,6 +64,8 @@ bool denseSolveInPlace(DenseMatrix<T> &A, DenseMatrix<T> &B) {
     std::size_t PivRow = RowOf[Step];
     const T Pivot = A.at(PivRow, Step);
 
+    // Axpy-style in-place elimination: for Rational this runs on the
+    // fused subMul fast path with no operand temporaries.
     for (std::size_t I = Step + 1; I < N; ++I) {
       std::size_t Row = RowOf[I];
       if (A.at(Row, Step) == T())
@@ -72,10 +74,10 @@ bool denseSolveInPlace(DenseMatrix<T> &A, DenseMatrix<T> &B) {
       A.at(Row, Step) = T();
       for (std::size_t J = Step + 1; J < N; ++J)
         if (A.at(PivRow, J) != T())
-          A.at(Row, J) -= Factor * A.at(PivRow, J);
+          detail::subMulAssign(A.at(Row, J), Factor, A.at(PivRow, J));
       for (std::size_t J = 0; J < NumRhs; ++J)
         if (B.at(PivRow, J) != T())
-          B.at(Row, J) -= Factor * B.at(PivRow, J);
+          detail::subMulAssign(B.at(Row, J), Factor, B.at(PivRow, J));
     }
   }
 
@@ -87,7 +89,7 @@ bool denseSolveInPlace(DenseMatrix<T> &A, DenseMatrix<T> &B) {
       T Value = B.at(Row, J);
       for (std::size_t K = Step + 1; K < N; ++K)
         if (A.at(Row, K) != T())
-          Value -= A.at(Row, K) * B.at(RowOf[K], J);
+          detail::subMulAssign(Value, A.at(Row, K), B.at(RowOf[K], J));
       B.at(Row, J) = Value / Pivot;
     }
   }

@@ -55,16 +55,30 @@ SparseMatrix SparseMatrix::fromTriplets(std::size_t NumRows,
 }
 
 std::vector<double> SparseMatrix::multiply(const std::vector<double> &X) const {
+  std::vector<double> Y;
+  multiplyInto(X, Y);
+  return Y;
+}
+
+void SparseMatrix::multiplyInto(const std::vector<double> &X,
+                                std::vector<double> &Y) const {
   assert(X.size() == Cols && "vector length mismatch");
-  std::vector<double> Y(Rows, 0.0);
+  assert(&X != &Y && "multiplyInto output must not alias the input");
+  Y.assign(Rows, 0.0);
+  // Raw restrict pointers: with a caller-owned output buffer the compiler
+  // can no longer assume the stores don't clobber the index/value arrays,
+  // which serializes the scatter loop (a measured ~15% hit on Neumann).
+  double *__restrict__ Out = Y.data();
+  const double *In = X.data();
+  const std::size_t *RI = RowIdx.data();
+  const double *VA = Values.data();
   for (std::size_t C = 0; C < Cols; ++C) {
-    double Scale = X[C];
+    double Scale = In[C];
     if (Scale == 0.0)
       continue;
     for (std::size_t K = colBegin(C); K < colEnd(C); ++K)
-      Y[RowIdx[K]] += Values[K] * Scale;
+      Out[RI[K]] += VA[K] * Scale;
   }
-  return Y;
 }
 
 std::vector<double>

@@ -46,6 +46,11 @@ public:
   /// Dense column-oriented product Y = A * X.
   std::vector<double> multiply(const std::vector<double> &X) const;
 
+  /// Y = A * X into a caller-owned buffer (resized as needed), so iterative
+  /// solvers can reuse one allocation across iterations.
+  void multiplyInto(const std::vector<double> &X,
+                    std::vector<double> &Y) const;
+
   /// Dense row-oriented product Y = A^T * X.
   std::vector<double> multiplyTranspose(const std::vector<double> &X) const;
 

@@ -132,10 +132,12 @@ bool SparseLU::factor(const SparseMatrix &A, double PivotTol) {
   return true;
 }
 
-void SparseLU::solve(std::vector<double> &B) const {
+void SparseLU::solve(std::vector<double> &B) {
   assert(B.size() == N && "RHS length mismatch");
-  // Apply the row permutation: y = P b.
-  std::vector<double> Y(N);
+  // Apply the row permutation: y = P b. Work is a reused scratch so the
+  // per-column back-solve loop of the chain engines does not reallocate.
+  std::vector<double> &Y = Work;
+  Y.resize(N);
   for (std::size_t K = 0; K < N; ++K)
     Y[K] = B[Perm[K]];
 
@@ -159,7 +161,7 @@ void SparseLU::solve(std::vector<double> &B) const {
     for (std::size_t K = 0; K + 1 < Col.size(); ++K)
       Y[Col[K].first] -= Col[K].second * YJ;
   }
-  B = std::move(Y);
+  std::swap(B, Y);
 }
 
 std::size_t SparseLU::numFactorEntries() const {

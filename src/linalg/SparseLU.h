@@ -29,8 +29,10 @@ public:
   bool factor(const SparseMatrix &A, double PivotTol = 1e-300);
 
   /// Solves A x = b in place (\p B holds b on entry, x on return).
-  /// Requires a successful factor().
-  void solve(std::vector<double> &B) const;
+  /// Requires a successful factor(). Non-const: reuses the internal
+  /// scratch buffer, so concurrent back-solves need one SparseLU (or an
+  /// external lock) per thread.
+  void solve(std::vector<double> &B);
 
   std::size_t dimension() const { return N; }
 
@@ -48,6 +50,9 @@ private:
   std::vector<std::vector<Entry>> UCols;
   /// Perm[k] = original row index chosen as the k-th pivot.
   std::vector<std::size_t> Perm;
+  /// Permutation scratch reused across solve() calls (one factor, many
+  /// back-solves: the absorbing-chain engines solve per exit column).
+  std::vector<double> Work;
 };
 
 } // namespace linalg

@@ -164,12 +164,15 @@ bool markov::solveAbsorptionExact(const AbsorbingChain &Chain,
       Rational Coeff = It->second;
       Rows[User].erase(It);
       ColRows[Pivot].erase(User);
+      // Fused in-place axpy on both the row and its right-hand side —
+      // the hot kernel of the exact engine (no Rational temporaries on
+      // the int64 fast path).
       for (const auto &[Col, V] : Rows[Pivot]) {
         if (Col == Pivot)
           continue;
         Rational &Cell = Rows[User][Col];
         bool WasZero = Cell.isZero();
-        Cell -= Coeff * V;
+        Cell.subMul(Coeff, V);
         if (Cell.isZero())
           Rows[User].erase(Col);
         else if (WasZero)
@@ -177,7 +180,7 @@ bool markov::solveAbsorptionExact(const AbsorbingChain &Chain,
       }
       for (std::size_t C = 0; C < NA; ++C)
         if (!Rhs[Pivot][C].isZero())
-          Rhs[User][C] -= Coeff * Rhs[Pivot][C];
+          Rhs[User][C].subMul(Coeff, Rhs[Pivot][C]);
     }
   }
 

@@ -371,12 +371,7 @@ bool prism::checkReachability(const Model &M, const GuardExpr &Goal,
                               std::string &Error) {
   // Explicit-state BFS from the initial valuation.
   using Valuation = std::vector<uint32_t>;
-  struct VecHash {
-    std::size_t operator()(const Valuation &V) const {
-      return hashRange(V.begin(), V.end());
-    }
-  };
-  std::unordered_map<Valuation, std::size_t, VecHash> Index;
+  std::unordered_map<Valuation, std::size_t, RangeHash> Index;
   std::vector<Valuation> States;
   auto Intern = [&](const Valuation &V) {
     auto [It, Inserted] = Index.emplace(V, States.size());

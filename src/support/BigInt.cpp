@@ -1,8 +1,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Sign-magnitude bignum arithmetic on 32-bit limbs: schoolbook
-/// multiplication and Knuth Algorithm D division.
+/// BigInt arithmetic: an inline int64 fast path (overflow detected with the
+/// `__builtin_*_overflow` intrinsics, widened through __int128 on spill)
+/// over sign-magnitude bignum arithmetic on 32-bit limbs — schoolbook
+/// multiplication and Knuth Algorithm D division. The representation is
+/// canonical: values are inline iff they fit int64_t.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,83 +20,114 @@
 
 using namespace mcnk;
 
-BigInt::BigInt(int64_t Value) {
-  Negative = Value < 0;
-  // Negate via unsigned arithmetic so INT64_MIN is handled.
-  uint64_t Mag =
-      Negative ? ~static_cast<uint64_t>(Value) + 1 : static_cast<uint64_t>(Value);
-  if (Mag != 0)
-    Limbs.push_back(static_cast<Limb>(Mag & 0xffffffffULL));
-  if (Mag >> 32)
-    Limbs.push_back(static_cast<Limb>(Mag >> 32));
-  if (Limbs.empty())
-    Negative = false;
+namespace {
+
+/// True if the signed value (Neg, Mag) is representable as int64_t.
+bool magFitsInt64(bool Neg, uint64_t Mag) {
+  return Mag <= static_cast<uint64_t>(INT64_MAX) ||
+         (Neg && Mag == static_cast<uint64_t>(INT64_MAX) + 1);
 }
 
-BigInt BigInt::fromUnsigned(uint64_t Value) {
+int64_t magToInt64(bool Neg, uint64_t Mag) {
+  return Neg ? static_cast<int64_t>(~Mag + 1) : static_cast<int64_t>(Mag);
+}
+
+void pushMagnitude(std::vector<uint32_t> &Limbs, uint64_t Mag) {
+  if (Mag != 0)
+    Limbs.push_back(static_cast<uint32_t>(Mag & 0xffffffffULL));
+  if (Mag >> 32)
+    Limbs.push_back(static_cast<uint32_t>(Mag >> 32));
+}
+
+} // namespace
+
+BigInt BigInt::fromMagnitude(bool Neg, uint64_t Mag) {
   BigInt Result;
-  if (Value != 0)
-    Result.Limbs.push_back(static_cast<Limb>(Value & 0xffffffffULL));
-  if (Value >> 32)
-    Result.Limbs.push_back(static_cast<Limb>(Value >> 32));
+  if (magFitsInt64(Neg, Mag)) {
+    Result.Small = magToInt64(Neg, Mag);
+    return Result;
+  }
+  Result.SmallRep = false;
+  Result.Negative = Neg;
+  pushMagnitude(Result.Limbs, Mag);
   return Result;
 }
 
-void BigInt::trim() {
+BigInt BigInt::fromInt128(__int128 Value) {
+  if (Value >= INT64_MIN && Value <= INT64_MAX)
+    return BigInt(static_cast<int64_t>(Value));
+  BigInt Result;
+  Result.SmallRep = false;
+  Result.Negative = Value < 0;
+  unsigned __int128 Mag =
+      Result.Negative ? ~static_cast<unsigned __int128>(Value) + 1
+                      : static_cast<unsigned __int128>(Value);
+  while (Mag) {
+    Result.Limbs.push_back(static_cast<Limb>(Mag & 0xffffffffULL));
+    Mag >>= 32;
+  }
+  return Result;
+}
+
+BigInt BigInt::fromUnsigned(uint64_t Value) {
+  return fromMagnitude(false, Value);
+}
+
+const std::vector<BigInt::Limb> &
+BigInt::magLimbs(std::vector<Limb> &Scratch) const {
+  if (!SmallRep)
+    return Limbs;
+  Scratch.clear();
+  pushMagnitude(Scratch, magnitudeOf(Small));
+  return Scratch;
+}
+
+void BigInt::canonicalize() {
+  if (SmallRep)
+    return;
   while (!Limbs.empty() && Limbs.back() == 0)
     Limbs.pop_back();
-  if (Limbs.empty())
-    Negative = false;
+  if (Limbs.size() > 2)
+    return;
+  uint64_t Mag = 0;
+  if (Limbs.size() > 0)
+    Mag = Limbs[0];
+  if (Limbs.size() > 1)
+    Mag |= static_cast<uint64_t>(Limbs[1]) << 32;
+  if (!magFitsInt64(Negative, Mag))
+    return;
+  Small = magToInt64(Negative, Mag);
+  SmallRep = true;
+  Negative = false;
+  Limbs.clear();
 }
 
 unsigned BigInt::bitLength() const {
-  if (Limbs.empty())
-    return 0;
+  if (SmallRep) {
+    if (Small == 0)
+      return 0;
+    return 64u - static_cast<unsigned>(__builtin_clzll(magnitudeOf(Small)));
+  }
   unsigned TopBits = 32 - __builtin_clz(Limbs.back());
   return static_cast<unsigned>(Limbs.size() - 1) * LimbBits + TopBits;
 }
 
-bool BigInt::fitsInt64() const {
-  unsigned Bits = bitLength();
-  if (Bits < 64)
-    return true;
-  // INT64_MIN has magnitude 2^63, bit length 64.
-  if (Bits == 64 && Negative && Limbs[0] == 0 && Limbs[1] == 0x80000000u)
-    return true;
-  return false;
-}
-
 int64_t BigInt::toInt64() const {
   assert(fitsInt64() && "BigInt does not fit in int64_t");
-  uint64_t Mag = 0;
-  if (Limbs.size() > 0)
-    Mag |= static_cast<uint64_t>(Limbs[0]);
-  if (Limbs.size() > 1)
-    Mag |= static_cast<uint64_t>(Limbs[1]) << 32;
-  if (Negative)
-    return static_cast<int64_t>(~Mag + 1);
-  return static_cast<int64_t>(Mag);
+  return Small;
 }
 
 double BigInt::toDouble() const {
-  if (Limbs.empty())
-    return 0.0;
-  unsigned Bits = bitLength();
-  double Result;
-  if (Bits <= 64) {
-    uint64_t Mag = static_cast<uint64_t>(Limbs[0]);
-    if (Limbs.size() > 1)
-      Mag |= static_cast<uint64_t>(Limbs[1]) << 32;
-    Result = static_cast<double>(Mag);
-  } else {
-    // Take the top 64 bits and scale; enough precision for a double.
-    BigInt Top = shr(Bits - 64);
-    uint64_t Mag = static_cast<uint64_t>(Top.Limbs[0]);
-    if (Top.Limbs.size() > 1)
-      Mag |= static_cast<uint64_t>(Top.Limbs[1]) << 32;
-    Result = std::ldexp(static_cast<double>(Mag),
-                        static_cast<int>(Bits) - 64);
-  }
+  if (SmallRep)
+    return static_cast<double>(Small);
+  // Sum the top three limbs (>= 65 significant bits, more than a double's
+  // mantissa); lower limbs contribute less than half an ulp.
+  double Result = 0.0;
+  std::size_t Top = Limbs.size();
+  std::size_t Stop = Top >= 3 ? Top - 3 : 0;
+  for (std::size_t I = Top; I-- > Stop;)
+    Result += std::ldexp(static_cast<double>(Limbs[I]),
+                         static_cast<int>(I) * static_cast<int>(LimbBits));
   return Negative ? -Result : Result;
 }
 
@@ -126,6 +160,25 @@ std::vector<BigInt::Limb> BigInt::addMagnitude(const std::vector<Limb> &A,
   return Result;
 }
 
+void BigInt::addMagnitudeInPlace(std::vector<Limb> &A,
+                                 const std::vector<Limb> &B) {
+  assert(&A != &B && "aliased in-place add");
+  if (B.size() > A.size())
+    A.resize(B.size(), 0);
+  DoubleLimb Carry = 0;
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    DoubleLimb Sum = Carry + A[I];
+    if (I < B.size())
+      Sum += B[I];
+    else if (Carry == 0)
+      return; // Past B with no carry: the remaining limbs are unchanged.
+    A[I] = static_cast<Limb>(Sum & 0xffffffffULL);
+    Carry = Sum >> 32;
+  }
+  if (Carry)
+    A.push_back(static_cast<Limb>(Carry));
+}
+
 std::vector<BigInt::Limb> BigInt::subMagnitude(const std::vector<Limb> &A,
                                                const std::vector<Limb> &B) {
   assert(compareMagnitude(A, B) >= 0 && "subMagnitude requires |A| >= |B|");
@@ -147,6 +200,29 @@ std::vector<BigInt::Limb> BigInt::subMagnitude(const std::vector<Limb> &A,
   while (!Result.empty() && Result.back() == 0)
     Result.pop_back();
   return Result;
+}
+
+void BigInt::subMagnitudeInPlace(std::vector<Limb> &A,
+                                 const std::vector<Limb> &B) {
+  assert(&A != &B && "aliased in-place sub");
+  assert(compareMagnitude(A, B) >= 0 && "subMagnitude requires |A| >= |B|");
+  int64_t Borrow = 0;
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    if (I >= B.size() && Borrow == 0)
+      break; // Past B with no borrow: the remaining limbs are unchanged.
+    int64_t Diff = static_cast<int64_t>(A[I]) - Borrow -
+                   (I < B.size() ? static_cast<int64_t>(B[I]) : 0);
+    if (Diff < 0) {
+      Diff += (1LL << 32);
+      Borrow = 1;
+    } else {
+      Borrow = 0;
+    }
+    A[I] = static_cast<Limb>(Diff);
+  }
+  assert(Borrow == 0 && "underflow in subMagnitudeInPlace");
+  while (!A.empty() && A.back() == 0)
+    A.pop_back();
 }
 
 std::vector<BigInt::Limb> BigInt::mulMagnitude(const std::vector<Limb> &A,
@@ -297,52 +373,160 @@ void BigInt::divModMagnitude(const std::vector<Limb> &A,
 }
 
 BigInt BigInt::operator-() const {
+  if (SmallRep) {
+    if (Small == INT64_MIN)
+      return fromMagnitude(false, magnitudeOf(Small));
+    return BigInt(-Small);
+  }
   BigInt Result = *this;
-  if (!Result.Limbs.empty())
-    Result.Negative = !Result.Negative;
+  Result.Negative = !Result.Negative;
+  Result.canonicalize(); // -(2^63) demotes to INT64_MIN.
   return Result;
 }
 
 BigInt BigInt::abs() const {
+  if (SmallRep)
+    return Small < 0 ? -*this : *this;
   BigInt Result = *this;
   Result.Negative = false;
+  return Result; // |big| never fits int64 when the value was positive-wide.
+}
+
+void BigInt::addInPlace(const BigInt &RHS, bool NegateRHS) {
+  if (SmallRep && RHS.SmallRep) {
+    int64_t Result;
+    bool Overflow = NegateRHS
+                        ? __builtin_sub_overflow(Small, RHS.Small, &Result)
+                        : __builtin_add_overflow(Small, RHS.Small, &Result);
+    if (!Overflow) {
+      Small = Result;
+      return;
+    }
+    __int128 Wide = NegateRHS
+                        ? static_cast<__int128>(Small) - RHS.Small
+                        : static_cast<__int128>(Small) + RHS.Small;
+    *this = fromInt128(Wide);
+    return;
+  }
+  if (this == &RHS) { // Aliased big self-add; take the copying path.
+    BigInt Copy = RHS;
+    addInPlace(Copy, NegateRHS);
+    return;
+  }
+  bool BNeg = NegateRHS != RHS.isNegative();
+  if (!SmallRep) {
+    std::vector<Limb> Scratch;
+    const std::vector<Limb> &B = RHS.magLimbs(Scratch);
+    if (Negative == BNeg) {
+      addMagnitudeInPlace(Limbs, B); // Magnitude only grows: stays big.
+      return;
+    }
+    if (compareMagnitude(Limbs, B) >= 0) {
+      subMagnitudeInPlace(Limbs, B);
+    } else {
+      Limbs = subMagnitude(B, Limbs);
+      Negative = BNeg;
+    }
+    canonicalize();
+    return;
+  }
+  // Small += big: the result is dominated by RHS's magnitude.
+  *this = addSigned(*this, RHS, NegateRHS);
+}
+
+BigInt BigInt::addSigned(const BigInt &A, const BigInt &B, bool NegateB) {
+  std::vector<Limb> SA, SB;
+  const std::vector<Limb> &AL = A.magLimbs(SA);
+  const std::vector<Limb> &BL = B.magLimbs(SB);
+  bool ANeg = A.isNegative();
+  bool BNeg = NegateB != B.isNegative();
+  BigInt Result;
+  Result.SmallRep = false;
+  if (ANeg == BNeg) {
+    Result.Limbs = addMagnitude(AL, BL);
+    Result.Negative = ANeg;
+  } else if (compareMagnitude(AL, BL) >= 0) {
+    Result.Limbs = subMagnitude(AL, BL);
+    Result.Negative = ANeg;
+  } else {
+    Result.Limbs = subMagnitude(BL, AL);
+    Result.Negative = BNeg;
+  }
+  Result.canonicalize();
   return Result;
 }
 
 BigInt BigInt::operator+(const BigInt &RHS) const {
-  BigInt Result;
-  if (Negative == RHS.Negative) {
-    Result.Limbs = addMagnitude(Limbs, RHS.Limbs);
-    Result.Negative = Negative;
-  } else if (compareMagnitude(Limbs, RHS.Limbs) >= 0) {
-    Result.Limbs = subMagnitude(Limbs, RHS.Limbs);
-    Result.Negative = Negative;
-  } else {
-    Result.Limbs = subMagnitude(RHS.Limbs, Limbs);
-    Result.Negative = RHS.Negative;
+  if (SmallRep && RHS.SmallRep) {
+    int64_t Result;
+    if (!__builtin_add_overflow(Small, RHS.Small, &Result))
+      return BigInt(Result);
+    return fromInt128(static_cast<__int128>(Small) + RHS.Small);
   }
-  Result.trim();
+  return addSigned(*this, RHS, /*NegateB=*/false);
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const {
+  if (SmallRep && RHS.SmallRep) {
+    int64_t Result;
+    if (!__builtin_sub_overflow(Small, RHS.Small, &Result))
+      return BigInt(Result);
+    return fromInt128(static_cast<__int128>(Small) - RHS.Small);
+  }
+  return addSigned(*this, RHS, /*NegateB=*/true);
+}
+
+BigInt BigInt::operator*(const BigInt &RHS) const {
+  if (SmallRep && RHS.SmallRep) {
+    int64_t Result;
+    if (!__builtin_mul_overflow(Small, RHS.Small, &Result))
+      return BigInt(Result);
+    return fromInt128(static_cast<__int128>(Small) * RHS.Small);
+  }
+  std::vector<Limb> SA, SB;
+  const std::vector<Limb> &A = magLimbs(SA);
+  const std::vector<Limb> &B = RHS.magLimbs(SB);
+  BigInt Result;
+  Result.SmallRep = false;
+  Result.Limbs = mulMagnitude(A, B);
+  Result.Negative = isNegative() != RHS.isNegative();
+  Result.canonicalize(); // big * 0 or big * ∓1 can land back in int64.
   return Result;
 }
 
-BigInt BigInt::operator-(const BigInt &RHS) const { return *this + (-RHS); }
-
-BigInt BigInt::operator*(const BigInt &RHS) const {
-  BigInt Result;
-  Result.Limbs = mulMagnitude(Limbs, RHS.Limbs);
-  Result.Negative = Negative != RHS.Negative;
-  Result.trim();
-  return Result;
+BigInt &BigInt::operator*=(const BigInt &RHS) {
+  if (SmallRep && RHS.SmallRep) {
+    int64_t Result;
+    if (!__builtin_mul_overflow(Small, RHS.Small, &Result)) {
+      Small = Result;
+      return *this;
+    }
+    return *this = fromInt128(static_cast<__int128>(Small) * RHS.Small);
+  }
+  // Schoolbook multiplication needs a separate output buffer.
+  return *this = *this * RHS;
 }
 
 std::pair<BigInt, BigInt> BigInt::divMod(const BigInt &Num,
                                          const BigInt &Den) {
   assert(!Den.isZero() && "BigInt division by zero");
+  if (Num.SmallRep && Den.SmallRep) {
+    if (Num.Small == INT64_MIN && Den.Small == -1)
+      return {fromMagnitude(false, magnitudeOf(INT64_MIN)), BigInt(0)};
+    return {BigInt(Num.Small / Den.Small), BigInt(Num.Small % Den.Small)};
+  }
+  std::vector<Limb> SA, SB;
+  const std::vector<Limb> &A = Num.magLimbs(SA);
+  const std::vector<Limb> &B = Den.magLimbs(SB);
   BigInt Q, R;
-  divModMagnitude(Num.Limbs, Den.Limbs, Q.Limbs, R.Limbs);
-  Q.Negative = !Q.Limbs.empty() && (Num.Negative != Den.Negative);
-  R.Negative = !R.Limbs.empty() && Num.Negative;
-  return {Q, R};
+  Q.SmallRep = false;
+  R.SmallRep = false;
+  divModMagnitude(A, B, Q.Limbs, R.Limbs);
+  Q.Negative = !Q.Limbs.empty() && (Num.isNegative() != Den.isNegative());
+  R.Negative = !R.Limbs.empty() && Num.isNegative();
+  Q.canonicalize();
+  R.canonicalize();
+  return {std::move(Q), std::move(R)};
 }
 
 BigInt BigInt::operator/(const BigInt &RHS) const {
@@ -354,30 +538,45 @@ BigInt BigInt::operator%(const BigInt &RHS) const {
 }
 
 BigInt BigInt::shl(unsigned Bits) const {
-  if (Limbs.empty() || Bits == 0)
+  if (isZero() || Bits == 0)
     return *this;
+  if (SmallRep) {
+    uint64_t Mag = magnitudeOf(Small);
+    unsigned Len = 64u - static_cast<unsigned>(__builtin_clzll(Mag));
+    if (Len + Bits <= 63)
+      return fromMagnitude(Small < 0, Mag << Bits);
+  }
+  std::vector<Limb> Scratch;
+  const std::vector<Limb> &A = magLimbs(Scratch);
   unsigned LimbShift = Bits / LimbBits;
   unsigned BitShift = Bits % LimbBits;
   BigInt Result;
-  Result.Negative = Negative;
-  Result.Limbs.assign(Limbs.size() + LimbShift + 1, 0);
-  for (std::size_t I = 0; I < Limbs.size(); ++I) {
-    DoubleLimb Shifted = static_cast<DoubleLimb>(Limbs[I]) << BitShift;
+  Result.SmallRep = false;
+  Result.Negative = isNegative();
+  Result.Limbs.assign(A.size() + LimbShift + 1, 0);
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    DoubleLimb Shifted = static_cast<DoubleLimb>(A[I]) << BitShift;
     Result.Limbs[I + LimbShift] |= static_cast<Limb>(Shifted & 0xffffffffULL);
     Result.Limbs[I + LimbShift + 1] |= static_cast<Limb>(Shifted >> 32);
   }
-  Result.trim();
+  Result.canonicalize();
   return Result;
 }
 
 BigInt BigInt::shr(unsigned Bits) const {
-  if (Limbs.empty() || Bits == 0)
+  if (isZero() || Bits == 0)
     return *this;
+  if (SmallRep) {
+    uint64_t Mag = magnitudeOf(Small);
+    uint64_t Shifted = Bits >= 64 ? 0 : Mag >> Bits;
+    return fromMagnitude(Small < 0 && Shifted != 0, Shifted);
+  }
   unsigned LimbShift = Bits / LimbBits;
   unsigned BitShift = Bits % LimbBits;
   if (LimbShift >= Limbs.size())
     return BigInt();
   BigInt Result;
+  Result.SmallRep = false;
   Result.Negative = Negative;
   Result.Limbs.assign(Limbs.size() - LimbShift, 0);
   for (std::size_t I = 0; I < Result.Limbs.size(); ++I) {
@@ -387,21 +586,51 @@ BigInt BigInt::shr(unsigned Bits) const {
              << (32 - BitShift);
     Result.Limbs[I] = static_cast<Limb>(Cur & 0xffffffffULL);
   }
-  Result.trim();
+  Result.canonicalize();
   return Result;
+}
+
+uint64_t BigInt::gcdU64(uint64_t A, uint64_t B) {
+  if (A == 0)
+    return B;
+  if (B == 0)
+    return A;
+  unsigned AZeros = static_cast<unsigned>(__builtin_ctzll(A));
+  unsigned BZeros = static_cast<unsigned>(__builtin_ctzll(B));
+  unsigned CommonShift = AZeros < BZeros ? AZeros : BZeros;
+  A >>= AZeros;
+  do {
+    B >>= __builtin_ctzll(B);
+    if (A > B)
+      std::swap(A, B);
+    B -= A;
+  } while (B != 0);
+  return A << CommonShift;
 }
 
 BigInt BigInt::gcd(const BigInt &A, const BigInt &B) {
   BigInt X = A.abs(), Y = B.abs();
   while (!Y.isZero()) {
+    if (X.SmallRep && Y.SmallRep)
+      return fromMagnitude(
+          false, gcdU64(magnitudeOf(X.Small), magnitudeOf(Y.Small)));
     BigInt R = X % Y;
-    X = Y;
-    Y = R;
+    X = std::move(Y);
+    Y = std::move(R);
   }
-  return X;
+  return X; // Non-negative: abs seeds, and remainders keep the sign of
+            // their (non-negative) dividends.
 }
 
 BigInt BigInt::pow(const BigInt &Base, unsigned Exp) {
+  // Overflow guard: the result has ~bitLength(Base) * Exp bits; refuse
+  // runaway requests instead of allocating until the machine falls over.
+  unsigned long long ResultBits =
+      static_cast<unsigned long long>(Base.bitLength()) * Exp;
+  assert(ResultBits <= MaxPowBits && "BigInt::pow result exceeds MaxPowBits");
+  if (ResultBits > MaxPowBits)
+    fatalError("BigInt::pow: result would exceed " +
+               std::to_string(MaxPowBits) + " bits");
   BigInt Result(1), Acc = Base;
   while (Exp) {
     if (Exp & 1)
@@ -414,6 +643,14 @@ BigInt BigInt::pow(const BigInt &Base, unsigned Exp) {
 }
 
 int BigInt::compare(const BigInt &RHS) const {
+  if (SmallRep && RHS.SmallRep)
+    return Small < RHS.Small ? -1 : (Small > RHS.Small ? 1 : 0);
+  // Mixed representations: by canonicality the big side's magnitude is
+  // outside the int64 range, so its sign decides.
+  if (SmallRep)
+    return RHS.Negative ? 1 : -1;
+  if (RHS.SmallRep)
+    return Negative ? -1 : 1;
   if (Negative != RHS.Negative)
     return Negative ? -1 : 1;
   int MagCmp = compareMagnitude(Limbs, RHS.Limbs);
@@ -430,33 +667,43 @@ bool BigInt::fromString(const std::string &Text, BigInt &Out) {
   if (Pos >= Text.size())
     return false;
 
+  // Small fast path: up to 18 digits always fit int64.
+  if (Text.size() - Pos <= 18) {
+    int64_t Value = 0;
+    for (; Pos < Text.size(); ++Pos) {
+      char C = Text[Pos];
+      if (C < '0' || C > '9')
+        return false;
+      Value = Value * 10 + (C - '0');
+    }
+    Out = BigInt(Neg ? -Value : Value);
+    return true;
+  }
+
   BigInt Result;
   const BigInt Chunk(1000000000);
   // Consume digits in 9-digit groups: value = value * 10^k + group.
   while (Pos < Text.size()) {
     std::size_t GroupLen = std::min<std::size_t>(9, Text.size() - Pos);
-    uint32_t Group = 0;
+    int64_t Group = 0, Scale = 1;
     for (std::size_t I = 0; I < GroupLen; ++I) {
       char C = Text[Pos + I];
       if (C < '0' || C > '9')
         return false;
-      Group = Group * 10 + static_cast<uint32_t>(C - '0');
+      Group = Group * 10 + (C - '0');
+      Scale *= 10;
     }
-    BigInt Scale =
-        GroupLen == 9 ? Chunk : BigInt(static_cast<int64_t>(
-                                    std::pow(10.0, static_cast<double>(GroupLen))));
-    Result = Result * Scale + BigInt(static_cast<int64_t>(Group));
+    Result *= GroupLen == 9 ? Chunk : BigInt(Scale);
+    Result += BigInt(Group);
     Pos += GroupLen;
   }
-  if (Neg && !Result.Limbs.empty())
-    Result.Negative = true;
-  Out = Result;
+  Out = Neg ? -Result : Result;
   return true;
 }
 
 std::string BigInt::toString() const {
-  if (Limbs.empty())
-    return "0";
+  if (SmallRep)
+    return std::to_string(Small);
   std::vector<Limb> Mag = Limbs;
   std::string Digits;
   // Peel 9 decimal digits at a time by dividing by 10^9.
@@ -483,8 +730,20 @@ std::string BigInt::toString() const {
 }
 
 std::size_t BigInt::hash() const {
+  if (SmallRep)
+    return hashCombine(static_cast<std::size_t>(0x42u),
+                       static_cast<std::size_t>(static_cast<uint64_t>(Small)));
   std::size_t Seed = Negative ? 0x5bd1e995u : 0x42u;
   for (Limb L : Limbs)
     Seed = hashCombine(Seed, static_cast<std::size_t>(L));
   return Seed;
+}
+
+std::size_t BigInt::numLimbs() const {
+  if (!SmallRep)
+    return Limbs.size();
+  uint64_t Mag = magnitudeOf(Small);
+  if (Mag == 0)
+    return 0;
+  return Mag >> 32 ? 2 : 1;
 }

@@ -3,8 +3,11 @@
 /// \file
 /// Arbitrary-precision signed integers. McNetKAT's frontend and FDD backend
 /// use exact rational arithmetic (paper §5); BigInt is the magnitude type
-/// underlying Rational. Sign-magnitude representation with little-endian
-/// 32-bit limbs; schoolbook multiplication and Knuth Algorithm D division.
+/// underlying Rational. Small values — the overwhelmingly common case for
+/// probability numerators and denominators — live inline in an int64_t with
+/// no heap allocation; only values outside the int64_t range spill into a
+/// sign-magnitude little-endian 32-bit limb vector (schoolbook
+/// multiplication, Knuth Algorithm D division). See docs/ARCHITECTURE.md S9.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,30 +21,42 @@
 
 namespace mcnk {
 
-/// Arbitrary-precision signed integer.
+/// Arbitrary-precision signed integer with a small-value fast path.
 ///
-/// Invariants: no trailing (most-significant) zero limbs; zero is the empty
-/// limb vector with a non-negative sign, so every value has one canonical
+/// Representation invariant (canonicality): a value is stored inline
+/// (`SmallRep == true`, in `Small`) if and only if it fits in int64_t;
+/// otherwise it is stored as sign-magnitude limbs with no trailing
+/// (most-significant) zero limbs. Every value therefore has exactly one
 /// representation and operator== can compare representations directly.
+///
+/// Arithmetic detects int64 overflow with the `__builtin_*_overflow`
+/// intrinsics and falls back to the limb algorithms only then; compound
+/// operators mutate in place instead of rebuilding both operands.
 class BigInt {
 public:
   BigInt() = default;
-  BigInt(int64_t Value);
+  BigInt(int64_t Value) : Small(Value) {}
   static BigInt fromUnsigned(uint64_t Value);
 
   /// Parses a decimal string with optional leading '-'. Returns false on
   /// malformed input (empty string, non-digit characters).
   static bool fromString(const std::string &Text, BigInt &Out);
 
-  bool isZero() const { return Limbs.empty(); }
-  bool isNegative() const { return Negative; }
-  bool isOne() const { return !Negative && Limbs.size() == 1 && Limbs[0] == 1; }
+  bool isZero() const { return SmallRep && Small == 0; }
+  bool isNegative() const { return SmallRep ? Small < 0 : Negative; }
+  bool isOne() const { return SmallRep && Small == 1; }
 
   /// Number of significant bits in the magnitude (0 for zero).
   unsigned bitLength() const;
 
-  /// True if the value is representable as int64_t.
-  bool fitsInt64() const;
+  /// True if the value is representable as int64_t (equivalently: the value
+  /// is held in the inline small representation).
+  bool fitsInt64() const { return SmallRep; }
+
+  /// True if the value is held inline (no heap limbs). By canonicality this
+  /// is the same as fitsInt64(); exposed separately so tests can assert the
+  /// representation invariant rather than the value range.
+  bool isSmallRep() const { return SmallRep; }
 
   /// Value as int64_t; asserts fitsInt64().
   int64_t toInt64() const;
@@ -62,9 +77,18 @@ public:
   /// Remainder with the sign of the dividend (C++ semantics).
   BigInt operator%(const BigInt &RHS) const;
 
-  BigInt &operator+=(const BigInt &RHS) { return *this = *this + RHS; }
-  BigInt &operator-=(const BigInt &RHS) { return *this = *this - RHS; }
-  BigInt &operator*=(const BigInt &RHS) { return *this = *this * RHS; }
+  /// In-place compound ops: the small path mutates the inline word; the
+  /// limb path adds/subtracts magnitudes into the existing allocation
+  /// whenever the result fits the sign structure (no rebuild of *this).
+  BigInt &operator+=(const BigInt &RHS) {
+    addInPlace(RHS, /*NegateRHS=*/false);
+    return *this;
+  }
+  BigInt &operator-=(const BigInt &RHS) {
+    addInPlace(RHS, /*NegateRHS=*/true);
+    return *this;
+  }
+  BigInt &operator*=(const BigInt &RHS);
   BigInt &operator/=(const BigInt &RHS) { return *this = *this / RHS; }
 
   /// Computes quotient and remainder in one pass.
@@ -78,13 +102,35 @@ public:
   /// Greatest common divisor of magnitudes; gcd(0,0) == 0.
   static BigInt gcd(const BigInt &A, const BigInt &B);
 
-  /// Integer exponentiation; asserts Exp fits normal use (no overflow guard).
+  /// Binary GCD on word-sized magnitudes (public so Rational's int64 fast
+  /// path can normalize without promoting to BigInt).
+  static uint64_t gcdU64(uint64_t A, uint64_t B);
+
+  /// Magnitude of an int64 as uint64, INT64_MIN-safe (shared with
+  /// Rational's fast path for the same reason as gcdU64).
+  static uint64_t magnitudeOf(int64_t Value) {
+    return Value < 0 ? ~static_cast<uint64_t>(Value) + 1
+                     : static_cast<uint64_t>(Value);
+  }
+
+  /// Integer exponentiation. Guarded against runaway growth: aborts via
+  /// fatalError when the result's bit length (bitLength(Base) * Exp) would
+  /// exceed MaxPowBits.
   static BigInt pow(const BigInt &Base, unsigned Exp);
+
+  /// Hard cap on pow results (bits). ~4 Mbit ≈ 1.26M decimal digits —
+  /// far beyond any probability computation, small enough to fail fast
+  /// instead of consuming the machine.
+  static constexpr unsigned long long MaxPowBits = 1ull << 22;
 
   /// Three-way comparison: negative/zero/positive as *this <=> RHS.
   int compare(const BigInt &RHS) const;
 
   bool operator==(const BigInt &RHS) const {
+    if (SmallRep != RHS.SmallRep)
+      return false; // Canonical: different representations, different values.
+    if (SmallRep)
+      return Small == RHS.Small;
     return Negative == RHS.Negative && Limbs == RHS.Limbs;
   }
   bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
@@ -93,24 +139,49 @@ public:
   bool operator>(const BigInt &RHS) const { return compare(RHS) > 0; }
   bool operator>=(const BigInt &RHS) const { return compare(RHS) >= 0; }
 
+  /// Allocation-free hash (mixes the inline word directly on the small
+  /// path; equal values hash equally because the representation is
+  /// canonical).
   std::size_t hash() const;
 
-  /// Number of 32-bit limbs (for tests and capacity diagnostics).
-  std::size_t numLimbs() const { return Limbs.size(); }
+  /// Number of 32-bit limbs the magnitude occupies (for pivot heuristics,
+  /// tests, and capacity diagnostics). Small values report the limb count
+  /// their magnitude would need (0, 1, or 2).
+  std::size_t numLimbs() const;
 
 private:
   using Limb = uint32_t;
   using DoubleLimb = uint64_t;
   static constexpr unsigned LimbBits = 32;
 
+  /// Builds the canonical value with the given sign and magnitude.
+  static BigInt fromMagnitude(bool Neg, uint64_t Mag);
+  /// Builds the canonical value of a 128-bit signed integer.
+  static BigInt fromInt128(__int128 Value);
+
+  /// Returns the limb view of the magnitude: `Limbs` for big values, the
+  /// filled \p Scratch for small ones.
+  const std::vector<Limb> &magLimbs(std::vector<Limb> &Scratch) const;
+
+  /// Core of += / -=.
+  void addInPlace(const BigInt &RHS, bool NegateRHS);
+  /// Core of the binary + / - slow path (builds a fresh result).
+  static BigInt addSigned(const BigInt &A, const BigInt &B, bool NegateB);
+
   /// Magnitude comparison ignoring sign.
   static int compareMagnitude(const std::vector<Limb> &A,
                               const std::vector<Limb> &B);
   static std::vector<Limb> addMagnitude(const std::vector<Limb> &A,
                                         const std::vector<Limb> &B);
+  /// A += B without reallocating beyond the carry limb.
+  static void addMagnitudeInPlace(std::vector<Limb> &A,
+                                  const std::vector<Limb> &B);
   /// Requires |A| >= |B|.
   static std::vector<Limb> subMagnitude(const std::vector<Limb> &A,
                                         const std::vector<Limb> &B);
+  /// A -= B in place; requires |A| >= |B|.
+  static void subMagnitudeInPlace(std::vector<Limb> &A,
+                                  const std::vector<Limb> &B);
   static std::vector<Limb> mulMagnitude(const std::vector<Limb> &A,
                                         const std::vector<Limb> &B);
   /// Knuth Algorithm D on magnitudes; quotient in Q, remainder in R.
@@ -118,9 +189,15 @@ private:
                               const std::vector<Limb> &B, std::vector<Limb> &Q,
                               std::vector<Limb> &R);
 
-  void trim();
+  /// Strips trailing zero limbs and demotes to the inline representation
+  /// when the value fits int64_t (restores canonicality after limb ops).
+  void canonicalize();
 
+  // Small form: SmallRep == true, value in Small (Negative/Limbs unused).
+  // Big form: SmallRep == false, sign-magnitude in Negative/Limbs.
+  bool SmallRep = true;
   bool Negative = false;
+  int64_t Small = 0;
   std::vector<Limb> Limbs; // little-endian
 };
 

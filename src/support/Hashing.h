@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <tuple>
+#include <utility>
 
 namespace mcnk {
 
@@ -34,6 +36,41 @@ template <typename It> std::size_t hashRange(It First, It Last) {
     Seed = hashCombine(Seed, *First);
   return Seed;
 }
+
+/// Hashes a fixed sequence of values of arbitrary types into one seed.
+/// The building block for hashing small aggregates (cache keys, interned
+/// node fields) without a hand-rolled functor per struct.
+template <typename... Ts> std::size_t hashValues(const Ts &...Values) {
+  std::size_t Seed = 0x42ULL;
+  ((Seed = hashCombine(Seed, Values)), ...);
+  return Seed;
+}
+
+/// Generic hasher for std::pair, usable as the Hash parameter of unordered
+/// containers keyed on pairs.
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B> &P) const {
+    return hashValues(P.first, P.second);
+  }
+};
+
+/// Generic hasher for any container with begin()/end() (e.g. a vector used
+/// as an unordered_map key).
+struct RangeHash {
+  template <typename C> std::size_t operator()(const C &Container) const {
+    return hashRange(Container.begin(), Container.end());
+  }
+};
+
+/// Generic hasher for std::tuple of any arity.
+struct TupleHash {
+  template <typename... Ts>
+  std::size_t operator()(const std::tuple<Ts...> &T) const {
+    return std::apply(
+        [](const Ts &...Values) { return hashValues(Values...); }, T);
+  }
+};
 
 } // namespace mcnk
 

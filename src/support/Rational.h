@@ -5,6 +5,12 @@
 /// by definition (Fig 2: r in [0,1] ∩ Q); the FDD backend keeps them exact so
 /// program equivalence is decided without floating-point concerns (§5).
 ///
+/// Arithmetic runs on an int64 numerator/denominator fast path (binary GCD
+/// normalization, overflow checked with the `__builtin_*_overflow`
+/// intrinsics) and falls back to BigInt limb arithmetic only when a result
+/// leaves the word-sized range; compound operators mutate in place. See
+/// docs/ARCHITECTURE.md S9.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MCNK_SUPPORT_RATIONAL_H
@@ -48,17 +54,51 @@ public:
   /// True if the value lies in [0, 1] — a valid probability.
   bool isProbability() const;
 
-  Rational operator+(const Rational &RHS) const;
-  Rational operator-(const Rational &RHS) const;
-  Rational operator*(const Rational &RHS) const;
+  Rational operator+(const Rational &RHS) const {
+    Rational Result = *this;
+    Result += RHS;
+    return Result;
+  }
+  Rational operator-(const Rational &RHS) const {
+    Rational Result = *this;
+    Result -= RHS;
+    return Result;
+  }
+  Rational operator*(const Rational &RHS) const {
+    Rational Result = *this;
+    Result *= RHS;
+    return Result;
+  }
   /// Asserts RHS != 0.
-  Rational operator/(const Rational &RHS) const;
+  Rational operator/(const Rational &RHS) const {
+    Rational Result = *this;
+    Result /= RHS;
+    return Result;
+  }
   Rational operator-() const;
 
-  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
-  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
-  Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
-  Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
+  /// In-place compound ops: the int64 fast path writes the result directly
+  /// into this object; the BigInt path mutates Num/Den without building a
+  /// temporary Rational.
+  Rational &operator+=(const Rational &RHS) {
+    return addSubAssign(RHS, /*Negate=*/false);
+  }
+  Rational &operator-=(const Rational &RHS) {
+    return addSubAssign(RHS, /*Negate=*/true);
+  }
+  Rational &operator*=(const Rational &RHS);
+  Rational &operator/=(const Rational &RHS);
+
+  /// Fused multiply-accumulate: *this += A * B (the axpy kernel of exact
+  /// Gaussian elimination and FDD weight accumulation). On the fast path
+  /// the product and the accumulation both stay in int64 arithmetic.
+  Rational &addMul(const Rational &A, const Rational &B) {
+    return mulAccumulate(A, B, /*Negate=*/false);
+  }
+  /// Fused multiply-subtract: *this -= A * B.
+  Rational &subMul(const Rational &A, const Rational &B) {
+    return mulAccumulate(A, B, /*Negate=*/true);
+  }
 
   /// Asserts *this != 0.
   Rational reciprocal() const;
@@ -83,6 +123,13 @@ public:
   std::size_t hash() const;
 
 private:
+  /// True when both numerator and denominator are inline int64 values
+  /// (the precondition of every fast path).
+  bool isSmallPair() const { return Num.isSmallRep() && Den.isSmallRep(); }
+
+  Rational &addSubAssign(const Rational &RHS, bool Negate);
+  Rational &mulAccumulate(const Rational &A, const Rational &B, bool Negate);
+
   void normalize();
 
   BigInt Num;

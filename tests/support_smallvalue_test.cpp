@@ -1,0 +1,430 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests for the small-value fast paths of BigInt and Rational
+/// (docs/ARCHITECTURE.md S9). Randomized operands cross-check three
+/// implementations of every operation: the int64 fast path, the
+/// limb-vector slow path (reached by constructing the same values through
+/// multi-word arithmetic or by overflowing the fast path), and native
+/// __int128 where the result is representable. Includes the boundary
+/// values around INT64_MIN/MAX where the representations hand over, and
+/// verifies the canonicality invariant (inline iff the value fits int64)
+/// that equality comparison relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+using mcnk::BigInt;
+using mcnk::Rational;
+
+namespace {
+
+/// Builds a BigInt from __int128 through the public limb-path API (shl over
+/// the 63-bit boundary forces multi-word arithmetic), independent of the
+/// int64 constructor fast path.
+BigInt fromI128(__int128 Value) {
+  bool Neg = Value < 0;
+  unsigned __int128 Mag =
+      Neg ? ~static_cast<unsigned __int128>(Value) + 1
+          : static_cast<unsigned __int128>(Value);
+  BigInt Low = BigInt::fromUnsigned(static_cast<uint64_t>(Mag));
+  BigInt High = BigInt::fromUnsigned(static_cast<uint64_t>(Mag >> 64));
+  BigInt Result = High.shl(64) + Low;
+  return Neg ? -Result : Result;
+}
+
+/// Checks the canonicality invariant: a value is inline iff it lies in
+/// the int64 range (decided here via compare, not via the representation).
+void expectCanonical(const BigInt &Value) {
+  bool InRange = Value.compare(BigInt(INT64_MAX)) <= 0 &&
+                 Value.compare(BigInt(INT64_MIN)) >= 0;
+  EXPECT_EQ(Value.isSmallRep(), InRange) << Value.toString();
+}
+
+/// Word-boundary values where the small/limb handover happens.
+const std::vector<int64_t> Boundary = {
+    0,
+    1,
+    -1,
+    2,
+    -2,
+    3,
+    1000,
+    -1000,
+    (1LL << 31) - 1,
+    1LL << 31,
+    (1LL << 32) + 1,
+    -(1LL << 32),
+    (1LL << 52) + 12345,
+    (1LL << 62) - 1,
+    1LL << 62,
+    -(1LL << 62),
+    INT64_MAX - 1,
+    INT64_MAX,
+    INT64_MIN + 1,
+    INT64_MIN,
+};
+
+/// Random int64 with a uniformly random bit width (exercises both the
+/// always-small and the overflow-prone ranges).
+int64_t randomInt64(std::mt19937_64 &Rng) {
+  uint64_t Raw = Rng();
+  unsigned Shift = static_cast<unsigned>(Rng() % 64);
+  int64_t Value = static_cast<int64_t>(Raw >> Shift);
+  return (Rng() & 1) ? Value : -Value;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// BigInt: fast path vs limb path vs __int128
+//===----------------------------------------------------------------------===//
+
+class SmallValueBigIntProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SmallValueBigIntProperty, FastPathMatchesInt128AndLimbPath) {
+  std::mt19937_64 Rng(GetParam());
+  const int GridRounds = static_cast<int>(Boundary.size() * Boundary.size());
+  for (int Round = 0; Round < GridRounds + 200; ++Round) {
+    int64_t AV = Round < GridRounds ? Boundary[Round / Boundary.size()]
+                                    : randomInt64(Rng);
+    int64_t BV = Round < GridRounds ? Boundary[Round % Boundary.size()]
+                                    : randomInt64(Rng);
+    BigInt A(AV), B(BV);
+    __int128 A128 = AV, B128 = BV;
+
+    // The limb path reaches the same results: rebuild both operands through
+    // multi-word construction and compare every operation.
+    BigInt Sum = A + B, Diff = A - B, Prod = A * B;
+    EXPECT_EQ(Sum, fromI128(A128 + B128));
+    EXPECT_EQ(Diff, fromI128(A128 - B128));
+    EXPECT_EQ(Prod, fromI128(A128 * B128));
+    expectCanonical(Sum);
+    expectCanonical(Diff);
+    expectCanonical(Prod);
+
+    // In-place operators agree with their out-of-place counterparts.
+    BigInt C = A;
+    C += B;
+    EXPECT_EQ(C, Sum);
+    C = A;
+    C -= B;
+    EXPECT_EQ(C, Diff);
+    C = A;
+    C *= B;
+    EXPECT_EQ(C, Prod);
+
+    if (BV != 0) {
+      auto [Q, R] = BigInt::divMod(A, B);
+      EXPECT_EQ(Q, fromI128(A128 / B128));
+      EXPECT_EQ(R, fromI128(A128 % B128));
+      expectCanonical(Q);
+      expectCanonical(R);
+      C = A;
+      C /= B;
+      EXPECT_EQ(C, Q);
+    }
+
+    EXPECT_EQ(A.compare(B), AV < BV ? -1 : (AV > BV ? 1 : 0));
+    if (AV == BV) {
+      EXPECT_EQ(A.hash(), B.hash());
+    }
+  }
+}
+
+TEST_P(SmallValueBigIntProperty, MixedRepresentationOps) {
+  std::mt19937_64 Rng(GetParam());
+  for (int Round = 0; Round < 200; ++Round) {
+    // A big (out-of-int64) value against a small one.
+    int64_t WideV = randomInt64(Rng);
+    int64_t SmallV = randomInt64(Rng);
+    __int128 Big128 = (static_cast<__int128>(WideV) << 17) +
+                      static_cast<__int128>(1) * (Rng() & 0xffff);
+    if (Big128 >= INT64_MIN && Big128 <= INT64_MAX)
+      Big128 += (static_cast<__int128>(1) << 70);
+    BigInt Big = fromI128(Big128);
+    ASSERT_FALSE(Big.isSmallRep());
+    BigInt Small(SmallV);
+
+    EXPECT_EQ(Big + Small, fromI128(Big128 + SmallV));
+    EXPECT_EQ(Small + Big, fromI128(Big128 + SmallV));
+    EXPECT_EQ(Big - Small, fromI128(Big128 - SmallV));
+    EXPECT_EQ(Small - Big, fromI128(static_cast<__int128>(SmallV) - Big128));
+    // Keep the multiplication oracle inside __int128 range: |Big128| < 2^81,
+    // so a factor below 2^40 cannot overflow the 128-bit reference.
+    int64_t MulV = SmallV % (1LL << 40);
+    EXPECT_EQ(Big * BigInt(MulV), fromI128(Big128 * MulV));
+    if (SmallV != 0) {
+      EXPECT_EQ(Big / Small, fromI128(Big128 / SmallV));
+      EXPECT_EQ(Big % Small, fromI128(Big128 % SmallV));
+    }
+    EXPECT_EQ(Small.compare(Big), Big128 > 0 ? -1 : 1);
+
+    // In-place accumulation across the representation boundary.
+    BigInt Acc = Small;
+    Acc += Big;
+    EXPECT_EQ(Acc, fromI128(Big128 + SmallV));
+    Acc -= Big;
+    EXPECT_EQ(Acc, Small);
+    expectCanonical(Acc);
+
+    // Demotion: subtracting a big value from itself lands back inline.
+    BigInt Zero = Big;
+    Zero -= Big;
+    EXPECT_TRUE(Zero.isZero());
+    EXPECT_TRUE(Zero.isSmallRep());
+
+    // Aliased self-accumulation.
+    BigInt Doubled = Big;
+    Doubled += Doubled;
+    EXPECT_EQ(Doubled, fromI128(Big128 * 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallValueBigIntProperty,
+                         ::testing::Values(11u, 12u, 13u, 14u));
+
+TEST(SmallValueBigIntTest, BoundaryPromotionAndDemotion) {
+  // INT64_MAX + 1 promotes; subtracting 1 demotes back.
+  BigInt Max(INT64_MAX);
+  BigInt Promoted = Max + BigInt(1);
+  EXPECT_FALSE(Promoted.isSmallRep());
+  EXPECT_EQ(Promoted.toString(), "9223372036854775808");
+  BigInt Back = Promoted - BigInt(1);
+  EXPECT_TRUE(Back.isSmallRep());
+  EXPECT_EQ(Back, Max);
+
+  // INT64_MIN is inline; negating it promotes (2^63 > INT64_MAX);
+  // negating again demotes.
+  BigInt Min(INT64_MIN);
+  EXPECT_TRUE(Min.isSmallRep());
+  BigInt NegMin = -Min;
+  EXPECT_FALSE(NegMin.isSmallRep());
+  EXPECT_EQ(-NegMin, Min);
+  EXPECT_TRUE((-NegMin).isSmallRep());
+
+  // INT64_MIN / -1 overflows int64 and must promote.
+  BigInt Quot = Min / BigInt(-1);
+  EXPECT_FALSE(Quot.isSmallRep());
+  EXPECT_EQ(Quot, NegMin);
+
+  // INT64_MIN * -1 likewise.
+  EXPECT_EQ(Min * BigInt(-1), NegMin);
+
+  // abs(INT64_MIN) promotes.
+  EXPECT_EQ(Min.abs(), NegMin);
+
+  // gcd with INT64_MIN magnitudes (2^63 is not an int64).
+  EXPECT_EQ(BigInt::gcd(Min, BigInt(0)), NegMin);
+  EXPECT_EQ(BigInt::gcd(Min, Min), NegMin);
+  EXPECT_EQ(BigInt::gcd(Min, BigInt(3)), BigInt(1));
+
+  // Shifts across the inline boundary round-trip.
+  for (int64_t V : Boundary) {
+    BigInt Value(V);
+    for (unsigned Bits : {1u, 13u, 32u, 63u, 64u, 100u}) {
+      BigInt Shifted = Value.shl(Bits);
+      expectCanonical(Shifted);
+      EXPECT_EQ(Shifted.shr(Bits), Value) << V << " << " << Bits;
+    }
+  }
+}
+
+TEST(SmallValueBigIntTest, InPlaceLimbAccumulationMatchesRebuild) {
+  // Long alternating accumulation that repeatedly crosses the boundary;
+  // in-place += / -= must track the rebuild-from-scratch result exactly.
+  std::mt19937_64 Rng(99);
+  BigInt InPlace(0);
+  BigInt Reference(0);
+  for (int Round = 0; Round < 500; ++Round) {
+    int64_t V = randomInt64(Rng);
+    BigInt Term = BigInt(V) * BigInt(V) * BigInt(Round % 7 - 3);
+    InPlace += Term;
+    Reference = Reference + Term;
+    ASSERT_EQ(InPlace, Reference);
+    expectCanonical(InPlace);
+    if (Round % 5 == 0) {
+      InPlace -= Reference;
+      EXPECT_TRUE(InPlace.isZero());
+      InPlace += Reference;
+    }
+  }
+}
+
+TEST(SmallValueBigIntTest, PowOverflowGuardAborts) {
+  EXPECT_DEATH(BigInt::pow(BigInt(2), 1u << 30), "pow");
+}
+
+//===----------------------------------------------------------------------===//
+// Rational: int64 fast path vs BigInt formula
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reference implementations through the BigInt constructor path (textbook
+/// cross-multiplication + gcd normalization), independent of the fused
+/// int64 fast paths.
+Rational refAdd(const Rational &A, const Rational &B) {
+  return Rational(A.numerator() * B.denominator() +
+                      B.numerator() * A.denominator(),
+                  A.denominator() * B.denominator());
+}
+Rational refSub(const Rational &A, const Rational &B) {
+  return Rational(A.numerator() * B.denominator() -
+                      B.numerator() * A.denominator(),
+                  A.denominator() * B.denominator());
+}
+Rational refMul(const Rational &A, const Rational &B) {
+  return Rational(A.numerator() * B.numerator(),
+                  A.denominator() * B.denominator());
+}
+Rational refDiv(const Rational &A, const Rational &B) {
+  return Rational(A.numerator() * B.denominator(),
+                  A.denominator() * B.numerator());
+}
+
+/// Checks the Rational class invariant: den > 0, gcd(|num|, den) == 1,
+/// canonical zero.
+void expectNormalized(const Rational &Value) {
+  EXPECT_FALSE(Value.denominator().isNegative());
+  EXPECT_FALSE(Value.denominator().isZero());
+  if (Value.numerator().isZero())
+    EXPECT_TRUE(Value.denominator().isOne());
+  else
+    EXPECT_TRUE(
+        BigInt::gcd(Value.numerator(), Value.denominator()).isOne());
+}
+
+} // namespace
+
+class SmallValueRationalProperty : public ::testing::TestWithParam<unsigned> {
+};
+
+TEST_P(SmallValueRationalProperty, FastPathMatchesBigIntFormula) {
+  std::mt19937_64 Rng(GetParam());
+  auto RandomRational = [&](bool Wide) {
+    int64_t N = Wide ? randomInt64(Rng)
+                     : static_cast<int64_t>(Rng() % 2048) - 1024;
+    int64_t D;
+    do {
+      D = Wide ? randomInt64(Rng) : static_cast<int64_t>(Rng() % 2047) + 1;
+    } while (D == 0);
+    return Rational(N, D);
+  };
+
+  for (int Round = 0; Round < 300; ++Round) {
+    // Mix narrow operands (which stay on the fast path) with full-width
+    // ones (which overflow into the BigInt path mid-operation).
+    bool Wide = Round % 3 == 0;
+    Rational A = RandomRational(Wide);
+    Rational B = RandomRational(Wide);
+
+    Rational Sum = A + B, Diff = A - B, Prod = A * B;
+    EXPECT_EQ(Sum, refAdd(A, B));
+    EXPECT_EQ(Diff, refSub(A, B));
+    EXPECT_EQ(Prod, refMul(A, B));
+    expectNormalized(Sum);
+    expectNormalized(Diff);
+    expectNormalized(Prod);
+    if (!B.isZero()) {
+      EXPECT_EQ(A / B, refDiv(A, B));
+    }
+
+    // Compound operators match the binary ones.
+    Rational C = A;
+    C += B;
+    EXPECT_EQ(C, Sum);
+    C = A;
+    C -= B;
+    EXPECT_EQ(C, Diff);
+    C = A;
+    C *= B;
+    EXPECT_EQ(C, Prod);
+    if (!B.isZero()) {
+      C = A;
+      C /= B;
+      EXPECT_EQ(C, refDiv(A, B));
+    }
+
+    // Fused multiply-accumulate (the axpy kernel).
+    Rational D = RandomRational(false);
+    C = D;
+    C.addMul(A, B);
+    EXPECT_EQ(C, refAdd(D, Prod));
+    C = D;
+    C.subMul(A, B);
+    EXPECT_EQ(C, refSub(D, Prod));
+
+    // Ordering agrees with exact cross-multiplication.
+    EXPECT_EQ(A.compare(B) < 0,
+              (A.numerator() * B.denominator())
+                      .compare(B.numerator() * A.denominator()) < 0);
+
+    // Hash consistency across construction routes.
+    EXPECT_EQ(Sum.hash(), refAdd(A, B).hash());
+  }
+}
+
+TEST_P(SmallValueRationalProperty, BoundaryOperands) {
+  std::mt19937_64 Rng(GetParam() + 1000);
+  for (int64_t NA : Boundary) {
+    for (int64_t NB : Boundary) {
+      int64_t DA = static_cast<int64_t>(Rng() % 1000) + 1;
+      int64_t DB = static_cast<int64_t>(Rng() % 1000) + 1;
+      Rational A(NA, DA), B(NB, DB);
+      expectNormalized(A);
+      expectNormalized(B);
+      EXPECT_EQ(A + B, refAdd(A, B));
+      EXPECT_EQ(A - B, refSub(A, B));
+      EXPECT_EQ(A * B, refMul(A, B));
+      if (NB != 0) {
+        EXPECT_EQ(A / B, refDiv(A, B));
+      }
+      Rational C = A;
+      C.subMul(B, B);
+      EXPECT_EQ(C, refSub(A, refMul(B, B)));
+      expectNormalized(C);
+    }
+  }
+  // INT64_MIN denominators force the sign-flip fallback.
+  Rational NegDen(3, -7);
+  EXPECT_EQ(NegDen, Rational(-3, 7));
+  Rational MinDen(1, INT64_MIN);
+  EXPECT_TRUE(MinDen.isNegative());
+  EXPECT_EQ(MinDen * Rational(INT64_MIN, 1), Rational(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallValueRationalProperty,
+                         ::testing::Values(21u, 22u, 23u, 24u));
+
+TEST(SmallValueRationalTest, ExactAccumulationAcrossBoundary) {
+  // (999/1000)^k grows past int64 quickly; multiplying back by the
+  // reciprocal must return exactly to one (bit-identical exactness).
+  Rational Acc(1);
+  Rational Step(999, 1000);
+  for (int I = 0; I < 40; ++I)
+    Acc *= Step;
+  EXPECT_FALSE(Acc.numerator().isSmallRep()); // 999^40 needs limbs.
+  Rational Back = Acc;
+  Rational Inv = Step.reciprocal();
+  for (int I = 0; I < 40; ++I)
+    Back *= Inv;
+  EXPECT_EQ(Back, Rational(1));
+
+  // Summing 1/n exactly n times is exactly one, across a limb-crossing n.
+  for (int64_t N : {3LL, 64LL, 1000003LL, (1LL << 40) + 1}) {
+    Rational Total;
+    Rational Term(1, N);
+    for (int64_t I = 0; I < 64; ++I)
+      Total += Term;
+    EXPECT_EQ(Total, Rational(64, N));
+  }
+}
