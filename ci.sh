@@ -4,9 +4,13 @@
 # Usage: ./ci.sh [build-dir]        # configure + build + full test suite
 #                                   # (the repository's tier-1 verify) in a
 #                                   # fresh build directory
-#        ./ci.sh bench [build-dir]  # build micro_support + micro_linalg and
-#                                   # emit bench/results/BENCH_<name>.json
+#        ./ci.sh bench [build-dir]  # build micro_support + micro_linalg +
+#                                   # fig08 and emit
+#                                   # bench/results/BENCH_<name>.json
 #                                   # (the recorded performance trajectory)
+#        ./ci.sh tsan [build-dir]   # ThreadSanitizer pass over the
+#                                   # threadpool + parallel-compile suites
+#                                   # (default dir: build-tsan)
 #   BUILD_TYPE=Debug ./ci.sh        # non-Release build
 #   MCNK_SANITIZE=ON ./ci.sh        # ASan/UBSan run
 #   MCNK_BENCH_MIN_TIME=2 ./ci.sh bench   # longer per-benchmark runtime
@@ -18,12 +22,40 @@ MODE=verify
 if [ "${1:-}" = "bench" ]; then
   MODE=bench
   shift
+elif [ "${1:-}" = "tsan" ]; then
+  MODE=tsan
+  shift
 fi
 
-BUILD_DIR="${1:-build}"
+DEFAULT_DIR=build
+[ "$MODE" = "tsan" ] && DEFAULT_DIR=build-tsan
+BUILD_DIR="${1:-$DEFAULT_DIR}"
 BUILD_TYPE="${BUILD_TYPE:-Release}"
 SANITIZE="${MCNK_SANITIZE:-OFF}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [ "$MODE" = "tsan" ]; then
+  # Data-race pass over the concurrency-heavy suites: the persistent
+  # thread-pool engine and the parallel `case` compiler. A dedicated
+  # build tree keeps TSan instrumentation out of the main build.
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMCNK_WERROR=ON \
+    -DMCNK_TSAN=ON \
+    -DMCNK_BUILD_BENCH=OFF \
+    -DMCNK_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target support_threadpool_test fdd_parallel_test
+  # Death tests fork, which TSan dislikes; they are covered by the
+  # regular suite, so skip them here.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    "$BUILD_DIR/support_threadpool_test" \
+    --gtest_filter='-*DeathTest*'
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    "$BUILD_DIR/fdd_parallel_test"
+  echo "ThreadSanitizer pass clean"
+  exit 0
+fi
 
 if [ "$MODE" = "bench" ]; then
   # Bench mode reuses an existing build tree (benchmarks want a warm
@@ -40,11 +72,12 @@ if [ "$MODE" = "bench" ]; then
     echo "hint: ./ci.sh bench <fresh-dir>  or reconfigure with -DCMAKE_BUILD_TYPE=Release" >&2
     exit 1
   fi
-  if grep -q '^MCNK_SANITIZE:BOOL=ON$' "$BUILD_DIR/CMakeCache.txt"; then
+  if grep -Eq '^MCNK_(SANITIZE|TSAN):BOOL=ON$' "$BUILD_DIR/CMakeCache.txt"; then
     echo "error: '$BUILD_DIR' has sanitizers enabled; refusing to record bench numbers" >&2
     exit 1
   fi
-  cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_support micro_linalg
+  cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target micro_support micro_linalg fig08_parallel_speedup
   mkdir -p bench/results
   for bench in micro_support micro_linalg; do
     if [ ! -x "$BUILD_DIR/$bench" ]; then
@@ -56,7 +89,12 @@ if [ "$MODE" = "bench" ]; then
       --benchmark_out_format=json \
       --benchmark_min_time="${MCNK_BENCH_MIN_TIME:-0.2}"
   done
-  echo "Wrote bench/results/BENCH_micro_support.json and BENCH_micro_linalg.json"
+  # Fig 8 trajectory point: parallel-compile speedup on this host (the
+  # JSON records host concurrency, so single-core CI points stay
+  # interpretable next to multi-core ones).
+  MCNK_FIG8_JSON=bench/results/BENCH_fig08_parallel.json \
+    "$BUILD_DIR/fig08_parallel_speedup"
+  echo "Wrote bench/results/BENCH_micro_{support,linalg}.json and BENCH_fig08_parallel.json"
   exit 0
 fi
 

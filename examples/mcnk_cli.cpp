@@ -9,6 +9,8 @@
 ///   mcnk equiv  <a.pnk> <b.pnk>            exact program equivalence
 ///   mcnk prism  <file.pnk> f=v[,g=w...]    emit a PRISM model
 ///
+/// The global option -j[N] compiles `case` constructs on the verifier's
+/// persistent worker pool (N workers; bare -j means hardware concurrency).
 /// Programs read from "-" come from stdin.
 ///
 //===----------------------------------------------------------------------===//
@@ -20,6 +22,7 @@
 #include "prism/Translate.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <iterator>
@@ -95,21 +98,59 @@ bool parseInputPacket(const std::string &Spec, ast::Context &Ctx,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mcnk check|dump <file.pnk>\n"
-               "       mcnk run|prism <file.pnk> f=v[,g=w...]\n"
-               "       mcnk equiv <a.pnk> <b.pnk>\n");
+               "usage: mcnk [-j[N]] check|dump <file.pnk>\n"
+               "       mcnk [-j[N]] run|prism <file.pnk> f=v[,g=w...]\n"
+               "       mcnk [-j[N]] equiv <a.pnk> <b.pnk>\n"
+               "  -j[N]  compile `case` on N worker threads (default: "
+               "hardware concurrency)\n");
   return 2;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc < 3)
+  // Strip the global -j option wherever it appears; accept -j, -jN, and
+  // the make-style separate form `-j N`.
+  bool Parallel = false;
+  unsigned Threads = 0;
+  std::vector<std::string> Args;
+  auto AllDigits = [](const std::string &S) {
+    if (S.empty())
+      return false;
+    for (char C : S)
+      if (C < '0' || C > '9')
+        return false;
+    return true;
+  };
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("-j", 0) == 0) {
+      Parallel = true;
+      std::string Width = Arg.substr(2);
+      if (Width.empty() && I + 1 < Argc && AllDigits(Argv[I + 1]))
+        Width = Argv[++I];
+      if (!Width.empty()) {
+        // Digits only, and a sane cap — strtoul overflow must not turn
+        // into a request for four billion threads.
+        if (!AllDigits(Width) || Width.size() > 4 ||
+            std::strtoul(Width.c_str(), nullptr, 10) > 1024) {
+          std::fprintf(stderr, "error: bad worker count in '%s'\n",
+                       Arg.c_str());
+          return usage();
+        }
+        Threads = static_cast<unsigned>(
+            std::strtoul(Width.c_str(), nullptr, 10));
+      }
+      continue;
+    }
+    Args.push_back(std::move(Arg));
+  }
+  if (Args.size() < 2)
     return usage();
-  std::string Command = Argv[1];
+  std::string Command = Args[0];
   ast::Context Ctx;
 
-  const ast::Node *Program = parseFile(Argv[2], Ctx);
+  const ast::Node *Program = parseFile(Args[1], Ctx);
   if (!Program)
     return 1;
 
@@ -130,7 +171,7 @@ int main(int Argc, char **Argv) {
 
   if (Command == "dump") {
     analysis::Verifier V;
-    fdd::FddRef Ref = V.compile(Program);
+    fdd::FddRef Ref = V.compile(Program, Parallel, Threads);
     std::printf("%s", fdd::dumpFdd(V.manager(), Ref, Ctx.fields()).c_str());
     std::printf("// %zu nodes in the diagram\n",
                 V.manager().diagramSize(Ref));
@@ -138,22 +179,25 @@ int main(int Argc, char **Argv) {
   }
 
   if (Command == "equiv") {
-    if (Argc < 4)
+    if (Args.size() < 3)
       return usage();
-    const ast::Node *Other = parseFile(Argv[3], Ctx);
+    const ast::Node *Other = parseFile(Args[2], Ctx);
     if (!Other || !ast::isGuarded(Other))
       return 1;
+    // One verifier — and thus one persistent compile pool — serves both
+    // compiles.
     analysis::Verifier V;
-    bool Equal = V.equivalent(V.compile(Program), V.compile(Other));
+    bool Equal = V.equivalent(V.compile(Program, Parallel, Threads),
+                              V.compile(Other, Parallel, Threads));
     std::printf("%s\n", Equal ? "equivalent" : "NOT equivalent");
     return Equal ? 0 : 1;
   }
 
   if (Command == "run" || Command == "prism") {
-    if (Argc < 4)
+    if (Args.size() < 3)
       return usage();
     Packet In;
-    if (!parseInputPacket(Argv[3], Ctx, In)) {
+    if (!parseInputPacket(Args[2], Ctx, In)) {
       std::fprintf(stderr, "error: malformed input packet spec\n");
       return 1;
     }
@@ -165,7 +209,7 @@ int main(int Argc, char **Argv) {
       return 0;
     }
     analysis::Verifier V;
-    fdd::FddRef Ref = V.compile(Program);
+    fdd::FddRef Ref = V.compile(Program, Parallel, Threads);
     auto Out = V.manager().outputDistribution(Ref, In);
     for (const auto &[Pkt, W] : Out.Outputs) {
       std::printf("{");

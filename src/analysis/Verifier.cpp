@@ -37,7 +37,17 @@ FddRef Verifier::compile(const ast::Node *Program, bool Parallel,
   fdd::CompileOptions Options;
   Options.ParallelCase = Parallel;
   Options.Threads = Threads;
+  if (Parallel)
+    Options.Pool = &compilePool(Threads);
   return fdd::compile(Manager, Program, Options);
+}
+
+ThreadPool &Verifier::compilePool(unsigned Threads) {
+  if (Pool && Threads != 0 && Pool->numThreads() != Threads)
+    Pool.reset();
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(Threads);
+  return *Pool;
 }
 
 bool Verifier::equivalent(FddRef P, FddRef Q) const {

@@ -15,8 +15,10 @@
 #include "fdd/Compile.h"
 #include "fdd/Fdd.h"
 #include "fdd/Query.h"
+#include "support/ThreadPool.h"
 
 #include <map>
+#include <memory>
 #include <vector>
 
 namespace mcnk {
@@ -47,7 +49,7 @@ public:
   fdd::FddManager &manager() { return Manager; }
 
   /// Compiles a guarded program; optionally compiles `case` constructs on
-  /// a worker pool (the §6 parallel backend).
+  /// the verifier's persistent worker pool (the §6 parallel backend).
   ///
   /// \param Program   Guarded-fragment program (ast::isGuarded must hold).
   /// \param Parallel  Compile n-ary `case` branches on worker threads.
@@ -56,6 +58,13 @@ public:
   ///         query methods below expect diagrams from that same manager.
   fdd::FddRef compile(const ast::Node *Program, bool Parallel = false,
                       unsigned Threads = 0);
+
+  /// The verifier-owned parallel compile engine: created on first use and
+  /// reused by every subsequent compile (one pool serves the pipeline;
+  /// docs/ARCHITECTURE.md S10). Passing a non-zero \p Threads that
+  /// differs from the current pool's width replaces the pool; 0 keeps
+  /// whatever exists (creating a hardware-concurrency pool if none does).
+  ThreadPool &compilePool(unsigned Threads = 0);
 
   /// p ≡ q.
   bool equivalent(fdd::FddRef P, fdd::FddRef Q) const;
@@ -93,6 +102,7 @@ public:
 private:
   fdd::FddManager Manager;
   double Tolerance;
+  std::unique_ptr<ThreadPool> Pool;
 };
 
 } // namespace analysis

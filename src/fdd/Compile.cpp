@@ -2,8 +2,9 @@
 ///
 /// \file
 /// Structural-recursion compiler from the guarded AST fragment to FDDs,
-/// including the parallel `case` path that compiles branches on worker
-/// managers and merges them through the portable format (Sec 6).
+/// including the parallel `case` path that compiles branches on a
+/// persistent worker-pool engine and merges them through the portable
+/// format with a pairwise tree reduction (Sec 6).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +16,7 @@
 #include "support/ThreadPool.h"
 
 #include <cassert>
+#include <memory>
 
 using namespace mcnk;
 using namespace mcnk::fdd;
@@ -24,34 +26,72 @@ namespace {
 
 FddRef compileNode(FddManager &M, const Node *P, const CompileOptions &O);
 
-/// Compiles the branches of a `case` on a worker pool: one FddManager per
-/// branch (managers are single-threaded), results shipped back through the
-/// portable format and merged with guarded branches — the map-reduce
-/// strategy of §6 on a single machine.
+/// A partially merged run of `case` branches, shipped between worker
+/// managers in portable form. A segment over arms (g_i, b_i) denotes the
+/// first-match cascade with a *drop* fall-through; Guard is the
+/// disjunction of its guards, so the cascade-with-hole semantics is
+/// `Body + !Guard ; <hole>`. Two adjacent segments compose as
+///   Guard = Guard_L | Guard_R
+///   Body  = if Guard_L then Body_L else Body_R
+/// which is associative — that is what licenses the pairwise tree
+/// reduction below. Both merge operations are arithmetic-free (they only
+/// route between existing leaves), so parallel and serial compilation
+/// produce reference-equal canonical diagrams in every solver mode.
+struct CaseSegment {
+  PortableFdd Guard;
+  PortableFdd Body;
+};
+
+/// Compiles the branches of a `case` on the persistent worker pool: one
+/// FddManager per task (managers are single-threaded), guards precompiled
+/// alongside their branch, results shipped through the portable format and
+/// merged by a log-depth pairwise tree reduction — the map-reduce strategy
+/// of §6 on a single machine. Nested `case` nodes keep ParallelCase set:
+/// they reuse the same pool, whose waiters help execute queued tasks
+/// inline instead of blocking (docs/ARCHITECTURE.md S10).
 FddRef compileCaseParallel(FddManager &M, const CaseNode *C,
                            const CompileOptions &O) {
+  assert(O.Pool && "parallel case compilation requires an engine");
+  ThreadPool &Pool = *O.Pool;
   const auto &Branches = C->branches();
-  std::vector<PortableFdd> Compiled(Branches.size());
-  {
-    ThreadPool Pool(O.Threads);
-    CompileOptions Inner = O;
-    Inner.ParallelCase = false; // Workers compile their branch serially.
-    Pool.parallelFor(Branches.size(), [&](std::size_t I) {
+
+  // Map: compile guard and branch of each arm in a private manager.
+  std::vector<CaseSegment> Level(Branches.size());
+  Pool.parallelFor(Branches.size(), [&](std::size_t I) {
+    FddManager Worker(M.solverKind());
+    FddRef Guard = compileNode(Worker, Branches[I].first, O);
+    FddRef Body = compileNode(Worker, Branches[I].second, O);
+    Level[I].Guard = exportFdd(Worker, Guard);
+    Level[I].Body =
+        exportFdd(Worker, Worker.branch(Guard, Body, Worker.dropLeaf()));
+  });
+
+  // Reduce: merge adjacent segments pairwise until one remains. Each
+  // level halves the segment count, so the critical path is logarithmic
+  // instead of the old serial right-fold.
+  while (Level.size() > 1) {
+    std::size_t Pairs = Level.size() / 2;
+    std::vector<CaseSegment> Next(Pairs + (Level.size() & 1));
+    Pool.parallelFor(Pairs, [&](std::size_t J) {
       FddManager Worker(M.solverKind());
-      FddRef Ref = compileNode(Worker, Branches[I].second, Inner);
-      Compiled[I] = exportFdd(Worker, Ref);
+      FddRef GuardL = importFdd(Worker, Level[2 * J].Guard);
+      FddRef BodyL = importFdd(Worker, Level[2 * J].Body);
+      FddRef GuardR = importFdd(Worker, Level[2 * J + 1].Guard);
+      FddRef BodyR = importFdd(Worker, Level[2 * J + 1].Body);
+      Next[J].Guard = exportFdd(Worker, Worker.disjoin(GuardL, GuardR));
+      Next[J].Body = exportFdd(Worker, Worker.branch(GuardL, BodyL, BodyR));
     });
+    if (Level.size() & 1)
+      Next.back() = std::move(Level.back());
+    Level = std::move(Next);
   }
 
-  // Reduce: guards compile serially (they are tiny predicates), branches
-  // are imported and folded right-to-left.
-  FddRef Acc = compileNode(M, C->defaultBranch(), O);
-  for (std::size_t I = Branches.size(); I-- > 0;) {
-    FddRef Guard = compileNode(M, Branches[I].first, O);
-    FddRef Branch = importFdd(M, Compiled[I]);
-    Acc = M.branch(Guard, Branch, Acc);
-  }
-  return Acc;
+  // Plug the default branch into the surviving segment's fall-through, in
+  // the caller's manager.
+  FddRef Default = compileNode(M, C->defaultBranch(), O);
+  FddRef Guard = importFdd(M, Level.front().Guard);
+  FddRef Body = importFdd(M, Level.front().Body);
+  return M.branch(Guard, Body, Default);
 }
 
 FddRef compileNode(FddManager &M, const Node *P, const CompileOptions &O) {
@@ -120,5 +160,17 @@ FddRef compileNode(FddManager &M, const Node *P, const CompileOptions &O) {
 
 FddRef fdd::compile(FddManager &Manager, const Node *Program,
                     const CompileOptions &Options) {
-  return compileNode(Manager, Program, Options);
+  CompileOptions O = Options;
+  std::unique_ptr<ThreadPool> Owned;
+  if (O.ParallelCase && !O.Pool) {
+    if (O.Threads == 0) {
+      O.Pool = &ThreadPool::global();
+    } else {
+      // A caller-specified width with no engine: a private pool spanning
+      // this one compile (every nested `case` shares it).
+      Owned = std::make_unique<ThreadPool>(O.Threads);
+      O.Pool = Owned.get();
+    }
+  }
+  return compileNode(Manager, Program, O);
 }

@@ -3,9 +3,10 @@
 /// \file
 /// AST -> FDD compilation (the native backend of §5.1). Accepts exactly
 /// the guarded fragment (ast::isGuarded); the n-ary `case` construct can
-/// be compiled in parallel, one worker manager per branch, merging results
-/// through the portable format — the single-machine analogue of the
-/// paper's map-reduce backend (§6).
+/// be compiled in parallel on a persistent ThreadPool engine, one worker
+/// manager per branch, with results merged through the portable format by
+/// a log-depth pairwise tree reduction — the single-machine analogue of
+/// the paper's map-reduce backend (§6; docs/ARCHITECTURE.md S10).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,13 +17,22 @@
 #include "fdd/Fdd.h"
 
 namespace mcnk {
+
+class ThreadPool;
+
 namespace fdd {
 
 struct CompileOptions {
   /// Compile `case` branches on a worker pool.
   bool ParallelCase = false;
-  /// Worker count for ParallelCase (0 = hardware concurrency).
+  /// Worker count when compile() has to create an engine itself (see
+  /// Pool); 0 means hardware concurrency.
   unsigned Threads = 0;
+  /// The parallel compile engine. Nested `case` nodes share this pool
+  /// (workers help execute queued tasks inline, so nesting is safe).
+  /// When null and ParallelCase is set, compile() uses the process-global
+  /// pool (Threads == 0) or a pool private to that one call (Threads > 0).
+  ThreadPool *Pool = nullptr;
 };
 
 /// Compiles a guarded ProbNetKAT program into an FDD owned by \p Manager.
@@ -33,11 +43,13 @@ struct CompileOptions {
 /// \param Program  A guarded-fragment program (ast::isGuarded must hold).
 ///                 General Star or program-level Union abort with a
 ///                 diagnostic rather than returning an error value.
-/// \param Options  Parallel-`case` toggle and worker count.
+/// \param Options  Parallel-`case` toggle, worker count, and engine.
 /// \return A canonical diagram denoting \p Program's sub-stochastic
 ///         single-packet semantics: each leaf maps actions to exact
 ///         rational probabilities summing to at most 1, the deficit being
-///         the probability of dropping the packet.
+///         the probability of dropping the packet. Serial and parallel
+///         compilation produce reference-equal diagrams (the merge steps
+///         are arithmetic-free, so this holds in every solver mode).
 FddRef compile(FddManager &Manager, const ast::Node *Program,
                const CompileOptions &Options = {});
 

@@ -10,7 +10,6 @@
 
 #include "support/Error.h"
 
-#include <cassert>
 #include <unordered_map>
 
 using namespace mcnk;
@@ -55,6 +54,56 @@ PortableFdd fdd::exportFdd(const FddManager &Manager, FddRef Ref) {
 }
 
 FddRef fdd::importFdd(FddManager &Manager, const PortableFdd &Portable) {
+  // Validate up front (in every build type): a malformed diagram — child
+  // indices out of range or not strictly topological — would otherwise
+  // index uninitialized refs and corrupt the manager.
+  if (Portable.Nodes.empty())
+    fatalError("importFdd: portable diagram has no nodes");
+  if (Portable.Root >= Portable.Nodes.size())
+    fatalError("importFdd: root index " + std::to_string(Portable.Root) +
+               " out of range (diagram has " +
+               std::to_string(Portable.Nodes.size()) + " nodes)");
+  for (std::size_t I = 0; I < Portable.Nodes.size(); ++I) {
+    const PortableFdd::Node &Node = Portable.Nodes[I];
+    if (Node.IsLeaf) {
+      // Leaf distributions must be genuine distributions (drop is an
+      // explicit action, so weights sum to exactly one); FddManager only
+      // asserts this, which Release builds compile out.
+      Rational Total;
+      for (const auto &[Act, Weight] : Node.Dist) {
+        (void)Act;
+        if (Weight.isNegative())
+          fatalError("importFdd: leaf " + std::to_string(I) +
+                     " has a negative probability");
+        Total += Weight;
+      }
+      if (!Total.isOne())
+        fatalError("importFdd: leaf " + std::to_string(I) +
+                   " distribution does not sum to 1");
+      continue;
+    }
+    if (Node.Hi >= I || Node.Lo >= I)
+      fatalError("importFdd: node " + std::to_string(I) +
+                 " has child indices (" + std::to_string(Node.Hi) + ", " +
+                 std::to_string(Node.Lo) +
+                 ") violating topological order (children must precede "
+                 "parents)");
+    // The canonical-FDD ordering invariants (see Fdd.h): rebuilding a
+    // diagram that violates them would hash-cons non-canonical nodes and
+    // silently break reference-equality equivalence. Checking each
+    // node's children covers the whole subtree inductively.
+    const PortableFdd::Node &Hi = Portable.Nodes[Node.Hi];
+    if (!Hi.IsLeaf && Hi.Field <= Node.Field)
+      fatalError("importFdd: node " + std::to_string(I) +
+                 " true-subtree re-tests field " + std::to_string(Hi.Field) +
+                 " (test ordering violated)");
+    const PortableFdd::Node &Lo = Portable.Nodes[Node.Lo];
+    if (!Lo.IsLeaf && (Lo.Field < Node.Field ||
+                       (Lo.Field == Node.Field && Lo.Value <= Node.Value)))
+      fatalError("importFdd: node " + std::to_string(I) +
+                 " false-subtree violates test ordering");
+  }
+
   std::vector<FddRef> Refs(Portable.Nodes.size());
   for (std::size_t I = 0; I < Portable.Nodes.size(); ++I) {
     const PortableFdd::Node &Node = Portable.Nodes[I];
@@ -62,11 +111,10 @@ FddRef fdd::importFdd(FddManager &Manager, const PortableFdd &Portable) {
       Refs[I] = Manager.leaf(ActionDist::fromEntries(Node.Dist));
       continue;
     }
-    assert(Node.Hi < I && Node.Lo < I && "portable FDD not topological");
     Refs[I] =
         Manager.inner(Node.Field, Node.Value, Refs[Node.Hi], Refs[Node.Lo]);
   }
-  return Refs.at(Portable.Root);
+  return Refs[Portable.Root];
 }
 
 namespace {

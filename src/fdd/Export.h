@@ -40,7 +40,11 @@ struct PortableFdd {
 PortableFdd exportFdd(const FddManager &Manager, FddRef Ref);
 
 /// Rebuilds a portable diagram inside \p Manager (hash-consing dedups
-/// against existing nodes).
+/// against existing nodes). Validates the input in every build type —
+/// an empty node list, an out-of-range root, child indices that are out
+/// of range / not strictly topological, test-ordering violations, and
+/// malformed leaf distributions (negative weights, sum != 1) abort with
+/// a diagnostic instead of corrupting the manager.
 FddRef importFdd(FddManager &Manager, const PortableFdd &Portable);
 
 /// Renders the diagram as an indented text tree (debugging / golden

@@ -1,0 +1,209 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel-compile equivalence suite: randomized nested `case` programs
+/// compiled serially and on the persistent worker-pool engine must produce
+/// reference-equal canonical FDDs — in the same manager directly, and
+/// across managers after an export/import round trip. Also covers the
+/// verifier-owned pool's persistence and nesting through while loops.
+/// Runs under ThreadSanitizer in `./ci.sh tsan`.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "ast/Context.h"
+#include "fdd/Compile.h"
+#include "fdd/Export.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mcnk;
+using namespace mcnk::fdd;
+using ast::Context;
+using ast::Node;
+
+namespace {
+
+/// Generates random guarded programs that are heavy on (nested) `case`
+/// constructs, the shape the parallel backend actually compiles.
+struct CaseFixture {
+  Context Ctx;
+  FieldId A = Ctx.field("a");
+  FieldId B = Ctx.field("b");
+  std::mt19937_64 Rng;
+
+  explicit CaseFixture(unsigned Seed) : Rng(Seed) {}
+
+  FieldValue value() {
+    return std::uniform_int_distribution<FieldValue>(0, 2)(Rng);
+  }
+  FieldId field() {
+    return std::uniform_int_distribution<int>(0, 1)(Rng) ? A : B;
+  }
+
+  const Node *randomPredicate(unsigned Depth) {
+    std::uniform_int_distribution<int> Pick(0, Depth == 0 ? 0 : 2);
+    switch (Pick(Rng)) {
+    case 0:
+      return Ctx.test(field(), value());
+    case 1:
+      return Ctx.negate(randomPredicate(Depth - 1));
+    default:
+      return Ctx.unite(randomPredicate(Depth - 1),
+                       randomPredicate(Depth - 1));
+    }
+  }
+
+  const Node *randomProgram(unsigned Depth) {
+    std::uniform_int_distribution<int> Pick(0, Depth == 0 ? 3 : 7);
+    switch (Pick(Rng)) {
+    case 0:
+      return Ctx.assign(field(), value());
+    case 1:
+      return Ctx.test(field(), value());
+    case 2:
+      return Ctx.skip();
+    case 3:
+      return Ctx.drop();
+    case 4:
+      return Ctx.seq(randomProgram(Depth - 1), randomProgram(Depth - 1));
+    case 5:
+      return Ctx.choice(
+          Rational(std::uniform_int_distribution<int>(1, 3)(Rng), 4),
+          randomProgram(Depth - 1), randomProgram(Depth - 1));
+    case 6:
+      return Ctx.ite(randomPredicate(1), randomProgram(Depth - 1),
+                     randomProgram(Depth - 1));
+    default:
+      return randomCase(Depth);
+    }
+  }
+
+  /// A `case` with 2–4 arms whose guards are random predicates (arms may
+  /// overlap — first match wins — and may themselves contain cases).
+  const Node *randomCase(unsigned Depth) {
+    std::size_t Arms = std::uniform_int_distribution<std::size_t>(2, 4)(Rng);
+    std::vector<ast::CaseNode::Branch> Branches;
+    for (std::size_t I = 0; I < Arms; ++I)
+      Branches.emplace_back(randomPredicate(1),
+                            randomProgram(Depth ? Depth - 1 : 0));
+    return Ctx.caseOf(std::move(Branches),
+                      randomProgram(Depth ? Depth - 1 : 0));
+  }
+};
+
+} // namespace
+
+class ParallelCompileProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelCompileProperty, MatchesSerialByReferenceEquality) {
+  CaseFixture F(GetParam());
+  FddManager M;
+  for (int Round = 0; Round < 12; ++Round) {
+    const Node *P = F.randomCase(3);
+    FddRef Serial = compile(M, P);
+    for (unsigned Threads : {1u, 2u, 4u}) {
+      ThreadPool Pool(Threads);
+      CompileOptions O;
+      O.ParallelCase = true;
+      O.Pool = &Pool;
+      EXPECT_EQ(compile(M, P, O), Serial)
+          << "round " << Round << ", " << Threads << " threads";
+    }
+  }
+}
+
+TEST_P(ParallelCompileProperty, ReferenceEqualAfterImport) {
+  CaseFixture F(GetParam());
+  ThreadPool Pool(3);
+  for (int Round = 0; Round < 8; ++Round) {
+    const Node *P = F.randomCase(3);
+    // Serial and parallel compiles in *separate* managers...
+    FddManager SerialM, ParallelM, Target;
+    FddRef Serial = compile(SerialM, P);
+    CompileOptions O;
+    O.ParallelCase = true;
+    O.Pool = &Pool;
+    FddRef Parallel = compile(ParallelM, P, O);
+    // ...become reference-equal once imported into a common manager.
+    EXPECT_EQ(importFdd(Target, exportFdd(SerialM, Serial)),
+              importFdd(Target, exportFdd(ParallelM, Parallel)))
+        << "round " << Round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelCompileProperty,
+                         ::testing::Values(101u, 102u, 103u, 104u, 105u));
+
+TEST(ParallelCompileTest, NestedCaseThroughWhileLoops) {
+  // A case whose arms contain while loops which in turn contain cases:
+  // the shape that used to force serialization (and could deadlock on a
+  // per-case pool). All nesting levels now share one engine.
+  Context Ctx;
+  FieldId Pos = Ctx.field("pos");
+  FieldId Sw = Ctx.field("sw");
+
+  auto InnerCase = [&](FieldValue Bias) {
+    std::vector<ast::CaseNode::Branch> Branches;
+    Branches.emplace_back(Ctx.test(Pos, 1),
+                          Ctx.choice(Rational(1, 2), Ctx.assign(Pos, 2),
+                                     Ctx.assign(Pos, 0)));
+    Branches.emplace_back(Ctx.test(Pos, 2), Ctx.assign(Pos, Bias));
+    return Ctx.caseOf(std::move(Branches), Ctx.skip());
+  };
+  // while (pos=1 | pos=2) do <inner case>.
+  auto Loop = [&](FieldValue Bias) {
+    return Ctx.whileLoop(Ctx.unite(Ctx.test(Pos, 1), Ctx.test(Pos, 2)),
+                         InnerCase(Bias));
+  };
+  std::vector<ast::CaseNode::Branch> Outer;
+  Outer.emplace_back(Ctx.test(Sw, 0), Loop(0));
+  Outer.emplace_back(Ctx.test(Sw, 1), Loop(3));
+  Outer.emplace_back(Ctx.test(Sw, 2), Ctx.seq(Loop(0), Loop(3)));
+  const Node *P = Ctx.caseOf(std::move(Outer), Ctx.drop());
+
+  FddManager M;
+  FddRef Serial = compile(M, P);
+  for (unsigned Threads : {1u, 2u}) {
+    ThreadPool Pool(Threads);
+    CompileOptions O;
+    O.ParallelCase = true;
+    O.Pool = &Pool;
+    EXPECT_EQ(compile(M, P, O), Serial);
+  }
+}
+
+TEST(ParallelCompileTest, GlobalPoolServesPoolLessCallers) {
+  // ParallelCase with no explicit engine: the process-global pool steps
+  // in; repeated compiles reuse it rather than spawning per-case pools.
+  CaseFixture F(201u);
+  FddManager M;
+  for (int Round = 0; Round < 4; ++Round) {
+    const Node *P = F.randomCase(2);
+    CompileOptions O;
+    O.ParallelCase = true;
+    EXPECT_EQ(compile(M, P, O), compile(M, P));
+  }
+}
+
+TEST(ParallelCompileTest, VerifierOwnsOnePersistentPool) {
+  CaseFixture F(301u);
+  analysis::Verifier V;
+  ThreadPool &Pool = V.compilePool(2);
+  EXPECT_EQ(Pool.numThreads(), 2u);
+  // Same width → same engine across compiles.
+  EXPECT_EQ(&V.compilePool(2), &Pool);
+  EXPECT_EQ(&V.compilePool(0), &Pool);
+  const Node *P = F.randomCase(2);
+  FddRef First = V.compile(P, /*Parallel=*/true, /*Threads=*/2);
+  FddRef Second = V.compile(P, /*Parallel=*/true, /*Threads=*/2);
+  FddRef SerialRef = V.compile(P);
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(First, SerialRef);
+  // An explicit different width replaces the engine.
+  ThreadPool &Wider = V.compilePool(3);
+  EXPECT_EQ(Wider.numThreads(), 3u);
+}

@@ -256,6 +256,78 @@ TEST_F(FddTest, ExportImportRoundTrip) {
   }
 }
 
+TEST_F(FddTest, ImportRejectsMalformedPortableFdds) {
+  const Node *P = Ctx.ite(Ctx.test(A, 1), Ctx.assign(B, 1), Ctx.drop());
+  PortableFdd Good = exportFdd(M, compileP(P));
+  ASSERT_GE(Good.Nodes.size(), 2u);
+
+  // Empty diagram.
+  PortableFdd Empty;
+  EXPECT_DEATH_IF_SUPPORTED(importFdd(M, Empty), "no nodes");
+
+  // Root index past the end.
+  PortableFdd BadRoot = Good;
+  BadRoot.Root = static_cast<uint32_t>(BadRoot.Nodes.size());
+  EXPECT_DEATH_IF_SUPPORTED(importFdd(M, BadRoot), "root index");
+
+  // Child index out of range.
+  PortableFdd BadChild = Good;
+  for (auto &N : BadChild.Nodes)
+    if (!N.IsLeaf) {
+      N.Hi = static_cast<uint32_t>(BadChild.Nodes.size() + 7);
+      break;
+    }
+  EXPECT_DEATH_IF_SUPPORTED(importFdd(M, BadChild), "topological");
+
+  // Self-referential (non-topological) child.
+  PortableFdd Cycle = Good;
+  for (uint32_t I = 0; I < Cycle.Nodes.size(); ++I)
+    if (!Cycle.Nodes[I].IsLeaf) {
+      Cycle.Nodes[I].Lo = I;
+      break;
+    }
+  EXPECT_DEATH_IF_SUPPORTED(importFdd(M, Cycle), "topological");
+
+  // Topologically indexed but violating the canonical test ordering:
+  // a node whose true-subtree re-tests an already-decided field.
+  PortableFdd BadOrder;
+  PortableFdd::Node DropLeaf;
+  DropLeaf.IsLeaf = true;
+  DropLeaf.Dist = {{Action::drop(), Rational(1)}};
+  PortableFdd::Node IdLeaf;
+  IdLeaf.IsLeaf = true;
+  IdLeaf.Dist = {{Action(), Rational(1)}};
+  PortableFdd::Node Inner1;
+  Inner1.Field = 1;
+  Inner1.Value = 0;
+  Inner1.Hi = 1;
+  Inner1.Lo = 0;
+  PortableFdd::Node Inner2 = Inner1; // Same field below itself: invalid.
+  Inner2.Hi = 2;
+  BadOrder.Nodes = {DropLeaf, IdLeaf, Inner1, Inner2};
+  BadOrder.Root = 3;
+  EXPECT_DEATH_IF_SUPPORTED(importFdd(M, BadOrder), "re-tests field");
+
+  // Leaf distributions that are not distributions.
+  PortableFdd ShortLeaf;
+  PortableFdd::Node Partial;
+  Partial.IsLeaf = true;
+  Partial.Dist = {{Action::drop(), Rational(1, 2)}};
+  ShortLeaf.Nodes = {Partial};
+  EXPECT_DEATH_IF_SUPPORTED(importFdd(M, ShortLeaf), "sum to 1");
+
+  PortableFdd NegLeaf;
+  PortableFdd::Node Negative;
+  Negative.IsLeaf = true;
+  Negative.Dist = {{Action::drop(), Rational(3, 2)},
+                   {Action(), Rational(-1, 2)}};
+  NegLeaf.Nodes = {Negative};
+  EXPECT_DEATH_IF_SUPPORTED(importFdd(M, NegLeaf), "negative probability");
+
+  // The intact original still imports.
+  EXPECT_EQ(importFdd(M, Good), compileP(P));
+}
+
 TEST_F(FddTest, QueryRefinement) {
   FddRef Full = M.assign(A, 1);
   FddRef Lossy = M.choice(Rational(3, 4), M.assign(A, 1), M.dropLeaf());
