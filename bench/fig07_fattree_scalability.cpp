@@ -68,10 +68,61 @@ double checkPrism(const topology::FatTreeLayout &L, const FailureModel &F) {
   return T.elapsed();
 }
 
+/// MCNK_GOLDEN=1: deterministic table values instead of timings — the
+/// compiled diagram size and exact mean delivery for the native backend,
+/// and the reachable state space plus exact delivery probability for the
+/// PRISM pipeline. Diffed against tests/golden/fig07.txt under ctest.
+int runGolden(unsigned MaxP) {
+  std::printf("=== Fig 7 golden: FatTree table values (ECMP to sw 1) "
+              "===\n");
+  std::printf("%4s %9s  %10s %12s  %10s %12s\n", "p", "switches",
+              "fdd nodes", "delivery", "pri states", "pri prob");
+  FailureModel Fail = FailureModel::iid(Rational(1, 1000));
+  for (unsigned P = 4; P <= MaxP; P += 2) {
+    topology::FatTreeLayout L;
+    topology::makeFatTree(P, L);
+
+    ast::Context Ctx;
+    ModelOptions O;
+    O.RoutingScheme = Scheme::F100;
+    O.Failures = Fail;
+    NetworkModel M = buildFatTreeModel(L, O, Ctx);
+    analysis::Verifier V; // Exact engine for decided table values.
+    fdd::FddRef Ref = V.compile(M.Program);
+    std::vector<Packet> Inputs;
+    for (std::size_t I = 0; I < M.Ingresses.size(); ++I)
+      Inputs.push_back(M.ingressPacket(I, Ctx));
+    Rational Delivery = V.averageDeliveryProbability(Ref, Inputs);
+
+    prism::Translation Tr =
+        prism::translate(Ctx, M.Program, Inputs.front());
+    prism::Model PM;
+    prism::GuardExpr Goal;
+    std::string Error;
+    std::size_t States = 0;
+    std::string Prob = "-";
+    if (prism::parseModel(Tr.Source, PM, Error) &&
+        prism::parseGuard(Tr.DoneGuard, PM, Goal, Error)) {
+      prism::CheckResult CR;
+      if (prism::checkReachability(PM, Goal, markov::SolverKind::Exact, CR,
+                                   Error)) {
+        States = CR.NumStates;
+        Prob = CR.Probability.toString();
+      }
+    }
+    std::printf("%4u %9u  %10zu %12s  %10zu %12s\n", P, L.numSwitches(),
+                V.manager().diagramSize(Ref), Delivery.toString().c_str(),
+                States, Prob.c_str());
+  }
+  return 0;
+}
+
 } // namespace
 
 int main() {
   unsigned MaxP = envUnsigned("MCNK_FIG7_MAXP", 12);
+  if (envUnsigned("MCNK_GOLDEN", 0))
+    return runGolden(std::min(MaxP, 6u));
   double Limit = envDouble("MCNK_TIME_LIMIT", 30.0);
   std::printf("=== Fig 7: FatTree scalability (ECMP to switch 1) ===\n");
   std::printf("series: native / native(#f=0) compile the full model; "

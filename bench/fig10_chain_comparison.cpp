@@ -61,26 +61,76 @@ std::string handWrittenChain(unsigned K) {
   return Out.str();
 }
 
-double runPrismSource(const std::string &Source, const std::string &Goal,
-                      markov::SolverKind Solver) {
+Rational runPrismSource(const std::string &Source, const std::string &Goal,
+                        markov::SolverKind Solver) {
   prism::Model M;
   prism::GuardExpr G;
   std::string Error;
   if (!prism::parseModel(Source, M, Error) ||
       !prism::parseGuard(Goal, M, G, Error)) {
     std::fprintf(stderr, "prism parse error: %s\n", Error.c_str());
-    return 0.0;
+    return Rational();
   }
   prism::CheckResult CR;
   if (!prism::checkReachability(M, G, Solver, CR, Error))
     std::fprintf(stderr, "prismlite error: %s\n", Error.c_str());
-  return CR.Probability.toDouble();
+  return CR.Probability;
+}
+
+/// MCNK_GOLDEN=1: replace the timing table with the deterministic table
+/// values — the exact H1 -> H2 delivery probability as computed by every
+/// engine, next to the closed form (1 - pfail/2)^K. The ctest golden
+/// smoke test diffs this output against tests/golden/fig10.txt.
+int runGolden(unsigned MaxK, const Rational &PFail) {
+  std::printf("=== Fig 10 golden: chain delivery probabilities "
+              "(pfail = 1/1000) ===\n");
+  std::printf("%6s  %-14s %-14s %-14s %-14s %-14s %10s\n", "K", "closed",
+              "bayonet", "prism ex", "ppnk ex", "pnk ex", "prism ap");
+  for (unsigned K = 1; K <= MaxK; K *= 2) {
+    topology::ChainLayout L;
+    topology::makeChain(K, L);
+    Rational Closed(1);
+    Rational PerDiamond = Rational(1) - PFail / Rational(2);
+    for (unsigned I = 0; I < K; ++I)
+      Closed *= PerDiamond;
+
+    ast::Context Ctx;
+    routing::NetworkModel M = routing::buildChainModel(L, PFail, Ctx);
+    Packet In = M.ingressPacket(0, Ctx);
+
+    baseline::InferenceOptions BO;
+    BO.LoopBound = 6 * K + 4;
+    Rational Bayonet = baseline::infer(M.Program, In, BO).deliveredMass();
+
+    std::string Hand = handWrittenChain(K);
+    std::string Goal = "sw=" + std::to_string(L.numSwitches() + 1);
+    Rational PrismEx =
+        runPrismSource(Hand, Goal, markov::SolverKind::Exact);
+    Rational PrismAp =
+        runPrismSource(Hand, Goal, markov::SolverKind::Iterative);
+
+    prism::Translation Tr = prism::translate(Ctx, M.Program, In);
+    Rational PpnkEx =
+        runPrismSource(Tr.Source, Tr.DoneGuard, markov::SolverKind::Exact);
+
+    analysis::Verifier V; // Exact engine.
+    Rational Pnk = V.deliveryProbability(V.compile(M.Program), In);
+
+    std::printf("%6u  %-14s %-14s %-14s %-14s %-14s %10.6f\n", K,
+                Closed.toString().c_str(), Bayonet.toString().c_str(),
+                PrismEx.toString().c_str(), PpnkEx.toString().c_str(),
+                Pnk.toString().c_str(), PrismAp.toDouble());
+  }
+  return 0;
 }
 
 } // namespace
 
 int main() {
   unsigned MaxK = envUnsigned("MCNK_FIG10_MAXK", 2048);
+  const Rational PFailGolden(1, 1000);
+  if (envUnsigned("MCNK_GOLDEN", 0))
+    return runGolden(std::min(MaxK, 16u), PFailGolden);
   double Limit = envDouble("MCNK_TIME_LIMIT", 10.0);
   std::printf("=== Fig 10: chain topology tool comparison "
               "(pfail = 1/1000) ===\n");

@@ -11,8 +11,13 @@
 #        ./ci.sh tsan [build-dir]   # ThreadSanitizer pass over the
 #                                   # threadpool + parallel-compile suites
 #                                   # (default dir: build-tsan)
+#        ./ci.sh fuzz [build-dir]   # cross-engine differential fuzz: the
+#                                   # conformance suite with fixed seeds
+#                                   # plus the `mcnk fuzz` CLI oracle
 #   BUILD_TYPE=Debug ./ci.sh        # non-Release build
 #   MCNK_SANITIZE=ON ./ci.sh        # ASan/UBSan run
+#   MCNK_SANITIZE=ON ./ci.sh fuzz   # fuzz pass under ASan/UBSan
+#   MCNK_FUZZ_ITERS=2000 ./ci.sh fuzz     # longer local fuzz runs
 #   MCNK_BENCH_MIN_TIME=2 ./ci.sh bench   # longer per-benchmark runtime
 set -euo pipefail
 
@@ -24,6 +29,9 @@ if [ "${1:-}" = "bench" ]; then
   shift
 elif [ "${1:-}" = "tsan" ]; then
   MODE=tsan
+  shift
+elif [ "${1:-}" = "fuzz" ]; then
+  MODE=fuzz
   shift
 fi
 
@@ -54,6 +62,33 @@ if [ "$MODE" = "tsan" ]; then
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     "$BUILD_DIR/fdd_parallel_test"
   echo "ThreadSanitizer pass clean"
+  exit 0
+fi
+
+if [ "$MODE" = "fuzz" ]; then
+  # Differential-fuzz pass: the conformance suite (fixed seeds, iteration
+  # count scaled by MCNK_FUZZ_ITERS) plus the `mcnk fuzz` CLI oracle.
+  # Composes with the sanitizer modes: MCNK_SANITIZE=ON ./ci.sh fuzz runs
+  # the same pass under ASan/UBSan (use a fresh build dir so the
+  # instrumented objects do not pollute the main tree).
+  if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+      -DMCNK_WERROR=ON \
+      -DMCNK_SANITIZE="$SANITIZE"
+  elif [ "$SANITIZE" = "ON" ] && \
+       ! grep -q '^MCNK_SANITIZE:BOOL=ON$' "$BUILD_DIR/CMakeCache.txt"; then
+    # Reusing an unsanitized tree would "pass" without any ASan/UBSan
+    # coverage; refuse rather than report false assurance.
+    echo "error: '$BUILD_DIR' was configured without MCNK_SANITIZE; use a fresh dir" >&2
+    echo "hint: MCNK_SANITIZE=ON ./ci.sh fuzz build-asan" >&2
+    exit 1
+  fi
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target conformance_test mcnk_cli
+  MCNK_FUZZ_ITERS="${MCNK_FUZZ_ITERS:-170}" "$BUILD_DIR/conformance_test"
+  "$BUILD_DIR/mcnk_cli" fuzz --seed "${MCNK_FUZZ_SEED:-0xC1A0}" \
+    --iters "${MCNK_CLI_FUZZ_ITERS:-25}"
+  echo "Differential fuzz pass clean"
   exit 0
 fi
 

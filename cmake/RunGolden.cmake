@@ -1,0 +1,38 @@
+# Golden-output smoke-test driver (invoked by ctest; see CMakeLists.txt):
+#
+#   cmake -DHARNESS=<exe> -DGOLDEN=<file> [-DENVVARS=A=1;B=2] \
+#         -P RunGolden.cmake
+#
+# Runs HARNESS with the given environment, captures stdout, and fails
+# with a side-by-side dump when it differs from the checked-in GOLDEN
+# file. Regenerate a golden by re-running the same command line and
+# redirecting stdout (the environment is printed on failure).
+
+if(NOT DEFINED HARNESS OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR "RunGolden.cmake needs -DHARNESS= and -DGOLDEN=")
+endif()
+
+set(ENV_DESCRIPTION "")
+foreach(pair IN LISTS ENVVARS)
+  if(pair MATCHES "^([^=]+)=(.*)$")
+    set(ENV{${CMAKE_MATCH_1}} "${CMAKE_MATCH_2}")
+    string(APPEND ENV_DESCRIPTION "${pair} ")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${HARNESS}"
+  OUTPUT_VARIABLE ACTUAL
+  RESULT_VARIABLE EXIT_CODE)
+if(NOT EXIT_CODE EQUAL 0)
+  message(FATAL_ERROR
+    "golden harness failed (exit ${EXIT_CODE}): ${ENV_DESCRIPTION}${HARNESS}")
+endif()
+
+file(READ "${GOLDEN}" EXPECTED)
+if(NOT ACTUAL STREQUAL EXPECTED)
+  message(FATAL_ERROR "golden mismatch for ${GOLDEN}\n"
+    "--- expected ---\n${EXPECTED}\n"
+    "--- actual ---\n${ACTUAL}\n"
+    "regenerate with: ${ENV_DESCRIPTION}${HARNESS} > ${GOLDEN}")
+endif()

@@ -8,6 +8,12 @@
 ///   mcnk run    <file.pnk> f=v[,g=w...]    output distribution for input
 ///   mcnk equiv  <a.pnk> <b.pnk>            exact program equivalence
 ///   mcnk prism  <file.pnk> f=v[,g=w...]    emit a PRISM model
+///   mcnk fuzz   [--seed N] [--iters N]     cross-engine differential fuzz
+///
+/// `fuzz` drives the src/gen/ differential oracle: N seeded random
+/// guarded programs plus the whole scenario registry, every engine
+/// cross-checked; exits non-zero on any disagreement, printing the seed
+/// needed to reproduce.
 ///
 /// The global option -j[N] compiles `case` constructs on the verifier's
 /// persistent worker pool (N workers; bare -j means hardware concurrency).
@@ -18,9 +24,11 @@
 #include "analysis/Verifier.h"
 #include "ast/Traversal.h"
 #include "fdd/Export.h"
+#include "gen/Oracle.h"
 #include "parser/Parser.h"
 #include "prism/Translate.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -101,9 +109,93 @@ int usage() {
                "usage: mcnk [-j[N]] check|dump <file.pnk>\n"
                "       mcnk [-j[N]] run|prism <file.pnk> f=v[,g=w...]\n"
                "       mcnk [-j[N]] equiv <a.pnk> <b.pnk>\n"
+               "       mcnk fuzz [--seed N] [--iters N] [--no-scenarios]\n"
                "  -j[N]  compile `case` on N worker threads (default: "
-               "hardware concurrency)\n");
+               "hardware concurrency)\n"
+               "  fuzz   run the cross-engine differential oracle on N\n"
+               "         random programs (default 25) plus the scenario\n"
+               "         registry; nonzero exit on any disagreement\n");
   return 2;
+}
+
+/// `mcnk fuzz`: the CLI face of the src/gen differential oracle. The
+/// global -j[N] option carries through as the worker count for the
+/// serial-vs-parallel compile checks.
+int runFuzz(const std::vector<std::string> &Args, bool Parallel,
+            unsigned Threads) {
+  uint64_t Seed = 0xC1A0ULL;
+  unsigned Iters = 25;
+  bool Scenarios = true;
+  for (std::size_t I = 1; I < Args.size(); ++I) {
+    // A silently-misparsed flag would turn the oracle into a green
+    // no-op, so values are validated strictly: decimal or 0x hex, no
+    // sign (strtoull would wrap "-1" to ULLONG_MAX), no overflow.
+    auto TakeValue = [&](unsigned long long &Out) {
+      if (I + 1 >= Args.size()) {
+        std::fprintf(stderr, "error: %s needs a value\n", Args[I].c_str());
+        return false;
+      }
+      const std::string &Text = Args[++I];
+      char *End = nullptr;
+      errno = 0;
+      Out = std::strtoull(Text.c_str(), &End, 0);
+      bool StartsWithDigit = !Text.empty() && Text[0] >= '0' &&
+                             Text[0] <= '9';
+      if (!StartsWithDigit || errno == ERANGE ||
+          End != Text.c_str() + Text.size()) {
+        std::fprintf(stderr, "error: malformed number '%s' for %s\n",
+                     Text.c_str(), Args[I - 1].c_str());
+        return false;
+      }
+      return true;
+    };
+    unsigned long long Value = 0;
+    if (Args[I] == "--seed") {
+      if (!TakeValue(Value))
+        return usage();
+      Seed = Value;
+    } else if (Args[I] == "--iters") {
+      if (!TakeValue(Value))
+        return usage();
+      if (Value > 0xffffffffULL) {
+        // A silent 32-bit truncation could zero the iteration count and
+        // fake a green run.
+        std::fprintf(stderr, "error: --iters %llu is out of range\n",
+                     Value);
+        return usage();
+      }
+      Iters = static_cast<unsigned>(Value);
+    } else if (Args[I] == "--no-scenarios") {
+      Scenarios = false;
+    } else {
+      std::fprintf(stderr, "error: unknown fuzz option '%s'\n",
+                   Args[I].c_str());
+      return usage();
+    }
+  }
+
+  std::printf("fuzz: seed 0x%llx, %u random programs%s\n",
+              static_cast<unsigned long long>(Seed), Iters,
+              Scenarios ? " + scenario registry" : "");
+  gen::FuzzOptions Fuzz;
+  Fuzz.Iterations = Iters;
+  gen::OracleOptions Oracle;
+  if (Parallel)
+    Oracle.ParallelThreads = Threads; // 0 = hardware concurrency.
+  gen::OracleReport Report = gen::fuzzPrograms(Seed, Fuzz, Oracle);
+  if (Scenarios)
+    Report.merge(gen::runRegistry(gen::RegistryOptions(), Oracle));
+
+  for (const std::string &D : Report.Disagreements)
+    std::fprintf(stderr, "DISAGREEMENT: %s\n", D.c_str());
+  std::printf("fuzz: %s\n", Report.summary().c_str());
+  if (!Report.ok()) {
+    std::printf("fuzz: FAILED — reproduce with --seed 0x%llx\n",
+                static_cast<unsigned long long>(Seed));
+    return 1;
+  }
+  std::printf("fuzz: all engines agree\n");
+  return 0;
 }
 
 } // namespace
@@ -145,9 +237,13 @@ int main(int Argc, char **Argv) {
     }
     Args.push_back(std::move(Arg));
   }
-  if (Args.size() < 2)
+  if (Args.empty())
     return usage();
   std::string Command = Args[0];
+  if (Command == "fuzz")
+    return runFuzz(Args, Parallel, Threads);
+  if (Args.size() < 2)
+    return usage();
   ast::Context Ctx;
 
   const ast::Node *Program = parseFile(Args[1], Ctx);

@@ -38,7 +38,7 @@ enum class NodeKind : uint8_t {
   Star,       ///< p* (full language only; not in the guarded fragment)
   IfThenElse, ///< if t then p else q
   While,      ///< while t do p
-  Case,       ///< case t1 -> p1 | ... | else -> q (disjoint branching)
+  Case,       ///< case t1 -> p1 | ... | else -> q (first-match cascade)
 };
 
 /// Base class of all ProbNetKAT terms.
@@ -222,9 +222,12 @@ private:
   const Node *Cond, *Body;
 };
 
-/// case t1 -> p1 | ... | tn -> pn | else -> q — n-ary disjoint branching
-/// (§6). Semantically a conditional cascade; the parallel backend compiles
-/// branches concurrently and merges the results.
+/// case t1 -> p1 | ... | tn -> pn | else -> q — n-ary branching (§6).
+/// Semantically a first-match conditional cascade: guards need not be
+/// disjoint, and branch i fires only where guards 1..i-1 failed (every
+/// backend, including the PRISM translation, implements this). The
+/// parallel backend compiles branches concurrently and merges the
+/// results.
 class CaseNode : public Node {
 public:
   using Branch = std::pair<const Node *, const Node *>; // (guard, program)

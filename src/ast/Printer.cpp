@@ -37,11 +37,11 @@ Level levelOf(const Node *N) {
   case NodeKind::Not:
   case NodeKind::Star:
     return LevelUnary;
-  // if/while/case extend unboundedly to the right (dangling-else); force
-  // parentheses anywhere but the top level.
+  // if/while extend unboundedly to the right (dangling-else); force
+  // parentheses anywhere but the top level. case is brace-delimited and
+  // needs none.
   case NodeKind::IfThenElse:
   case NodeKind::While:
-  case NodeKind::Case:
     return LevelChoice;
   default:
     return LevelAtom;
@@ -75,17 +75,19 @@ void printInto(const Node *N, const FieldTable &Fields, int MinLevel,
     printInto(cast<NotNode>(N)->operand(), Fields, LevelAtom, Out);
     break;
   case NodeKind::Seq: {
+    // Right operand one level tighter: the parser is left-associative, so
+    // a right-nested chain must parenthesize to round-trip structurally.
     const auto *S = cast<SeqNode>(N);
     printInto(S->lhs(), Fields, LevelSeq, Out);
     Out += " ; ";
-    printInto(S->rhs(), Fields, LevelSeq, Out);
+    printInto(S->rhs(), Fields, LevelUnary, Out);
     break;
   }
   case NodeKind::Union: {
     const auto *U = cast<UnionNode>(N);
     printInto(U->lhs(), Fields, LevelUnion, Out);
     Out += " & ";
-    printInto(U->rhs(), Fields, LevelUnion, Out);
+    printInto(U->rhs(), Fields, LevelSeq, Out);
     break;
   }
   case NodeKind::Choice: {
@@ -119,24 +121,19 @@ void printInto(const Node *N, const FieldTable &Fields, int MinLevel,
     break;
   }
   case NodeKind::Case: {
-    // No surface syntax; print as the equivalent conditional cascade.
+    // Brace-delimited n-ary branching: guards at top level (they stop at
+    // '->'), branch programs at seq level like if/while bodies.
     const auto *C = cast<CaseNode>(N);
-    std::string Tail;
-    printInto(C->defaultBranch(), Fields, LevelSeq, Tail);
-    for (std::size_t I = C->branches().size(); I-- > 0;) {
-      const auto &[Guard, Program] = C->branches()[I];
-      std::string Piece = "if ";
-      printInto(Guard, Fields, LevelUnion, Piece);
-      Piece += " then ";
-      printInto(Program, Fields, LevelSeq, Piece);
-      // Inner cascade pieces are open-ended ifs; parenthesize them.
-      if (I + 1 < C->branches().size())
-        Piece += " else (" + Tail + ")";
-      else
-        Piece += " else " + Tail;
-      Tail = std::move(Piece);
+    Out += "case { ";
+    for (const auto &[Guard, Program] : C->branches()) {
+      printInto(Guard, Fields, LevelChoice, Out);
+      Out += " -> ";
+      printInto(Program, Fields, LevelSeq, Out);
+      Out += " | ";
     }
-    Out += Tail;
+    Out += "else -> ";
+    printInto(C->defaultBranch(), Fields, LevelSeq, Out);
+    Out += " }";
     break;
   }
   }

@@ -19,7 +19,11 @@ namespace ast {
 
 /// Renders \p N using field names from \p Fields. Grammar (loosest to
 /// tightest): choice `+[r]`, union `&`, sequence `;`, prefix `!` / postfix
-/// `*`, atoms. if/while/var print with parenthesized sub-programs.
+/// `*`, atoms (including brace-delimited `case { g -> p | ... }`).
+/// if/while print with parenthesized sub-programs, and right-nested
+/// `;`/`&` chains parenthesize their right operand, so parse(print(n)) is
+/// structurally identical to n — the property the conformance suite
+/// checks on 500 random programs.
 std::string print(const Node *N, const FieldTable &Fields);
 
 } // namespace ast

@@ -1,0 +1,426 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential-oracle implementation. One crossCheckProgram call fans a
+/// guarded program out to every engine and funnels the answers back
+/// through exact-rational (or toleranced) comparisons; scenario checks
+/// layer teleport verdicts, closed forms, hop statistics, and
+/// LoopSolveStats sanity on top. Disagreement strings always embed the
+/// case label (which embeds the seed), so any red run reproduces.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/Oracle.h"
+
+#include "analysis/Verifier.h"
+#include "ast/Printer.h"
+#include "ast/Traversal.h"
+#include "baseline/Exhaustive.h"
+#include "fdd/Export.h"
+#include "parser/Parser.h"
+#include "prism/Checker.h"
+#include "prism/Translate.h"
+#include "semantics/SetSemantics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+using namespace mcnk;
+using namespace mcnk::gen;
+using ast::Context;
+using ast::Node;
+
+void OracleReport::merge(const OracleReport &Other) {
+  NumCases += Other.NumCases;
+  NumChecks += Other.NumChecks;
+  Disagreements.insert(Disagreements.end(), Other.Disagreements.begin(),
+                       Other.Disagreements.end());
+}
+
+std::string OracleReport::summary() const {
+  return std::to_string(NumCases) + " cases, " +
+         std::to_string(NumChecks) + " checks, " +
+         std::to_string(Disagreements.size()) + " disagreements";
+}
+
+namespace {
+
+std::string hexSeed(uint64_t Seed) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "0x%llx",
+                static_cast<unsigned long long>(Seed));
+  return Buffer;
+}
+
+std::string renderPacket(const Context &Ctx, const Packet &P) {
+  std::string Out = "{";
+  for (std::size_t F = 0; F < P.numFields(); ++F) {
+    if (F)
+      Out += ", ";
+    Out += Ctx.fields().name(static_cast<FieldId>(F)) + "=" +
+           std::to_string(P.get(static_cast<FieldId>(F)));
+  }
+  return Out + "}";
+}
+
+/// Bundles the report with the case label so every check is one line.
+struct Checker {
+  OracleReport &Report;
+  const std::string &Label;
+
+  void check(bool Ok, const std::string &Message) {
+    ++Report.NumChecks;
+    if (!Ok)
+      Report.Disagreements.push_back(Label + ": " + Message);
+  }
+  void fail(const std::string &Message) {
+    Report.Disagreements.push_back(Label + ": " + Message);
+  }
+};
+
+/// Pr[F Done] of \p Program on \p In through the prismlite pipeline.
+/// Returns false (with a disagreement already recorded) on any pipeline
+/// error — a translation the checker rejects is itself a bug.
+bool prismDelivery(Context &Ctx, const Node *Program, const Packet &In,
+                   markov::SolverKind Solver, Checker &C, Rational &Out) {
+  prism::Translation T = prism::translate(Ctx, Program, In);
+  prism::Model Model;
+  prism::GuardExpr Goal;
+  std::string Error;
+  if (!prism::parseModel(T.Source, Model, Error)) {
+    C.fail("prism translation failed to parse: " + Error);
+    return false;
+  }
+  if (!prism::parseGuard(T.DoneGuard, Model, Goal, Error)) {
+    C.fail("prism done-guard failed to parse: " + Error);
+    return false;
+  }
+  prism::CheckResult CR;
+  if (!prism::checkReachability(Model, Goal, Solver, CR, Error)) {
+    C.fail("prismlite rejected the translated model: " + Error);
+    return false;
+  }
+  Out = CR.Probability;
+  return true;
+}
+
+} // namespace
+
+OracleReport gen::crossCheckProgram(Context &Ctx, const Node *Program,
+                                    const std::vector<Packet> &Inputs,
+                                    const OracleOptions &O,
+                                    const std::string &Label,
+                                    analysis::Verifier *ExactVerifier) {
+  OracleReport R;
+  R.NumCases = 1;
+  Checker C{R, Label};
+
+  // --- Compile under every solver, serial and parallel ------------------
+  std::unique_ptr<analysis::Verifier> OwnedExact;
+  if (!ExactVerifier) {
+    OwnedExact =
+        std::make_unique<analysis::Verifier>(markov::SolverKind::Exact);
+    ExactVerifier = OwnedExact.get();
+  }
+  analysis::Verifier &VExact = *ExactVerifier;
+  analysis::Verifier VDirect(markov::SolverKind::Direct);
+  analysis::Verifier VIter(markov::SolverKind::Iterative);
+  fdd::FddRef E = VExact.compile(Program);
+  fdd::FddRef D = VDirect.compile(Program);
+  fdd::FddRef I = VIter.compile(Program);
+  if (O.CheckParallel) {
+    C.check(VExact.compile(Program, true, O.ParallelThreads) == E,
+            "serial vs parallel compilation differ (exact solver)");
+    C.check(VDirect.compile(Program, true, O.ParallelThreads) == D,
+            "serial vs parallel compilation differ (direct solver)");
+    C.check(VIter.compile(Program, true, O.ParallelThreads) == I,
+            "serial vs parallel compilation differ (iterative solver)");
+  }
+
+  // --- Per-input delivery / distribution agreement ----------------------
+  for (std::size_t Idx = 0; Idx < Inputs.size(); ++Idx) {
+    const Packet &In = Inputs[Idx];
+    const std::string Where = " on input " + renderPacket(Ctx, In);
+    Rational DelExact = VExact.deliveryProbability(E, In);
+    double Expected = DelExact.toDouble();
+
+    double DelDirect = VDirect.deliveryProbability(D, In).toDouble();
+    C.check(std::fabs(DelDirect - Expected) <= O.Tolerance,
+            "direct(float) delivery " + std::to_string(DelDirect) +
+                " != exact " + DelExact.toString() + Where);
+    double DelIter = VIter.deliveryProbability(I, In).toDouble();
+    C.check(std::fabs(DelIter - Expected) <= O.Tolerance,
+            "iterative delivery " + std::to_string(DelIter) + " != exact " +
+                DelExact.toString() + Where);
+
+    if (O.CheckBaseline) {
+      baseline::InferenceOptions BO;
+      BO.LoopBound = O.BaselineLoopBound;
+      BO.PathBudget = O.BaselinePathBudget;
+      baseline::InferenceResult BR = baseline::infer(Program, In, BO);
+      if (!BR.BudgetExhausted) {
+        if (BR.Residual.isZero()) {
+          // Complete enumeration: the whole output distribution must
+          // match the native exact backend, point for point.
+          auto Out = VExact.manager().outputDistribution(E, In);
+          C.check(Out.Outputs == BR.Outputs && Out.Dropped == BR.Dropped,
+                  "exhaustive baseline output distribution != native" +
+                      Where);
+        } else {
+          Rational Gap = DelExact - BR.deliveredMass();
+          C.check(!Gap.isNegative() && Gap <= BR.Residual,
+                  "exhaustive baseline delivery outside the residual "
+                  "envelope" +
+                      Where);
+        }
+      }
+    }
+
+    if (O.CheckPrism && Idx < O.MaxPrismInputs) {
+      Rational PrismExact;
+      if (prismDelivery(Ctx, Program, In, markov::SolverKind::Exact, C,
+                        PrismExact))
+        C.check(PrismExact == DelExact,
+                "prismlite exact delivery " + PrismExact.toString() +
+                    " != native " + DelExact.toString() + Where);
+      Rational PrismIter;
+      if (prismDelivery(Ctx, Program, In, markov::SolverKind::Iterative, C,
+                        PrismIter))
+        C.check(std::fabs(PrismIter.toDouble() - Expected) <= O.Tolerance,
+                "prismlite iterative delivery != native" + Where);
+    }
+  }
+
+  // --- Syntax and portable-FDD round-trips ------------------------------
+  if (O.CheckRoundTrips) {
+    std::string Printed = ast::print(Program, Ctx.fields());
+    parser::ParseResult PR = parser::parseProgram(Printed, Ctx);
+    if (!PR.ok()) {
+      C.fail("printed program failed to reparse (" +
+             PR.Diagnostics.front().render() + "): " + Printed);
+    } else {
+      C.check(ast::isGuarded(PR.Program),
+              "reparsed program left the guarded fragment");
+      C.check(ast::structurallyEqual(Program, PR.Program),
+              "print -> parse round-trip is not structurally identical: " +
+                  Printed);
+      C.check(VExact.compile(PR.Program) == E,
+              "reparsed program compiles to a different diagram");
+    }
+
+    fdd::PortableFdd Portable = fdd::exportFdd(VExact.manager(), E);
+    C.check(fdd::importFdd(VExact.manager(), Portable) == E,
+            "same-manager export -> import is not the identity");
+    fdd::FddManager Fresh(markov::SolverKind::Exact);
+    fdd::FddRef Imported = fdd::importFdd(Fresh, Portable);
+    fdd::PortableFdd Reexported = fdd::exportFdd(Fresh, Imported);
+    C.check(fdd::importFdd(VExact.manager(), Reexported) == E,
+            "cross-manager export -> import -> export round-trip lost "
+            "reference equality");
+  }
+  return R;
+}
+
+OracleReport gen::crossCheckScenario(Context &Ctx, const Scenario &S,
+                                     const OracleOptions &Options) {
+  OracleOptions O = Options;
+  O.CheckPrism = O.CheckPrism && S.CheckPrism;
+  O.CheckBaseline = O.CheckBaseline && S.CheckBaseline;
+  O.BaselineLoopBound = S.BaselineLoopBound;
+
+  // One exact verifier serves both the per-engine cross-checks and the
+  // scenario-level queries below (the second compile is a cache hit, and
+  // lastLoopStats still describes this model's loop).
+  analysis::Verifier V(markov::SolverKind::Exact);
+  OracleReport R =
+      crossCheckProgram(Ctx, S.Program, S.Inputs, O, S.Name, &V);
+  Checker C{R, S.Name};
+
+  fdd::FddRef P = V.compile(S.Program);
+
+  // Closed-form delivery (per input).
+  if (S.HasClosedForm)
+    for (const Packet &In : S.Inputs) {
+      Rational Del = V.deliveryProbability(P, In);
+      C.check(Del == S.ClosedFormDelivery,
+              "delivery " + Del.toString() + " != closed form " +
+                  S.ClosedFormDelivery.toString() + " on input " +
+                  renderPacket(Ctx, In));
+    }
+
+  // Teleport verdicts: the model always refines its specification, and is
+  // equivalent exactly when it delivers with probability one everywhere.
+  if (S.Teleport) {
+    fdd::FddRef T = V.compile(S.Teleport);
+    C.check(V.refines(P, T), "model does not refine its teleport spec");
+    bool FullDelivery = true;
+    for (const Packet &In : S.Inputs)
+      if (!V.deliveryProbability(P, In).isOne())
+        FullDelivery = false;
+    C.check(V.equivalent(P, T) == FullDelivery,
+            std::string("teleport equivalence verdict inconsistent with ") +
+                (FullDelivery ? "full" : "lossy") + " delivery");
+  }
+
+  // Hop statistics: internal consistency plus an exact cross-check of the
+  // whole histogram against the exhaustive baseline.
+  if (S.HopField != FieldTable::NotFound) {
+    analysis::HopStats HS = V.hopStats(P, S.Inputs, S.HopField);
+    Rational Avg = V.averageDeliveryProbability(P, S.Inputs);
+    C.check(HS.Delivered == Avg,
+            "hop-stats delivered mass != average delivery probability");
+    Rational HistTotal;
+    unsigned MaxHop = 0;
+    for (const auto &[Hop, Mass] : HS.Histogram) {
+      HistTotal += Mass;
+      MaxHop = std::max(MaxHop, Hop);
+    }
+    C.check(HistTotal == HS.Delivered,
+            "hop histogram mass != delivered mass");
+    C.check(HS.cumulative(MaxHop) == HS.Delivered,
+            "cumulative(max hop) != delivered mass");
+
+    if (O.CheckBaseline) {
+      std::map<unsigned, Rational> Reference;
+      bool Complete = true;
+      for (const Packet &In : S.Inputs) {
+        baseline::InferenceOptions BO;
+        BO.LoopBound = O.BaselineLoopBound;
+        BO.PathBudget = O.BaselinePathBudget;
+        baseline::InferenceResult BR = baseline::infer(S.Program, In, BO);
+        if (BR.BudgetExhausted || !BR.Residual.isZero()) {
+          Complete = false;
+          break;
+        }
+        for (const auto &[Pkt, W] : BR.Outputs)
+          Reference[Pkt.get(S.HopField)] += W;
+      }
+      if (Complete) {
+        Rational Split(1, static_cast<int64_t>(S.Inputs.size()));
+        for (auto &[Hop, Mass] : Reference)
+          Mass *= Split;
+        C.check(Reference == HS.Histogram,
+                "hop histogram != exhaustive-baseline histogram");
+      }
+    }
+  }
+
+  // Loop-solver statistics must describe a well-formed absorbing chain.
+  if (S.LoopBearing) {
+    const fdd::LoopSolveStats &LS = V.manager().lastLoopStats();
+    C.check(LS.NumStates > 0 && LS.NumTransient > 0,
+            "loop-bearing model solved no loop (stats empty)");
+    C.check(LS.NumTransient <= LS.NumStates,
+            "more transient classes than symbolic states");
+    C.check(LS.NumQEntries <= LS.NumTransient * LS.NumTransient,
+            "Q has more entries than a dense matrix");
+    bool AnyDelivery = false;
+    for (const Packet &In : S.Inputs)
+      if (!V.deliveryProbability(P, In).isZero())
+        AnyDelivery = true;
+    if (AnyDelivery)
+      C.check(LS.NumAbsorbing >= 1,
+              "delivery is positive but the chain has no absorbing class");
+  }
+  return R;
+}
+
+namespace {
+
+/// Set-semantics verdict comparison on a tiny program pair: the verifier's
+/// equivalence/refinement decisions must match pointwise singleton
+/// evaluation under the reference semantics (with one fresh value per
+/// field beyond the generator's range, exercising the wildcard classes).
+void verdictCase(uint64_t Seed, const OracleOptions &O, OracleReport &R) {
+  Context Ctx;
+  GenOptions Tiny;
+  Tiny.NumFields = 2;
+  Tiny.NumValues = 2;
+  Tiny.MaxDepth = 2;
+  Prng Rng(Seed);
+  const Node *P = generateProgram(Ctx, Rng, Tiny);
+  const Node *Q = generateProgram(Ctx, Rng, Tiny);
+  for (unsigned F = 0; F < Tiny.NumFields; ++F)
+    Ctx.field("f" + std::to_string(F));
+
+  const std::string Label = "verdict seed=" + hexSeed(Seed);
+  Checker C{R, Label};
+  ++R.NumCases;
+
+  PacketDomain Domain({Tiny.NumValues + 1, Tiny.NumValues + 1});
+  semantics::SetSemantics Sem(Ctx, Domain);
+  bool RefEquivalent = true;
+  bool RefRefines = true;
+  for (std::size_t PIdx = 0; PIdx < Domain.numPackets(); ++PIdx) {
+    semantics::PacketSet In = Sem.singleton(Domain.packet(PIdx));
+    semantics::SetDist DistP = Sem.eval(P, In);
+    semantics::SetDist DistQ = Sem.eval(Q, In);
+    if (DistP != DistQ)
+      RefEquivalent = false;
+    for (const auto &[Set, W] : DistP) {
+      if (Set == 0)
+        continue; // Drop mass may shrink under refinement.
+      auto It = DistQ.find(Set);
+      Rational QMass = It == DistQ.end() ? Rational() : It->second;
+      if (W > QMass)
+        RefRefines = false;
+    }
+  }
+
+  analysis::Verifier V(markov::SolverKind::Exact);
+  fdd::FddRef FP = V.compile(P);
+  fdd::FddRef FQ = V.compile(Q);
+  C.check(V.equivalent(FP, FQ) == RefEquivalent,
+          std::string("equivalence verdict ") +
+              (RefEquivalent ? "false" : "true") +
+              " contradicts set semantics; p = " +
+              ast::print(P, Ctx.fields()) + "; q = " +
+              ast::print(Q, Ctx.fields()));
+  C.check(V.refines(FP, FQ) == RefRefines,
+          std::string("refinement verdict ") +
+              (RefRefines ? "false" : "true") +
+              " contradicts set semantics; p = " +
+              ast::print(P, Ctx.fields()) + "; q = " +
+              ast::print(Q, Ctx.fields()));
+  (void)O;
+}
+
+} // namespace
+
+OracleReport gen::fuzzPrograms(uint64_t Seed, const FuzzOptions &Fuzz,
+                               const OracleOptions &Options) {
+  OracleReport R;
+  Prng Master(Seed);
+  for (unsigned I = 0; I < Fuzz.Iterations; ++I) {
+    uint64_t CaseSeed = Master.deriveSeed(I);
+    Context Ctx;
+    Prng Rng(CaseSeed);
+    const Node *Program = generateProgram(Ctx, Rng, Fuzz.Gen);
+    std::vector<Packet> Inputs =
+        enumerateInputs(Ctx, Fuzz.Gen, Fuzz.MaxInputs, Rng);
+    std::string Label =
+        "program[" + std::to_string(I) + "] seed=" + hexSeed(CaseSeed);
+    OracleReport Case =
+        crossCheckProgram(Ctx, Program, Inputs, Options, Label);
+    if (!Case.ok())
+      Case.Disagreements.push_back(Label + ": generated program was: " +
+                                   ast::print(Program, Ctx.fields()));
+    R.merge(Case);
+
+    if (Fuzz.VerdictEvery && I % Fuzz.VerdictEvery == 0)
+      verdictCase(Master.deriveSeed(0x10000 + I), Options, R);
+  }
+  return R;
+}
+
+OracleReport gen::runRegistry(const RegistryOptions &Registry,
+                              const OracleOptions &Options) {
+  OracleReport R;
+  for (const ScenarioSpec &Spec : buildRegistry(Registry)) {
+    Context Ctx;
+    Scenario S = Spec.Build(Ctx);
+    R.merge(crossCheckScenario(Ctx, S, Options));
+  }
+  return R;
+}

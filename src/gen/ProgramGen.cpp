@@ -1,0 +1,208 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Weighted-grammar random program generation (guarded fragment only).
+/// Structure mirrors a probabilistic CFG walk: each call picks a
+/// production by weight, compound rules recurse with a decremented depth
+/// budget, and depth 0 falls back to the atomic rules. While-loop bodies
+/// get a trailing assignment to the guard field so a useful fraction of
+/// generated loops terminates with probability one (diverging loops are
+/// still legal — their mass drops — just less informative per case).
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/ProgramGen.h"
+
+#include "support/Casting.h"
+
+#include <string>
+
+using namespace mcnk;
+using namespace mcnk::gen;
+using ast::Context;
+using ast::Node;
+
+namespace {
+
+FieldId pickField(Context &Ctx, Prng &Rng, const GenOptions &O) {
+  unsigned Index = static_cast<unsigned>(Rng.below(O.NumFields));
+  return Ctx.field("f" + std::to_string(Index));
+}
+
+FieldValue pickValue(Prng &Rng, const GenOptions &O) {
+  return static_cast<FieldValue>(Rng.below(O.NumValues));
+}
+
+/// A probability strictly inside (0, 1) with a small denominator (keeps
+/// exact arithmetic cheap and avoids the trivial-probability collapse in
+/// Context::choice).
+Rational pickProbability(Prng &Rng) {
+  uint64_t Den = Rng.range(2, 8);
+  uint64_t Num = Rng.range(1, Den - 1);
+  return Rational(static_cast<int64_t>(Num), static_cast<int64_t>(Den));
+}
+
+const Node *genProgram(Context &Ctx, Prng &Rng, const GenOptions &O,
+                       unsigned Depth);
+
+} // namespace
+
+const Node *gen::generatePredicate(Context &Ctx, Prng &Rng,
+                                   const GenOptions &O, unsigned Depth) {
+  // Weighted predicate grammar: test-heavy, with occasional negation,
+  // conjunction, and disjunction; constants are rare (they collapse the
+  // surrounding construct in Context's smart constructors).
+  enum { Test, Negate, Conj, Disj, Constant };
+  std::vector<unsigned> Weights = {6, 2, 2, 2, 1};
+  if (Depth == 0)
+    Weights[Negate] = Weights[Conj] = Weights[Disj] = 0;
+  switch (Rng.weighted(Weights)) {
+  case Test:
+    return Ctx.test(pickField(Ctx, Rng, O), pickValue(Rng, O));
+  case Negate:
+    return Ctx.negate(generatePredicate(Ctx, Rng, O, Depth - 1));
+  case Conj:
+    return Ctx.seq(generatePredicate(Ctx, Rng, O, Depth - 1),
+                   generatePredicate(Ctx, Rng, O, Depth - 1));
+  case Disj:
+    return Ctx.unite(generatePredicate(Ctx, Rng, O, Depth - 1),
+                     generatePredicate(Ctx, Rng, O, Depth - 1));
+  default:
+    return Rng.chance(1, 2) ? Ctx.skip() : Ctx.drop();
+  }
+}
+
+namespace {
+
+const Node *genWhile(Context &Ctx, Prng &Rng, const GenOptions &O,
+                     unsigned Depth) {
+  // Guard: a single test (possibly negated) keeps the loop's symbolic
+  // state space within the generator's domain.
+  FieldId Field = pickField(Ctx, Rng, O);
+  FieldValue Value = pickValue(Rng, O);
+  const Node *Guard = Ctx.test(Field, Value);
+  bool Negated = Rng.chance(1, 3);
+  if (Negated)
+    Guard = Ctx.negate(Guard);
+  const Node *Body = genProgram(Ctx, Rng, O, Depth - 1);
+  // Usually append a guard-field write so the loop tends to terminate:
+  // exiting needs the field to differ from (resp. equal) Value.
+  if (Rng.chance(3, 4)) {
+    FieldValue Exit = Negated ? Value : (Value + 1) % O.NumValues;
+    const Node *Write = Ctx.assign(Field, Exit);
+    // Sometimes make the write probabilistic — a geometric loop.
+    if (Rng.chance(1, 3))
+      Write = Ctx.choice(pickProbability(Rng), Write, Ctx.skip());
+    Body = Ctx.seq(Body, Write);
+  }
+  return Ctx.whileLoop(Guard, Body);
+}
+
+const Node *genCase(Context &Ctx, Prng &Rng, const GenOptions &O,
+                    unsigned Depth) {
+  std::size_t NumBranches = Rng.range(1, O.MaxCaseBranches);
+  std::vector<ast::CaseNode::Branch> Branches;
+  Branches.reserve(NumBranches);
+  for (std::size_t I = 0; I < NumBranches; ++I)
+    Branches.push_back({generatePredicate(Ctx, Rng, O, 1),
+                        genProgram(Ctx, Rng, O, Depth - 1)});
+  const Node *Default =
+      Rng.chance(1, 2) ? Ctx.drop() : genProgram(Ctx, Rng, O, Depth - 1);
+  return Ctx.caseOf(std::move(Branches), Default);
+}
+
+const Node *genProgram(Context &Ctx, Prng &Rng, const GenOptions &O,
+                       unsigned Depth) {
+  enum { Assign, Test, Skip, Drop, Seq, Choice, Ite, While, Case };
+  std::vector<unsigned> Weights = {O.WeightAssign, O.WeightTest,
+                                   O.WeightSkip,   O.WeightDrop,
+                                   O.WeightSeq,    O.WeightChoice,
+                                   O.WeightIte,    O.WeightWhile,
+                                   O.WeightCase};
+  if (Depth == 0)
+    Weights[Seq] = Weights[Choice] = Weights[Ite] = Weights[While] =
+        Weights[Case] = 0;
+  switch (Rng.weighted(Weights)) {
+  case Assign:
+    return Ctx.assign(pickField(Ctx, Rng, O), pickValue(Rng, O));
+  case Test:
+    return Ctx.test(pickField(Ctx, Rng, O), pickValue(Rng, O));
+  case Skip:
+    return Ctx.skip();
+  case Drop:
+    return Ctx.drop();
+  case Seq: {
+    std::size_t Length = Rng.range(2, O.MaxSeqLength);
+    const Node *Acc = genProgram(Ctx, Rng, O, Depth - 1);
+    for (std::size_t I = 1; I < Length; ++I)
+      Acc = Ctx.seq(Acc, genProgram(Ctx, Rng, O, Depth - 1));
+    return Acc;
+  }
+  case Choice:
+    return Ctx.choice(pickProbability(Rng),
+                      genProgram(Ctx, Rng, O, Depth - 1),
+                      genProgram(Ctx, Rng, O, Depth - 1));
+  case Ite:
+    return Ctx.ite(generatePredicate(Ctx, Rng, O, 1),
+                   genProgram(Ctx, Rng, O, Depth - 1),
+                   genProgram(Ctx, Rng, O, Depth - 1));
+  case While:
+    return genWhile(Ctx, Rng, O, Depth);
+  default:
+    return genCase(Ctx, Rng, O, Depth);
+  }
+}
+
+} // namespace
+
+const Node *gen::generateProgram(Context &Ctx, Prng &Rng,
+                                 const GenOptions &Options) {
+  return genProgram(Ctx, Rng, Options, Options.MaxDepth);
+}
+
+const Node *gen::generateProgram(Context &Ctx, uint64_t Seed,
+                                 const GenOptions &Options) {
+  Prng Rng(Seed);
+  return generateProgram(Ctx, Rng, Options);
+}
+
+std::vector<Packet> gen::enumerateInputs(Context &Ctx,
+                                         const GenOptions &Options,
+                                         std::size_t MaxInputs, Prng &Rng) {
+  // Intern the full field set so packets cover it even when the program
+  // mentioned only a subset.
+  for (unsigned F = 0; F < Options.NumFields; ++F)
+    Ctx.field("f" + std::to_string(F));
+  std::size_t Total = 1;
+  for (unsigned F = 0; F < Options.NumFields; ++F)
+    Total *= Options.NumValues;
+
+  auto PacketAt = [&](std::size_t Index) {
+    Packet P(Ctx.fields().numFields());
+    for (unsigned F = 0; F < Options.NumFields; ++F) {
+      P.set(Ctx.field("f" + std::to_string(F)),
+            static_cast<FieldValue>(Index % Options.NumValues));
+      Index /= Options.NumValues;
+    }
+    return P;
+  };
+
+  std::vector<Packet> Inputs;
+  if (MaxInputs == 0 || Total <= MaxInputs) {
+    Inputs.reserve(Total);
+    for (std::size_t I = 0; I < Total; ++I)
+      Inputs.push_back(PacketAt(I));
+    return Inputs;
+  }
+  // Deterministic subsample without replacement (Floyd's algorithm needs
+  // set bookkeeping; for these tiny totals a shuffle-prefix is simpler).
+  std::vector<std::size_t> Indices(Total);
+  for (std::size_t I = 0; I < Total; ++I)
+    Indices[I] = I;
+  for (std::size_t I = 0; I < MaxInputs; ++I) {
+    std::size_t J = I + Rng.below(Total - I);
+    std::swap(Indices[I], Indices[J]);
+    Inputs.push_back(PacketAt(Indices[I]));
+  }
+  return Inputs;
+}

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random guarded-ProbNetKAT program generation over ast::Context:
+/// size-bounded terms drawn from weighted production rules covering field
+/// tests/sets, drop/skip, sequencing, probabilistic choice, conditionals,
+/// while loops, and the n-ary `case` construct — always inside the
+/// guarded fragment the backends accept (no Star, Union only between
+/// predicates). Deterministic in (seed, options) across platforms: all
+/// randomness flows through support/Prng.h.
+///
+/// This is the program half of the differential-testing subsystem
+/// (docs/ARCHITECTURE.md S11); the topology half lives in Scenario.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_GEN_PROGRAMGEN_H
+#define MCNK_GEN_PROGRAMGEN_H
+
+#include "ast/Context.h"
+#include "packet/Packet.h"
+#include "support/Prng.h"
+
+#include <vector>
+
+namespace mcnk {
+namespace gen {
+
+/// Shape and production-rule weights for generated programs. The defaults
+/// produce small, loop- and case-bearing programs whose finite domain
+/// (NumFields x NumValues) stays cheap for every oracle engine, including
+/// exhaustive path enumeration.
+struct GenOptions {
+  unsigned NumFields = 3;   ///< Fields f0..f{NumFields-1}.
+  FieldValue NumValues = 3; ///< Values range over [0, NumValues).
+  unsigned MaxDepth = 4;    ///< Recursion bound for compound rules.
+  unsigned MaxCaseBranches = 3;
+  unsigned MaxSeqLength = 3;
+
+  // Relative weights of the production rules (compound rules only fire
+  // above depth 0; zero disables a rule).
+  unsigned WeightAssign = 4;
+  unsigned WeightTest = 2;
+  unsigned WeightSkip = 1;
+  unsigned WeightDrop = 1;
+  unsigned WeightSeq = 4;
+  unsigned WeightChoice = 4;
+  unsigned WeightIte = 3;
+  unsigned WeightWhile = 2;
+  unsigned WeightCase = 2;
+};
+
+/// Generates a random guarded-fragment program; fields are interned into
+/// \p Ctx as f0..fN on first use. The result always satisfies
+/// ast::isGuarded.
+const ast::Node *generateProgram(ast::Context &Ctx, uint64_t Seed,
+                                 const GenOptions &Options = {});
+
+/// Same, drawing from an existing stream (for callers generating several
+/// related terms from one seed).
+const ast::Node *generateProgram(ast::Context &Ctx, Prng &Rng,
+                                 const GenOptions &Options = {});
+
+/// Random predicate over the option's fields: tests combined with
+/// negation, conjunction (';'), and disjunction ('&').
+const ast::Node *generatePredicate(ast::Context &Ctx, Prng &Rng,
+                                   const GenOptions &Options,
+                                   unsigned Depth);
+
+/// The full concrete input space of the generator's domain: every packet
+/// over fields f0..fN with values below NumValues, capped at \p MaxInputs
+/// by deterministic uniform subsampling (keeps oracle cost bounded for
+/// larger domains).
+std::vector<Packet> enumerateInputs(ast::Context &Ctx,
+                                    const GenOptions &Options,
+                                    std::size_t MaxInputs, Prng &Rng);
+
+} // namespace gen
+} // namespace mcnk
+
+#endif // MCNK_GEN_PROGRAMGEN_H

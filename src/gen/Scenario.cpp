@@ -1,0 +1,253 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry enumeration: each entry pairs a stable name with a builder
+/// closure that synthesizes the scenario's model into a caller-supplied
+/// Context. Families: the §2 triangle (both policies under f0/f1/f2),
+/// chains of diamonds, rings, grids, a torus, seeded random connected
+/// graphs, and p=4 (AB) FatTrees — with and without per-hop failures,
+/// plus hop-counting variants. Closed forms are attached where the paper
+/// (or elementary reasoning) pins the exact delivery probability.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/Scenario.h"
+
+#include "routing/Routing.h"
+#include "support/Prng.h"
+#include "topology/Topology.h"
+
+#include <utility>
+
+using namespace mcnk;
+using namespace mcnk::gen;
+using namespace mcnk::routing;
+using namespace mcnk::topology;
+
+namespace {
+
+/// Packets for every model ingress.
+std::vector<Packet> ingressPackets(const NetworkModel &Model,
+                                   const ast::Context &Ctx) {
+  std::vector<Packet> Inputs;
+  Inputs.reserve(Model.Ingresses.size());
+  for (std::size_t I = 0; I < Model.Ingresses.size(); ++I)
+    Inputs.push_back(Model.ingressPacket(I, Ctx));
+  return Inputs;
+}
+
+Scenario fromModel(std::string Name, NetworkModel Model,
+                   const ast::Context &Ctx) {
+  Scenario S;
+  S.Name = std::move(Name);
+  S.Program = Model.Program;
+  S.Teleport = Model.Teleport;
+  S.HopField = Model.HopField;
+  S.Inputs = ingressPackets(Model, Ctx);
+  S.LoopBearing = true; // Every routing model compiles a while loop.
+  return S;
+}
+
+void addTriangleScenarios(std::vector<ScenarioSpec> &Registry) {
+  struct Variant {
+    const char *Name;
+    bool Resilient;
+    unsigned FailureModel;
+    bool HasClosedForm;
+    Rational Delivery;
+  };
+  // Closed forms from §2: p is 0-resilient (3/4 under f1, 4/5 under f2),
+  // p̂ is 1-resilient (still 24/25 under the unbounded f2).
+  const Variant Variants[] = {
+      {"triangle/naive/f0", false, 0, true, Rational(1)},
+      {"triangle/naive/f1", false, 1, true, Rational(3, 4)},
+      {"triangle/naive/f2", false, 2, true, Rational(4, 5)},
+      {"triangle/resilient/f0", true, 0, true, Rational(1)},
+      {"triangle/resilient/f1", true, 1, true, Rational(1)},
+      {"triangle/resilient/f2", true, 2, true, Rational(24, 25)},
+  };
+  for (const Variant &V : Variants)
+    Registry.push_back({V.Name, [V](ast::Context &Ctx) {
+                          TriangleExample Ex = buildTriangleExample(Ctx);
+                          const ast::Node *Programs[2][3] = {
+                              {Ex.NaiveF0, Ex.NaiveF1, Ex.NaiveF2},
+                              {Ex.ResilientF0, Ex.ResilientF1,
+                               Ex.ResilientF2}};
+                          Scenario S;
+                          S.Name = V.Name;
+                          S.Program =
+                              Programs[V.Resilient][V.FailureModel];
+                          S.Teleport = Ex.Teleport;
+                          S.Inputs = {Ex.ingressPacket(Ctx)};
+                          S.LoopBearing = true;
+                          S.HasClosedForm = V.HasClosedForm;
+                          S.ClosedFormDelivery = V.Delivery;
+                          S.BaselineLoopBound = 16;
+                          return S;
+                        }});
+}
+
+void addChainScenarios(std::vector<ScenarioSpec> &Registry, unsigned MaxK) {
+  for (unsigned K = 1; K <= MaxK; ++K) {
+    std::string Name = "chain/K" + std::to_string(K);
+    Registry.push_back({Name, [Name, K](ast::Context &Ctx) {
+                          ChainLayout L;
+                          makeChain(K, L);
+                          const Rational PFail(1, 10);
+                          NetworkModel M = buildChainModel(L, PFail, Ctx);
+                          Scenario S = fromModel(Name, M, Ctx);
+                          // Exact reliability: (1 - pfail/2)^K.
+                          S.HasClosedForm = true;
+                          Rational PerDiamond =
+                              Rational(1) - PFail / Rational(2);
+                          S.ClosedFormDelivery = Rational(1);
+                          for (unsigned I = 0; I < K; ++I)
+                            S.ClosedFormDelivery *= PerDiamond;
+                          S.BaselineLoopBound = 6 * K + 4;
+                          return S;
+                        }});
+  }
+}
+
+/// Shared helper for every shortest-path family member.
+void addShortestPath(std::vector<ScenarioSpec> &Registry, std::string Name,
+                     std::function<Topology()> MakeTopo,
+                     const FailureModel &Failures, bool CountHops,
+                     std::size_t LoopBound) {
+  Registry.push_back(
+      {Name, [Name, MakeTopo = std::move(MakeTopo), Failures, CountHops,
+              LoopBound](ast::Context &Ctx) {
+         Topology T = MakeTopo();
+         ModelOptions O;
+         O.Failures = Failures;
+         O.CountHops = CountHops;
+         O.HopCap = 8;
+         NetworkModel M = buildShortestPathModel(T, /*Dst=*/1, O, Ctx);
+         Scenario S = fromModel(Name, M, Ctx);
+         if (!Failures.enabled() && !CountHops) {
+           // Failure-free shortest-path routing always delivers.
+           S.HasClosedForm = true;
+           S.ClosedFormDelivery = Rational(1);
+         }
+         S.BaselineLoopBound = LoopBound;
+         return S;
+       }});
+}
+
+void addFatTreeScenarios(std::vector<ScenarioSpec> &Registry) {
+  struct Variant {
+    const char *Name;
+    bool AB;
+    Scheme RoutingScheme;
+    FailureModel Failures;
+    bool CheckPrism;
+  };
+  const Variant Variants[] = {
+      {"fattree/p4/F100/f0", false, Scheme::F100, FailureModel::none(),
+       true},
+      {"fattree/p4/F100/f1", false, Scheme::F100,
+       FailureModel::bounded(Rational(1, 100), 1), false},
+      {"abfattree/p4/F103/f1", true, Scheme::F103,
+       FailureModel::bounded(Rational(1, 100), 1), false},
+      {"abfattree/p4/F1035/f1", true, Scheme::F1035,
+       FailureModel::bounded(Rational(1, 100), 1), false},
+  };
+  for (const Variant &V : Variants)
+    Registry.push_back({V.Name, [V](ast::Context &Ctx) {
+                          FatTreeLayout L;
+                          if (V.AB)
+                            makeAbFatTree(4, L);
+                          else
+                            makeFatTree(4, L);
+                          ModelOptions O;
+                          O.RoutingScheme = V.RoutingScheme;
+                          O.Failures = V.Failures;
+                          NetworkModel M = buildFatTreeModel(L, O, Ctx);
+                          Scenario S = fromModel(V.Name, M, Ctx);
+                          if (!V.Failures.enabled()) {
+                            S.HasClosedForm = true;
+                            S.ClosedFormDelivery = Rational(1);
+                          }
+                          S.CheckPrism = V.CheckPrism;
+                          S.BaselineLoopBound = 16;
+                          return S;
+                        }});
+}
+
+} // namespace
+
+std::vector<ScenarioSpec> gen::buildRegistry(const RegistryOptions &O) {
+  std::vector<ScenarioSpec> Registry;
+
+  if (O.IncludeTriangle)
+    addTriangleScenarios(Registry);
+  addChainScenarios(Registry, O.MaxChainK);
+
+  for (unsigned N : O.RingSizes) {
+    std::string Base = "ring/N" + std::to_string(N);
+    auto Make = [N] {
+      RingLayout L;
+      return makeRing(N, L);
+    };
+    addShortestPath(Registry, Base + "/f0", Make, FailureModel::none(),
+                    /*CountHops=*/false, 4 * N);
+    addShortestPath(Registry, Base + "/iid20", Make,
+                    FailureModel::iid(Rational(1, 20)),
+                    /*CountHops=*/false, 4 * N);
+  }
+  if (O.IncludeHopCounting && !O.RingSizes.empty()) {
+    unsigned N = O.RingSizes.front();
+    addShortestPath(Registry, "ring/N" + std::to_string(N) + "/hops",
+                    [N] {
+                      RingLayout L;
+                      return makeRing(N, L);
+                    },
+                    FailureModel::none(), /*CountHops=*/true, 4 * N);
+  }
+
+  if (O.IncludeGrids) {
+    auto AddGrid = [&](unsigned Rows, unsigned Cols, bool Torus,
+                       const std::string &Base) {
+      auto Make = [Rows, Cols, Torus] {
+        GridLayout L;
+        return makeGrid(Rows, Cols, Torus, L);
+      };
+      std::size_t LoopBound = 4 * static_cast<std::size_t>(Rows) * Cols;
+      addShortestPath(Registry, Base + "/f0", Make, FailureModel::none(),
+                      /*CountHops=*/false, LoopBound);
+      addShortestPath(Registry, Base + "/f1", Make,
+                      FailureModel::bounded(Rational(1, 20), 1),
+                      /*CountHops=*/false, LoopBound);
+    };
+    AddGrid(2, 2, false, "grid/2x2");
+    AddGrid(2, 3, false, "grid/2x3");
+    if (O.IncludeTorus)
+      AddGrid(3, 3, true, "torus/3x3");
+    if (O.IncludeHopCounting)
+      addShortestPath(Registry, "grid/2x3/hops",
+                      [] {
+                        GridLayout L;
+                        return makeGrid(2, 3, false, L);
+                      },
+                      FailureModel::none(), /*CountHops=*/true, 24);
+  }
+
+  for (unsigned G = 1; G <= O.NumRandomGraphs; ++G) {
+    std::string Name = "random/N" + std::to_string(O.RandomGraphSize) +
+                       "/s" + std::to_string(G);
+    unsigned N = O.RandomGraphSize;
+    unsigned Extra = O.RandomGraphExtraCables;
+    uint64_t Seed = Prng(O.Seed).deriveSeed(G);
+    addShortestPath(Registry, Name,
+                    [N, Extra, Seed] {
+                      return makeRandomConnected(N, Extra, Seed);
+                    },
+                    FailureModel::iid(Rational(1, 20)),
+                    /*CountHops=*/false, 4 * N);
+  }
+
+  if (O.IncludeFatTree)
+    addFatTreeScenarios(Registry);
+
+  return Registry;
+}

@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scenario registry: a single enumeration of topology x routing x
+/// failure-model combinations — the paper's chain/triangle/FatTree
+/// families plus ring, grid/torus, and seeded random-graph families —
+/// each yielding a ready-to-compile guarded program, its query inputs,
+/// and (where known) a closed-form expected answer. The same registry
+/// drives the conformance test suite, the `mcnk_cli fuzz` subcommand,
+/// and the bench/ scenario sweep, so every new family automatically
+/// reaches all three (docs/ARCHITECTURE.md S11).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_GEN_SCENARIO_H
+#define MCNK_GEN_SCENARIO_H
+
+#include "ast/Context.h"
+#include "packet/Packet.h"
+#include "support/Rational.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mcnk {
+namespace gen {
+
+/// One built scenario: a guarded program over \c Ctx plus everything the
+/// oracle needs to query and cross-check it.
+struct Scenario {
+  std::string Name;
+  const ast::Node *Program = nullptr;
+  /// Perfect-delivery specification, when one exists (null for
+  /// hop-counting models, whose outputs carry path lengths).
+  const ast::Node *Teleport = nullptr;
+  /// Concrete query packets (the model's ingresses).
+  std::vector<Packet> Inputs;
+  /// Hop-counter field, or FieldTable::NotFound.
+  FieldId HopField = FieldTable::NotFound;
+  /// True when the model compiles at least one while loop (drives the
+  /// LoopSolveStats checks).
+  bool LoopBearing = false;
+  /// Exact expected delivery probability per input, when known in closed
+  /// form (the chain's (1 - pfail/2)^K).
+  bool HasClosedForm = false;
+  Rational ClosedFormDelivery;
+  /// Engine affordability: scenarios whose PRISM translation or path
+  /// enumeration would dominate the suite's runtime opt out; the FDD
+  /// engines and round-trips always run.
+  bool CheckPrism = true;
+  bool CheckBaseline = true;
+  /// Unroll bound handed to the exhaustive baseline (must exceed the
+  /// longest possible path for residual-free comparison).
+  std::size_t BaselineLoopBound = 64;
+};
+
+/// A named, lazily-built scenario; building populates the caller's
+/// Context so each scenario gets a fresh field table.
+struct ScenarioSpec {
+  std::string Name;
+  std::function<Scenario(ast::Context &)> Build;
+};
+
+/// Knobs for the registry enumeration. Defaults are sized for the
+/// conformance suite (every engine affordable); the bench sweep scales
+/// them up.
+struct RegistryOptions {
+  bool IncludeTriangle = true;
+  unsigned MaxChainK = 3;             ///< Chains K = 1..MaxChainK.
+  std::vector<unsigned> RingSizes = {4, 6};
+  bool IncludeGrids = true;           ///< 2x2 and 2x3 meshes.
+  bool IncludeTorus = true;           ///< 3x3 torus.
+  unsigned NumRandomGraphs = 3;       ///< Seeded random-graph scenarios.
+  unsigned RandomGraphSize = 6;
+  unsigned RandomGraphExtraCables = 2;
+  bool IncludeFatTree = true;         ///< p=4 standard + AB FatTree.
+  bool IncludeHopCounting = true;     ///< Hop-stat variants (ring/grid).
+  uint64_t Seed = 0xC0FFEEULL;        ///< Random-graph family seed.
+};
+
+/// Enumerates the full registry under \p Options. Order is deterministic;
+/// names are stable identifiers like "chain/K2", "torus/3x3/f1",
+/// "random/N6/s1".
+std::vector<ScenarioSpec> buildRegistry(const RegistryOptions &Options = {});
+
+} // namespace gen
+} // namespace mcnk
+
+#endif // MCNK_GEN_SCENARIO_H

@@ -44,6 +44,8 @@ const char *parser::tokenKindName(TokenKind Kind) {
     return "'var'";
   case TokenKind::KwIn:
     return "'in'";
+  case TokenKind::KwCase:
+    return "'case'";
   case TokenKind::Equal:
     return "'='";
   case TokenKind::ColonEq:
@@ -70,6 +72,14 @@ const char *parser::tokenKindName(TokenKind Kind) {
     return "'['";
   case TokenKind::RBracket:
     return "']'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Arrow:
+    return "'->'";
   }
   MCNK_UNREACHABLE("unhandled token kind");
 }
@@ -158,6 +168,19 @@ Token Lexer::next() {
     return makeToken(TokenKind::LBracket, "[", TokLine, TokCol);
   case ']':
     return makeToken(TokenKind::RBracket, "]", TokLine, TokCol);
+  case '{':
+    return makeToken(TokenKind::LBrace, "{", TokLine, TokCol);
+  case '}':
+    return makeToken(TokenKind::RBrace, "}", TokLine, TokCol);
+  case '|':
+    return makeToken(TokenKind::Pipe, "|", TokLine, TokCol);
+  case '-':
+    if (peek() == '>') {
+      advance();
+      return makeToken(TokenKind::Arrow, "->", TokLine, TokCol);
+    }
+    return makeToken(TokenKind::Error, "expected '>' after '-'", TokLine,
+                     TokCol);
   case ':':
     if (peek() == '=') {
       advance();
@@ -185,7 +208,7 @@ Token Lexer::next() {
         {"if", TokenKind::KwIf},       {"then", TokenKind::KwThen},
         {"else", TokenKind::KwElse},   {"while", TokenKind::KwWhile},
         {"do", TokenKind::KwDo},       {"var", TokenKind::KwVar},
-        {"in", TokenKind::KwIn},
+        {"in", TokenKind::KwIn},       {"case", TokenKind::KwCase},
     };
     auto It = Keywords.find(Text);
     if (It != Keywords.end())

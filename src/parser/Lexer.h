@@ -30,6 +30,7 @@ enum class TokenKind : uint8_t {
   KwDo,
   KwVar,
   KwIn,
+  KwCase,
   Equal,     // =
   ColonEq,   // :=
   Bang,      // !
@@ -43,6 +44,10 @@ enum class TokenKind : uint8_t {
   RParen,    // )
   LBracket,  // [
   RBracket,  // ]
+  LBrace,    // {
+  RBrace,    // }
+  Pipe,      // |
+  Arrow,     // ->
 };
 
 /// Human-readable token-kind name for diagnostics.

@@ -172,6 +172,8 @@ private:
       return parseWhile();
     case TokenKind::KwVar:
       return parseVar();
+    case TokenKind::KwCase:
+      return parseCase();
     default:
       error("expected a program, found " + describeCurrent());
       return nullptr;
@@ -244,6 +246,31 @@ private:
     if (Failed)
       return nullptr;
     return Ctx.local(Ctx.field(Name), Init, Body);
+  }
+
+  /// 'case' '{' (guard '->' seq '|')* 'else' '->' seq '}' — the n-ary
+  /// disjoint branching of §6. The else branch is mandatory and last.
+  const Node *parseCase() {
+    bump(); // 'case'
+    if (!expect(TokenKind::LBrace))
+      return nullptr;
+    std::vector<ast::CaseNode::Branch> Branches;
+    while (!at(TokenKind::KwElse)) {
+      const Node *Guard = parsePredicate("case guard");
+      if (Failed || !expect(TokenKind::Arrow))
+        return nullptr;
+      const Node *Program = parseSeq();
+      if (Failed || !expect(TokenKind::Pipe))
+        return nullptr;
+      Branches.push_back({Guard, Program});
+    }
+    bump(); // 'else'
+    if (!expect(TokenKind::Arrow))
+      return nullptr;
+    const Node *Default = parseSeq();
+    if (Failed || !expect(TokenKind::RBrace))
+      return nullptr;
+    return Ctx.caseOf(std::move(Branches), Default);
   }
 
   const Node *parsePredicate(const char *What) {

@@ -15,9 +15,11 @@
 ///            | 'if' program 'then' seq 'else' seq
 ///            | 'while' program 'do' seq
 ///            | 'var' ident ':=' nat 'in' seq
+///            | 'case' '{' (program '->' seq '|')* 'else' '->' seq '}'
 ///   rational := nat | nat '/' nat | nat '.' digits
 ///
-/// if/while conditions must be predicates (checked with a diagnostic).
+/// if/while conditions and case guards must be predicates (checked with a
+/// diagnostic).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -99,15 +99,16 @@ public:
       return Exit;
     }
     case NodeKind::Case: {
-      // Branch guards are disjoint by the CaseNode contract, so each
-      // branch keeps its own guard; the default takes the conjoined
-      // negations.
+      // First-match cascade semantics (what the FDD compiler, the
+      // baseline, and the set semantics implement): branch i fires on
+      // guard_i conjoined with the negations of every earlier guard, so
+      // the emitted commands partition even when guards overlap.
       const auto *C = cast<CaseNode>(P);
       unsigned Exit = fresh();
       const Node *AllFail = Ctx.skip();
       for (const auto &[Guard, Program] : C->branches()) {
         unsigned BEntry = fresh();
-        addEdge(From, {Guard, Rational(1), {}, BEntry});
+        addEdge(From, {Ctx.seq(AllFail, Guard), Rational(1), {}, BEntry});
         epsilon(build(Program, BEntry), Exit);
         AllFail = Ctx.seq(AllFail, Ctx.negate(Guard));
       }

@@ -1,0 +1,169 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Topology-generic shortest-path ECMP model synthesis: BFS distances to
+/// the destination, uniform choice over distance-decreasing alive ports,
+/// per-hop failure sampling with hop-local flag re-canonicalization (the
+/// same state-space discipline as the FatTree models; see
+/// docs/ARCHITECTURE.md). This is what turns every scenario-registry
+/// topology family (ring, grid, torus, random graph) into a ready-to-
+/// compile guarded program.
+///
+//===----------------------------------------------------------------------===//
+
+#include "routing/Routing.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace mcnk;
+using namespace mcnk::routing;
+using namespace mcnk::topology;
+using ast::Context;
+using ast::Node;
+
+NetworkModel routing::buildShortestPathModel(const Topology &T, SwitchId Dst,
+                                             const ModelOptions &Options,
+                                             Context &Ctx) {
+  const std::size_t N = T.numSwitches();
+  if (Dst < 1 || Dst > N)
+    fatalError("shortest-path destination outside the topology");
+
+  // Switch-level adjacency (port-resolved) and its mirror, so the BFS
+  // below touches each link once instead of rescanning the whole list
+  // per dequeued switch.
+  std::map<SwitchId, std::vector<Link>> OutLinks;
+  std::map<SwitchId, std::vector<SwitchId>> InFrom;
+  for (const Link &L : T.links()) {
+    OutLinks[L.Src].push_back(L);
+    InFrom[L.Dst].push_back(L.Src);
+  }
+
+  // BFS from the destination over reversed edges gives hop distances.
+  constexpr unsigned Unreachable = ~0u;
+  std::vector<unsigned> Dist(N + 1, Unreachable);
+  Dist[Dst] = 0;
+  std::deque<SwitchId> Queue = {Dst};
+  while (!Queue.empty()) {
+    SwitchId Cur = Queue.front();
+    Queue.pop_front();
+    auto It = InFrom.find(Cur);
+    if (It == InFrom.end())
+      continue;
+    for (SwitchId Src : It->second)
+      if (Dist[Src] == Unreachable) {
+        Dist[Src] = Dist[Cur] + 1;
+        Queue.push_back(Src);
+      }
+  }
+
+  NetworkModel Model;
+  // Location fields first: switch-major diagrams stay compact.
+  FieldId Sw = Ctx.field("sw");
+  FieldId Pt = Ctx.field("pt");
+  Model.SwField = Sw;
+  Model.PtField = Pt;
+  FieldId Hop = Options.CountHops ? Ctx.field("hop") : FieldTable::NotFound;
+  Model.HopField = Hop;
+
+  // One failure flag per port index (flags are shared across switches and
+  // hop-local, exactly like the FatTree models).
+  const bool FailOn = Options.Failures.enabled();
+  PortId MaxPort = 0;
+  for (const Link &L : T.links())
+    MaxPort = std::max(MaxPort, L.SrcPort);
+  std::vector<FieldId> UpFlag(MaxPort + 1, FieldTable::NotFound);
+  if (FailOn)
+    for (PortId Port = 1; Port <= MaxPort; ++Port)
+      UpFlag[Port] = Ctx.field("up" + std::to_string(Port));
+
+  const Rational &Pr = Options.Failures.LinkFailProb;
+  const unsigned K = Options.Failures.MaxFailuresPerHop;
+
+  std::set<FieldId> UsedFlags;
+  std::vector<ast::CaseNode::Branch> SwitchBranches;
+  for (SwitchId S = 1; S <= N; ++S) {
+    if (S == Dst || Dist[S] == Unreachable)
+      continue; // The loop guard exits at Dst; unreachable switches drop.
+    // Candidate ports: out-links whose far end is strictly closer.
+    std::vector<PortId> Ports;
+    std::vector<const Node *> Forwards;
+    for (const Link &L : OutLinks[S])
+      if (Dist[L.Dst] != Unreachable && Dist[L.Dst] < Dist[S]) {
+        Ports.push_back(L.SrcPort);
+        Forwards.push_back(Ctx.assign(Pt, L.SrcPort));
+      }
+    assert(!Ports.empty() && "finite distance implies a descending port");
+
+    const Node *Route;
+    if (!FailOn) {
+      Route = Ctx.choiceUniform(Forwards);
+    } else {
+      std::vector<FieldId> Flags;
+      for (PortId Port : Ports)
+        Flags.push_back(UpFlag[Port]);
+      // Sample exactly this hop's candidate flags, then choose uniformly
+      // among the alive ones; all-down drops.
+      Route = Ctx.seq(sampleFlags(Ctx, Flags, Pr, K),
+                      uniformAliveChoice(Ctx, Ports, Flags, Forwards,
+                                         Ctx.drop()));
+      UsedFlags.insert(Flags.begin(), Flags.end());
+    }
+    SwitchBranches.push_back({Ctx.test(Sw, S), Route});
+  }
+
+  const Node *PHop = Ctx.caseOf(std::move(SwitchBranches), Ctx.drop());
+  const Node *Topo = topologyProgram(Ctx, T, Sw, Pt);
+
+  std::vector<const Node *> BodyParts = {PHop, Topo};
+  if (Options.CountHops)
+    BodyParts.push_back(hopIncrement(Ctx, Hop, Options.HopCap));
+  if (Options.HopLocalFlags) {
+    std::vector<const Node *> Resets;
+    for (FieldId Flag : UsedFlags)
+      Resets.push_back(Ctx.assign(Flag, 1));
+    BodyParts.push_back(Ctx.seqAll(Resets));
+  }
+  const Node *Body = Ctx.seqAll(BodyParts);
+  const Node *Loop = Ctx.whileLoop(Ctx.negate(Ctx.test(Sw, Dst)), Body);
+
+  // Ingress at (sw, pt=0) for every switch that can reach Dst. Port 0 is
+  // never a link port, and the routing overwrites pt before the topology
+  // reads it.
+  std::vector<const Node *> InDisjuncts;
+  for (SwitchId S = 1; S <= N; ++S) {
+    if (S == Dst || Dist[S] == Unreachable)
+      continue;
+    Model.Ingresses.push_back({S, 0});
+    InDisjuncts.push_back(Ctx.seq(Ctx.test(Sw, S), Ctx.test(Pt, 0)));
+  }
+  if (InDisjuncts.empty())
+    fatalError("no switch can reach the destination");
+  const Node *InPred = Ctx.uniteAll(InDisjuncts);
+
+  std::vector<const Node *> CoreParts = {InPred};
+  if (Options.CountHops)
+    CoreParts.push_back(Ctx.assign(Hop, 0));
+  CoreParts.push_back(Loop);
+  CoreParts.push_back(Ctx.assign(Pt, 0));
+  const Node *Core = Ctx.seqAll(CoreParts);
+  const Node *Teleport =
+      Ctx.seqAll({InPred, Ctx.assign(Sw, Dst), Ctx.assign(Pt, 0)});
+
+  // Erase the model-only flag fields from the observable outputs of both
+  // the model and its specification.
+  if (FailOn)
+    for (PortId Port = 1; Port <= MaxPort; ++Port)
+      if (UsedFlags.count(UpFlag[Port])) {
+        Core = Ctx.local(UpFlag[Port], 1, Core);
+        Teleport = Ctx.local(UpFlag[Port], 1, Teleport);
+      }
+
+  Model.Program = Core;
+  Model.Teleport = Options.CountHops ? nullptr : Teleport;
+  return Model;
+}

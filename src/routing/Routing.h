@@ -116,6 +116,23 @@ struct TriangleExample {
 };
 TriangleExample buildTriangleExample(ast::Context &Ctx);
 
+/// Shortest-path ECMP model toward \p Dst on an arbitrary topology (the
+/// scenario-registry workhorse: rings, grids, tori, random graphs). At
+/// each switch the packet forwards uniformly over the alive out-ports
+/// that strictly decrease the BFS distance to \p Dst; per-hop failures
+/// (Options.Failures) are sampled on exactly those candidate links right
+/// before the choice and re-canonicalized after the hop, so the loop-head
+/// state stays (sw, pt[, hop]). Packets ingress at (sw, pt=0) for every
+/// switch that can reach \p Dst; delivered packets are canonicalized to
+/// (sw=Dst, pt=0). Options.RoutingScheme is ignored (there is only ECMP
+/// here); the Teleport spec is provided only when CountHops is off (with
+/// hop counting the model's outputs carry path lengths no specification
+/// matches).
+NetworkModel buildShortestPathModel(const topology::Topology &T,
+                                    topology::SwitchId Dst,
+                                    const ModelOptions &Options,
+                                    ast::Context &Ctx);
+
 // --- Shared synthesis helpers (exposed for tests) -----------------------
 
 /// Distribution over up/down assignments of \p Flags with at most \p K

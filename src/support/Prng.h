@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, portable, deterministic PRNG (splitmix64). The generator and
+/// scenario subsystems need streams that are reproducible from a printed
+/// seed across platforms and standard libraries; std::mt19937_64 would do,
+/// but std::uniform_int_distribution is implementation-defined, so we keep
+/// both the engine and the derivations here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_SUPPORT_PRNG_H
+#define MCNK_SUPPORT_PRNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mcnk {
+
+/// splitmix64: tiny state, full 64-bit output, passes BigCrush; the
+/// recommended seeder for larger generators and plenty on its own for
+/// test-case derivation.
+class Prng {
+public:
+  explicit Prng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). Bound must be positive. Debiased by
+  /// rejection on the top of the range (the bias of plain modulo is
+  /// irrelevant for tiny bounds, but rejection costs nothing).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    uint64_t Threshold = (0 - Bound) % Bound; // 2^64 mod Bound.
+    for (;;) {
+      uint64_t V = next();
+      if (V >= Threshold)
+        return V % Bound;
+    }
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// Index drawn from the (relative, not necessarily normalized) weights;
+  /// zero-weight entries are never chosen. At least one weight must be
+  /// positive.
+  std::size_t weighted(const std::vector<unsigned> &Weights) {
+    uint64_t Total = 0;
+    for (unsigned W : Weights)
+      Total += W;
+    assert(Total > 0 && "all weights zero");
+    uint64_t Roll = below(Total);
+    for (std::size_t I = 0; I < Weights.size(); ++I) {
+      if (Roll < Weights[I])
+        return I;
+      Roll -= Weights[I];
+    }
+    assert(false && "unreachable");
+    return Weights.size() - 1;
+  }
+
+  /// A decorrelated child seed for sub-stream \p Index; lets one printed
+  /// master seed drive many independent cases.
+  uint64_t deriveSeed(uint64_t Index) const {
+    Prng Child(State ^ (0x632be59bd9b4e019ULL * (Index + 1)));
+    return Child.next();
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace mcnk
+
+#endif // MCNK_SUPPORT_PRNG_H

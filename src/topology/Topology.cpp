@@ -2,17 +2,20 @@
 ///
 /// \file
 /// Port-level topology graph, the generators for the paper's topology
-/// families (FatTree, AB FatTree, chain of diamonds, triangle), and
-/// Graphviz DOT import/export.
+/// families (FatTree, AB FatTree, chain of diamonds, triangle), the
+/// scenario-registry families (ring, grid/torus, seeded random connected
+/// graphs), and Graphviz DOT import/export.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "topology/Topology.h"
 
 #include "support/Error.h"
+#include "support/Prng.h"
 
 #include <cassert>
 #include <cctype>
+#include <set>
 #include <sstream>
 
 using namespace mcnk;
@@ -214,5 +217,73 @@ Topology topology::makeTriangle() {
   T.addCable(1, 2, 2, 1);
   T.addCable(1, 3, 3, 1);
   T.addCable(3, 2, 2, 3);
+  return T;
+}
+
+Topology topology::makeRing(unsigned N, RingLayout &Layout) {
+  if (N < 3)
+    fatalError("ring topology needs at least three switches");
+  Layout.N = N;
+  Topology T(N);
+  // One cable per cycle edge: S's port 1 to next(S)'s port 2.
+  for (SwitchId S = 1; S <= N; ++S)
+    T.addCable(S, 1, Layout.next(S), 2);
+  return T;
+}
+
+Topology topology::makeGrid(unsigned Rows, unsigned Cols, bool Torus,
+                            GridLayout &Layout) {
+  if (Rows == 0 || Cols == 0 || Rows * Cols < 2)
+    fatalError("grid topology needs at least two switches");
+  Layout.Rows = Rows;
+  Layout.Cols = Cols;
+  Layout.Torus = Torus;
+  Topology T(Layout.numSwitches());
+  for (unsigned R = 0; R < Rows; ++R)
+    for (unsigned C = 0; C < Cols; ++C) {
+      if (C + 1 < Cols)
+        T.addCable(Layout.at(R, C), GridLayout::East, Layout.at(R, C + 1),
+                   GridLayout::West);
+      else if (Torus && Cols >= 3)
+        T.addCable(Layout.at(R, C), GridLayout::East, Layout.at(R, 0),
+                   GridLayout::West);
+      if (R + 1 < Rows)
+        T.addCable(Layout.at(R, C), GridLayout::South, Layout.at(R + 1, C),
+                   GridLayout::North);
+      else if (Torus && Rows >= 3)
+        T.addCable(Layout.at(R, C), GridLayout::South, Layout.at(0, C),
+                   GridLayout::North);
+    }
+  return T;
+}
+
+Topology topology::makeRandomConnected(unsigned N, unsigned ExtraCables,
+                                       uint64_t Seed) {
+  if (N < 2)
+    fatalError("random topology needs at least two switches");
+  Prng Rng(Seed);
+  Topology T(N);
+  std::vector<PortId> NextPort(N + 1, 1);
+  std::set<std::pair<SwitchId, SwitchId>> Cabled;
+  auto Connect = [&](SwitchId A, SwitchId B) {
+    T.addCable(A, NextPort[A]++, B, NextPort[B]++);
+    Cabled.emplace(std::min(A, B), std::max(A, B));
+  };
+  // Random spanning tree: each switch attaches to a uniformly chosen
+  // earlier one.
+  for (SwitchId S = 2; S <= N; ++S)
+    Connect(S, static_cast<SwitchId>(1 + Rng.below(S - 1)));
+  // Extra cables between not-yet-adjacent pairs; give up on a pair after
+  // a bounded number of rejected draws (dense graphs run out of pairs).
+  for (unsigned E = 0; E < ExtraCables; ++E) {
+    for (unsigned Attempt = 0; Attempt < 16; ++Attempt) {
+      SwitchId A = static_cast<SwitchId>(1 + Rng.below(N));
+      SwitchId B = static_cast<SwitchId>(1 + Rng.below(N));
+      if (A == B || Cabled.count({std::min(A, B), std::max(A, B)}))
+        continue;
+      Connect(A, B);
+      break;
+    }
+  }
   return T;
 }

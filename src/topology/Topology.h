@@ -4,7 +4,9 @@
 /// Network topologies: a directed port-level graph plus generators for the
 /// families the paper evaluates — FatTree (Fig 6), AB FatTree (Fig 11a,
 /// after Liu et al.'s F10), the chain-of-diamonds topology of the Bayonet
-/// comparison (Fig 9), and the §2 triangle. Graphviz DOT import/export
+/// comparison (Fig 9), and the §2 triangle — and the scenario-registry
+/// families (ring, grid/torus, seeded random connected graphs) used by the
+/// differential-testing subsystem (src/gen/). Graphviz DOT import/export
 /// mirrors McNetKAT's topology input format.
 ///
 //===----------------------------------------------------------------------===//
@@ -159,6 +161,45 @@ Topology makeChain(unsigned K, ChainLayout &Layout);
 /// The §2 running-example triangle (Fig 1): switches 1..3; switch 1 and 2
 /// joined via port 2, detour via switch 3 on ports 3/2.
 Topology makeTriangle();
+
+/// Ring metadata: N switches in a cycle. Port 1 leads clockwise (to
+/// next(S)), port 2 counter-clockwise (to prev(S)).
+struct RingLayout {
+  unsigned N = 0;
+  SwitchId next(SwitchId S) const { return S % N + 1; }
+  SwitchId prev(SwitchId S) const { return S == 1 ? N : S - 1; }
+  unsigned numSwitches() const { return N; }
+};
+
+/// Ring of \p N switches (N >= 3).
+Topology makeRing(unsigned N, RingLayout &Layout);
+
+/// Grid / torus metadata: Rows x Cols switches, row-major 1-based ids.
+/// Ports are fixed per direction: 1 = east, 2 = west, 3 = south, 4 =
+/// north (wrap links reuse the same ports on a torus).
+struct GridLayout {
+  unsigned Rows = 0;
+  unsigned Cols = 0;
+  bool Torus = false;
+  SwitchId at(unsigned Row, unsigned Col) const {
+    return 1 + Row * Cols + Col;
+  }
+  unsigned numSwitches() const { return Rows * Cols; }
+
+  static constexpr PortId East = 1, West = 2, South = 3, North = 4;
+};
+
+/// Rows x Cols mesh (Torus wraps both dimensions; wrap links are only
+/// added for dimensions of length >= 3, where they are not duplicates).
+Topology makeGrid(unsigned Rows, unsigned Cols, bool Torus,
+                  GridLayout &Layout);
+
+/// Seeded random connected multigraph: a random spanning tree over \p N
+/// switches plus \p ExtraCables additional random cables (self-loops and
+/// duplicate cables are avoided; ports are assigned densely per switch in
+/// construction order). Deterministic in \p Seed across platforms.
+Topology makeRandomConnected(unsigned N, unsigned ExtraCables,
+                             uint64_t Seed);
 
 } // namespace topology
 } // namespace mcnk

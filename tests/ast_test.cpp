@@ -195,12 +195,12 @@ TEST_F(AstTest, PrintParenthesizesNestedIf) {
   EXPECT_EQ(print(S, Ctx.fields()), "pt=1 ; (while !sw=1 do sw:=1)");
 }
 
-TEST_F(AstTest, CasePrintsAsCascade) {
+TEST_F(AstTest, CasePrintsWithSurfaceSyntax) {
   std::vector<CaseNode::Branch> Branches = {
       {Ctx.test(Sw, 1), Ctx.assign(Pt, 1)},
       {Ctx.test(Sw, 2), Ctx.assign(Pt, 2)},
   };
   const Node *C = Ctx.caseOf(std::move(Branches), Ctx.drop());
   EXPECT_EQ(print(C, Ctx.fields()),
-            "if sw=1 then pt:=1 else (if sw=2 then pt:=2 else drop)");
+            "case { sw=1 -> pt:=1 | sw=2 -> pt:=2 | else -> drop }");
 }

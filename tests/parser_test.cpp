@@ -202,3 +202,51 @@ TEST_F(ParserTest, PrintParseRoundTrip) {
         << Source << " printed as " << Printed;
   }
 }
+
+//===----------------------------------------------------------------------===//
+// `case` surface syntax (§6's n-ary disjoint branching)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ParserTest, CaseSyntax) {
+  const Node *C =
+      parseOk("case { sw=1 -> pt:=1 | sw=2 -> pt:=2 ; sw:=3 | "
+              "else -> drop }");
+  ASSERT_TRUE(isa<CaseNode>(C));
+  const auto *Case = cast<CaseNode>(C);
+  ASSERT_EQ(Case->branches().size(), 2u);
+  EXPECT_TRUE(isa<TestNode>(Case->branches()[0].first));
+  EXPECT_TRUE(isa<AssignNode>(Case->branches()[0].second));
+  EXPECT_TRUE(isa<SeqNode>(Case->branches()[1].second));
+  EXPECT_TRUE(isa<DropNode>(Case->defaultBranch()));
+}
+
+TEST_F(ParserTest, CaseWithOnlyElseCollapsesToDefault) {
+  // Zero branches normalize away the CaseNode entirely (caseOf contract).
+  const Node *C = parseOk("case { else -> pt:=7 }");
+  ASSERT_TRUE(isa<AssignNode>(C));
+}
+
+TEST_F(ParserTest, CaseGuardsMayBeCompoundPredicates) {
+  const Node *C = parseOk(
+      "case { sw=1 ; pt=1 -> sw:=2 | !sw=2 & pt=0 -> drop | else -> skip }");
+  ASSERT_TRUE(isa<CaseNode>(C));
+  EXPECT_EQ(cast<CaseNode>(C)->branches().size(), 2u);
+}
+
+TEST_F(ParserTest, CaseDiagnostics) {
+  // Guards must be predicates.
+  EXPECT_NE(parseError("case { pt:=1 -> drop | else -> skip }")
+                .find("predicate"),
+            std::string::npos);
+  // The else branch is mandatory (a branch without one dead-ends at '}').
+  EXPECT_NE(parseError("case { sw=1 -> drop }").find("'|'"),
+            std::string::npos);
+  // Unterminated case.
+  parseError("case { sw=1 -> drop | else -> skip");
+  // Nested case round-trips through the printer.
+  const Node *Nested = parseOk(
+      "case { sw=1 -> case { pt=1 -> drop | else -> skip } | "
+      "else -> skip }");
+  const Node *Again = parseOk(print(Nested, Ctx.fields()));
+  EXPECT_TRUE(structurallyEqual(Nested, Again));
+}

@@ -339,3 +339,101 @@ TEST_P(ChainParam, DeliveryMatchesClosedForm) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ks, ChainParam, ::testing::Values(1u, 2u, 5u, 16u));
+
+//===----------------------------------------------------------------------===//
+// Generic shortest-path model (scenario-registry families)
+//===----------------------------------------------------------------------===//
+
+TEST(ShortestPathModelTest, FailureFreeRingAlwaysDelivers) {
+  Context Ctx;
+  topology::RingLayout L;
+  topology::Topology T = topology::makeRing(6, L);
+  ModelOptions O;
+  NetworkModel M = buildShortestPathModel(T, /*Dst=*/1, O, Ctx);
+  ASSERT_TRUE(ast::isGuarded(M.Program));
+  ASSERT_EQ(M.Ingresses.size(), 5u);
+
+  Verifier V;
+  fdd::FddRef Model = V.compile(M.Program);
+  for (std::size_t I = 0; I < M.Ingresses.size(); ++I)
+    EXPECT_TRUE(
+        V.deliveryProbability(Model, M.ingressPacket(I, Ctx)).isOne())
+        << "ingress " << I;
+  // With no failures the model is its own specification.
+  fdd::FddRef Tele = V.compile(M.Teleport);
+  EXPECT_TRUE(V.equivalent(Model, Tele));
+}
+
+TEST(ShortestPathModelTest, RingFailuresMatchPathLengths) {
+  // On a ring with iid per-link failures, a packet at BFS distance d has
+  // exactly one candidate port per hop when d < N/2... except at the
+  // antipode where two equal-length paths exist. For N=4, switch 3 is the
+  // antipode (distance 2, two disjoint paths); switches 2 and 4 are at
+  // distance 1. Delivery from distance 1: (1-p). From the antipode the
+  // packet picks one of the two directions uniformly after sampling both
+  // flags; each route then needs its second hop too.
+  Context Ctx;
+  topology::RingLayout L;
+  topology::Topology T = topology::makeRing(4, L);
+  ModelOptions O;
+  Rational P(1, 10);
+  O.Failures = FailureModel::iid(P);
+  NetworkModel M = buildShortestPathModel(T, 1, O, Ctx);
+
+  Verifier V;
+  fdd::FddRef Model = V.compile(M.Program);
+  Rational Up = Rational(1) - P;
+  // Distance-1 switches (2 and 4): deliver iff the single candidate link
+  // is up.
+  EXPECT_EQ(V.deliveryProbability(Model, M.ingressPacket(0, Ctx)), Up);
+  EXPECT_EQ(V.deliveryProbability(Model, M.ingressPacket(2, Ctx)), Up);
+  // The antipode (switch 3): both flags sampled; if both up pick either
+  // (then one more up-hop), one up -> that one, none -> drop.
+  Rational Both = Up * Up, One = Up * P;
+  Rational Expected = (Both + One + One) * Up;
+  EXPECT_EQ(V.deliveryProbability(Model, M.ingressPacket(1, Ctx)),
+            Expected);
+}
+
+TEST(ShortestPathModelTest, HopCountsOnGridMatchBfsDistance) {
+  // Failure-free dimension counting: every delivered packet's hop field
+  // must equal its ingress's BFS distance to the destination.
+  Context Ctx;
+  topology::GridLayout L;
+  topology::Topology T = topology::makeGrid(2, 3, false, L);
+  ModelOptions O;
+  O.CountHops = true;
+  NetworkModel M = buildShortestPathModel(T, 1, O, Ctx);
+  ASSERT_NE(M.HopField, FieldTable::NotFound);
+  EXPECT_EQ(M.Teleport, nullptr); // Hop outputs match no teleport spec.
+
+  Verifier V;
+  fdd::FddRef Model = V.compile(M.Program);
+  for (std::size_t I = 0; I < M.Ingresses.size(); ++I) {
+    topology::SwitchId S = M.Ingresses[I].first;
+    unsigned Row = (S - 1) / 3, Col = (S - 1) % 3;
+    unsigned Dist = Row + Col; // Destination is at (0, 0).
+    auto HopDist = V.outputFieldDistribution(
+        Model, M.ingressPacket(I, Ctx), M.HopField);
+    ASSERT_EQ(HopDist.size(), 1u) << "switch " << S;
+    EXPECT_EQ(HopDist.begin()->first, Dist) << "switch " << S;
+    EXPECT_TRUE(HopDist.begin()->second.isOne()) << "switch " << S;
+  }
+}
+
+TEST(ShortestPathModelTest, UnreachableSwitchesAreExcluded) {
+  // A destination in one component: switches of the other component get
+  // no ingress and the model still compiles.
+  Context Ctx;
+  topology::Topology T(4);
+  T.addCable(1, 1, 2, 1);
+  T.addCable(3, 1, 4, 1); // Disconnected pair.
+  ModelOptions O;
+  NetworkModel M = buildShortestPathModel(T, 1, O, Ctx);
+  ASSERT_EQ(M.Ingresses.size(), 1u);
+  EXPECT_EQ(M.Ingresses[0].first, 2u);
+  Verifier V;
+  fdd::FddRef Model = V.compile(M.Program);
+  EXPECT_TRUE(
+      V.deliveryProbability(Model, M.ingressPacket(0, Ctx)).isOne());
+}

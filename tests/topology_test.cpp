@@ -161,3 +161,88 @@ TEST(TopologyTest, DotRejectsMalformed) {
   EXPECT_FALSE(
       Topology::fromDot("digraph { s1 -> s2; }", Out, Error));
 }
+
+//===----------------------------------------------------------------------===//
+// Scenario-registry families: ring, grid/torus, random connected
+//===----------------------------------------------------------------------===//
+
+TEST(TopologyTest, RingWiresACycle) {
+  RingLayout L;
+  Topology T = makeRing(5, L);
+  EXPECT_EQ(T.numSwitches(), 5u);
+  EXPECT_EQ(T.links().size(), 10u); // One cable per edge, both directions.
+  for (SwitchId S = 1; S <= 5; ++S) {
+    ASSERT_TRUE(T.linkFrom(S, 1).has_value());
+    EXPECT_EQ(T.linkFrom(S, 1)->Dst, L.next(S));
+    ASSERT_TRUE(T.linkFrom(S, 2).has_value());
+    EXPECT_EQ(T.linkFrom(S, 2)->Dst, L.prev(S));
+  }
+  EXPECT_EQ(L.next(5), 1u);
+  EXPECT_EQ(L.prev(1), 5u);
+}
+
+TEST(TopologyTest, GridMeshHasNoWrapLinks) {
+  GridLayout L;
+  Topology T = makeGrid(2, 3, /*Torus=*/false, L);
+  EXPECT_EQ(T.numSwitches(), 6u);
+  // 2 rows x 2 horizontal cables + 3 vertical cables = 7 cables.
+  EXPECT_EQ(T.links().size(), 14u);
+  EXPECT_EQ(T.linkFrom(L.at(0, 0), GridLayout::East)->Dst, L.at(0, 1));
+  EXPECT_EQ(T.linkFrom(L.at(0, 0), GridLayout::South)->Dst, L.at(1, 0));
+  // No westward wrap out of column 0, no northward wrap out of row 0.
+  EXPECT_FALSE(T.linkFrom(L.at(0, 0), GridLayout::West).has_value());
+  EXPECT_FALSE(T.linkFrom(L.at(0, 0), GridLayout::North).has_value());
+}
+
+TEST(TopologyTest, TorusWrapsBothDimensions) {
+  GridLayout L;
+  Topology T = makeGrid(3, 3, /*Torus=*/true, L);
+  // Every switch has degree 4 on a 3x3 torus.
+  for (SwitchId S = 1; S <= 9; ++S)
+    EXPECT_EQ(T.degree(S), 4u) << "switch " << S;
+  EXPECT_EQ(T.linkFrom(L.at(0, 2), GridLayout::East)->Dst, L.at(0, 0));
+  EXPECT_EQ(T.linkFrom(L.at(2, 0), GridLayout::South)->Dst, L.at(0, 0));
+}
+
+TEST(TopologyTest, TwoWideTorusSkipsDuplicateWrap) {
+  // Wrap links on a length-2 dimension would duplicate existing cables;
+  // the generator must skip them rather than abort on the collision.
+  GridLayout L;
+  Topology T = makeGrid(2, 3, /*Torus=*/true, L);
+  EXPECT_EQ(T.linkFrom(L.at(0, 2), GridLayout::East)->Dst, L.at(0, 0));
+  EXPECT_FALSE(T.linkFrom(L.at(1, 0), GridLayout::South).has_value());
+}
+
+TEST(TopologyTest, RandomConnectedIsConnectedAndDeterministic) {
+  for (uint64_t Seed : {1ull, 7ull, 42ull, 0xDEADull}) {
+    Topology T = makeRandomConnected(9, 3, Seed);
+    EXPECT_EQ(T.numSwitches(), 9u);
+    // Spanning tree (8 cables) + up to 3 extras, two links per cable.
+    EXPECT_GE(T.links().size(), 16u);
+    EXPECT_LE(T.links().size(), 22u);
+    // Connectivity: BFS from switch 1 reaches everything.
+    std::vector<bool> Seen(10, false);
+    Seen[1] = true;
+    std::vector<SwitchId> Work = {1};
+    while (!Work.empty()) {
+      SwitchId Cur = Work.back();
+      Work.pop_back();
+      for (const Link &Lk : T.links())
+        if (Lk.Src == Cur && !Seen[Lk.Dst]) {
+          Seen[Lk.Dst] = true;
+          Work.push_back(Lk.Dst);
+        }
+    }
+    for (SwitchId S = 1; S <= 9; ++S)
+      EXPECT_TRUE(Seen[S]) << "seed " << Seed << " switch " << S;
+
+    // Same seed, same wiring.
+    Topology Again = makeRandomConnected(9, 3, Seed);
+    ASSERT_EQ(Again.links().size(), T.links().size());
+    for (std::size_t I = 0; I < T.links().size(); ++I) {
+      EXPECT_EQ(Again.links()[I].Src, T.links()[I].Src);
+      EXPECT_EQ(Again.links()[I].SrcPort, T.links()[I].SrcPort);
+      EXPECT_EQ(Again.links()[I].Dst, T.links()[I].Dst);
+    }
+  }
+}
