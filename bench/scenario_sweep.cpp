@@ -6,24 +6,119 @@
 /// `mcnk fuzz`) with the Direct (sparse-LU) solver and reports compile
 /// time, diagram size, loop-chain dimensions, and mean delivery — a
 /// one-command overview of how every topology/routing/failure family
-/// scales. Knobs:
-///   MCNK_SWEEP_CHAINK   max chain diamonds        (default 8)
-///   MCNK_SWEEP_RINGN    largest ring              (default 10)
-///   MCNK_SWEEP_RANDN    random-graph size         (default 8)
-///   MCNK_SWEEP_RANDOM   number of random graphs   (default 4)
-///   MCNK_SWEEP_FATTREE  include p=4 FatTrees      (default 1)
+/// scales. A second pass (the *cache sweep*) recompiles the registry plus
+/// a per-ingress query family twice — cold engine vs a shared
+/// CompileCache (ARCHITECTURE S12) — verifies the two passes are
+/// reference-equal member by member, and reports the wall-clock speedup
+/// (optionally as a BENCH_sweep_cache.json trajectory point). Knobs:
+///   MCNK_SWEEP_CHAINK     max chain diamonds        (default 8)
+///   MCNK_SWEEP_RINGN      largest ring              (default 10)
+///   MCNK_SWEEP_RANDN      random-graph size         (default 8)
+///   MCNK_SWEEP_RANDOM     number of random graphs   (default 4)
+///   MCNK_SWEEP_FATTREE    include p=4 FatTrees      (default 1)
+///   MCNK_SWEEP_TABLE      run the per-scenario table (default 1)
+///   MCNK_SWEEP_CACHE      run the cache sweep       (default 1)
+///   MCNK_SWEEP_CACHE_JSON write the cache-sweep trajectory point here
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "analysis/Verifier.h"
+#include "fdd/CompileCache.h"
+#include "fdd/Export.h"
 #include "gen/Scenario.h"
+#include "routing/Routing.h"
 #include "support/Timer.h"
+#include "topology/Topology.h"
 
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 using namespace mcnk;
 using namespace mcnk::bench;
+
+namespace {
+
+/// One member of the cache sweep: a named builder producing a guarded
+/// program into a caller-owned context.
+struct SweepMember {
+  std::string Name;
+  std::function<const ast::Node *(ast::Context &)> Build;
+};
+
+/// The per-ingress reliability-query filter: the conjunction of `f = v`
+/// over every field of \p In, in front of the model — the compile-level
+/// shape of the paper's per-source queries (Fig 7's per-pair sweeps).
+const ast::Node *ingressQuery(ast::Context &Ctx, const gen::Scenario &S,
+                              std::size_t InputIdx) {
+  const Packet &In = S.Inputs[InputIdx];
+  std::vector<const ast::Node *> Tests;
+  for (std::size_t F = 0; F < In.numFields(); ++F)
+    Tests.push_back(
+        Ctx.test(static_cast<FieldId>(F), In.get(static_cast<FieldId>(F))));
+  return Ctx.seq(Ctx.seqAll(Tests), S.Program);
+}
+
+/// The sweep family list: one per-ingress reliability-query program per
+/// (registry scenario, ingress) pair. Members of one scenario differ only
+/// in the ingress filter in front of one shared model sub-program, so an
+/// uncached sweep pays the full model compile once *per ingress* while
+/// the compile cache pays it once per scenario — exactly the family
+/// structure of the paper's Fig 7 experiments.
+std::vector<SweepMember> buildSweepMembers(const gen::RegistryOptions &O) {
+  std::vector<SweepMember> Members;
+  for (const gen::ScenarioSpec &Spec : gen::buildRegistry(O)) {
+    // One build to size the family; each member then rebuilds into its
+    // own context (identically — the registry is deterministic).
+    ast::Context Probe;
+    std::size_t NumInputs = Spec.Build(Probe).Inputs.size();
+    for (std::size_t I = 0; I < NumInputs; ++I)
+      Members.push_back({Spec.Name + "/in" + std::to_string(I),
+                         [Spec, I](ast::Context &Ctx) {
+                           gen::Scenario S = Spec.Build(Ctx);
+                           return ingressQuery(Ctx, S, I);
+                         }});
+  }
+  return Members;
+}
+
+/// Compiles every member with the Direct solver; when \p Cache is given
+/// every verifier shares it. Returns total compile seconds (model build
+/// time excluded). \p Diagrams collects (pass 1) or verifies (pass 2) the
+/// portable form of each member's diagram; a pass-2 mismatch is fatal for
+/// the run (exit code 1 from main).
+double runPass(const std::vector<SweepMember> &Members,
+               fdd::CompileCache *Cache,
+               std::vector<fdd::PortableFdd> &Diagrams, bool Verify,
+               bool &AllEqual) {
+  double Total = 0;
+  for (std::size_t I = 0; I < Members.size(); ++I) {
+    ast::Context Ctx;
+    const ast::Node *Program = Members[I].Build(Ctx);
+    analysis::Verifier V(markov::SolverKind::Direct);
+    if (Cache)
+      V.setCompileCache(Cache);
+    WallTimer Timer;
+    fdd::FddRef Ref = V.compile(Program);
+    Total += Timer.elapsed();
+    if (!Verify) {
+      Diagrams.push_back(fdd::exportFdd(V.manager(), Ref));
+      continue;
+    }
+    if (fdd::importFdd(V.manager(), Diagrams[I]) != Ref) {
+      AllEqual = false;
+      std::fprintf(stderr,
+                   "MISMATCH: cached compile of %s is not reference-equal "
+                   "to the uncached sweep\n",
+                   Members[I].Name.c_str());
+    }
+  }
+  return Total;
+}
+
+} // namespace
 
 int main() {
   gen::RegistryOptions O;
@@ -36,29 +131,91 @@ int main() {
   O.NumRandomGraphs = envUnsigned("MCNK_SWEEP_RANDOM", 4);
   O.IncludeFatTree = envUnsigned("MCNK_SWEEP_FATTREE", 1) != 0;
 
-  std::printf("=== Scenario-registry sweep (Direct solver) ===\n\n");
-  std::printf("%-24s %8s %9s %9s %10s %10s %9s\n", "scenario", "inputs",
-              "build s", "compile s", "fdd nodes", "transient",
-              "delivery");
+  if (envUnsigned("MCNK_SWEEP_TABLE", 1)) {
+    std::printf("=== Scenario-registry sweep (Direct solver) ===\n\n");
+    std::printf("%-24s %8s %9s %9s %10s %10s %9s\n", "scenario", "inputs",
+                "build s", "compile s", "fdd nodes", "transient",
+                "delivery");
 
-  for (const gen::ScenarioSpec &Spec : gen::buildRegistry(O)) {
-    ast::Context Ctx;
-    WallTimer BuildTimer;
-    gen::Scenario S = Spec.Build(Ctx);
-    double BuildTime = BuildTimer.elapsed();
+    for (const gen::ScenarioSpec &Spec : gen::buildRegistry(O)) {
+      ast::Context Ctx;
+      WallTimer BuildTimer;
+      gen::Scenario S = Spec.Build(Ctx);
+      double BuildTime = BuildTimer.elapsed();
 
-    analysis::Verifier V(markov::SolverKind::Direct);
-    WallTimer CompileTimer;
-    fdd::FddRef Ref = V.compile(S.Program);
-    double CompileTime = CompileTimer.elapsed();
+      analysis::Verifier V(markov::SolverKind::Direct);
+      WallTimer CompileTimer;
+      fdd::FddRef Ref = V.compile(S.Program);
+      double CompileTime = CompileTimer.elapsed();
 
-    Rational Avg = V.averageDeliveryProbability(Ref, S.Inputs);
-    const fdd::LoopSolveStats &LS = V.manager().lastLoopStats();
-    std::printf("%-24s %8zu %9.3f %9.3f %10zu %10zu %9.5f\n",
-                S.Name.c_str(), S.Inputs.size(), BuildTime, CompileTime,
-                V.manager().diagramSize(Ref),
-                S.LoopBearing ? LS.NumTransient : 0, Avg.toDouble());
-    std::fflush(stdout);
+      Rational Avg = V.averageDeliveryProbability(Ref, S.Inputs);
+      const fdd::LoopSolveStats &LS = V.manager().lastLoopStats();
+      std::printf("%-24s %8zu %9.3f %9.3f %10zu %10zu %9.5f\n",
+                  S.Name.c_str(), S.Inputs.size(), BuildTime, CompileTime,
+                  V.manager().diagramSize(Ref),
+                  S.LoopBearing ? LS.NumTransient : 0, Avg.toDouble());
+      std::fflush(stdout);
+    }
   }
-  return 0;
+
+  if (!envUnsigned("MCNK_SWEEP_CACHE", 1))
+    return 0;
+
+  // --- Cache sweep: cold engine vs shared compile cache -----------------
+  std::vector<SweepMember> Members = buildSweepMembers(O);
+  std::printf("\n=== Cache sweep: %zu per-ingress query members across "
+              "the registry ===\n",
+              Members.size());
+  std::fflush(stdout);
+
+  std::vector<fdd::PortableFdd> Diagrams;
+  bool AllEqual = true;
+  double UncachedSec =
+      runPass(Members, nullptr, Diagrams, /*Verify=*/false, AllEqual);
+  fdd::CompileCache Cache;
+  double CachedSec =
+      runPass(Members, &Cache, Diagrams, /*Verify=*/true, AllEqual);
+
+  fdd::CompileCache::Stats CS = Cache.stats();
+  double Speedup = CachedSec > 0 ? UncachedSec / CachedSec : 0;
+  std::printf("uncached %.3f s, cached %.3f s, speedup %.2fx; "
+              "%llu hits / %llu misses, %zu entries, %llu evictions\n",
+              UncachedSec, CachedSec, Speedup,
+              static_cast<unsigned long long>(CS.Hits),
+              static_cast<unsigned long long>(CS.Misses), CS.Entries,
+              static_cast<unsigned long long>(CS.Evictions));
+  std::printf(AllEqual ? "cache sweep: all members reference-equal\n"
+                       : "cache sweep: MISMATCH (see stderr)\n");
+
+  if (const char *Path = std::getenv("MCNK_SWEEP_CACHE_JSON");
+      Path && *Path) {
+    if (std::FILE *F = std::fopen(Path, "w")) {
+      std::fprintf(
+          F,
+          "{\n"
+          "  \"name\": \"scenario_sweep_cache\",\n"
+          "  \"model\": \"per-ingress query sweep across the registry "
+          "(ring max N%u), Direct solver\",\n"
+          "  \"engine\": \"CompileCache (structural fingerprints, LRU, "
+          "portable FDDs)\",\n"
+          "  \"members\": %zu,\n"
+          "  \"reference_equal\": %s,\n"
+          "  \"uncached_seconds\": %.6f,\n"
+          "  \"cached_seconds\": %.6f,\n"
+          "  \"speedup\": %.3f,\n"
+          "  \"cache_hits\": %llu,\n"
+          "  \"cache_misses\": %llu,\n"
+          "  \"cache_entries\": %zu\n"
+          "}\n",
+          RingN, Members.size(), AllEqual ? "true" : "false", UncachedSec,
+          CachedSec, Speedup, static_cast<unsigned long long>(CS.Hits),
+          static_cast<unsigned long long>(CS.Misses), CS.Entries);
+      std::fclose(F);
+      std::printf("wrote %s\n", Path);
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", Path);
+      return 1;
+    }
+  }
+  return AllEqual ? 0 : 1;
 }

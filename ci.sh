@@ -5,9 +5,10 @@
 #                                   # (the repository's tier-1 verify) in a
 #                                   # fresh build directory
 #        ./ci.sh bench [build-dir]  # build micro_support + micro_linalg +
-#                                   # fig08 and emit
+#                                   # fig08 + scenario_sweep and emit
 #                                   # bench/results/BENCH_<name>.json
-#                                   # (the recorded performance trajectory)
+#                                   # (the recorded performance trajectory,
+#                                   # incl. the compile-cache sweep point)
 #        ./ci.sh tsan [build-dir]   # ThreadSanitizer pass over the
 #                                   # threadpool + parallel-compile suites
 #                                   # (default dir: build-tsan)
@@ -112,7 +113,7 @@ if [ "$MODE" = "bench" ]; then
     exit 1
   fi
   cmake --build "$BUILD_DIR" -j "$JOBS" \
-    --target micro_support micro_linalg fig08_parallel_speedup
+    --target micro_support micro_linalg fig08_parallel_speedup scenario_sweep
   mkdir -p bench/results
   for bench in micro_support micro_linalg; do
     if [ ! -x "$BUILD_DIR/$bench" ]; then
@@ -129,7 +130,13 @@ if [ "$MODE" = "bench" ]; then
   # interpretable next to multi-core ones).
   MCNK_FIG8_JSON=bench/results/BENCH_fig08_parallel.json \
     "$BUILD_DIR/fig08_parallel_speedup"
-  echo "Wrote bench/results/BENCH_micro_{support,linalg}.json and BENCH_fig08_parallel.json"
+  # Compile-cache trajectory point: the per-ingress query sweep across the
+  # registry, cached vs uncached (reference-equality enforced; the run
+  # fails on any mismatch).
+  MCNK_SWEEP_TABLE=0 \
+    MCNK_SWEEP_CACHE_JSON=bench/results/BENCH_sweep_cache.json \
+    "$BUILD_DIR/scenario_sweep"
+  echo "Wrote bench/results/BENCH_micro_{support,linalg}.json, BENCH_fig08_parallel.json, and BENCH_sweep_cache.json"
   exit 0
 fi
 

@@ -12,12 +12,18 @@
 ///
 /// `fuzz` drives the src/gen/ differential oracle: N seeded random
 /// guarded programs plus the whole scenario registry, every engine
-/// cross-checked; exits non-zero on any disagreement, printing the seed
-/// needed to reproduce.
+/// cross-checked. The reproducing seed is flushed to stdout *before* the
+/// run starts and repeated on stderr next to any disagreement, so even an
+/// engine abort deep inside a worker cannot lose it. Exit codes are
+/// distinct per failure class: 0 all engines agree, 3 disagreement found,
+/// 2 usage/setup error (1 is the generic error code of the other
+/// subcommands; an engine crash aborts with SIGABRT).
 ///
 /// The global option -j[N] compiles `case` constructs on the verifier's
 /// persistent worker pool (N workers; bare -j means hardware concurrency).
-/// Programs read from "-" come from stdin.
+/// The global option --cache enables the cross-compile memoization cache
+/// (ARCHITECTURE S12) on every verifier the command builds and prints the
+/// hit/miss statistics on exit. Programs read from "-" come from stdin.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -106,23 +112,41 @@ bool parseInputPacket(const std::string &Spec, ast::Context &Ctx,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mcnk [-j[N]] check|dump <file.pnk>\n"
-               "       mcnk [-j[N]] run|prism <file.pnk> f=v[,g=w...]\n"
-               "       mcnk [-j[N]] equiv <a.pnk> <b.pnk>\n"
-               "       mcnk fuzz [--seed N] [--iters N] [--no-scenarios]\n"
-               "  -j[N]  compile `case` on N worker threads (default: "
+               "usage: mcnk [-j[N]] [--cache] check|dump <file.pnk>\n"
+               "       mcnk [-j[N]] [--cache] run|prism <file.pnk> "
+               "f=v[,g=w...]\n"
+               "       mcnk [-j[N]] [--cache] equiv <a.pnk> <b.pnk>\n"
+               "       mcnk [--cache] fuzz [--seed N] [--iters N] "
+               "[--no-scenarios]\n"
+               "  -j[N]    compile `case` on N worker threads (default: "
                "hardware concurrency)\n"
-               "  fuzz   run the cross-engine differential oracle on N\n"
-               "         random programs (default 25) plus the scenario\n"
-               "         registry; nonzero exit on any disagreement\n");
+               "  --cache  enable the cross-compile memoization cache and "
+               "print its stats\n"
+               "  fuzz     run the cross-engine differential oracle on N\n"
+               "           random programs (default 25) plus the scenario\n"
+               "           registry; exit 3 on any disagreement (2 on\n"
+               "           usage errors), printing the reproducing seed\n");
   return 2;
+}
+
+/// Prints one line of cache statistics (the --cache report).
+void printCacheStats(const fdd::CompileCache &Cache) {
+  fdd::CompileCache::Stats S = Cache.stats();
+  std::printf("cache: %llu hits, %llu misses, %llu insertions, "
+              "%llu evictions; %zu entries holding %zu portable nodes\n",
+              static_cast<unsigned long long>(S.Hits),
+              static_cast<unsigned long long>(S.Misses),
+              static_cast<unsigned long long>(S.Insertions),
+              static_cast<unsigned long long>(S.Evictions), S.Entries,
+              S.StoredNodes);
 }
 
 /// `mcnk fuzz`: the CLI face of the src/gen differential oracle. The
 /// global -j[N] option carries through as the worker count for the
-/// serial-vs-parallel compile checks.
+/// serial-vs-parallel compile checks; --cache shares one compile cache
+/// across every case and reports its statistics.
 int runFuzz(const std::vector<std::string> &Args, bool Parallel,
-            unsigned Threads) {
+            unsigned Threads, bool UseCache) {
   uint64_t Seed = 0xC1A0ULL;
   unsigned Iters = 25;
   bool Scenarios = true;
@@ -177,11 +201,18 @@ int runFuzz(const std::vector<std::string> &Args, bool Parallel,
   std::printf("fuzz: seed 0x%llx, %u random programs%s\n",
               static_cast<unsigned long long>(Seed), Iters,
               Scenarios ? " + scenario registry" : "");
+  // The banner above is the reproduction recipe; push it past stdio
+  // buffering *now* so an engine abort later in the run (even inside a
+  // worker thread) cannot lose it.
+  std::fflush(stdout);
   gen::FuzzOptions Fuzz;
   Fuzz.Iterations = Iters;
   gen::OracleOptions Oracle;
   if (Parallel)
     Oracle.ParallelThreads = Threads; // 0 = hardware concurrency.
+  fdd::CompileCache SharedCache;
+  if (UseCache)
+    Oracle.Cache = &SharedCache;
   gen::OracleReport Report = gen::fuzzPrograms(Seed, Fuzz, Oracle);
   if (Scenarios)
     Report.merge(gen::runRegistry(gen::RegistryOptions(), Oracle));
@@ -189,10 +220,18 @@ int runFuzz(const std::vector<std::string> &Args, bool Parallel,
   for (const std::string &D : Report.Disagreements)
     std::fprintf(stderr, "DISAGREEMENT: %s\n", D.c_str());
   std::printf("fuzz: %s\n", Report.summary().c_str());
+  if (UseCache)
+    printCacheStats(SharedCache);
   if (!Report.ok()) {
+    // Repeat the seed on *both* streams next to the verdict: stderr so it
+    // sits beside the DISAGREEMENT lines in logs that split the streams,
+    // stdout for pipelines that only capture one.
     std::printf("fuzz: FAILED — reproduce with --seed 0x%llx\n",
                 static_cast<unsigned long long>(Seed));
-    return 1;
+    std::fflush(stdout);
+    std::fprintf(stderr, "fuzz: FAILED — reproduce with --seed 0x%llx\n",
+                 static_cast<unsigned long long>(Seed));
+    return 3; // Distinct from usage/setup errors (2) and generic (1).
   }
   std::printf("fuzz: all engines agree\n");
   return 0;
@@ -201,9 +240,10 @@ int runFuzz(const std::vector<std::string> &Args, bool Parallel,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  // Strip the global -j option wherever it appears; accept -j, -jN, and
-  // the make-style separate form `-j N`.
+  // Strip the global -j and --cache options wherever they appear; -j
+  // accepts -j, -jN, and the make-style separate form `-j N`.
   bool Parallel = false;
+  bool UseCache = false;
   unsigned Threads = 0;
   std::vector<std::string> Args;
   auto AllDigits = [](const std::string &S) {
@@ -216,6 +256,10 @@ int main(int Argc, char **Argv) {
   };
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    if (Arg == "--cache") {
+      UseCache = true;
+      continue;
+    }
     if (Arg.rfind("-j", 0) == 0) {
       Parallel = true;
       std::string Width = Arg.substr(2);
@@ -241,7 +285,7 @@ int main(int Argc, char **Argv) {
     return usage();
   std::string Command = Args[0];
   if (Command == "fuzz")
-    return runFuzz(Args, Parallel, Threads);
+    return runFuzz(Args, Parallel, Threads, UseCache);
   if (Args.size() < 2)
     return usage();
   ast::Context Ctx;
@@ -267,10 +311,14 @@ int main(int Argc, char **Argv) {
 
   if (Command == "dump") {
     analysis::Verifier V;
+    if (UseCache)
+      V.enableCompileCache();
     fdd::FddRef Ref = V.compile(Program, Parallel, Threads);
     std::printf("%s", fdd::dumpFdd(V.manager(), Ref, Ctx.fields()).c_str());
     std::printf("// %zu nodes in the diagram\n",
                 V.manager().diagramSize(Ref));
+    if (UseCache)
+      printCacheStats(*V.compileCache());
     return 0;
   }
 
@@ -280,12 +328,17 @@ int main(int Argc, char **Argv) {
     const ast::Node *Other = parseFile(Args[2], Ctx);
     if (!Other || !ast::isGuarded(Other))
       return 1;
-    // One verifier — and thus one persistent compile pool — serves both
-    // compiles.
+    // One verifier — and thus one persistent compile pool and compile
+    // cache — serves both compiles, so shared sub-programs of the two
+    // inputs are compiled once.
     analysis::Verifier V;
+    if (UseCache)
+      V.enableCompileCache();
     bool Equal = V.equivalent(V.compile(Program, Parallel, Threads),
                               V.compile(Other, Parallel, Threads));
     std::printf("%s\n", Equal ? "equivalent" : "NOT equivalent");
+    if (UseCache)
+      printCacheStats(*V.compileCache());
     return Equal ? 0 : 1;
   }
 
@@ -305,6 +358,8 @@ int main(int Argc, char **Argv) {
       return 0;
     }
     analysis::Verifier V;
+    if (UseCache)
+      V.enableCompileCache();
     fdd::FddRef Ref = V.compile(Program, Parallel, Threads);
     auto Out = V.manager().outputDistribution(Ref, In);
     for (const auto &[Pkt, W] : Out.Outputs) {
@@ -317,6 +372,8 @@ int main(int Argc, char **Argv) {
     }
     if (!Out.Dropped.isZero())
       std::printf("drop @ %s\n", Out.Dropped.toString().c_str());
+    if (UseCache)
+      printCacheStats(*V.compileCache());
     return 0;
   }
   return usage();

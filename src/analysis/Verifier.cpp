@@ -39,6 +39,7 @@ FddRef Verifier::compile(const ast::Node *Program, bool Parallel,
   Options.Threads = Threads;
   if (Parallel)
     Options.Pool = &compilePool(Threads);
+  Options.Cache = Cache;
   return fdd::compile(Manager, Program, Options);
 }
 
@@ -48,6 +49,17 @@ ThreadPool &Verifier::compilePool(unsigned Threads) {
   if (!Pool)
     Pool = std::make_unique<ThreadPool>(Threads);
   return *Pool;
+}
+
+fdd::CompileCache &Verifier::enableCompileCache(std::size_t Capacity) {
+  OwnedCache = std::make_unique<fdd::CompileCache>(Capacity);
+  Cache = OwnedCache.get();
+  return *Cache;
+}
+
+void Verifier::setCompileCache(fdd::CompileCache *Shared) {
+  OwnedCache.reset();
+  Cache = Shared;
 }
 
 bool Verifier::equivalent(FddRef P, FddRef Q) const {

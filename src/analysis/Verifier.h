@@ -13,6 +13,7 @@
 
 #include "ast/Context.h"
 #include "fdd/Compile.h"
+#include "fdd/CompileCache.h"
 #include "fdd/Fdd.h"
 #include "fdd/Query.h"
 #include "support/ThreadPool.h"
@@ -66,6 +67,21 @@ public:
   /// whatever exists (creating a hardware-concurrency pool if none does).
   ThreadPool &compilePool(unsigned Threads = 0);
 
+  /// Enables the persistent cross-compile cache (docs/ARCHITECTURE.md
+  /// S12): every subsequent compile() consults and fills it, so repeated
+  /// compiles of overlapping program families only pay for what changed.
+  /// Replaces any previously attached cache; returns the new one.
+  fdd::CompileCache &enableCompileCache(std::size_t Capacity = 1u << 12);
+  /// Attaches an external (possibly shared) cache the caller owns; null
+  /// detaches and disables caching.
+  void setCompileCache(fdd::CompileCache *Shared);
+  /// The active cache, or null when caching is off.
+  fdd::CompileCache *compileCache() const { return Cache; }
+  /// Hit/miss/size counters of the active cache (all zero when off).
+  fdd::CompileCache::Stats cacheStats() const {
+    return Cache ? Cache->stats() : fdd::CompileCache::Stats();
+  }
+
   /// p ≡ q.
   bool equivalent(fdd::FddRef P, fdd::FddRef Q) const;
   /// p ≤ q (refinement); p < q is refines && !equivalent.
@@ -103,6 +119,10 @@ private:
   fdd::FddManager Manager;
   double Tolerance;
   std::unique_ptr<ThreadPool> Pool;
+  /// Owned storage when enableCompileCache() created the cache; Cache may
+  /// instead point at caller-owned shared storage (setCompileCache).
+  std::unique_ptr<fdd::CompileCache> OwnedCache;
+  fdd::CompileCache *Cache = nullptr;
 };
 
 } // namespace analysis

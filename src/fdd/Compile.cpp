@@ -10,6 +10,8 @@
 
 #include "fdd/Compile.h"
 
+#include "ast/Hash.h"
+#include "fdd/CompileCache.h"
 #include "fdd/Export.h"
 #include "support/Casting.h"
 #include "support/Error.h"
@@ -24,7 +26,35 @@ using namespace mcnk::ast;
 
 namespace {
 
-FddRef compileNode(FddManager &M, const Node *P, const CompileOptions &O);
+/// Cross-compile memoization state for one compile() call: the shared
+/// cache plus the fingerprint memo, computed up front in one pass so the
+/// parallel `case` workers can read it concurrently without locking.
+struct CacheContext {
+  CompileCache *Cache;
+  std::size_t MinNodes;
+  FingerprintMemo Memo;
+};
+
+FddRef compileNode(FddManager &M, const Node *P, const CompileOptions &O,
+                   const CacheContext *CC);
+
+/// True for the composite kinds worth a cache round-trip. Atoms and
+/// negation are cheaper to recompile than to import; everything that can
+/// hide real compilation work (loops, cases, conditionals, sequences,
+/// choices, predicate unions) is cacheable.
+bool isCacheableKind(NodeKind Kind) {
+  switch (Kind) {
+  case NodeKind::Seq:
+  case NodeKind::Union:
+  case NodeKind::Choice:
+  case NodeKind::IfThenElse:
+  case NodeKind::While:
+  case NodeKind::Case:
+    return true;
+  default:
+    return false;
+  }
+}
 
 /// A partially merged run of `case` branches, shipped between worker
 /// managers in portable form. A segment over arms (g_i, b_i) denotes the
@@ -50,17 +80,19 @@ struct CaseSegment {
 /// they reuse the same pool, whose waiters help execute queued tasks
 /// inline instead of blocking (docs/ARCHITECTURE.md S10).
 FddRef compileCaseParallel(FddManager &M, const CaseNode *C,
-                           const CompileOptions &O) {
+                           const CompileOptions &O, const CacheContext *CC) {
   assert(O.Pool && "parallel case compilation requires an engine");
   ThreadPool &Pool = *O.Pool;
   const auto &Branches = C->branches();
 
-  // Map: compile guard and branch of each arm in a private manager.
+  // Map: compile guard and branch of each arm in a private manager. The
+  // cache context is shared read-only (the memo is fully populated before
+  // any worker runs; CompileCache itself is thread-safe).
   std::vector<CaseSegment> Level(Branches.size());
   Pool.parallelFor(Branches.size(), [&](std::size_t I) {
     FddManager Worker(M.solverKind());
-    FddRef Guard = compileNode(Worker, Branches[I].first, O);
-    FddRef Body = compileNode(Worker, Branches[I].second, O);
+    FddRef Guard = compileNode(Worker, Branches[I].first, O, CC);
+    FddRef Body = compileNode(Worker, Branches[I].second, O, CC);
     Level[I].Guard = exportFdd(Worker, Guard);
     Level[I].Body =
         exportFdd(Worker, Worker.branch(Guard, Body, Worker.dropLeaf()));
@@ -88,13 +120,14 @@ FddRef compileCaseParallel(FddManager &M, const CaseNode *C,
 
   // Plug the default branch into the surviving segment's fall-through, in
   // the caller's manager.
-  FddRef Default = compileNode(M, C->defaultBranch(), O);
+  FddRef Default = compileNode(M, C->defaultBranch(), O, CC);
   FddRef Guard = importFdd(M, Level.front().Guard);
   FddRef Body = importFdd(M, Level.front().Body);
   return M.branch(Guard, Body, Default);
 }
 
-FddRef compileNode(FddManager &M, const Node *P, const CompileOptions &O) {
+FddRef compileNodeUncached(FddManager &M, const Node *P,
+                           const CompileOptions &O, const CacheContext *CC) {
   switch (P->kind()) {
   case NodeKind::Drop:
     return M.dropLeaf();
@@ -109,51 +142,78 @@ FddRef compileNode(FddManager &M, const Node *P, const CompileOptions &O) {
     return M.assign(A->field(), A->value());
   }
   case NodeKind::Not:
-    return M.negate(compileNode(M, cast<NotNode>(P)->operand(), O));
+    return M.negate(compileNode(M, cast<NotNode>(P)->operand(), O, CC));
   case NodeKind::Seq: {
     const auto *S = cast<SeqNode>(P);
-    return M.seq(compileNode(M, S->lhs(), O), compileNode(M, S->rhs(), O));
+    return M.seq(compileNode(M, S->lhs(), O, CC),
+                 compileNode(M, S->rhs(), O, CC));
   }
   case NodeKind::Union: {
     const auto *U = cast<UnionNode>(P);
     if (!U->isPredicate())
       fatalError("program-level union is outside the guarded fragment; "
                  "the native backend only compiles guarded programs (§5)");
-    return M.disjoin(compileNode(M, U->lhs(), O),
-                     compileNode(M, U->rhs(), O));
+    return M.disjoin(compileNode(M, U->lhs(), O, CC),
+                     compileNode(M, U->rhs(), O, CC));
   }
   case NodeKind::Choice: {
     const auto *C = cast<ChoiceNode>(P);
-    return M.choice(C->probability(), compileNode(M, C->lhs(), O),
-                    compileNode(M, C->rhs(), O));
+    return M.choice(C->probability(), compileNode(M, C->lhs(), O, CC),
+                    compileNode(M, C->rhs(), O, CC));
   }
   case NodeKind::Star:
     fatalError("star is outside the guarded fragment; use while loops");
   case NodeKind::IfThenElse: {
     const auto *I = cast<IfThenElseNode>(P);
-    return M.branch(compileNode(M, I->cond(), O),
-                    compileNode(M, I->thenBranch(), O),
-                    compileNode(M, I->elseBranch(), O));
+    return M.branch(compileNode(M, I->cond(), O, CC),
+                    compileNode(M, I->thenBranch(), O, CC),
+                    compileNode(M, I->elseBranch(), O, CC));
   }
   case NodeKind::While: {
     const auto *W = cast<WhileNode>(P);
-    return M.solveLoop(compileNode(M, W->cond(), O),
-                       compileNode(M, W->body(), O));
+    return M.solveLoop(compileNode(M, W->cond(), O, CC),
+                       compileNode(M, W->body(), O, CC));
   }
   case NodeKind::Case: {
     const auto *C = cast<CaseNode>(P);
     if (O.ParallelCase && C->branches().size() > 1)
-      return compileCaseParallel(M, C, O);
-    FddRef Acc = compileNode(M, C->defaultBranch(), O);
+      return compileCaseParallel(M, C, O, CC);
+    FddRef Acc = compileNode(M, C->defaultBranch(), O, CC);
     for (std::size_t I = C->branches().size(); I-- > 0;) {
-      FddRef Guard = compileNode(M, C->branches()[I].first, O);
-      FddRef Branch = compileNode(M, C->branches()[I].second, O);
+      FddRef Guard = compileNode(M, C->branches()[I].first, O, CC);
+      FddRef Branch = compileNode(M, C->branches()[I].second, O, CC);
       Acc = M.branch(Guard, Branch, Acc);
     }
     return Acc;
   }
   }
   MCNK_UNREACHABLE("unhandled node kind");
+}
+
+/// The caching shell around compileNodeUncached: consult the shared cache
+/// before compiling a composite sub-program, store what was compiled
+/// after. Canonicity makes this transparent — importing a cached portable
+/// diagram yields exactly the ref a fresh compile would have produced, so
+/// hits and misses are reference-equal in every solver mode, serial or
+/// parallel.
+FddRef compileNode(FddManager &M, const Node *P, const CompileOptions &O,
+                   const CacheContext *CC) {
+  bool Consult = CC && isCacheableKind(P->kind());
+  ast::ProgramHash Key;
+  if (Consult) {
+    const NodeFingerprint &FP = CC->Memo.at(P);
+    Consult = FP.Size >= CC->MinNodes;
+    Key = FP.Hash;
+  }
+  if (Consult) {
+    std::shared_ptr<const PortableFdd> Cached;
+    if (CC->Cache->lookup(Key, M.solverKind(), Cached))
+      return importFdd(M, *Cached);
+  }
+  FddRef Result = compileNodeUncached(M, P, O, CC);
+  if (Consult)
+    CC->Cache->insert(Key, M.solverKind(), exportFdd(M, Result));
+  return Result;
 }
 
 } // namespace
@@ -172,5 +232,12 @@ FddRef fdd::compile(FddManager &Manager, const Node *Program,
       O.Pool = Owned.get();
     }
   }
-  return compileNode(Manager, Program, O);
+  if (O.Cache) {
+    CacheContext CC{O.Cache, O.CacheMinNodes, {}};
+    // One up-front fingerprint pass over the whole term; workers then
+    // share the memo read-only.
+    fingerprintTree(Program, CC.Memo);
+    return compileNode(Manager, Program, O, &CC);
+  }
+  return compileNode(Manager, Program, O, nullptr);
 }

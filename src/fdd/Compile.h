@@ -22,6 +22,8 @@ class ThreadPool;
 
 namespace fdd {
 
+class CompileCache;
+
 struct CompileOptions {
   /// Compile `case` branches on a worker pool.
   bool ParallelCase = false;
@@ -33,6 +35,20 @@ struct CompileOptions {
   /// When null and ParallelCase is set, compile() uses the process-global
   /// pool (Threads == 0) or a pool private to that one call (Threads > 0).
   ThreadPool *Pool = nullptr;
+  /// Cross-compile memoization (docs/ARCHITECTURE.md S12): when non-null,
+  /// compile() consults this cache at every composite sub-program
+  /// boundary (seq / union / choice / if / while / case, gated by
+  /// CacheMinNodes) and stores what it compiles, so a family of programs
+  /// differing in a few arms only pays for the arms that changed. The
+  /// cache may be shared across managers, solver kinds, threads, and
+  /// Verifier lifetimes. Caveat: a hit that covers a while loop skips the
+  /// solver, so FddManager::lastLoopStats() is not refreshed by cached
+  /// sub-programs.
+  CompileCache *Cache = nullptr;
+  /// Sub-programs smaller than this (tree-size heuristic) skip the cache:
+  /// below a handful of nodes, recompiling is cheaper than a lookup plus
+  /// portable-FDD import.
+  std::size_t CacheMinNodes = 16;
 };
 
 /// Compiles a guarded ProbNetKAT program into an FDD owned by \p Manager.

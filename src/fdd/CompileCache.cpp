@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LRU compile-cache implementation: a doubly linked recency list with an
+/// index keyed on (program fingerprint, solver kind), one mutex around
+/// both (lookups splice, so even reads mutate recency state).
+///
+//===----------------------------------------------------------------------===//
+
+#include "fdd/CompileCache.h"
+
+#include <algorithm>
+
+using namespace mcnk;
+using namespace mcnk::fdd;
+
+CompileCache::CompileCache(std::size_t Cap)
+    : Capacity(std::max<std::size_t>(Cap, 1)) {}
+
+bool CompileCache::lookup(const ast::ProgramHash &Hash,
+                          markov::SolverKind Solver,
+                          std::shared_ptr<const PortableFdd> &Out) {
+  Key K{Hash, Solver};
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(K);
+  if (It == Index.end()) {
+    ++Counters.Misses;
+    return false;
+  }
+  ++Counters.Hits;
+  Lru.splice(Lru.begin(), Lru, It->second);
+  Out = It->second->Diagram; // Shared, immutable: no copy under the lock.
+  return true;
+}
+
+void CompileCache::insert(const ast::ProgramHash &Hash,
+                          markov::SolverKind Solver, PortableFdd Diagram) {
+  Key K{Hash, Solver};
+  auto Stored = std::make_shared<const PortableFdd>(std::move(Diagram));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(K);
+  if (It != Index.end()) {
+    // Canonicity makes re-inserts identical; just refresh recency.
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  ++Counters.Insertions;
+  Counters.StoredNodes += Stored->Nodes.size();
+  Lru.push_front(Entry{K, std::move(Stored)});
+  Index.emplace(K, Lru.begin());
+  evictIfNeededLocked();
+}
+
+void CompileCache::evictIfNeededLocked() {
+  while (Lru.size() > Capacity) {
+    Entry &Victim = Lru.back();
+    Counters.StoredNodes -= Victim.Diagram->Nodes.size();
+    ++Counters.Evictions;
+    Index.erase(Victim.K);
+    Lru.pop_back();
+  }
+}
+
+CompileCache::Stats CompileCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stats S = Counters;
+  S.Entries = Lru.size();
+  return S;
+}
+
+void CompileCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Lru.clear();
+  Index.clear();
+  Counters = Stats();
+}

@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-compile memoization cache (docs/ARCHITECTURE.md S12): maps a
+/// structural program fingerprint plus solver kind to the compiled FDD in
+/// portable (Export) form. Because canonical FDDs make equivalence
+/// reference equality, importing a cached diagram into any manager is
+/// guaranteed to produce the exact ref a fresh compile would — so a
+/// failure-parameter sweep over a family of networks only recompiles the
+/// sub-programs that actually changed, and the cache can outlive any
+/// particular FddManager (reset()/gc() never invalidate it).
+///
+/// Entries are keyed on (ProgramHash, SolverKind): loop solutions depend
+/// on the configured solver, so Exact/Direct/Iterative results never mix.
+/// Eviction is LRU by entry count. All operations are thread-safe; the
+/// parallel `case` workers consult one shared cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_FDD_COMPILECACHE_H
+#define MCNK_FDD_COMPILECACHE_H
+
+#include "ast/Hash.h"
+#include "fdd/Export.h"
+#include "markov/Absorbing.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace mcnk {
+namespace fdd {
+
+/// Thread-safe LRU cache of compiled sub-programs in portable form.
+/// Stored diagrams are immutable (canonicity makes re-inserts identical),
+/// so hits hand out shared ownership instead of deep-copying inside the
+/// lock — parallel `case` workers sharing one cache only contend for the
+/// recency splice, not an O(diagram) copy.
+class CompileCache {
+public:
+  /// \p Capacity is the maximum number of entries (minimum 1); the
+  /// least-recently-used entry is evicted on overflow.
+  explicit CompileCache(std::size_t Capacity = 1u << 12);
+
+  /// Looks up (\p Key, \p Solver); on hit points \p Out at the stored
+  /// (immutable, shared) diagram, refreshes recency, and returns true.
+  bool lookup(const ast::ProgramHash &Key, markov::SolverKind Solver,
+              std::shared_ptr<const PortableFdd> &Out);
+
+  /// Stores a compiled diagram under (\p Key, \p Solver). Re-inserting an
+  /// existing key refreshes recency and keeps the first value (canonicity
+  /// guarantees both are identical).
+  void insert(const ast::ProgramHash &Key, markov::SolverKind Solver,
+              PortableFdd Diagram);
+
+  /// Counters since construction (or the last clear()).
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Insertions = 0;
+    uint64_t Evictions = 0;
+    std::size_t Entries = 0;     ///< Current entry count.
+    std::size_t StoredNodes = 0; ///< Total portable nodes currently held.
+  };
+  Stats stats() const;
+
+  /// Drops every entry and zeroes the counters; capacity is unchanged.
+  void clear();
+
+  std::size_t capacity() const { return Capacity; }
+
+private:
+  struct Key {
+    ast::ProgramHash Hash;
+    markov::SolverKind Solver;
+    bool operator==(const Key &R) const {
+      return Hash == R.Hash && Solver == R.Solver;
+    }
+  };
+  struct KeyHasher {
+    std::size_t operator()(const Key &K) const {
+      return ast::ProgramHashHasher()(K.Hash) * 31 +
+             static_cast<std::size_t>(K.Solver);
+    }
+  };
+  struct Entry {
+    Key K;
+    std::shared_ptr<const PortableFdd> Diagram;
+  };
+
+  void evictIfNeededLocked();
+
+  const std::size_t Capacity;
+  mutable std::mutex Mutex;
+  /// Most-recently-used at the front.
+  std::list<Entry> Lru;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> Index;
+  Stats Counters;
+};
+
+} // namespace fdd
+} // namespace mcnk
+
+#endif // MCNK_FDD_COMPILECACHE_H

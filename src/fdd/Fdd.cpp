@@ -15,6 +15,7 @@
 #include <cassert>
 #include <limits>
 #include <set>
+#include <type_traits>
 
 using namespace mcnk;
 using namespace mcnk::fdd;
@@ -138,45 +139,140 @@ FddRef FddManager::cofactorFalse(FddRef Ref, FieldId Field,
   return Ref; // Larger tests stay undetermined under Field != Value.
 }
 
+// The compiler operations below are written in the explicit-stack style of
+// Export.cpp rather than as direct recursion: diagrams shaped like long
+// test chains (one inner node per value, tens of thousands deep) would
+// otherwise overflow the call stack. Each operation keeps its terminal
+// cases and memo table exactly as before; the Frame stack replaces the
+// call stack and a value stack carries child results to their parent,
+// with children evaluated in the same order the recursive versions used.
+
 FddRef FddManager::negate(FddRef Pred) {
   if (Pred == IdentityLeaf)
     return DropLeaf;
   if (Pred == DropLeaf)
     return IdentityLeaf;
   assert(!isLeafRef(Pred) && "negate on a non-predicate leaf");
-  auto It = NegateCache.find(Pred);
-  if (It != NegateCache.end())
+  if (auto It = NegateCache.find(Pred); It != NegateCache.end())
     return It->second;
-  // Copy: recursive calls may grow the node pool and invalidate refs.
-  const InnerNode N = innerNode(Pred);
-  FddRef Result = inner(N.Field, N.Value, negate(N.Hi), negate(N.Lo));
-  NegateCache.emplace(Pred, Result);
-  return Result;
+
+  struct Frame {
+    FddRef Ref;
+    FieldId Field;
+    FieldValue Value;
+    bool Expanded;
+  };
+  std::vector<Frame> Stack;
+  std::vector<FddRef> Values;
+  Stack.push_back({Pred, 0, 0, false});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (!Top.Expanded) {
+      FddRef Ref = Top.Ref;
+      if (Ref == IdentityLeaf || Ref == DropLeaf) {
+        Values.push_back(Ref == IdentityLeaf ? DropLeaf : IdentityLeaf);
+        Stack.pop_back();
+        continue;
+      }
+      assert(!isLeafRef(Ref) && "negate on a non-predicate leaf");
+      if (auto It = NegateCache.find(Ref); It != NegateCache.end()) {
+        Values.push_back(It->second);
+        Stack.pop_back();
+        continue;
+      }
+      const InnerNode &N = innerNode(Ref);
+      Top.Field = N.Field;
+      Top.Value = N.Value;
+      Top.Expanded = true;
+      FddRef Hi = N.Hi, Lo = N.Lo; // Pushing below invalidates Top and N.
+      Stack.push_back({Lo, 0, 0, false});
+      Stack.push_back({Hi, 0, 0, false});
+      continue;
+    }
+    FddRef LoRes = Values.back();
+    Values.pop_back();
+    FddRef HiRes = Values.back();
+    Values.pop_back();
+    FddRef Result = inner(Top.Field, Top.Value, HiRes, LoRes);
+    NegateCache.emplace(Top.Ref, Result);
+    Values.push_back(Result);
+    Stack.pop_back();
+  }
+  assert(Values.size() == 1 && "unbalanced traversal");
+  return Values.back();
 }
 
 FddRef FddManager::disjoin(FddRef PredA, FddRef PredB) {
-  if (PredA == PredB || PredB == DropLeaf)
-    return PredA;
-  if (PredA == DropLeaf)
-    return PredB;
-  if (PredA == IdentityLeaf || PredB == IdentityLeaf)
-    return IdentityLeaf;
-  assert(!isLeafRef(PredA) && !isLeafRef(PredB) &&
-         "disjoin on a non-predicate leaf");
-  std::pair<FddRef, FddRef> Key = {std::min(PredA, PredB),
-                                   std::max(PredA, PredB)};
-  auto It = DisjoinCache.find(Key);
-  if (It != DisjoinCache.end())
-    return It->second;
-  auto Test = std::min(rootTest(PredA), rootTest(PredB), testLess);
-  auto [F, V] = Test;
-  FddRef Hi =
-      disjoin(cofactorTrue(PredA, F, V), cofactorTrue(PredB, F, V));
-  FddRef Lo =
-      disjoin(cofactorFalse(PredA, F, V), cofactorFalse(PredB, F, V));
-  FddRef Result = inner(F, V, Hi, Lo);
-  DisjoinCache.emplace(Key, Result);
-  return Result;
+  auto Terminal = [this](FddRef A, FddRef B, FddRef &Out) {
+    if (A == B || B == DropLeaf) {
+      Out = A;
+      return true;
+    }
+    if (A == DropLeaf) {
+      Out = B;
+      return true;
+    }
+    if (A == IdentityLeaf || B == IdentityLeaf) {
+      Out = IdentityLeaf;
+      return true;
+    }
+    return false;
+  };
+  FddRef Quick;
+  if (Terminal(PredA, PredB, Quick))
+    return Quick;
+
+  struct Frame {
+    FddRef A, B;
+    FieldId Field;
+    FieldValue Value;
+    bool Expanded;
+  };
+  std::vector<Frame> Stack;
+  std::vector<FddRef> Values;
+  Stack.push_back({PredA, PredB, 0, 0, false});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (!Top.Expanded) {
+      FddRef A = Top.A, B = Top.B;
+      FddRef Out;
+      if (Terminal(A, B, Out)) {
+        Values.push_back(Out);
+        Stack.pop_back();
+        continue;
+      }
+      assert(!isLeafRef(A) && !isLeafRef(B) &&
+             "disjoin on a non-predicate leaf");
+      std::pair<FddRef, FddRef> Key = {std::min(A, B), std::max(A, B)};
+      if (auto It = DisjoinCache.find(Key); It != DisjoinCache.end()) {
+        Values.push_back(It->second);
+        Stack.pop_back();
+        continue;
+      }
+      auto [F, V] = std::min(rootTest(A), rootTest(B), testLess);
+      Top.Field = F;
+      Top.Value = V;
+      Top.Expanded = true;
+      // Pushing below invalidates Top; cofactors allocate nothing.
+      Stack.push_back(
+          {cofactorFalse(A, F, V), cofactorFalse(B, F, V), 0, 0, false});
+      Stack.push_back(
+          {cofactorTrue(A, F, V), cofactorTrue(B, F, V), 0, 0, false});
+      continue;
+    }
+    FddRef LoRes = Values.back();
+    Values.pop_back();
+    FddRef HiRes = Values.back();
+    Values.pop_back();
+    FddRef Result = inner(Top.Field, Top.Value, HiRes, LoRes);
+    DisjoinCache.emplace(
+        std::make_pair(std::min(Top.A, Top.B), std::max(Top.A, Top.B)),
+        Result);
+    Values.push_back(Result);
+    Stack.pop_back();
+  }
+  assert(Values.size() == 1 && "unbalanced traversal");
+  return Values.back();
 }
 
 FddRef FddManager::choice(const Rational &R, FddRef P, FddRef Q) {
@@ -185,74 +281,213 @@ FddRef FddManager::choice(const Rational &R, FddRef P, FddRef Q) {
     return P;
   if (R.isZero())
     return Q;
-  ChoiceKey Key{R, P, Q};
-  auto It = ChoiceCache.find(Key);
-  if (It != ChoiceCache.end())
-    return It->second;
-  FddRef Result;
-  if (isLeafRef(P) && isLeafRef(Q)) {
-    Result = leaf(ActionDist::convex(R, leafDist(P), leafDist(Q)));
-  } else {
-    auto [F, V] = std::min(rootTest(P), rootTest(Q), testLess);
-    FddRef Hi = choice(R, cofactorTrue(P, F, V), cofactorTrue(Q, F, V));
-    FddRef Lo = choice(R, cofactorFalse(P, F, V), cofactorFalse(Q, F, V));
-    Result = inner(F, V, Hi, Lo);
+
+  // R is invariant across the whole decomposition, so frames carry only
+  // the operand pair.
+  struct Frame {
+    FddRef P, Q;
+    FieldId Field;
+    FieldValue Value;
+    bool Expanded;
+  };
+  std::vector<Frame> Stack;
+  std::vector<FddRef> Values;
+  Stack.push_back({P, Q, 0, 0, false});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (!Top.Expanded) {
+      FddRef A = Top.P, B = Top.Q;
+      if (A == B) {
+        Values.push_back(A);
+        Stack.pop_back();
+        continue;
+      }
+      if (auto It = ChoiceCache.find(ChoiceKey{R, A, B});
+          It != ChoiceCache.end()) {
+        Values.push_back(It->second);
+        Stack.pop_back();
+        continue;
+      }
+      if (isLeafRef(A) && isLeafRef(B)) {
+        FddRef Result = leaf(ActionDist::convex(R, leafDist(A), leafDist(B)));
+        ChoiceCache.emplace(ChoiceKey{R, A, B}, Result);
+        Values.push_back(Result);
+        Stack.pop_back();
+        continue;
+      }
+      auto [F, V] = std::min(rootTest(A), rootTest(B), testLess);
+      Top.Field = F;
+      Top.Value = V;
+      Top.Expanded = true;
+      // Pushing below invalidates Top; cofactors allocate nothing.
+      Stack.push_back(
+          {cofactorFalse(A, F, V), cofactorFalse(B, F, V), 0, 0, false});
+      Stack.push_back(
+          {cofactorTrue(A, F, V), cofactorTrue(B, F, V), 0, 0, false});
+      continue;
+    }
+    FddRef LoRes = Values.back();
+    Values.pop_back();
+    FddRef HiRes = Values.back();
+    Values.pop_back();
+    FddRef Result = inner(Top.Field, Top.Value, HiRes, LoRes);
+    ChoiceCache.emplace(ChoiceKey{R, Top.P, Top.Q}, Result);
+    Values.push_back(Result);
+    Stack.pop_back();
   }
-  ChoiceCache.emplace(Key, Result);
-  return Result;
+  assert(Values.size() == 1 && "unbalanced traversal");
+  return Values.back();
 }
 
 FddRef FddManager::branch(FddRef Guard, FddRef Then, FddRef Else) {
-  if (Guard == IdentityLeaf)
-    return Then;
-  if (Guard == DropLeaf)
-    return Else;
-  if (Then == Else)
-    return Then;
-  assert(!isLeafRef(Guard) && "guard leaf must be pass or drop");
-  auto Key = std::make_tuple(Guard, Then, Else);
-  auto It = BranchCache.find(Key);
-  if (It != BranchCache.end())
-    return It->second;
-  auto Test = std::min({rootTest(Guard), rootTest(Then), rootTest(Else)},
-                       testLess);
-  auto [F, V] = Test;
-  FddRef Hi = branch(cofactorTrue(Guard, F, V), cofactorTrue(Then, F, V),
-                     cofactorTrue(Else, F, V));
-  FddRef Lo = branch(cofactorFalse(Guard, F, V), cofactorFalse(Then, F, V),
-                     cofactorFalse(Else, F, V));
-  FddRef Result = inner(F, V, Hi, Lo);
-  BranchCache.emplace(Key, Result);
-  return Result;
+  auto Terminal = [this](FddRef G, FddRef T, FddRef E, FddRef &Out) {
+    if (G == IdentityLeaf) {
+      Out = T;
+      return true;
+    }
+    if (G == DropLeaf) {
+      Out = E;
+      return true;
+    }
+    if (T == E) {
+      Out = T;
+      return true;
+    }
+    return false;
+  };
+  FddRef Quick;
+  if (Terminal(Guard, Then, Else, Quick))
+    return Quick;
+
+  struct Frame {
+    FddRef Guard, Then, Else;
+    FieldId Field;
+    FieldValue Value;
+    bool Expanded;
+  };
+  std::vector<Frame> Stack;
+  std::vector<FddRef> Values;
+  Stack.push_back({Guard, Then, Else, 0, 0, false});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (!Top.Expanded) {
+      FddRef G = Top.Guard, T = Top.Then, E = Top.Else;
+      FddRef Out;
+      if (Terminal(G, T, E, Out)) {
+        Values.push_back(Out);
+        Stack.pop_back();
+        continue;
+      }
+      assert(!isLeafRef(G) && "guard leaf must be pass or drop");
+      if (auto It = BranchCache.find(std::make_tuple(G, T, E));
+          It != BranchCache.end()) {
+        Values.push_back(It->second);
+        Stack.pop_back();
+        continue;
+      }
+      auto [F, V] =
+          std::min({rootTest(G), rootTest(T), rootTest(E)}, testLess);
+      Top.Field = F;
+      Top.Value = V;
+      Top.Expanded = true;
+      // Pushing below invalidates Top; cofactors allocate nothing.
+      Stack.push_back({cofactorFalse(G, F, V), cofactorFalse(T, F, V),
+                       cofactorFalse(E, F, V), 0, 0, false});
+      Stack.push_back({cofactorTrue(G, F, V), cofactorTrue(T, F, V),
+                       cofactorTrue(E, F, V), 0, 0, false});
+      continue;
+    }
+    FddRef LoRes = Values.back();
+    Values.pop_back();
+    FddRef HiRes = Values.back();
+    Values.pop_back();
+    FddRef Result = inner(Top.Field, Top.Value, HiRes, LoRes);
+    BranchCache.emplace(std::make_tuple(Top.Guard, Top.Then, Top.Else),
+                        Result);
+    Values.push_back(Result);
+    Stack.pop_back();
+  }
+  assert(Values.size() == 1 && "unbalanced traversal");
+  return Values.back();
 }
 
 FddRef FddManager::seqAction(uint32_t ActionId, FddRef Q) {
-  const Action &A = Actions[ActionId];
+  // Copy: the leaf algebra below can intern new leaves, but never new
+  // actions, so the id stays valid; the copy guards against pool growth
+  // elsewhere all the same.
+  const Action A = Actions[ActionId];
   if (A.isDrop())
     return DropLeaf;
-  std::pair<uint32_t, FddRef> Key = {ActionId, Q};
-  auto It = SeqActionCache.find(Key);
-  if (It != SeqActionCache.end())
+  if (auto It = SeqActionCache.find({ActionId, Q});
+      It != SeqActionCache.end())
     return It->second;
-  FddRef Result;
-  if (isLeafRef(Q)) {
-    std::vector<std::pair<Action, Rational>> Entries;
-    for (const auto &[B, W] : leafDist(Q).entries())
-      Entries.emplace_back(A.then(B), W);
-    Result = leaf(ActionDist::fromEntries(std::move(Entries)));
-  } else {
-    // Copy: recursive calls may grow the node pool and invalidate refs.
-    const InnerNode N = innerNode(Q);
-    if (std::optional<FieldValue> Written = A.writeTo(N.Field)) {
-      // The action pins this field before Q tests it; resolve statically.
-      Result = seqAction(ActionId, *Written == N.Value ? N.Hi : N.Lo);
-    } else {
-      Result = inner(N.Field, N.Value, seqAction(ActionId, N.Hi),
-                     seqAction(ActionId, N.Lo));
+
+  // The action is invariant across the decomposition; frames carry the
+  // sub-diagram plus whether the test was statically resolved (one child)
+  // or split (two).
+  struct Frame {
+    FddRef Q;
+    FieldId Field;
+    FieldValue Value;
+    bool Expanded;
+    bool Resolved;
+  };
+  std::vector<Frame> Stack;
+  std::vector<FddRef> Values;
+  Stack.push_back({Q, 0, 0, false, false});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (!Top.Expanded) {
+      FddRef Cur = Top.Q;
+      if (auto It = SeqActionCache.find({ActionId, Cur});
+          It != SeqActionCache.end()) {
+        Values.push_back(It->second);
+        Stack.pop_back();
+        continue;
+      }
+      if (isLeafRef(Cur)) {
+        std::vector<std::pair<Action, Rational>> Entries;
+        for (const auto &[B, W] : leafDist(Cur).entries())
+          Entries.emplace_back(A.then(B), W);
+        FddRef Result = leaf(ActionDist::fromEntries(std::move(Entries)));
+        SeqActionCache.emplace(std::make_pair(ActionId, Cur), Result);
+        Values.push_back(Result);
+        Stack.pop_back();
+        continue;
+      }
+      const InnerNode &N = innerNode(Cur);
+      Top.Field = N.Field;
+      Top.Value = N.Value;
+      Top.Expanded = true;
+      FddRef Hi = N.Hi, Lo = N.Lo; // Pushing below invalidates Top and N.
+      if (std::optional<FieldValue> Written = A.writeTo(Top.Field)) {
+        // The action pins this field before Q tests it; resolve statically.
+        Top.Resolved = true;
+        Stack.push_back(
+            {*Written == Top.Value ? Hi : Lo, 0, 0, false, false});
+      } else {
+        Stack.push_back({Lo, 0, 0, false, false});
+        Stack.push_back({Hi, 0, 0, false, false});
+      }
+      continue;
     }
+    FddRef Result;
+    if (Top.Resolved) {
+      Result = Values.back();
+      Values.pop_back();
+    } else {
+      FddRef LoRes = Values.back();
+      Values.pop_back();
+      FddRef HiRes = Values.back();
+      Values.pop_back();
+      Result = inner(Top.Field, Top.Value, HiRes, LoRes);
+    }
+    SeqActionCache.emplace(std::make_pair(ActionId, Top.Q), Result);
+    Values.push_back(Result);
+    Stack.pop_back();
   }
-  SeqActionCache.emplace(Key, Result);
-  return Result;
+  assert(Values.size() == 1 && "unbalanced traversal");
+  return Values.back();
 }
 
 FddRef FddManager::weightedSum(
@@ -273,32 +508,86 @@ FddRef FddManager::weightedSum(
 }
 
 FddRef FddManager::seq(FddRef P, FddRef Q) {
-  if (P == DropLeaf || Q == IdentityLeaf || Q == DropLeaf) {
-    // p ; skip = p, drop ; q = drop, p ; drop = drop (all mass dropped).
-    return Q == DropLeaf ? DropLeaf : P;
-  }
-  if (P == IdentityLeaf)
-    return Q;
-  std::pair<FddRef, FddRef> Key = {P, Q};
-  auto It = SeqCache.find(Key);
-  if (It != SeqCache.end())
-    return It->second;
-  FddRef Result;
-  if (isLeafRef(P)) {
-    std::vector<std::pair<Rational, FddRef>> Terms;
-    for (const auto &[A, W] : leafDist(P).entries())
-      Terms.emplace_back(W, seqAction(internAction(A), Q));
-    Result = weightedSum(std::move(Terms));
-  } else {
-    // Copy: recursive calls may grow the node pool and invalidate refs.
-    const InnerNode N = innerNode(P);
+  auto Terminal = [this](FddRef A, FddRef B, FddRef &Out) {
+    if (A == DropLeaf || B == IdentityLeaf || B == DropLeaf) {
+      // p ; skip = p, drop ; q = drop, p ; drop = drop (all mass dropped).
+      Out = B == DropLeaf ? DropLeaf : A;
+      return true;
+    }
+    if (A == IdentityLeaf) {
+      Out = B;
+      return true;
+    }
+    return false;
+  };
+  FddRef Quick;
+  if (Terminal(P, Q, Quick))
+    return Quick;
+
+  struct Frame {
+    FddRef P, Q;
+    FieldId Field;
+    FieldValue Value;
+    bool Expanded;
+  };
+  std::vector<Frame> Stack;
+  std::vector<FddRef> Values;
+  Stack.push_back({P, Q, 0, 0, false});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (!Top.Expanded) {
+      FddRef A = Top.P, B = Top.Q;
+      FddRef Out;
+      if (Terminal(A, B, Out)) {
+        Values.push_back(Out);
+        Stack.pop_back();
+        continue;
+      }
+      if (auto It = SeqCache.find({A, B}); It != SeqCache.end()) {
+        Values.push_back(It->second);
+        Stack.pop_back();
+        continue;
+      }
+      if (isLeafRef(A)) {
+        // Leaf ▷ diagram: decompose into per-action compositions (each
+        // one an iterative seqAction) and reassemble; weightedSum and
+        // choice are themselves non-recursive. Copy the entries: the
+        // seqAction calls intern new leaves, which can relocate the pool
+        // the distribution lives in.
+        const std::vector<std::pair<Action, Rational>> Entries =
+            leafDist(A).entries();
+        std::vector<std::pair<Rational, FddRef>> Terms;
+        for (const auto &[Act, W] : Entries)
+          Terms.emplace_back(W, seqAction(internAction(Act), B));
+        FddRef Result = weightedSum(std::move(Terms));
+        SeqCache.emplace(std::make_pair(A, B), Result);
+        Values.push_back(Result);
+        Stack.pop_back();
+        continue;
+      }
+      const InnerNode &N = innerNode(A);
+      Top.Field = N.Field;
+      Top.Value = N.Value;
+      Top.Expanded = true;
+      FddRef Hi = N.Hi, Lo = N.Lo; // Pushing below invalidates Top and N.
+      Stack.push_back({Lo, B, 0, 0, false});
+      Stack.push_back({Hi, B, 0, 0, false});
+      continue;
+    }
+    FddRef LoRes = Values.back();
+    Values.pop_back();
+    FddRef HiRes = Values.back();
+    Values.pop_back();
     // Q's tests read the packet *after* P's actions, so they may need to
     // float above this node's test; route through branch() which
     // re-interleaves in canonical order.
-    Result = branch(test(N.Field, N.Value), seq(N.Hi, Q), seq(N.Lo, Q));
+    FddRef Result = branch(test(Top.Field, Top.Value), HiRes, LoRes);
+    SeqCache.emplace(std::make_pair(Top.P, Top.Q), Result);
+    Values.push_back(Result);
+    Stack.pop_back();
   }
-  SeqCache.emplace(Key, Result);
-  return Result;
+  assert(Values.size() == 1 && "unbalanced traversal");
+  return Values.back();
 }
 
 bool FddManager::isPredicateFdd(FddRef Ref) const {
@@ -383,4 +672,249 @@ FddManager::collectDomain(FddRef Ref) const {
   for (auto &[F, Values] : Sets)
     Result.emplace(F, std::vector<FieldValue>(Values.begin(), Values.end()));
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Lifecycle: reset and mark-sweep compaction
+//===----------------------------------------------------------------------===//
+
+void FddManager::reset() {
+  Leaves.clear();
+  LeafTable.clear();
+  Inners.clear();
+  InnerTable.clear();
+  Actions.clear();
+  ActionTable.clear();
+  SeqCache.clear();
+  DisjoinCache.clear();
+  NegateCache.clear();
+  ChoiceCache.clear();
+  BranchCache.clear();
+  SeqActionCache.clear();
+  LoopCache.clear();
+  LastLoop = LoopSolveStats();
+  IdentityLeaf = leaf(ActionDist::dirac(Action()));
+  DropLeaf = leaf(ActionDist::dirac(Action::drop()));
+}
+
+GcStats FddManager::gc(const std::vector<FddRef *> &Roots) {
+  GcStats Stats;
+  constexpr uint32_t Dead = std::numeric_limits<uint32_t>::max();
+
+  // --- Mark: everything reachable from the roots plus the constants. ----
+  std::vector<bool> LeafLive(Leaves.size(), false);
+  std::vector<bool> InnerLive(Inners.size(), false);
+  std::vector<FddRef> Stack = {IdentityLeaf, DropLeaf};
+  for (FddRef *Root : Roots) {
+    assert(Root && "null root handed to gc");
+    Stack.push_back(*Root);
+  }
+  while (!Stack.empty()) {
+    FddRef Cur = Stack.back();
+    Stack.pop_back();
+    if (isLeafRef(Cur)) {
+      LeafLive[Cur >> 1] = true;
+      continue;
+    }
+    if (InnerLive[Cur >> 1])
+      continue;
+    InnerLive[Cur >> 1] = true;
+    const InnerNode &N = Inners[Cur >> 1];
+    Stack.push_back(N.Hi);
+    Stack.push_back(N.Lo);
+  }
+
+  // --- Sweep: order-preserving compaction keeps the children-precede-
+  // parents property of the inner pool, so one ascending pass remaps
+  // every child ref before its parent is rebuilt. -----------------------
+  std::vector<uint32_t> LeafRemap(Leaves.size(), Dead);
+  std::vector<uint32_t> InnerRemap(Inners.size(), Dead);
+  for (std::size_t I = 0; I < Leaves.size(); ++I)
+    if (LeafLive[I])
+      LeafRemap[I] = static_cast<uint32_t>(Stats.LiveLeaves++);
+  Stats.FreedLeaves = Leaves.size() - Stats.LiveLeaves;
+  for (std::size_t I = 0; I < Inners.size(); ++I)
+    if (InnerLive[I])
+      InnerRemap[I] = static_cast<uint32_t>(Stats.LiveInners++);
+  Stats.FreedInners = Inners.size() - Stats.LiveInners;
+
+  auto LiveRef = [&](FddRef Old) {
+    return isLeafRef(Old) ? LeafLive[Old >> 1] : InnerLive[Old >> 1];
+  };
+  auto RemapRef = [&](FddRef Old) -> FddRef {
+    if (isLeafRef(Old)) {
+      assert(LeafRemap[Old >> 1] != Dead && "remapping a dead leaf");
+      return (LeafRemap[Old >> 1] << 1) | 1;
+    }
+    assert(InnerRemap[Old >> 1] != Dead && "remapping a dead node");
+    return InnerRemap[Old >> 1] << 1;
+  };
+
+  {
+    std::vector<ActionDist> NewLeaves;
+    NewLeaves.reserve(Stats.LiveLeaves);
+    LeafTable.clear();
+    for (std::size_t I = 0; I < Leaves.size(); ++I) {
+      if (!LeafLive[I])
+        continue;
+      LeafTable[Leaves[I].hash()].push_back(
+          static_cast<uint32_t>(NewLeaves.size()));
+      NewLeaves.push_back(std::move(Leaves[I]));
+    }
+    Leaves = std::move(NewLeaves);
+  }
+  {
+    std::vector<InnerNode> NewInners;
+    NewInners.reserve(Stats.LiveInners);
+    InnerTable.clear();
+    for (std::size_t I = 0; I < Inners.size(); ++I) {
+      if (!InnerLive[I])
+        continue;
+      InnerNode N = Inners[I];
+      N.Hi = RemapRef(N.Hi);
+      N.Lo = RemapRef(N.Lo);
+      InnerTable[hashValues(N.Field, N.Value, N.Hi, N.Lo)].push_back(
+          static_cast<uint32_t>(NewInners.size()));
+      NewInners.push_back(N);
+    }
+    Inners = std::move(NewInners);
+  }
+
+  IdentityLeaf = RemapRef(IdentityLeaf);
+  DropLeaf = RemapRef(DropLeaf);
+  // Remap each distinct root location exactly once: duplicate (aliased)
+  // pointers in Roots would otherwise be remapped twice, feeding an
+  // already-new ref back through the old-index tables.
+  {
+    std::set<FddRef *> Seen;
+    for (FddRef *Root : Roots)
+      if (Seen.insert(Root).second)
+        *Root = RemapRef(*Root);
+  }
+
+  // --- Rebuild the operation caches onto the compacted refs. An entry
+  // survives iff every operand and its result are still reachable; the
+  // rest would pin dead structure (or dangle), so they are dropped and
+  // simply recomputed on demand. -----------------------------------------
+  auto RebuildPair = [&](auto &Cache) {
+    std::remove_reference_t<decltype(Cache)> New;
+    New.reserve(Cache.size());
+    for (const auto &[K, V] : Cache) {
+      if (!LiveRef(K.first) || !LiveRef(K.second) || !LiveRef(V)) {
+        ++Stats.DroppedCacheEntries;
+        continue;
+      }
+      New.emplace(std::make_pair(RemapRef(K.first), RemapRef(K.second)),
+                  RemapRef(V));
+      ++Stats.KeptCacheEntries;
+    }
+    Cache = std::move(New);
+  };
+  RebuildPair(SeqCache);
+  {
+    // Disjoin keys carry a (min, max) normalization. Both operands are
+    // always inner refs (leaves are swallowed by the terminal cases), so
+    // order-preserving compaction cannot actually flip them — but
+    // re-normalize locally so the lookup invariant is evident here
+    // rather than resting on that argument.
+    decltype(DisjoinCache) New;
+    New.reserve(DisjoinCache.size());
+    for (const auto &[K, V] : DisjoinCache) {
+      if (!LiveRef(K.first) || !LiveRef(K.second) || !LiveRef(V)) {
+        ++Stats.DroppedCacheEntries;
+        continue;
+      }
+      New.emplace(std::minmax(RemapRef(K.first), RemapRef(K.second)),
+                  RemapRef(V));
+      ++Stats.KeptCacheEntries;
+    }
+    DisjoinCache = std::move(New);
+  }
+  {
+    decltype(NegateCache) New;
+    New.reserve(NegateCache.size());
+    for (const auto &[K, V] : NegateCache) {
+      if (!LiveRef(K) || !LiveRef(V)) {
+        ++Stats.DroppedCacheEntries;
+        continue;
+      }
+      New.emplace(RemapRef(K), RemapRef(V));
+      ++Stats.KeptCacheEntries;
+    }
+    NegateCache = std::move(New);
+  }
+  {
+    decltype(ChoiceCache) New;
+    New.reserve(ChoiceCache.size());
+    for (const auto &[K, V] : ChoiceCache) {
+      if (!LiveRef(K.P) || !LiveRef(K.Q) || !LiveRef(V)) {
+        ++Stats.DroppedCacheEntries;
+        continue;
+      }
+      New.emplace(ChoiceKey{K.R, RemapRef(K.P), RemapRef(K.Q)},
+                  RemapRef(V));
+      ++Stats.KeptCacheEntries;
+    }
+    ChoiceCache = std::move(New);
+  }
+  {
+    decltype(BranchCache) New;
+    New.reserve(BranchCache.size());
+    for (const auto &[K, V] : BranchCache) {
+      auto [G, T, E] = K;
+      if (!LiveRef(G) || !LiveRef(T) || !LiveRef(E) || !LiveRef(V)) {
+        ++Stats.DroppedCacheEntries;
+        continue;
+      }
+      New.emplace(std::make_tuple(RemapRef(G), RemapRef(T), RemapRef(E)),
+                  RemapRef(V));
+      ++Stats.KeptCacheEntries;
+    }
+    BranchCache = std::move(New);
+  }
+  {
+    // SeqAction keys embed interned action ids; the action pool is itself
+    // a cache-support structure, so compact it down to the actions that
+    // surviving entries still reference.
+    decltype(SeqActionCache) New;
+    New.reserve(SeqActionCache.size());
+    std::vector<uint32_t> ActionRemap(Actions.size(), Dead);
+    std::vector<Action> NewActions;
+    ActionTable.clear();
+    for (const auto &[K, V] : SeqActionCache) {
+      if (!LiveRef(K.second) || !LiveRef(V)) {
+        ++Stats.DroppedCacheEntries;
+        continue;
+      }
+      uint32_t OldAction = K.first;
+      if (ActionRemap[OldAction] == Dead) {
+        ActionRemap[OldAction] = static_cast<uint32_t>(NewActions.size());
+        ActionTable[Actions[OldAction].hash()].push_back(
+            static_cast<uint32_t>(NewActions.size()));
+        NewActions.push_back(Actions[OldAction]);
+      }
+      New.emplace(
+          std::make_pair(ActionRemap[OldAction], RemapRef(K.second)),
+          RemapRef(V));
+      ++Stats.KeptCacheEntries;
+    }
+    Stats.FreedActions = Actions.size() - NewActions.size();
+    Actions = std::move(NewActions);
+    SeqActionCache = std::move(New);
+  }
+  {
+    decltype(LoopCache) New;
+    New.reserve(LoopCache.size());
+    for (const auto &[K, V] : LoopCache) {
+      if (!LiveRef(K.first) || !LiveRef(K.second) || !LiveRef(V.Result)) {
+        ++Stats.DroppedCacheEntries;
+        continue;
+      }
+      New.emplace(std::make_pair(RemapRef(K.first), RemapRef(K.second)),
+                  LoopEntry{RemapRef(V.Result), V.Stats});
+      ++Stats.KeptCacheEntries;
+    }
+    LoopCache = std::move(New);
+  }
+  return Stats;
 }

@@ -48,6 +48,19 @@ struct LoopSolveStats {
   std::size_t NumQEntries = 0;  ///< Sparse entries of Q.
 };
 
+/// Outcome of one FddManager::gc() mark-sweep pass (diagnostics).
+struct GcStats {
+  std::size_t LiveLeaves = 0;
+  std::size_t FreedLeaves = 0;
+  std::size_t LiveInners = 0;
+  std::size_t FreedInners = 0;
+  std::size_t FreedActions = 0;
+  /// Operation-cache entries rebuilt onto the compacted pools vs dropped
+  /// because an operand or result died.
+  std::size_t KeptCacheEntries = 0;
+  std::size_t DroppedCacheEntries = 0;
+};
+
 /// Owns all FDD nodes and implements the compiler's operations. Not
 /// thread-safe; the parallel backend uses one manager per worker and
 /// merges results via Export/Import (mirroring the paper's multi-process
@@ -118,6 +131,20 @@ public:
   };
   OutputDist outputDistribution(FddRef Ref, const Packet &P) const;
 
+  // --- Lifecycle -----------------------------------------------------------
+  /// Returns the manager to its freshly constructed state: every pool and
+  /// operation cache is dropped and the identity/drop leaves re-interned.
+  /// All previously issued FddRefs are invalidated.
+  void reset();
+
+  /// Mark-sweep compaction: every node unreachable from \p Roots (plus the
+  /// identity/drop leaves) is freed, the pools are compacted in place, and
+  /// each `*Root` is remapped to its new ref. Operation-cache entries
+  /// whose operands and result all survive are rebuilt onto the compacted
+  /// refs (so warm state is kept, not thrown away); the rest are dropped.
+  /// Any FddRef not routed through \p Roots is invalidated.
+  GcStats gc(const std::vector<FddRef *> &Roots);
+
   // --- Diagnostics ---------------------------------------------------------
   std::size_t numInnerNodes() const { return Inners.size(); }
   std::size_t numLeaves() const { return Leaves.size(); }
@@ -182,7 +209,14 @@ private:
       BranchCache;
   std::unordered_map<std::pair<uint32_t, FddRef>, FddRef, PairHash>
       SeqActionCache;
-  std::unordered_map<std::pair<FddRef, FddRef>, FddRef, PairHash> LoopCache;
+  /// Loop results carry their solve statistics so a cache hit can refresh
+  /// lastLoopStats() exactly as the original solve did.
+  struct LoopEntry {
+    FddRef Result;
+    LoopSolveStats Stats;
+  };
+  std::unordered_map<std::pair<FddRef, FddRef>, LoopEntry, PairHash>
+      LoopCache;
 
   LoopSolveStats LastLoop;
 };

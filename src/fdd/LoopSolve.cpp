@@ -94,8 +94,13 @@ FddRef FddManager::solveLoop(FddRef Guard, FddRef Body) {
     return IdentityLeaf; // Zero iterations for every input.
   std::pair<FddRef, FddRef> Key = {Guard, Body};
   auto It = LoopCache.find(Key);
-  if (It != LoopCache.end())
-    return It->second;
+  if (It != LoopCache.end()) {
+    // A cache hit must behave observably like a fresh solve: refresh the
+    // diagnostics with the stats recorded when this loop was first solved
+    // (previously lastLoopStats() kept describing an unrelated loop).
+    LastLoop = It->second.Stats;
+    return It->second.Result;
+  }
 
   // --- Dynamic domain reduction (§5.1) ----------------------------------
   std::map<FieldId, std::set<FieldValue>> Tests, Mods;
@@ -349,6 +354,6 @@ FddRef FddManager::solveLoop(FddRef Guard, FddRef Body) {
   };
   FddRef Result = Build(Build, 0);
 
-  LoopCache.emplace(Key, Result);
+  LoopCache.emplace(Key, LoopEntry{Result, LastLoop});
   return Result;
 }

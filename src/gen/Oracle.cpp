@@ -16,11 +16,13 @@
 #include "ast/Printer.h"
 #include "ast/Traversal.h"
 #include "baseline/Exhaustive.h"
+#include "fdd/CompileCache.h"
 #include "fdd/Export.h"
 #include "parser/Parser.h"
 #include "prism/Checker.h"
 #include "prism/Translate.h"
 #include "semantics/SetSemantics.h"
+#include "support/Error.h"
 
 #include <cmath>
 #include <cstdio>
@@ -219,6 +221,54 @@ OracleReport gen::crossCheckProgram(Context &Ctx, const Node *Program,
             "cross-manager export -> import -> export round-trip lost "
             "reference equality");
   }
+
+  // --- Compile-cache and GC cross-checks (ARCHITECTURE S12) -------------
+  // A cache-backed verifier runs the same program cold, on the hit path,
+  // and (when parallel checks are on) through the worker pool; then its
+  // manager is garbage-collected down to the one live root. Every stage
+  // must stay reference-equal to the uncached exact engine, and the
+  // post-GC diagram must answer queries identically.
+  if (O.CheckCompileCache) {
+    std::unique_ptr<fdd::CompileCache> Local;
+    fdd::CompileCache *Cache = O.Cache;
+    if (!Cache) {
+      Local = std::make_unique<fdd::CompileCache>();
+      Cache = Local.get();
+    }
+    analysis::Verifier VC(markov::SolverKind::Exact);
+    VC.setCompileCache(Cache);
+    fdd::FddRef Cold = VC.compile(Program);
+    C.check(VC.compile(Program) == Cold,
+            "cache-hit recompile is not reference-equal to the cold "
+            "cached compile");
+    if (O.CheckParallel)
+      C.check(VC.compile(Program, true, O.ParallelThreads) == Cold,
+              "parallel compile with the cache differs from the serial "
+              "cached compile");
+    fdd::PortableFdd Uncached = fdd::exportFdd(VExact.manager(), E);
+    C.check(fdd::importFdd(VC.manager(), Uncached) == Cold,
+            "cached compile is not reference-equal to the uncached "
+            "engine's diagram");
+
+    std::size_t InnerBefore = VC.manager().numInnerNodes();
+    fdd::GcStats GS = VC.manager().gc({&Cold});
+    C.check(VC.manager().numInnerNodes() ==
+                    GS.LiveInners &&
+                GS.LiveInners <= InnerBefore,
+            "gc did not compact the inner-node pool consistently");
+    C.check(fdd::importFdd(VC.manager(), Uncached) == Cold,
+            "gc broke reference identity of the live root");
+    for (std::size_t Idx = 0;
+         Idx < Inputs.size() && Idx < O.MaxCacheCheckInputs; ++Idx) {
+      const Packet &In = Inputs[Idx];
+      auto Want = VExact.manager().outputDistribution(E, In);
+      auto Got = VC.manager().outputDistribution(Cold, In);
+      C.check(Want.Outputs == Got.Outputs && Want.Dropped == Got.Dropped,
+              "post-gc output distribution differs from the uncached "
+              "engine on input " +
+                  renderPacket(Ctx, In));
+    }
+  }
   return R;
 }
 
@@ -391,6 +441,14 @@ void verdictCase(uint64_t Seed, const OracleOptions &O, OracleReport &R) {
 OracleReport gen::fuzzPrograms(uint64_t Seed, const FuzzOptions &Fuzz,
                                const OracleOptions &Options) {
   OracleReport R;
+  // One compile cache spans the whole run (unless the caller supplied a
+  // shared one), so later cases exercise genuine cross-case hits.
+  OracleOptions O = Options;
+  std::unique_ptr<fdd::CompileCache> RunCache;
+  if (O.CheckCompileCache && !O.Cache) {
+    RunCache = std::make_unique<fdd::CompileCache>();
+    O.Cache = RunCache.get();
+  }
   Prng Master(Seed);
   for (unsigned I = 0; I < Fuzz.Iterations; ++I) {
     uint64_t CaseSeed = Master.deriveSeed(I);
@@ -401,26 +459,43 @@ OracleReport gen::fuzzPrograms(uint64_t Seed, const FuzzOptions &Fuzz,
         enumerateInputs(Ctx, Fuzz.Gen, Fuzz.MaxInputs, Rng);
     std::string Label =
         "program[" + std::to_string(I) + "] seed=" + hexSeed(CaseSeed);
-    OracleReport Case =
-        crossCheckProgram(Ctx, Program, Inputs, Options, Label);
+    // An engine that dies mid-case (fatalError in a worker included) must
+    // still identify the case; the context rides along into the abort
+    // diagnostic.
+    setFatalErrorContext("fuzz " + Label + ", master seed " +
+                         hexSeed(Seed));
+    OracleReport Case = crossCheckProgram(Ctx, Program, Inputs, O, Label);
     if (!Case.ok())
       Case.Disagreements.push_back(Label + ": generated program was: " +
                                    ast::print(Program, Ctx.fields()));
     R.merge(Case);
 
-    if (Fuzz.VerdictEvery && I % Fuzz.VerdictEvery == 0)
-      verdictCase(Master.deriveSeed(0x10000 + I), Options, R);
+    if (Fuzz.VerdictEvery && I % Fuzz.VerdictEvery == 0) {
+      uint64_t VerdictSeed = Master.deriveSeed(0x10000 + I);
+      setFatalErrorContext("fuzz verdict seed=" + hexSeed(VerdictSeed) +
+                           ", master seed " + hexSeed(Seed));
+      verdictCase(VerdictSeed, O, R);
+    }
   }
+  setFatalErrorContext("");
   return R;
 }
 
 OracleReport gen::runRegistry(const RegistryOptions &Registry,
                               const OracleOptions &Options) {
   OracleReport R;
+  OracleOptions O = Options;
+  std::unique_ptr<fdd::CompileCache> RunCache;
+  if (O.CheckCompileCache && !O.Cache) {
+    RunCache = std::make_unique<fdd::CompileCache>();
+    O.Cache = RunCache.get();
+  }
   for (const ScenarioSpec &Spec : buildRegistry(Registry)) {
     Context Ctx;
+    setFatalErrorContext("registry scenario " + Spec.Name);
     Scenario S = Spec.Build(Ctx);
-    R.merge(crossCheckScenario(Ctx, S, Options));
+    R.merge(crossCheckScenario(Ctx, S, O));
   }
+  setFatalErrorContext("");
   return R;
 }

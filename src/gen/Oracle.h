@@ -31,6 +31,10 @@ namespace analysis {
 class Verifier;
 } // namespace analysis
 
+namespace fdd {
+class CompileCache;
+} // namespace fdd
+
 namespace gen {
 
 /// Tolerances and engine toggles for one oracle run.
@@ -49,6 +53,17 @@ struct OracleOptions {
   bool CheckBaseline = true;
   bool CheckParallel = true;
   bool CheckRoundTrips = true;
+  /// Cross-check the cross-compile cache and manager GC (ARCHITECTURE
+  /// S12): a cache-backed verifier must produce reference-equal diagrams
+  /// cold, on the hit path, and after gc(), with identical output
+  /// distributions to the uncached engine.
+  bool CheckCompileCache = true;
+  /// Optional shared cache for the S12 checks; when null, each driver run
+  /// creates one of its own so hits still accumulate across cases.
+  fdd::CompileCache *Cache = nullptr;
+  /// Inputs per case on which the cached engine's output distributions
+  /// are compared point-for-point against the uncached one.
+  std::size_t MaxCacheCheckInputs = 4;
 };
 
 /// Accumulated outcome of an oracle run.

@@ -9,11 +9,32 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 using namespace mcnk;
 
+namespace {
+std::mutex ContextMutex;
+std::string FatalContext;
+} // namespace
+
+void mcnk::setFatalErrorContext(const std::string &Note) {
+  std::lock_guard<std::mutex> Lock(ContextMutex);
+  FatalContext = Note;
+}
+
 void mcnk::fatalError(const std::string &Msg) {
+  // Flush stdout first: batch runners print reproduction banners (seeds)
+  // there, and abort() would otherwise discard the buffered lines.
+  std::fflush(stdout);
+  std::string Note;
+  {
+    std::lock_guard<std::mutex> Lock(ContextMutex);
+    Note = FatalContext;
+  }
   std::fprintf(stderr, "mcnetkat fatal error: %s\n", Msg.c_str());
+  if (!Note.empty())
+    std::fprintf(stderr, "mcnetkat fatal error context: %s\n", Note.c_str());
   std::abort();
 }
 

@@ -15,8 +15,16 @@
 namespace mcnk {
 
 /// Prints \p Msg to stderr and aborts. Use for invariant violations that are
-/// bugs, not user errors.
+/// bugs, not user errors. Before aborting it flushes stdout (so buffered
+/// banners like a fuzzer's seed line are not lost) and prints the current
+/// fatal-error context, if one is set.
 [[noreturn]] void fatalError(const std::string &Msg);
+
+/// Registers a process-wide note that fatalError appends to its
+/// diagnostic — e.g. the reproducing seed of the fuzz case being run, so
+/// an abort deep inside a worker thread still identifies the case.
+/// Thread-safe; an empty string clears the note.
+void setFatalErrorContext(const std::string &Note);
 
 [[noreturn]] void unreachableInternal(const char *Msg, const char *File,
                                       unsigned Line);

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ast/Context.h"
+#include "ast/Hash.h"
 #include "ast/Printer.h"
 #include "ast/Traversal.h"
 #include "support/Casting.h"
@@ -203,4 +204,71 @@ TEST_F(AstTest, CasePrintsWithSurfaceSyntax) {
   const Node *C = Ctx.caseOf(std::move(Branches), Ctx.drop());
   EXPECT_EQ(print(C, Ctx.fields()),
             "case { sw=1 -> pt:=1 | sw=2 -> pt:=2 | else -> drop }");
+}
+
+//===----------------------------------------------------------------------===//
+// Structural fingerprints (ast/Hash.h) — the compile-cache keys
+//===----------------------------------------------------------------------===//
+
+TEST_F(AstTest, FingerprintIsDeterministicAndContextFree) {
+  const Node *P = Ctx.seq(Ctx.test(Sw, 1), Ctx.assign(Pt, 2));
+  EXPECT_EQ(programHash(P), programHash(P));
+  // A structurally identical term built in a fresh context (same numeric
+  // field ids) fingerprints identically: the hash sees structure, not
+  // arena pointers or field names.
+  Context Other;
+  FieldId OSw = Other.field("switch"); // Same id, different name.
+  FieldId OPt = Other.field("port");
+  ASSERT_EQ(OSw, Sw);
+  ASSERT_EQ(OPt, Pt);
+  const Node *Q = Other.seq(Other.test(OSw, 1), Other.assign(OPt, 2));
+  EXPECT_EQ(programHash(P), programHash(Q));
+}
+
+TEST_F(AstTest, FingerprintSeparatesDistinctPrograms) {
+  const Node *P = Ctx.seq(Ctx.test(Sw, 1), Ctx.assign(Pt, 2));
+  EXPECT_NE(programHash(P),
+            programHash(Ctx.seq(Ctx.test(Sw, 2), Ctx.assign(Pt, 2))));
+  EXPECT_NE(programHash(P),
+            programHash(Ctx.seq(Ctx.test(Pt, 1), Ctx.assign(Pt, 2))));
+  EXPECT_NE(programHash(Ctx.test(Sw, 1)),
+            programHash(Ctx.assign(Sw, 1)));
+  EXPECT_NE(programHash(Ctx.drop()), programHash(Ctx.skip()));
+  // Program (non-predicate) sequencing is order-sensitive.
+  const Node *AB = Ctx.seq(Ctx.assign(Sw, 1), Ctx.assign(Sw, 2));
+  const Node *BA = Ctx.seq(Ctx.assign(Sw, 2), Ctx.assign(Sw, 1));
+  EXPECT_NE(programHash(AB), programHash(BA));
+}
+
+TEST_F(AstTest, FingerprintCommutativityMatchesFddInvariance) {
+  const Node *T = Ctx.test(Sw, 1);
+  const Node *U = Ctx.test(Pt, 2);
+  // Predicate disjunction and predicate conjunction commute.
+  EXPECT_EQ(programHash(Ctx.unite(T, U)), programHash(Ctx.unite(U, T)));
+  EXPECT_EQ(programHash(Ctx.seq(T, U)), programHash(Ctx.seq(U, T)));
+  // But `t & u` must not collide with `t ; u`.
+  EXPECT_NE(programHash(Ctx.unite(T, U)), programHash(Ctx.seq(T, U)));
+  // Choice reversal: p (+)_r q == q (+)_{1-r} p ...
+  const Node *P = Ctx.assign(Sw, 1);
+  const Node *Q = Ctx.assign(Sw, 2);
+  EXPECT_EQ(programHash(Ctx.choice(Rational(1, 3), P, Q)),
+            programHash(Ctx.choice(Rational(2, 3), Q, P)));
+  // ... while a plain operand swap at the same bias stays distinct.
+  EXPECT_NE(programHash(Ctx.choice(Rational(1, 3), P, Q)),
+            programHash(Ctx.choice(Rational(1, 3), Q, P)));
+}
+
+TEST_F(AstTest, FingerprintTreeMemoizesAndSizesSubterms) {
+  const Node *Leafy = Ctx.test(Sw, 1);
+  const Node *P = Ctx.ite(Leafy, Ctx.assign(Pt, 1), Ctx.assign(Pt, 2));
+  FingerprintMemo Memo;
+  const NodeFingerprint &Root = fingerprintTree(P, Memo);
+  EXPECT_EQ(Root.Size, 4u); // ite + test + two assigns.
+  ASSERT_TRUE(Memo.count(Leafy));
+  EXPECT_EQ(Memo.at(Leafy).Size, 1u);
+  // Incremental reuse: fingerprinting a superterm extends the same memo.
+  const Node *Bigger = Ctx.seq(P, P);
+  fingerprintTree(Bigger, Memo);
+  EXPECT_EQ(Memo.at(Bigger).Size, 9u); // Shared subterm counted twice.
+  EXPECT_EQ(programHash(Bigger), Memo.at(Bigger).Hash);
 }

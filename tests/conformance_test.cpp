@@ -21,6 +21,7 @@
 #include "analysis/Verifier.h"
 #include "ast/Printer.h"
 #include "ast/Traversal.h"
+#include "fdd/CompileCache.h"
 #include "fdd/Export.h"
 #include "gen/Oracle.h"
 #include "gen/ProgramGen.h"
@@ -125,6 +126,73 @@ TEST(ConformanceTest, RegistryIsDeterministic) {
         << A[I].Name;
     EXPECT_EQ(SA.Inputs.size(), SB.Inputs.size());
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Cached sweep vs uncached engine on a long-lived verifier (S12)
+//===----------------------------------------------------------------------===//
+
+// One persistent cache-backed verifier survives 200 seeded programs plus
+// the whole registry — the "long-lived serving" shape the compile cache
+// and gc() exist for. Every compile must be reference-equal to a fresh
+// uncached engine's diagram, the hit path must reproduce the cold ref,
+// and periodic gc() of the shared manager must never change an answer.
+TEST(ConformanceTest, CachedSweepMatchesUncachedOn200SeededCases) {
+  uint64_t Seed = envSeed("MCNK_FUZZ_SEED", 0xCAC4EULL);
+  std::printf("[conformance] cached-sweep seed 0x%llx\n",
+              static_cast<unsigned long long>(Seed));
+  Prng Master(Seed);
+  gen::GenOptions G;
+
+  fdd::CompileCache Shared;
+  analysis::Verifier Cached(markov::SolverKind::Exact);
+  Cached.setCompileCache(&Shared);
+
+  std::size_t Cases = 0;
+  auto CheckOne = [&](const ast::Node *Program, const std::string &Label) {
+    ++Cases;
+    fdd::FddRef Cold = Cached.compile(Program);
+    ASSERT_EQ(Cached.compile(Program), Cold)
+        << Label << ": hit path diverged from cold compile";
+    analysis::Verifier Uncached(markov::SolverKind::Exact);
+    fdd::FddRef Reference = Uncached.compile(Program);
+    ASSERT_EQ(fdd::importFdd(Cached.manager(),
+                             fdd::exportFdd(Uncached.manager(), Reference)),
+              Cold)
+        << Label << ": cached compile != uncached engine";
+    // Periodically compact the long-lived manager down to the current
+    // root; the surviving diagram must still be the canonical one.
+    if (Cases % 25 == 0) {
+      std::size_t Before = Cached.manager().numInnerNodes();
+      fdd::GcStats GS = Cached.manager().gc({&Cold});
+      EXPECT_LE(Cached.manager().numInnerNodes(), Before) << Label;
+      EXPECT_EQ(GS.LiveInners, Cached.manager().numInnerNodes());
+      ASSERT_EQ(
+          fdd::importFdd(Cached.manager(),
+                         fdd::exportFdd(Uncached.manager(), Reference)),
+          Cold)
+          << Label << ": gc changed the live root's identity";
+    }
+  };
+
+  for (unsigned I = 0; I < 200; ++I) {
+    Context Ctx;
+    Prng Rng(Master.deriveSeed(I));
+    const Node *Program = gen::generateProgram(Ctx, Rng, G);
+    CheckOne(Program, "case " + std::to_string(I));
+  }
+  for (const gen::ScenarioSpec &Spec : gen::buildRegistry()) {
+    Context Ctx;
+    gen::Scenario S = Spec.Build(Ctx);
+    CheckOne(S.Program, Spec.Name);
+  }
+  fdd::CompileCache::Stats S = Shared.stats();
+  std::printf("[conformance] cached sweep: %zu cases, %llu hits / %llu "
+              "misses, %zu entries\n",
+              Cases, static_cast<unsigned long long>(S.Hits),
+              static_cast<unsigned long long>(S.Misses), S.Entries);
+  EXPECT_GE(Cases, 200u);
+  EXPECT_GT(S.Hits, 0u);
 }
 
 //===----------------------------------------------------------------------===//
