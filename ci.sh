@@ -113,7 +113,8 @@ if [ "$MODE" = "bench" ]; then
     exit 1
   fi
   cmake --build "$BUILD_DIR" -j "$JOBS" \
-    --target micro_support micro_linalg fig08_parallel_speedup scenario_sweep
+    --target micro_support micro_linalg fig08_parallel_speedup \
+             fig07_fattree_scalability scenario_sweep
   mkdir -p bench/results
   for bench in micro_support micro_linalg; do
     if [ ! -x "$BUILD_DIR/$bench" ]; then
@@ -132,11 +133,18 @@ if [ "$MODE" = "bench" ]; then
     "$BUILD_DIR/fig08_parallel_speedup"
   # Compile-cache trajectory point: the per-ingress query sweep across the
   # registry, cached vs uncached (reference-equality enforced; the run
-  # fails on any mismatch).
+  # fails on any mismatch). The same invocation records the blocked-solver
+  # registry sweep (Exact monolithic vs SCC/DAG blocks, ARCHITECTURE S13).
   MCNK_SWEEP_TABLE=0 \
     MCNK_SWEEP_CACHE_JSON=bench/results/BENCH_sweep_cache.json \
+    MCNK_SWEEP_BLOCKED_JSON=bench/results/BENCH_sweep_blocked.json \
     "$BUILD_DIR/scenario_sweep"
-  echo "Wrote bench/results/BENCH_micro_{support,linalg}.json, BENCH_fig08_parallel.json, and BENCH_sweep_cache.json"
+  # Blocked-solver trajectory point on the Fig 7 FatTree family: Exact
+  # monolithic vs blocked, reference-equality enforced, elimination-op and
+  # fill-in counters recorded per point.
+  MCNK_FIG7_BLOCKED_JSON=bench/results/BENCH_solver_blocked.json \
+    "$BUILD_DIR/fig07_fattree_scalability"
+  echo "Wrote bench/results/BENCH_micro_{support,linalg}.json, BENCH_fig08_parallel.json, BENCH_sweep_cache.json, BENCH_sweep_blocked.json, and BENCH_solver_blocked.json"
   exit 0
 fi
 

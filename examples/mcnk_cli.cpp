@@ -23,7 +23,12 @@
 /// persistent worker pool (N workers; bare -j means hardware concurrency).
 /// The global option --cache enables the cross-compile memoization cache
 /// (ARCHITECTURE S12) on every verifier the command builds and prints the
-/// hit/miss statistics on exit. Programs read from "-" come from stdin.
+/// hit/miss statistics on exit. The global option --blocked switches
+/// while-loop solves to block-structured SCC/DAG elimination with
+/// reverse-Cuthill–McKee ordering (ARCHITECTURE S13) — combined with -j,
+/// independent blocks solve concurrently on the same worker pool — and
+/// prints the per-solve block statistics. Programs read from "-" come
+/// from stdin.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -112,21 +117,51 @@ bool parseInputPacket(const std::string &Spec, ast::Context &Ctx,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mcnk [-j[N]] [--cache] check|dump <file.pnk>\n"
-               "       mcnk [-j[N]] [--cache] run|prism <file.pnk> "
-               "f=v[,g=w...]\n"
-               "       mcnk [-j[N]] [--cache] equiv <a.pnk> <b.pnk>\n"
+               "usage: mcnk [-j[N]] [--cache] [--blocked] check|dump "
+               "<file.pnk>\n"
+               "       mcnk [-j[N]] [--cache] [--blocked] run|prism "
+               "<file.pnk> f=v[,g=w...]\n"
+               "       mcnk [-j[N]] [--cache] [--blocked] equiv <a.pnk> "
+               "<b.pnk>\n"
                "       mcnk [--cache] fuzz [--seed N] [--iters N] "
                "[--no-scenarios]\n"
-               "  -j[N]    compile `case` on N worker threads (default: "
+               "  -j[N]     compile `case` on N worker threads (default: "
                "hardware concurrency)\n"
-               "  --cache  enable the cross-compile memoization cache and "
+               "  --cache   enable the cross-compile memoization cache and "
                "print its stats\n"
-               "  fuzz     run the cross-engine differential oracle on N\n"
-               "           random programs (default 25) plus the scenario\n"
-               "           registry; exit 3 on any disagreement (2 on\n"
-               "           usage errors), printing the reproducing seed\n");
+               "  --blocked solve loops block-by-block (SCC/DAG "
+               "elimination, RCM ordering;\n"
+               "            with -j, independent blocks solve in parallel) "
+               "and print block stats\n"
+               "  fuzz      run the cross-engine differential oracle on N\n"
+               "            random programs (default 25) plus the scenario\n"
+               "            registry; exit 3 on any disagreement (2 on\n"
+               "            usage errors), printing the reproducing seed\n");
   return 2;
+}
+
+/// Applies the --blocked solver structure to a verifier: SCC/DAG block
+/// elimination with RCM ordering, block tasks sharing the compile pool
+/// when -j is also given.
+void applyBlockedStructure(analysis::Verifier &V, bool Parallel,
+                           unsigned Threads) {
+  markov::SolverStructure S;
+  S.Blocked = true;
+  S.Ordering = linalg::OrderingKind::ReverseCuthillMcKee;
+  if (Parallel)
+    S.Pool = &V.compilePool(Threads);
+  V.setSolverStructure(S);
+}
+
+/// Prints the last loop's block statistics (the --blocked report). Silent
+/// when the program solved no loop.
+void printBlockStats(const fdd::LoopSolveStats &LS) {
+  if (LS.NumStates == 0)
+    return;
+  std::printf("solver: %zu states in %zu block(s), largest %zu; "
+              "%zu elimination ops, %zu fill-in\n",
+              LS.NumSolved, LS.NumBlocks, LS.MaxBlockSize,
+              LS.EliminationOps, LS.FillIn);
 }
 
 /// Prints one line of cache statistics (the --cache report).
@@ -240,10 +275,11 @@ int runFuzz(const std::vector<std::string> &Args, bool Parallel,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  // Strip the global -j and --cache options wherever they appear; -j
-  // accepts -j, -jN, and the make-style separate form `-j N`.
+  // Strip the global -j, --cache, and --blocked options wherever they
+  // appear; -j accepts -j, -jN, and the make-style separate form `-j N`.
   bool Parallel = false;
   bool UseCache = false;
+  bool Blocked = false;
   unsigned Threads = 0;
   std::vector<std::string> Args;
   auto AllDigits = [](const std::string &S) {
@@ -258,6 +294,10 @@ int main(int Argc, char **Argv) {
     std::string Arg = Argv[I];
     if (Arg == "--cache") {
       UseCache = true;
+      continue;
+    }
+    if (Arg == "--blocked") {
+      Blocked = true;
       continue;
     }
     if (Arg.rfind("-j", 0) == 0) {
@@ -313,10 +353,14 @@ int main(int Argc, char **Argv) {
     analysis::Verifier V;
     if (UseCache)
       V.enableCompileCache();
+    if (Blocked)
+      applyBlockedStructure(V, Parallel, Threads);
     fdd::FddRef Ref = V.compile(Program, Parallel, Threads);
     std::printf("%s", fdd::dumpFdd(V.manager(), Ref, Ctx.fields()).c_str());
     std::printf("// %zu nodes in the diagram\n",
                 V.manager().diagramSize(Ref));
+    if (Blocked)
+      printBlockStats(V.manager().lastLoopStats());
     if (UseCache)
       printCacheStats(*V.compileCache());
     return 0;
@@ -334,6 +378,8 @@ int main(int Argc, char **Argv) {
     analysis::Verifier V;
     if (UseCache)
       V.enableCompileCache();
+    if (Blocked)
+      applyBlockedStructure(V, Parallel, Threads);
     bool Equal = V.equivalent(V.compile(Program, Parallel, Threads),
                               V.compile(Other, Parallel, Threads));
     std::printf("%s\n", Equal ? "equivalent" : "NOT equivalent");
@@ -360,6 +406,8 @@ int main(int Argc, char **Argv) {
     analysis::Verifier V;
     if (UseCache)
       V.enableCompileCache();
+    if (Blocked)
+      applyBlockedStructure(V, Parallel, Threads);
     fdd::FddRef Ref = V.compile(Program, Parallel, Threads);
     auto Out = V.manager().outputDistribution(Ref, In);
     for (const auto &[Pkt, W] : Out.Outputs) {
@@ -372,6 +420,8 @@ int main(int Argc, char **Argv) {
     }
     if (!Out.Dropped.isZero())
       std::printf("drop @ %s\n", Out.Dropped.toString().c_str());
+    if (Blocked)
+      printBlockStats(V.manager().lastLoopStats());
     if (UseCache)
       printCacheStats(*V.compileCache());
     return 0;

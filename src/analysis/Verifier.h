@@ -49,6 +49,19 @@ public:
 
   fdd::FddManager &manager() { return Manager; }
 
+  /// Solver structure for while-loop solves (blocked SCC/DAG elimination
+  /// with fill-reducing ordering; docs/ARCHITECTURE.md S13). Forwards to
+  /// the manager: the structure applies to every subsequent compile, and
+  /// parallel-`case` worker managers inherit it. Pass a structure whose
+  /// Pool is this verifier's compilePool() to solve independent blocks
+  /// concurrently.
+  void setSolverStructure(const markov::SolverStructure &S) {
+    Manager.setSolverStructure(S);
+  }
+  const markov::SolverStructure &solverStructure() const {
+    return Manager.solverStructure();
+  }
+
   /// Compiles a guarded program; optionally compiles `case` constructs on
   /// the verifier's persistent worker pool (the §6 parallel backend).
   ///

@@ -91,6 +91,7 @@ FddRef compileCaseParallel(FddManager &M, const CaseNode *C,
   std::vector<CaseSegment> Level(Branches.size());
   Pool.parallelFor(Branches.size(), [&](std::size_t I) {
     FddManager Worker(M.solverKind());
+    Worker.setSolverStructure(M.solverStructure());
     FddRef Guard = compileNode(Worker, Branches[I].first, O, CC);
     FddRef Body = compileNode(Worker, Branches[I].second, O, CC);
     Level[I].Guard = exportFdd(Worker, Guard);
@@ -218,9 +219,29 @@ FddRef compileNode(FddManager &M, const Node *P, const CompileOptions &O,
 
 } // namespace
 
+namespace {
+
+/// Applies a CompileOptions solver-structure override for the duration of
+/// one compile() call, restoring the manager's own setting afterwards.
+/// The parallel-`case` workers read the manager's structure, so the
+/// override propagates to them for free.
+struct StructureOverride {
+  StructureOverride(FddManager &M, const markov::SolverStructure *S)
+      : Manager(M), Saved(M.solverStructure()) {
+    if (S)
+      Manager.setSolverStructure(*S);
+  }
+  ~StructureOverride() { Manager.setSolverStructure(Saved); }
+  FddManager &Manager;
+  markov::SolverStructure Saved;
+};
+
+} // namespace
+
 FddRef fdd::compile(FddManager &Manager, const Node *Program,
                     const CompileOptions &Options) {
   CompileOptions O = Options;
+  StructureOverride Override(Manager, O.Structure);
   std::unique_ptr<ThreadPool> Owned;
   if (O.ParallelCase && !O.Pool) {
     if (O.Threads == 0) {

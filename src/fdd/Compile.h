@@ -49,6 +49,13 @@ struct CompileOptions {
   /// below a handful of nodes, recompiling is cheaper than a lookup plus
   /// portable-FDD import.
   std::size_t CacheMinNodes = 16;
+  /// Solver-structure override for while-loop solves during this compile
+  /// (docs/ARCHITECTURE.md S13). When null, the manager's own structure
+  /// applies; either way, parallel-`case` worker managers inherit the
+  /// effective structure, so blocked solves nest inside the parallel
+  /// backend (block tasks and branch tasks share the pool; the engine's
+  /// help-first waiting keeps that composition deadlock-free).
+  const markov::SolverStructure *Structure = nullptr;
 };
 
 /// Compiles a guarded ProbNetKAT program into an FDD owned by \p Manager.

@@ -41,11 +41,23 @@ using FddRef = uint32_t;
 inline bool isLeafRef(FddRef Ref) { return Ref & 1; }
 
 /// Statistics describing the last solved loop (benchmark diagnostics).
+/// The class counts are reported per solve block and always sum to the
+/// monolithic totals: Σ Blocks[i].NumStates == NumSolved and
+/// Σ Blocks[i].NumQEntries == NumSolvedQ, whether the solver ran blocked
+/// (one block per strongly connected class, docs/ARCHITECTURE.md S13) or
+/// monolithically (a single block covering the whole kept system).
 struct LoopSolveStats {
   std::size_t NumStates = 0;    ///< Symbolic-packet product size.
   std::size_t NumTransient = 0; ///< Guard-true classes (matrix dimension).
   std::size_t NumAbsorbing = 0; ///< Distinct exit classes.
   std::size_t NumQEntries = 0;  ///< Sparse entries of Q.
+  std::size_t NumSolved = 0;    ///< Transient classes kept after pruning.
+  std::size_t NumSolvedQ = 0;   ///< Q entries within the kept subgraph.
+  std::size_t NumBlocks = 0;    ///< Solve blocks (1 for monolithic).
+  std::size_t MaxBlockSize = 0; ///< Largest block's state count.
+  std::size_t EliminationOps = 0; ///< Multiply-subtract operations.
+  std::size_t FillIn = 0;         ///< Entries created by elimination.
+  std::vector<markov::BlockMetrics> Blocks; ///< Per-block breakdown.
 };
 
 /// Outcome of one FddManager::gc() mark-sweep pass (diagnostics).
@@ -71,6 +83,18 @@ public:
       markov::SolverKind Solver = markov::SolverKind::Exact);
 
   markov::SolverKind solverKind() const { return Solver; }
+
+  /// The solver structure (blocked SCC/DAG elimination, fill-reducing
+  /// ordering, optional pool; docs/ARCHITECTURE.md S13) used by subsequent
+  /// solveLoop calls. Orthogonal to solverKind: the default reproduces the
+  /// monolithic solve. Loops already in the loop cache are returned as
+  /// cached — their diagrams are structure-independent in Exact mode, but
+  /// their recorded stats describe the structure that first solved them;
+  /// reset() clears the cache when a clean re-solve is needed.
+  void setSolverStructure(const markov::SolverStructure &S) {
+    Structure = S;
+  }
+  const markov::SolverStructure &solverStructure() const { return Structure; }
 
   // --- Node construction and inspection ---------------------------------
   FddRef leaf(const ActionDist &Dist);
@@ -175,6 +199,7 @@ private:
   FddRef weightedSum(std::vector<std::pair<Rational, FddRef>> Terms);
 
   markov::SolverKind Solver;
+  markov::SolverStructure Structure;
 
   // Interning pools.
   std::vector<ActionDist> Leaves;

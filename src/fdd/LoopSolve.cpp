@@ -252,19 +252,25 @@ FddRef FddManager::solveLoop(FddRef Guard, FddRef Body) {
   }
   Chain.NumAbsorbing = AbsorbKeys.size();
 
+  LastLoop = LoopSolveStats();
   LastLoop.NumStates = NumStates;
   LastLoop.NumTransient = NumTransient;
   LastLoop.NumAbsorbing = Chain.NumAbsorbing;
   LastLoop.NumQEntries = Chain.QEntries.size();
 
   // --- Solve (Theorem 4.7) -------------------------------------------------
+  // The manager's solver structure selects between the monolithic system
+  // and per-SCC blocked elimination (docs/ARCHITECTURE.md S13); either way
+  // the per-block metrics land in lastLoopStats().
+  markov::SolveMetrics Metrics;
   linalg::DenseMatrix<Rational> Absorption(NumTransient, Chain.NumAbsorbing);
   if (Solver == markov::SolverKind::Exact) {
-    if (!markov::solveAbsorptionExact(Chain, Absorption))
+    if (!markov::solveAbsorptionExact(Chain, Absorption, Structure, &Metrics))
       fatalError("absorbing-chain solve failed (malformed chain)");
   } else {
     linalg::DenseMatrix<double> Approx;
-    if (!markov::solveAbsorptionDouble(Chain, Approx, Solver))
+    if (!markov::solveAbsorptionDouble(Chain, Approx, Solver, Structure,
+                                       &Metrics))
       fatalError("absorbing-chain solve failed (malformed chain)");
     // Clamp, snap, and renormalize the float solution before it re-enters
     // the exact world (paper §5: UMFPACK's float results are trusted but
@@ -292,6 +298,14 @@ FddRef FddManager::solveLoop(FddRef Guard, FddRef Body) {
       }
     }
   }
+
+  LastLoop.NumSolved = Metrics.NumSolved;
+  LastLoop.NumSolvedQ = Metrics.NumSolvedQ;
+  LastLoop.NumBlocks = Metrics.NumBlocks;
+  LastLoop.MaxBlockSize = Metrics.MaxBlockSize;
+  LastLoop.EliminationOps = Metrics.EliminationOps;
+  LastLoop.FillIn = Metrics.FillIn;
+  LastLoop.Blocks = std::move(Metrics.Blocks);
 
   // --- Rebuild an FDD from the absorption matrix ---------------------------
   // Nested per-field value branching over the symbolic domain; guard-false

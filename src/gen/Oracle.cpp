@@ -222,6 +222,67 @@ OracleReport gen::crossCheckProgram(Context &Ctx, const Node *Program,
             "reference equality");
   }
 
+  // --- Block-structured solver cross-checks (ARCHITECTURE S13) ----------
+  // The exact blocked solve computes the unique rational solution of the
+  // same system as the monolithic one, so the compiled diagrams must be
+  // reference-equal — serial and with block tasks on a worker pool. The
+  // Direct(float) blocked solve only agrees up to elimination-order ulps,
+  // so it is held to the float tolerance like any other float engine.
+  if (O.CheckBlocked) {
+    fdd::PortableFdd Mono = fdd::exportFdd(VExact.manager(), E);
+    auto CheckStatSums = [&C](const fdd::LoopSolveStats &LS,
+                              const std::string &Mode) {
+      std::size_t States = 0, QEntries = 0, Ops = 0, Fill = 0, Largest = 0;
+      for (const markov::BlockMetrics &B : LS.Blocks) {
+        States += B.NumStates;
+        QEntries += B.NumQEntries;
+        Ops += B.EliminationOps;
+        Fill += B.FillIn;
+        Largest = std::max(Largest, B.NumStates);
+      }
+      C.check(LS.Blocks.size() == LS.NumBlocks && States == LS.NumSolved &&
+                  QEntries == LS.NumSolvedQ && Ops == LS.EliminationOps &&
+                  Fill == LS.FillIn && Largest == LS.MaxBlockSize,
+              "per-block solver stats do not sum to the totals (" + Mode +
+                  ")");
+    };
+
+    for (bool Parallel : {false, true}) {
+      if (Parallel && !O.CheckParallel)
+        continue;
+      analysis::Verifier VB(markov::SolverKind::Exact);
+      markov::SolverStructure SS;
+      SS.Blocked = true;
+      SS.Ordering = linalg::OrderingKind::ReverseCuthillMcKee;
+      if (Parallel)
+        SS.Pool = &VB.compilePool(O.ParallelThreads);
+      VB.setSolverStructure(SS);
+      fdd::FddRef B = VB.compile(Program);
+      const std::string Mode =
+          Parallel ? "exact blocked, parallel" : "exact blocked, serial";
+      C.check(fdd::importFdd(VB.manager(), Mono) == B,
+              Mode + " compile is not reference-equal to the monolithic "
+                     "exact engine");
+      CheckStatSums(VB.manager().lastLoopStats(), Mode);
+    }
+
+    analysis::Verifier VBD(markov::SolverKind::Direct);
+    markov::SolverStructure SS;
+    SS.Blocked = true;
+    SS.Ordering = linalg::OrderingKind::MinimumDegree;
+    VBD.setSolverStructure(SS);
+    fdd::FddRef BD = VBD.compile(Program);
+    CheckStatSums(VBD.manager().lastLoopStats(), "direct blocked");
+    for (const Packet &In : Inputs) {
+      double Del = VBD.deliveryProbability(BD, In).toDouble();
+      double Expected = VExact.deliveryProbability(E, In).toDouble();
+      C.check(std::fabs(Del - Expected) <= O.Tolerance,
+              "direct blocked delivery " + std::to_string(Del) +
+                  " != exact " + std::to_string(Expected) + " on input " +
+                  renderPacket(Ctx, In));
+    }
+  }
+
   // --- Compile-cache and GC cross-checks (ARCHITECTURE S12) -------------
   // A cache-backed verifier runs the same program cold, on the hit path,
   // and (when parallel checks are on) through the worker pool; then its

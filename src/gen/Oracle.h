@@ -64,6 +64,13 @@ struct OracleOptions {
   /// Inputs per case on which the cached engine's output distributions
   /// are compared point-for-point against the uncached one.
   std::size_t MaxCacheCheckInputs = 4;
+  /// Cross-check the block-structured solver (docs/ARCHITECTURE.md S13):
+  /// Exact compiles with blocked SCC/DAG elimination — serial and, when
+  /// CheckParallel is set, on a worker pool — must be reference-equal to
+  /// the monolithic exact engine; Direct(float) blocked with a
+  /// fill-reducing ordering must agree within Tolerance; and every
+  /// engine's per-block LoopSolveStats must sum to its totals.
+  bool CheckBlocked = true;
 };
 
 /// Accumulated outcome of an oracle run.

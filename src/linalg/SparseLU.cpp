@@ -26,6 +26,7 @@ bool SparseLU::factor(const SparseMatrix &A, double PivotTol) {
   LCols.assign(N, {});
   UCols.assign(N, {});
   Perm.assign(N, 0);
+  NumOps = 0;
 
   // PInv[origRow] = pivot step at which the row became pivotal.
   std::vector<std::size_t> PInv(N, NotPivotal);
@@ -84,6 +85,7 @@ bool SparseLU::factor(const SparseMatrix &A, double PivotTol) {
       double XNode = X[Node];
       if (XNode == 0.0)
         continue;
+      NumOps += LCols[PInv[Node]].size();
       for (const Entry &E : LCols[PInv[Node]])
         X[E.first] -= E.second * XNode;
     }

@@ -39,6 +39,12 @@ public:
   /// Total stored entries in L and U (fill-in diagnostics for benches).
   std::size_t numFactorEntries() const;
 
+  /// Multiply-subtract operations performed by the last factor() — the
+  /// numeric sparse-triangular-solve work, the dominant cost of the
+  /// factorization. Comparable across fill-reducing orderings of the same
+  /// matrix (docs/ARCHITECTURE.md S13).
+  std::size_t numEliminationOps() const { return NumOps; }
+
 private:
   using Entry = std::pair<std::size_t, double>; // (row, value)
 
@@ -53,6 +59,8 @@ private:
   /// Permutation scratch reused across solve() calls (one factor, many
   /// back-solves: the absorbing-chain engines solve per exit column).
   std::vector<double> Work;
+  /// Multiply-subtract count of the last factor().
+  std::size_t NumOps = 0;
 };
 
 } // namespace linalg

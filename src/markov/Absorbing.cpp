@@ -3,7 +3,10 @@
 /// \file
 /// Absorption probabilities A = (I - Q)^{-1} R (Thm 4.7) via the three
 /// engines: exact rational elimination, sparse-LU over double, and
-/// Neumann iteration.
+/// Neumann iteration. The monolithic paths live here; the SCC-blocked
+/// paths (docs/ARCHITECTURE.md S13) are in BlockSolve.cpp and share this
+/// file's pruning and elimination kernels so their operation counts are
+/// directly comparable.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,22 +27,7 @@ using linalg::DenseMatrix;
 using linalg::SparseMatrix;
 using linalg::Triplet;
 
-namespace {
-
-/// Computes which transient states can reach an absorbing state (reverse
-/// BFS from rows with R mass through Q edges). Mass in states that cannot
-/// reach absorption diverges; the language interprets it as dropped, so
-/// those rows of the absorption matrix are zero and the states are pruned
-/// from the linear system. After pruning, I - Q is nonsingular (every
-/// remaining state reaches a defective row; Lemma B.3 of the paper).
-struct PrunedChain {
-  std::vector<bool> CanReach;          // indexed by transient state
-  std::vector<std::size_t> Compact;    // old index -> compact index
-  std::vector<std::size_t> Original;   // compact index -> old index
-  std::size_t NumKept = 0;
-};
-
-PrunedChain pruneUnreachable(const AbsorbingChain &Chain) {
+ChainPruning markov::pruneUnreachableStates(const AbsorbingChain &Chain) {
   std::size_t NT = Chain.NumTransient;
   // Reverse adjacency over Q.
   std::vector<std::vector<std::size_t>> Preds(NT);
@@ -47,7 +35,7 @@ PrunedChain pruneUnreachable(const AbsorbingChain &Chain) {
     if (!E.Value.isZero())
       Preds[E.Col].push_back(E.Row);
 
-  PrunedChain Result;
+  ChainPruning Result;
   Result.CanReach.assign(NT, false);
   std::vector<std::size_t> Worklist;
   for (const RationalTriplet &E : Chain.REntries)
@@ -74,44 +62,19 @@ PrunedChain pruneUnreachable(const AbsorbingChain &Chain) {
   return Result;
 }
 
-} // namespace
+bool markov::detail::eliminateRationalSystem(
+    std::vector<std::map<std::size_t, Rational>> &Rows,
+    std::vector<std::vector<Rational>> &Rhs, std::size_t &EliminationOps,
+    std::size_t &FillIn) {
+  std::size_t NK = Rows.size();
+  std::size_t NA = NK == 0 ? 0 : Rhs[0].size();
 
-bool markov::solveAbsorptionExact(const AbsorbingChain &Chain,
-                                  DenseMatrix<Rational> &Out) {
-  std::size_t NT = Chain.NumTransient, NA = Chain.NumAbsorbing;
-  PrunedChain Pruned = pruneUnreachable(Chain);
-  std::size_t NK = Pruned.NumKept;
-
-  Out = DenseMatrix<Rational>(NT, NA);
-  if (NK == 0)
-    return true;
-
-  // Sparse Gauss-Jordan elimination on (I - Q) X = R with min-degree
-  // pivoting on the (always nonzero) diagonal. Network chains are nearly
-  // acyclic, so a fill-minimizing order keeps both the sparsity and the
-  // rational coefficient growth under control — a dense elimination over
-  // bignum rationals is hopeless beyond a few dozen states.
-  std::vector<std::map<std::size_t, Rational>> Rows(NK);
-  std::vector<std::vector<Rational>> Rhs(NK,
-                                         std::vector<Rational>(NA));
-  for (std::size_t K = 0; K < NK; ++K)
-    Rows[K][K] = Rational(1);
-  for (const RationalTriplet &E : Chain.QEntries) {
-    assert(E.Row < NT && E.Col < NT && "Q entry out of range");
-    if (Pruned.CanReach[E.Row] && Pruned.CanReach[E.Col]) {
-      Rational &Cell =
-          Rows[Pruned.Compact[E.Row]][Pruned.Compact[E.Col]];
-      Cell -= E.Value;
-      if (Cell.isZero())
-        Rows[Pruned.Compact[E.Row]].erase(Pruned.Compact[E.Col]);
-    }
-  }
-  for (const RationalTriplet &E : Chain.REntries) {
-    assert(E.Row < NT && E.Col < NA && "R entry out of range");
-    if (Pruned.CanReach[E.Row])
-      Rhs[Pruned.Compact[E.Row]][E.Col] += E.Value;
-  }
-
+  // Sparse Gauss-Jordan with min-degree pivoting on the (always nonzero)
+  // diagonal. Network chains are nearly acyclic, so a fill-minimizing
+  // order keeps both the sparsity and the rational coefficient growth
+  // under control — a dense elimination over bignum rationals is hopeless
+  // beyond a few dozen states.
+  //
   // Column -> rows currently holding a nonzero in that column.
   std::vector<std::set<std::size_t>> ColRows(NK);
   for (std::size_t K = 0; K < NK; ++K)
@@ -127,6 +90,8 @@ bool markov::solveAbsorptionExact(const AbsorbingChain &Chain,
     for (std::size_t K = 0; K < NK; ++K) {
       if (Eliminated[K])
         continue;
+      if (Rows[K].empty())
+        return false; // A row eliminated to zero: singular system.
       std::size_t Score =
           (Rows[K].size() - 1) * (ColRows[K].size() - 1);
       if (Score < BestScore) {
@@ -136,7 +101,8 @@ bool markov::solveAbsorptionExact(const AbsorbingChain &Chain,
           break;
       }
     }
-    assert(Pivot != SIZE_MAX && "no pivot left");
+    if (Pivot == SIZE_MAX)
+      return false; // No pivotable row left: singular system.
     auto PivIt = Rows[Pivot].find(Pivot);
     if (PivIt == Rows[Pivot].end() || PivIt->second.isZero())
       return false; // Should not happen after pruning.
@@ -173,70 +139,183 @@ bool markov::solveAbsorptionExact(const AbsorbingChain &Chain,
         Rational &Cell = Rows[User][Col];
         bool WasZero = Cell.isZero();
         Cell.subMul(Coeff, V);
+        ++EliminationOps;
         if (Cell.isZero())
           Rows[User].erase(Col);
-        else if (WasZero)
+        else if (WasZero) {
           ColRows[Col].insert(User);
+          ++FillIn;
+        }
       }
       for (std::size_t C = 0; C < NA; ++C)
-        if (!Rhs[Pivot][C].isZero())
+        if (!Rhs[Pivot][C].isZero()) {
           Rhs[User][C].subMul(Coeff, Rhs[Pivot][C]);
+          ++EliminationOps;
+        }
     }
   }
 
   for (std::size_t K = 0; K < NK; ++K) {
+    (void)K;
     assert(Rows[K].size() == 1 && Rows[K].count(K) == 1 &&
            "Gauss-Jordan left a non-diagonal entry");
+  }
+  return true;
+}
+
+bool markov::solveAbsorptionExact(const AbsorbingChain &Chain,
+                                  DenseMatrix<Rational> &Out,
+                                  const SolverStructure &Structure,
+                                  SolveMetrics *Metrics) {
+  if (Structure.Blocked)
+    return detail::solveAbsorptionExactBlocked(Chain, Out, Structure,
+                                               Metrics);
+  std::size_t NT = Chain.NumTransient, NA = Chain.NumAbsorbing;
+  ChainPruning Pruned = pruneUnreachableStates(Chain);
+  std::size_t NK = Pruned.NumKept;
+
+  Out = DenseMatrix<Rational>(NT, NA);
+  if (Metrics)
+    *Metrics = SolveMetrics();
+  if (NK == 0)
+    return true;
+
+  std::vector<std::map<std::size_t, Rational>> Rows(NK);
+  std::vector<std::vector<Rational>> Rhs(NK,
+                                         std::vector<Rational>(NA));
+  std::size_t NumKeptQ = 0;
+  for (std::size_t K = 0; K < NK; ++K)
+    Rows[K][K] = Rational(1);
+  for (const RationalTriplet &E : Chain.QEntries) {
+    assert(E.Row < NT && E.Col < NT && "Q entry out of range");
+    if (E.Value.isZero() || !Pruned.CanReach[E.Row] ||
+        !Pruned.CanReach[E.Col])
+      continue;
+    ++NumKeptQ;
+    Rational &Cell =
+        Rows[Pruned.Compact[E.Row]][Pruned.Compact[E.Col]];
+    Cell -= E.Value;
+    if (Cell.isZero())
+      Rows[Pruned.Compact[E.Row]].erase(Pruned.Compact[E.Col]);
+  }
+  for (const RationalTriplet &E : Chain.REntries) {
+    assert(E.Row < NT && E.Col < NA && "R entry out of range");
+    if (Pruned.CanReach[E.Row])
+      Rhs[Pruned.Compact[E.Row]][E.Col] += E.Value;
+  }
+
+  std::size_t Ops = 0, Fill = 0;
+  if (!detail::eliminateRationalSystem(Rows, Rhs, Ops, Fill))
+    return false;
+
+  for (std::size_t K = 0; K < NK; ++K)
     for (std::size_t C = 0; C < NA; ++C)
       Out.at(Pruned.Original[K], C) = Rhs[K][C];
+
+  if (Metrics) {
+    Metrics->NumSolved = NK;
+    Metrics->NumSolvedQ = NumKeptQ;
+    Metrics->NumBlocks = 1;
+    Metrics->MaxBlockSize = NK;
+    Metrics->EliminationOps = Ops;
+    Metrics->FillIn = Fill;
+    Metrics->Blocks.push_back({NK, NumKeptQ, Ops, Fill});
+  }
+  return true;
+}
+
+bool markov::detail::luSolveOrdered(std::size_t N,
+                                    const std::vector<Triplet> &QTriplets,
+                                    DenseMatrix<double> &Rhs,
+                                    linalg::OrderingKind Ordering,
+                                    std::size_t &EliminationOps,
+                                    std::size_t &FillIn) {
+  // Fill-reducing permutation over the symmetrized pattern of I - Q (the
+  // diagonal is structurally present, so Q's off-diagonal pattern is the
+  // whole story). Natural skips the permutation machinery entirely and
+  // reproduces the historical factorization bit for bit.
+  bool Permute = Ordering != linalg::OrderingKind::Natural;
+  std::vector<std::size_t> Inverse;
+  if (Permute) {
+    linalg::AdjacencyList Adj(N);
+    for (const Triplet &E : QTriplets)
+      Adj[E.Row].push_back(E.Col);
+    std::vector<std::size_t> Perm =
+        linalg::fillReducingOrdering(Ordering, linalg::symmetrizedPattern(Adj));
+    Inverse = linalg::inversePermutation(Perm);
+  }
+
+  std::vector<Triplet> Entries;
+  Entries.reserve(QTriplets.size() + N);
+  for (const Triplet &E : QTriplets)
+    Entries.push_back({Permute ? Inverse[E.Row] : E.Row,
+                       Permute ? Inverse[E.Col] : E.Col, -E.Value});
+  for (std::size_t I = 0; I < N; ++I)
+    Entries.push_back({I, I, 1.0});
+  SparseMatrix IminusQ =
+      SparseMatrix::fromTriplets(N, N, std::move(Entries));
+  linalg::SparseLU LU;
+  if (!LU.factor(IminusQ))
+    return false;
+  EliminationOps += LU.numEliminationOps();
+  std::size_t FactorEntries = LU.numFactorEntries();
+  std::size_t Assembled = IminusQ.numNonZeros();
+  FillIn += FactorEntries > Assembled ? FactorEntries - Assembled : 0;
+
+  // Solve P(I-Q)P^T x' = P b per column, with x'[k] the solution entry of
+  // the original index Perm[k]; undo the permutation on write-back.
+  std::size_t NA = Rhs.numCols();
+  std::vector<double> Col(N);
+  for (std::size_t J = 0; J < NA; ++J) {
+    for (std::size_t I = 0; I < N; ++I)
+      Col[Permute ? Inverse[I] : I] = Rhs.at(I, J);
+    LU.solve(Col);
+    for (std::size_t I = 0; I < N; ++I)
+      Rhs.at(I, J) = Col[Permute ? Inverse[I] : I];
   }
   return true;
 }
 
 bool markov::solveAbsorptionDouble(const AbsorbingChain &Chain,
                                    DenseMatrix<double> &Out,
-                                   SolverKind Kind) {
+                                   SolverKind Kind,
+                                   const SolverStructure &Structure,
+                                   SolveMetrics *Metrics) {
   assert(Kind != SolverKind::Exact && "use solveAbsorptionExact");
+  if (Structure.Blocked && Kind == SolverKind::Direct)
+    return detail::solveAbsorptionDoubleBlocked(Chain, Out, Structure,
+                                                Metrics);
   std::size_t NT = Chain.NumTransient, NA = Chain.NumAbsorbing;
-  PrunedChain Pruned = pruneUnreachable(Chain);
+  ChainPruning Pruned = pruneUnreachableStates(Chain);
   std::size_t NK = Pruned.NumKept;
 
   Out = DenseMatrix<double>(NT, NA);
+  if (Metrics)
+    *Metrics = SolveMetrics();
   if (NK == 0)
     return true;
 
   std::vector<Triplet> QT;
   QT.reserve(Chain.QEntries.size());
+  std::size_t NumKeptQ = 0;
   for (const RationalTriplet &E : Chain.QEntries)
-    if (Pruned.CanReach[E.Row] && Pruned.CanReach[E.Col])
+    if (!E.Value.isZero() && Pruned.CanReach[E.Row] &&
+        Pruned.CanReach[E.Col]) {
+      ++NumKeptQ;
       QT.push_back({Pruned.Compact[E.Row], Pruned.Compact[E.Col],
                     E.Value.toDouble()});
+    }
 
   DenseMatrix<double> R(NK, NA);
   for (const RationalTriplet &E : Chain.REntries)
     if (Pruned.CanReach[E.Row])
       R.at(Pruned.Compact[E.Row], E.Col) += E.Value.toDouble();
 
-  DenseMatrix<double> Solved(NK, NA);
+  std::size_t Ops = 0, Fill = 0;
   if (Kind == SolverKind::Direct) {
     // Assemble I - Q and factor once; back-solve per absorbing column.
-    std::vector<Triplet> Entries = QT;
-    for (Triplet &E : Entries)
-      E.Value = -E.Value;
-    for (std::size_t I = 0; I < NK; ++I)
-      Entries.push_back({I, I, 1.0});
-    SparseMatrix IminusQ = SparseMatrix::fromTriplets(NK, NK, Entries);
-    linalg::SparseLU LU;
-    if (!LU.factor(IminusQ))
+    if (!detail::luSolveOrdered(NK, QT, R, Structure.Ordering, Ops, Fill))
       return false;
-    std::vector<double> Col(NK);
-    for (std::size_t J = 0; J < NA; ++J) {
-      for (std::size_t I = 0; I < NK; ++I)
-        Col[I] = R.at(I, J);
-      LU.solve(Col);
-      for (std::size_t I = 0; I < NK; ++I)
-        Solved.at(I, J) = Col[I];
-    }
   } else {
     // Iterative: x = Qx + r per absorbing column.
     SparseMatrix Q = SparseMatrix::fromTriplets(NK, NK, QT);
@@ -244,16 +323,28 @@ bool markov::solveAbsorptionDouble(const AbsorbingChain &Chain,
     for (std::size_t J = 0; J < NA; ++J) {
       for (std::size_t I = 0; I < NK; ++I)
         Col[I] = R.at(I, J);
-      if (linalg::neumannSolve(Q, Col, X) == 0)
+      std::size_t Iterations = linalg::neumannSolve(Q, Col, X);
+      if (Iterations == 0)
         return false;
+      Ops += Iterations * Q.numNonZeros();
       for (std::size_t I = 0; I < NK; ++I)
-        Solved.at(I, J) = X[I];
+        R.at(I, J) = X[I];
     }
   }
 
   for (std::size_t K = 0; K < NK; ++K)
     for (std::size_t C = 0; C < NA; ++C)
-      Out.at(Pruned.Original[K], C) = Solved.at(K, C);
+      Out.at(Pruned.Original[K], C) = R.at(K, C);
+
+  if (Metrics) {
+    Metrics->NumSolved = NK;
+    Metrics->NumSolvedQ = NumKeptQ;
+    Metrics->NumBlocks = 1;
+    Metrics->MaxBlockSize = NK;
+    Metrics->EliminationOps = Ops;
+    Metrics->FillIn = Fill;
+    Metrics->Blocks.push_back({NK, NumKeptQ, Ops, Fill});
+  }
   return true;
 }
 

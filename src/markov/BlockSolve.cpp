@@ -1,0 +1,294 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-structured absorbing-chain solves (docs/ARCHITECTURE.md S13).
+/// The transient graph decomposes into strongly connected classes; in the
+/// condensation DAG, absorption out of a class depends only on classes
+/// downstream of it:
+///
+///   (I - Q_BB) A_B = R_B + Q_{B,ext} A_ext
+///
+/// where ext ranges over states in already-solved successor blocks. Blocks
+/// are eliminated in reverse topological order (block ids from Tarjan pop
+/// order make that simply increasing id order); when a ThreadPool is
+/// supplied, independent classes solve concurrently under a
+/// dependency-counted DAG schedule — each task writes only its own block's
+/// rows of the shared absorption matrix, and every cross-block read is
+/// ordered behind the writer by the scheduling edge.
+///
+/// The exact blocked solve is reference-equal to the monolithic one: both
+/// compute the unique rational solution of the same nonsingular system.
+/// The double blocked solve agrees up to elimination-order ulps only.
+///
+//===----------------------------------------------------------------------===//
+
+#include "markov/Absorbing.h"
+#include "markov/Scc.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <functional>
+#include <mutex>
+
+using namespace mcnk;
+using namespace mcnk::markov;
+using linalg::DenseMatrix;
+using linalg::Triplet;
+
+namespace {
+
+/// The pruned chain reorganized for per-block assembly: per compact state,
+/// its kept Q row (compact column indices) and R row.
+struct BlockPlan {
+  ChainPruning Pruned;
+  SccDecomposition Scc; // Over compact transient indices.
+  std::vector<std::vector<std::pair<std::size_t, Rational>>> QRows;
+  std::vector<std::vector<std::pair<std::size_t, Rational>>> RRows;
+  std::size_t NumKeptQ = 0;
+};
+
+BlockPlan planBlocks(const AbsorbingChain &Chain) {
+  BlockPlan Plan;
+  Plan.Pruned = pruneUnreachableStates(Chain);
+  std::size_t NK = Plan.Pruned.NumKept;
+  Plan.QRows.resize(NK);
+  Plan.RRows.resize(NK);
+  std::vector<std::vector<std::size_t>> Adj(NK);
+  for (const RationalTriplet &E : Chain.QEntries)
+    if (!E.Value.isZero() && Plan.Pruned.CanReach[E.Row] &&
+        Plan.Pruned.CanReach[E.Col]) {
+      std::size_t U = Plan.Pruned.Compact[E.Row];
+      std::size_t V = Plan.Pruned.Compact[E.Col];
+      Plan.QRows[U].emplace_back(V, E.Value);
+      Adj[U].push_back(V);
+      ++Plan.NumKeptQ;
+    }
+  for (const RationalTriplet &E : Chain.REntries)
+    if (Plan.Pruned.CanReach[E.Row])
+      Plan.RRows[Plan.Pruned.Compact[E.Row]].emplace_back(E.Col, E.Value);
+  Plan.Scc = computeScc(NK, Adj);
+  return Plan;
+}
+
+/// Runs Solve(BlockId) once per block, respecting condensation-DAG order.
+/// Serial fallback processes ids in increasing order (successors first);
+/// on a pool, blocks become ready when their dependency counter drains,
+/// each completion enqueuing newly ready dependents. Returns false as
+/// soon as any Solve fails (remaining ready work is abandoned).
+bool runBlocks(const SccDecomposition &Scc, ThreadPool *Pool,
+               const std::function<bool(std::size_t)> &Solve) {
+  std::size_t NB = Scc.NumBlocks;
+  if (!Pool || NB <= 1) {
+    for (std::size_t B = 0; B < NB; ++B)
+      if (!Solve(B))
+        return false;
+    return true;
+  }
+
+  // DepCount[B] = unsolved successor blocks; Dependents inverts the edge.
+  std::vector<std::size_t> DepCount(NB);
+  std::vector<std::vector<std::size_t>> Dependents(NB);
+  for (std::size_t B = 0; B < NB; ++B) {
+    DepCount[B] = Scc.Successors[B].size();
+    for (std::size_t S : Scc.Successors[B])
+      Dependents[S].push_back(B);
+  }
+
+  std::mutex Mutex;
+  std::atomic<bool> Ok{true};
+  TaskGroup Group(*Pool);
+  // Tasks enqueue their newly unblocked dependents onto the same group;
+  // the group cannot drain while an enqueuing task is still running, so
+  // the final wait() covers every block. All cross-task visibility rides
+  // on Mutex plus the pool's queue synchronization (TSan-clean).
+  std::function<void(std::size_t)> Run = [&](std::size_t B) {
+    if (!Ok.load(std::memory_order_acquire))
+      return;
+    if (!Solve(B)) {
+      Ok.store(false, std::memory_order_release);
+      return;
+    }
+    std::vector<std::size_t> Ready;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      for (std::size_t D : Dependents[B])
+        if (--DepCount[D] == 0)
+          Ready.push_back(D);
+    }
+    for (std::size_t D : Ready)
+      Group.run([&Run, D] { Run(D); });
+  };
+  // Snapshot the initially ready set before enqueueing anything: once the
+  // first task runs, workers decrement DepCount concurrently, and a block
+  // draining to zero mid-seeding would otherwise be enqueued twice (once
+  // by its completing successor, once by this loop reading the drained
+  // counter). Sink blocks can never be resurrected by a completion, so
+  // the snapshot is exact.
+  std::vector<std::size_t> Initial;
+  for (std::size_t B = 0; B < NB; ++B)
+    if (DepCount[B] == 0)
+      Initial.push_back(B);
+  for (std::size_t B : Initial)
+    Group.run([&Run, B] { Run(B); });
+  Group.wait();
+  return Ok.load();
+}
+
+/// Folds per-block metrics into the totals after all blocks completed.
+void finishMetrics(SolveMetrics &M, const BlockPlan &Plan,
+                   std::vector<BlockMetrics> Blocks) {
+  M.NumSolved = Plan.Pruned.NumKept;
+  M.NumSolvedQ = Plan.NumKeptQ;
+  M.NumBlocks = Plan.Scc.NumBlocks;
+  M.Blocks = std::move(Blocks);
+  for (const BlockMetrics &B : M.Blocks) {
+    M.MaxBlockSize = std::max(M.MaxBlockSize, B.NumStates);
+    M.EliminationOps += B.EliminationOps;
+    M.FillIn += B.FillIn;
+  }
+}
+
+} // namespace
+
+bool markov::detail::solveAbsorptionExactBlocked(
+    const AbsorbingChain &Chain, DenseMatrix<Rational> &Out,
+    const SolverStructure &Structure, SolveMetrics *Metrics) {
+  std::size_t NT = Chain.NumTransient, NA = Chain.NumAbsorbing;
+  BlockPlan Plan = planBlocks(Chain);
+  std::size_t NK = Plan.Pruned.NumKept;
+
+  Out = DenseMatrix<Rational>(NT, NA);
+  if (Metrics)
+    *Metrics = SolveMetrics();
+  if (NK == 0)
+    return true;
+
+  // Absorption rows in compact index space: block B writes rows of its
+  // members, later (higher-id) blocks read rows of their successors.
+  DenseMatrix<Rational> Absorb(NK, NA);
+  std::vector<BlockMetrics> Blocks(Plan.Scc.NumBlocks);
+
+  auto SolveBlock = [&](std::size_t B) -> bool {
+    const std::vector<std::size_t> &Members = Plan.Scc.Blocks[B];
+    std::size_t N = Members.size();
+    auto LocalOf = [&](std::size_t Global) {
+      return static_cast<std::size_t>(
+          std::lower_bound(Members.begin(), Members.end(), Global) -
+          Members.begin());
+    };
+
+    BlockMetrics &BM = Blocks[B];
+    BM.NumStates = N;
+    std::vector<std::map<std::size_t, Rational>> Rows(N);
+    std::vector<std::vector<Rational>> Rhs(N, std::vector<Rational>(NA));
+    for (std::size_t L = 0; L < N; ++L)
+      Rows[L][L] = Rational(1);
+    for (std::size_t L = 0; L < N; ++L) {
+      std::size_t G = Members[L];
+      for (const auto &[Col, V] : Plan.RRows[G])
+        Rhs[L][Col] += V;
+      for (const auto &[Target, V] : Plan.QRows[G]) {
+        ++BM.NumQEntries;
+        if (Plan.Scc.BlockOf[Target] == B) {
+          Rational &Cell = Rows[L][LocalOf(Target)];
+          Cell -= V;
+          if (Cell.isZero())
+            Rows[L].erase(LocalOf(Target));
+        } else {
+          // Back-substitution along a condensation edge: the successor
+          // block already solved, fold its absorption row into the RHS.
+          assert(Plan.Scc.BlockOf[Target] < B && "unsolved successor");
+          for (std::size_t C = 0; C < NA; ++C)
+            if (!Absorb.at(Target, C).isZero())
+              Rhs[L][C].addMul(V, Absorb.at(Target, C));
+        }
+      }
+    }
+
+    if (!eliminateRationalSystem(Rows, Rhs, BM.EliminationOps, BM.FillIn))
+      return false;
+    for (std::size_t L = 0; L < N; ++L)
+      for (std::size_t C = 0; C < NA; ++C)
+        Absorb.at(Members[L], C) = std::move(Rhs[L][C]);
+    return true;
+  };
+
+  if (!runBlocks(Plan.Scc, Structure.Pool, SolveBlock))
+    return false;
+
+  for (std::size_t K = 0; K < NK; ++K)
+    for (std::size_t C = 0; C < NA; ++C)
+      Out.at(Plan.Pruned.Original[K], C) = std::move(Absorb.at(K, C));
+  if (Metrics)
+    finishMetrics(*Metrics, Plan, std::move(Blocks));
+  return true;
+}
+
+bool markov::detail::solveAbsorptionDoubleBlocked(
+    const AbsorbingChain &Chain, DenseMatrix<double> &Out,
+    const SolverStructure &Structure, SolveMetrics *Metrics) {
+  std::size_t NT = Chain.NumTransient, NA = Chain.NumAbsorbing;
+  BlockPlan Plan = planBlocks(Chain);
+  std::size_t NK = Plan.Pruned.NumKept;
+
+  Out = DenseMatrix<double>(NT, NA);
+  if (Metrics)
+    *Metrics = SolveMetrics();
+  if (NK == 0)
+    return true;
+
+  DenseMatrix<double> Absorb(NK, NA);
+  std::vector<BlockMetrics> Blocks(Plan.Scc.NumBlocks);
+
+  auto SolveBlock = [&](std::size_t B) -> bool {
+    const std::vector<std::size_t> &Members = Plan.Scc.Blocks[B];
+    std::size_t N = Members.size();
+    auto LocalOf = [&](std::size_t Global) {
+      return static_cast<std::size_t>(
+          std::lower_bound(Members.begin(), Members.end(), Global) -
+          Members.begin());
+    };
+
+    BlockMetrics &BM = Blocks[B];
+    BM.NumStates = N;
+    std::vector<Triplet> QT;
+    DenseMatrix<double> Rhs(N, NA);
+    for (std::size_t L = 0; L < N; ++L) {
+      std::size_t G = Members[L];
+      for (const auto &[Col, V] : Plan.RRows[G])
+        Rhs.at(L, Col) += V.toDouble();
+      for (const auto &[Target, V] : Plan.QRows[G]) {
+        ++BM.NumQEntries;
+        if (Plan.Scc.BlockOf[Target] == B) {
+          QT.push_back({L, LocalOf(Target), V.toDouble()});
+        } else {
+          assert(Plan.Scc.BlockOf[Target] < B && "unsolved successor");
+          double W = V.toDouble();
+          for (std::size_t C = 0; C < NA; ++C)
+            Rhs.at(L, C) += W * Absorb.at(Target, C);
+        }
+      }
+    }
+
+    if (!luSolveOrdered(N, QT, Rhs, Structure.Ordering, BM.EliminationOps,
+                        BM.FillIn))
+      return false;
+    for (std::size_t L = 0; L < N; ++L)
+      for (std::size_t C = 0; C < NA; ++C)
+        Absorb.at(Members[L], C) = Rhs.at(L, C);
+    return true;
+  };
+
+  if (!runBlocks(Plan.Scc, Structure.Pool, SolveBlock))
+    return false;
+
+  for (std::size_t K = 0; K < NK; ++K)
+    for (std::size_t C = 0; C < NA; ++C)
+      Out.at(Plan.Pruned.Original[K], C) = Absorb.at(K, C);
+  if (Metrics)
+    finishMetrics(*Metrics, Plan, std::move(Blocks));
+  return true;
+}

@@ -301,3 +301,70 @@ TEST(ConformanceTest, LoopSolveStatsChainClassCounts) {
     EXPECT_EQ(LS.NumQEntries, 5 * K - 1u) << "K=" << K;
   }
 }
+
+TEST(ConformanceTest, BlockedChainStatsSumToMonolithic) {
+  // The chain model's transient graph is acyclic (packets only move
+  // forward), so after pruning the unreachable wildcard class every kept
+  // state is its own strongly connected class: the blocked solver must
+  // report 4K singleton blocks whose per-block counts sum exactly to the
+  // monolithic totals, while solving the identical system (NumSolved,
+  // NumSolvedQ, and the compiled diagram itself all match).
+  for (unsigned K = 1; K <= 3; ++K) {
+    Context Ctx;
+    topology::ChainLayout L;
+    topology::makeChain(K, L);
+    routing::NetworkModel M =
+        routing::buildChainModel(L, Rational(1, 10), Ctx);
+
+    analysis::Verifier Mono;
+    fdd::FddRef PM = Mono.compile(M.Program);
+    fdd::LoopSolveStats MS = Mono.manager().lastLoopStats();
+
+    analysis::Verifier V;
+    markov::SolverStructure S;
+    S.Blocked = true;
+    S.Ordering = linalg::OrderingKind::ReverseCuthillMcKee;
+    V.setSolverStructure(S);
+    fdd::FddRef PB = V.compile(M.Program);
+    const fdd::LoopSolveStats &LS = V.manager().lastLoopStats();
+
+    // Same solved system as the monolithic engine: the wildcard class is
+    // pruned (4K states kept of 4K+1 transient), every kept Q entry
+    // survives, and the exact diagrams are reference-equal.
+    EXPECT_EQ(LS.NumSolved, 4 * K) << "K=" << K;
+    EXPECT_EQ(LS.NumSolvedQ, 5 * K - 1u) << "K=" << K;
+    EXPECT_EQ(MS.NumSolved, LS.NumSolved) << "K=" << K;
+    EXPECT_EQ(MS.NumSolvedQ, LS.NumSolvedQ) << "K=" << K;
+    EXPECT_EQ(fdd::importFdd(V.manager(),
+                             fdd::exportFdd(Mono.manager(), PM)),
+              PB)
+        << "K=" << K;
+
+    // ...decomposed into singleton classes, versus one monolithic block.
+    EXPECT_EQ(LS.NumBlocks, 4 * K) << "K=" << K;
+    EXPECT_EQ(LS.MaxBlockSize, 1u) << "K=" << K;
+    EXPECT_EQ(MS.NumBlocks, 1u) << "K=" << K;
+    EXPECT_EQ(MS.MaxBlockSize, 4 * K) << "K=" << K;
+    ASSERT_EQ(MS.Blocks.size(), 1u) << "K=" << K;
+    EXPECT_EQ(MS.Blocks[0].NumQEntries, MS.NumSolvedQ) << "K=" << K;
+
+    // Per-block counts sum to the blocked totals.
+    ASSERT_EQ(LS.Blocks.size(), LS.NumBlocks) << "K=" << K;
+    std::size_t States = 0, QEntries = 0, Ops = 0, Fill = 0;
+    for (const markov::BlockMetrics &B : LS.Blocks) {
+      EXPECT_EQ(B.NumStates, 1u) << "K=" << K;
+      States += B.NumStates;
+      QEntries += B.NumQEntries;
+      Ops += B.EliminationOps;
+      Fill += B.FillIn;
+    }
+    EXPECT_EQ(States, LS.NumSolved) << "K=" << K;
+    EXPECT_EQ(QEntries, LS.NumSolvedQ) << "K=" << K;
+    EXPECT_EQ(Ops, LS.EliminationOps) << "K=" << K;
+    EXPECT_EQ(Fill, LS.FillIn) << "K=" << K;
+    // Singleton blocks never create fill-in, and never do more work than
+    // the monolithic elimination.
+    EXPECT_EQ(LS.FillIn, 0u) << "K=" << K;
+    EXPECT_LE(LS.EliminationOps, MS.EliminationOps) << "K=" << K;
+  }
+}

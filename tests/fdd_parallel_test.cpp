@@ -14,6 +14,7 @@
 #include "ast/Context.h"
 #include "fdd/Compile.h"
 #include "fdd/Export.h"
+#include "markov/Absorbing.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
@@ -186,6 +187,100 @@ TEST(ParallelCompileTest, GlobalPoolServesPoolLessCallers) {
     CompileOptions O;
     O.ParallelCase = true;
     EXPECT_EQ(compile(M, P, O), compile(M, P));
+  }
+}
+
+TEST(ParallelCompileTest, ConcurrentBlockedSolvesOnOneEngine) {
+  // Many block-structured exact solves race on one engine: each solve
+  // schedules its condensation-DAG block tasks on the pool while sibling
+  // solves (themselves running as pool tasks via parallelFor) do the
+  // same. This pins down the DAG scheduler's happens-before edges —
+  // dependency counters under the mutex, absorption rows published
+  // through the scheduling edge — under ThreadSanitizer (./ci.sh tsan).
+  ThreadPool Pool(4);
+  constexpr std::size_t NumSolves = 12;
+  std::vector<char> Agree(NumSolves, 0);
+  Pool.parallelFor(NumSolves, [&](std::size_t I) {
+    std::mt19937_64 Rng(0xB10C5ULL + I);
+    markov::AbsorbingChain Chain;
+    Chain.NumTransient = 6 + I % 20;
+    Chain.NumAbsorbing = 2;
+    for (std::size_t Row = 0; Row < Chain.NumTransient; ++Row) {
+      // Out-degree 1–3 over transient states (cycles included) plus an
+      // absorbing escape on some rows; weights keep each row
+      // substochastic so pruning leaves a nonsingular system.
+      std::size_t Deg = 1 + Rng() % 3;
+      for (std::size_t E = 0; E < Deg; ++E)
+        Chain.QEntries.push_back(
+            {Row, Rng() % Chain.NumTransient,
+             Rational(1, static_cast<int64_t>(2 * Deg))});
+      if (Row % 3 == 0 || Row + 1 == Chain.NumTransient)
+        Chain.REntries.push_back(
+            {Row, Rng() % Chain.NumAbsorbing, Rational(1, 4)});
+    }
+    linalg::DenseMatrix<Rational> Mono, Blocked;
+    bool OkMono = markov::solveAbsorptionExact(Chain, Mono);
+    markov::SolverStructure S;
+    S.Blocked = true;
+    S.Pool = &Pool;
+    bool OkBlocked = markov::solveAbsorptionExact(Chain, Blocked, S);
+    bool Same = OkMono == OkBlocked;
+    if (Same && OkMono)
+      for (std::size_t R = 0; R < Chain.NumTransient; ++R)
+        for (std::size_t C = 0; C < Chain.NumAbsorbing; ++C)
+          Same = Same && Mono.at(R, C) == Blocked.at(R, C);
+    Agree[I] = Same ? 1 : 0;
+  });
+  for (std::size_t I = 0; I < NumSolves; ++I)
+    EXPECT_TRUE(Agree[I]) << "solve " << I;
+}
+
+TEST(ParallelCompileTest, BlockedLoopsNestInsideParallelCase) {
+  // Parallel `case` arms containing while loops, compiled on the same
+  // engine the blocked solver schedules its block tasks on: worker
+  // managers inherit the blocked structure, so block tasks are enqueued
+  // from threads that are themselves pool tasks (help-first waiting keeps
+  // the composition deadlock-free). Runs under TSan via ./ci.sh tsan.
+  Context Ctx;
+  FieldId Pos = Ctx.field("pos");
+  FieldId Sw = Ctx.field("sw");
+  // while (pos=1 | pos=2) { if pos=1 then coin(pos:=2 / pos:=0)
+  //                         else coin(pos:=1 / pos:=3) }
+  // The two loop states reach each other, so the chain has a genuine
+  // multi-state strongly connected class.
+  auto Loop = [&](int Num, int Den) {
+    return Ctx.whileLoop(
+        Ctx.unite(Ctx.test(Pos, 1), Ctx.test(Pos, 2)),
+        Ctx.ite(Ctx.test(Pos, 1),
+                Ctx.choice(Rational(Num, Den), Ctx.assign(Pos, 2),
+                           Ctx.assign(Pos, 0)),
+                Ctx.choice(Rational(Num, Den), Ctx.assign(Pos, 1),
+                           Ctx.assign(Pos, 3))));
+  };
+  std::vector<ast::CaseNode::Branch> Arms;
+  Arms.emplace_back(Ctx.test(Sw, 0), Loop(1, 2));
+  Arms.emplace_back(Ctx.test(Sw, 1), Loop(1, 3));
+  Arms.emplace_back(Ctx.test(Sw, 2), Ctx.seq(Loop(1, 2), Loop(2, 3)));
+  Arms.emplace_back(Ctx.test(Sw, 3), Loop(3, 4));
+  const Node *P = Ctx.caseOf(std::move(Arms), Ctx.drop());
+
+  FddManager Serial;
+  FddRef Reference = compile(Serial, P);
+
+  ThreadPool Pool(4);
+  markov::SolverStructure S;
+  S.Blocked = true;
+  S.Ordering = linalg::OrderingKind::ReverseCuthillMcKee;
+  S.Pool = &Pool;
+  CompileOptions O;
+  O.ParallelCase = true;
+  O.Pool = &Pool;
+  for (int Round = 0; Round < 3; ++Round) {
+    FddManager M;
+    M.setSolverStructure(S);
+    FddRef Blocked = compile(M, P, O);
+    EXPECT_EQ(importFdd(Serial, exportFdd(M, Blocked)), Reference)
+        << "round " << Round;
   }
 }
 

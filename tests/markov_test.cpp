@@ -10,6 +10,9 @@
 
 #include "markov/Absorbing.h"
 
+#include "markov/Scc.h"
+#include "support/ThreadPool.h"
+
 #include <gtest/gtest.h>
 
 #include <random>
@@ -206,6 +209,231 @@ TEST_P(AbsorbingEngineProperty, ExactAndDirectAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AbsorbingEngineProperty,
                          ::testing::Values(61u, 62u, 63u, 64u));
+
+namespace {
+
+/// A random chain in the shape the engine property suite uses: rows split
+/// mass 1/D over random transient columns, absorbing exits, and a dash of
+/// dropped mass so some rows are substochastic.
+AbsorbingChain randomChain(std::mt19937_64 &Rng) {
+  std::uniform_int_distribution<std::size_t> Size(2, 40);
+  std::size_t NT = Size(Rng), NA = 2;
+  AbsorbingChain Chain;
+  Chain.NumTransient = NT;
+  Chain.NumAbsorbing = NA;
+  std::uniform_int_distribution<int> Den(2, 6);
+  std::uniform_int_distribution<std::size_t> Col(0, NT - 1);
+  for (std::size_t R = 0; R < NT; ++R) {
+    int D = Den(Rng);
+    for (int I = 0; I < D; ++I) {
+      Rational W(1, D);
+      if (I == 0 && (Rng() & 3) == 0)
+        Chain.REntries.push_back({R, static_cast<std::size_t>(Rng() % NA), W});
+      else if ((Rng() & 7) == 0)
+        continue; // Dropped mass: substochastic row.
+      else
+        Chain.QEntries.push_back({R, Col(Rng), W});
+    }
+  }
+  return Chain;
+}
+
+/// Per-block sums of a SolveMetrics must reproduce the totals (the S13
+/// stats contract, in monolithic and blocked mode alike).
+void expectMetricsConsistent(const SolveMetrics &M) {
+  EXPECT_EQ(M.Blocks.size(), M.NumBlocks);
+  std::size_t States = 0, QEntries = 0, Ops = 0, Fill = 0, MaxSize = 0;
+  for (const BlockMetrics &B : M.Blocks) {
+    States += B.NumStates;
+    QEntries += B.NumQEntries;
+    Ops += B.EliminationOps;
+    Fill += B.FillIn;
+    MaxSize = std::max(MaxSize, B.NumStates);
+  }
+  EXPECT_EQ(States, M.NumSolved);
+  EXPECT_EQ(QEntries, M.NumSolvedQ);
+  EXPECT_EQ(Ops, M.EliminationOps);
+  EXPECT_EQ(Fill, M.FillIn);
+  EXPECT_EQ(MaxSize, M.MaxBlockSize);
+}
+
+} // namespace
+
+/// Seeded SCC-decomposition properties: the blocks are a valid partition,
+/// the block relation is exactly mutual reachability, and the condensation
+/// numbering is reverse-topological (hence acyclic).
+class SccProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SccProperty, DecompositionIsCorrect) {
+  std::mt19937_64 Rng(GetParam());
+  for (int Round = 0; Round < 30; ++Round) {
+    std::uniform_int_distribution<std::size_t> Size(1, 36);
+    std::uniform_int_distribution<int> Degree(0, 3);
+    std::size_t N = Size(Rng);
+    std::vector<std::vector<std::size_t>> Adj(N);
+    std::uniform_int_distribution<std::size_t> Vertex(0, N - 1);
+    for (std::size_t U = 0; U < N; ++U)
+      for (int E = Degree(Rng); E-- > 0;)
+        Adj[U].push_back(Vertex(Rng));
+
+    SccDecomposition Scc = computeScc(N, Adj);
+
+    // Valid partition: every vertex in exactly one block, ids consistent.
+    ASSERT_EQ(Scc.BlockOf.size(), N);
+    ASSERT_EQ(Scc.Blocks.size(), Scc.NumBlocks);
+    std::vector<std::size_t> Seen(N, 0);
+    for (std::size_t B = 0; B < Scc.NumBlocks; ++B) {
+      EXPECT_FALSE(Scc.Blocks[B].empty());
+      for (std::size_t V : Scc.Blocks[B]) {
+        EXPECT_EQ(Scc.BlockOf[V], B);
+        ++Seen[V];
+      }
+    }
+    for (std::size_t V = 0; V < N; ++V)
+      EXPECT_EQ(Seen[V], 1u);
+
+    // Reachability closure by BFS from each vertex (N is small).
+    std::vector<std::vector<bool>> Reach(N, std::vector<bool>(N, false));
+    for (std::size_t S = 0; S < N; ++S) {
+      std::vector<std::size_t> Stack = {S};
+      Reach[S][S] = true;
+      while (!Stack.empty()) {
+        std::size_t U = Stack.back();
+        Stack.pop_back();
+        for (std::size_t V : Adj[U])
+          if (!Reach[S][V]) {
+            Reach[S][V] = true;
+            Stack.push_back(V);
+          }
+      }
+    }
+    // Same block iff mutually reachable.
+    for (std::size_t U = 0; U < N; ++U)
+      for (std::size_t V = 0; V < N; ++V)
+        EXPECT_EQ(Scc.BlockOf[U] == Scc.BlockOf[V],
+                  Reach[U][V] && Reach[V][U])
+            << U << " vs " << V;
+
+    // Reverse-topological numbering: every edge points to an equal or
+    // smaller block id, so the condensation is acyclic by construction.
+    for (std::size_t U = 0; U < N; ++U)
+      for (std::size_t V : Adj[U])
+        EXPECT_GE(Scc.BlockOf[U], Scc.BlockOf[V]);
+    for (std::size_t B = 0; B < Scc.NumBlocks; ++B)
+      for (std::size_t S : Scc.Successors[B])
+        EXPECT_LT(S, B);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccProperty,
+                         ::testing::Values(81u, 82u, 83u, 84u));
+
+/// Blocked solves must reproduce the monolithic results: exactly (same
+/// rationals) for the exact engine, within ulps for sparse LU — serial
+/// and on a shared pool.
+class BlockedSolveProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BlockedSolveProperty, BlockedEqualsMonolithic) {
+  std::mt19937_64 Rng(GetParam());
+  ThreadPool Pool(4);
+  for (int Round = 0; Round < 25; ++Round) {
+    AbsorbingChain Chain = randomChain(Rng);
+    std::size_t NT = Chain.NumTransient, NA = Chain.NumAbsorbing;
+
+    DenseMatrix<Rational> Mono;
+    SolveMetrics MonoMetrics;
+    ASSERT_TRUE(solveAbsorptionExact(Chain, Mono, {}, &MonoMetrics));
+    expectMetricsConsistent(MonoMetrics);
+    EXPECT_EQ(MonoMetrics.NumBlocks, MonoMetrics.NumSolved ? 1u : 0u);
+
+    for (ThreadPool *Engine : {static_cast<ThreadPool *>(nullptr), &Pool}) {
+      SolverStructure Structure;
+      Structure.Blocked = true;
+      Structure.Pool = Engine;
+      DenseMatrix<Rational> Blocked;
+      SolveMetrics Metrics;
+      ASSERT_TRUE(solveAbsorptionExact(Chain, Blocked, Structure, &Metrics));
+      expectMetricsConsistent(Metrics);
+      // Same kept subsystem, finer or equal decomposition.
+      EXPECT_EQ(Metrics.NumSolved, MonoMetrics.NumSolved);
+      EXPECT_EQ(Metrics.NumSolvedQ, MonoMetrics.NumSolvedQ);
+      EXPECT_GE(Metrics.NumBlocks, MonoMetrics.NumBlocks);
+      for (std::size_t R = 0; R < NT; ++R)
+        for (std::size_t C = 0; C < NA; ++C)
+          EXPECT_EQ(Blocked.at(R, C), Mono.at(R, C)) << R << "," << C;
+
+      Structure.Ordering = linalg::OrderingKind::ReverseCuthillMcKee;
+      DenseMatrix<double> Direct;
+      ASSERT_TRUE(solveAbsorptionDouble(Chain, Direct, SolverKind::Direct,
+                                        Structure, &Metrics));
+      expectMetricsConsistent(Metrics);
+      for (std::size_t R = 0; R < NT; ++R)
+        for (std::size_t C = 0; C < NA; ++C)
+          EXPECT_NEAR(Direct.at(R, C), Mono.at(R, C).toDouble(), 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockedSolveProperty,
+                         ::testing::Values(91u, 92u, 93u, 94u));
+
+TEST(BlockedSolveTest, SingleSccExtreme) {
+  // Gambler's ruin: every transient state reaches every other (birth-death
+  // chain), so the blocked solve degenerates to one block == monolithic.
+  AbsorbingChain Chain = gamblersRuin(8, Rational(3, 5));
+  SolverStructure Structure;
+  Structure.Blocked = true;
+  DenseMatrix<Rational> Blocked, Mono;
+  SolveMetrics Metrics;
+  ASSERT_TRUE(solveAbsorptionExact(Chain, Blocked, Structure, &Metrics));
+  ASSERT_TRUE(solveAbsorptionExact(Chain, Mono));
+  EXPECT_EQ(Metrics.NumBlocks, 1u);
+  EXPECT_EQ(Metrics.MaxBlockSize, Chain.NumTransient);
+  for (std::size_t R = 0; R < Chain.NumTransient; ++R)
+    for (std::size_t C = 0; C < Chain.NumAbsorbing; ++C)
+      EXPECT_EQ(Blocked.at(R, C), Mono.at(R, C));
+}
+
+TEST(BlockedSolveTest, FullyDisconnectedExtreme) {
+  // Self-loops only: no state communicates with any other, so every state
+  // is its own block and elimination is N independent 1x1 solves.
+  AbsorbingChain Chain;
+  Chain.NumTransient = 6;
+  Chain.NumAbsorbing = 1;
+  for (std::size_t S = 0; S < 6; ++S) {
+    Chain.QEntries.push_back({S, S, Rational(1, 2)});
+    Chain.REntries.push_back({S, 0, Rational(1, 2)});
+  }
+  SolverStructure Structure;
+  Structure.Blocked = true;
+  DenseMatrix<Rational> A;
+  SolveMetrics Metrics;
+  ASSERT_TRUE(solveAbsorptionExact(Chain, A, Structure, &Metrics));
+  EXPECT_EQ(Metrics.NumBlocks, 6u);
+  EXPECT_EQ(Metrics.MaxBlockSize, 1u);
+  EXPECT_EQ(Metrics.NumSolved, 6u);
+  for (std::size_t S = 0; S < 6; ++S)
+    EXPECT_EQ(A.at(S, 0), Rational(1));
+}
+
+TEST(BlockedSolveTest, DivergingStatesPrunedBeforeBlocking) {
+  // The two-state loop with unreachable absorption: pruning removes both
+  // states, leaving zero blocks and a zero matrix.
+  AbsorbingChain Chain;
+  Chain.NumTransient = 2;
+  Chain.NumAbsorbing = 1;
+  Chain.QEntries.push_back({0, 1, Rational(1)});
+  Chain.QEntries.push_back({1, 0, Rational(1)});
+  SolverStructure Structure;
+  Structure.Blocked = true;
+  DenseMatrix<Rational> A;
+  SolveMetrics Metrics;
+  ASSERT_TRUE(solveAbsorptionExact(Chain, A, Structure, &Metrics));
+  EXPECT_EQ(Metrics.NumBlocks, 0u);
+  EXPECT_EQ(Metrics.NumSolved, 0u);
+  EXPECT_EQ(A.at(0, 0), Rational(0));
+  EXPECT_EQ(A.at(1, 0), Rational(0));
+}
 
 TEST(AbsorbingTest, LongChainDirectSolver) {
   // A 400-state birth-death chain exercises sparse LU at moderate size.
