@@ -134,17 +134,26 @@ if [ "$MODE" = "bench" ]; then
   # Compile-cache trajectory point: the per-ingress query sweep across the
   # registry, cached vs uncached (reference-equality enforced; the run
   # fails on any mismatch). The same invocation records the blocked-solver
-  # registry sweep (Exact monolithic vs SCC/DAG blocks, ARCHITECTURE S13).
+  # registry sweep (Exact monolithic vs SCC/DAG blocks, ARCHITECTURE S13)
+  # and the modular-solver registry sweep (Rational Exact vs multi-prime
+  # ModularExact, ARCHITECTURE S14).
   MCNK_SWEEP_TABLE=0 \
     MCNK_SWEEP_CACHE_JSON=bench/results/BENCH_sweep_cache.json \
     MCNK_SWEEP_BLOCKED_JSON=bench/results/BENCH_sweep_blocked.json \
+    MCNK_SWEEP_MODULAR_JSON=bench/results/BENCH_sweep_modular.json \
     "$BUILD_DIR/scenario_sweep"
   # Blocked-solver trajectory point on the Fig 7 FatTree family: Exact
   # monolithic vs blocked, reference-equality enforced, elimination-op and
   # fill-in counters recorded per point.
   MCNK_FIG7_BLOCKED_JSON=bench/results/BENCH_solver_blocked.json \
     "$BUILD_DIR/fig07_fattree_scalability"
-  echo "Wrote bench/results/BENCH_micro_{support,linalg}.json, BENCH_fig08_parallel.json, BENCH_sweep_cache.json, BENCH_sweep_blocked.json, and BENCH_solver_blocked.json"
+  # Modular-solver trajectory point: Rational Exact vs multi-prime
+  # ModularExact on the Fig 7 FatTree family and the Fig 10 diamond-chain
+  # family (reference-equality enforced; the chains are where the wide
+  # CRT moduli and the >= 5x exact-solve speedups live).
+  MCNK_FIG7_MODULAR_JSON=bench/results/BENCH_solver_modular.json \
+    "$BUILD_DIR/fig07_fattree_scalability"
+  echo "Wrote bench/results/BENCH_micro_{support,linalg}.json, BENCH_fig08_parallel.json, BENCH_sweep_{cache,blocked,modular}.json, and BENCH_solver_{blocked,modular}.json"
   exit 0
 fi
 

@@ -27,8 +27,14 @@
 /// while-loop solves to block-structured SCC/DAG elimination with
 /// reverse-Cuthill–McKee ordering (ARCHITECTURE S13) — combined with -j,
 /// independent blocks solve concurrently on the same worker pool — and
-/// prints the per-solve block statistics. Programs read from "-" come
-/// from stdin.
+/// prints the per-solve block statistics. The global option --modular
+/// switches loop solves to the multi-prime modular exact engine
+/// (ARCHITECTURE S14): elimination runs over word-size prime fields and
+/// the exact rationals are recovered by CRT + verified rational
+/// reconstruction; the answers are identical to the default engine, and
+/// the per-solve prime statistics are printed. --modular composes with
+/// --blocked and -j (blocks and primes fan out on one pool). Programs
+/// read from "-" come from stdin.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -117,12 +123,12 @@ bool parseInputPacket(const std::string &Spec, ast::Context &Ctx,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mcnk [-j[N]] [--cache] [--blocked] check|dump "
-               "<file.pnk>\n"
-               "       mcnk [-j[N]] [--cache] [--blocked] run|prism "
-               "<file.pnk> f=v[,g=w...]\n"
-               "       mcnk [-j[N]] [--cache] [--blocked] equiv <a.pnk> "
-               "<b.pnk>\n"
+               "usage: mcnk [-j[N]] [--cache] [--blocked] [--modular] "
+               "check|dump <file.pnk>\n"
+               "       mcnk [-j[N]] [--cache] [--blocked] [--modular] "
+               "run|prism <file.pnk> f=v[,g=w...]\n"
+               "       mcnk [-j[N]] [--cache] [--blocked] [--modular] "
+               "equiv <a.pnk> <b.pnk>\n"
                "       mcnk [--cache] fuzz [--seed N] [--iters N] "
                "[--no-scenarios]\n"
                "  -j[N]     compile `case` on N worker threads (default: "
@@ -133,6 +139,12 @@ int usage() {
                "elimination, RCM ordering;\n"
                "            with -j, independent blocks solve in parallel) "
                "and print block stats\n"
+               "  --modular solve loops with the multi-prime modular exact "
+               "engine (mod-p\n"
+               "            elimination + CRT/rational reconstruction; "
+               "same exact answers)\n"
+               "            and print prime stats; composes with --blocked "
+               "and -j\n"
                "  fuzz      run the cross-engine differential oracle on N\n"
                "            random programs (default 25) plus the scenario\n"
                "            registry; exit 3 on any disagreement (2 on\n"
@@ -162,6 +174,17 @@ void printBlockStats(const fdd::LoopSolveStats &LS) {
               "%zu elimination ops, %zu fill-in\n",
               LS.NumSolved, LS.NumBlocks, LS.MaxBlockSize,
               LS.EliminationOps, LS.FillIn);
+}
+
+/// Prints the last loop's modular-solver statistics (the --modular
+/// report). Silent when the program solved no loop.
+void printModularStats(const fdd::LoopSolveStats &LS) {
+  if (LS.NumStates == 0)
+    return;
+  std::printf("modular: %zu prime(s), %zu retried, %zu reconstruction "
+              "bits, %zu fallback(s)\n",
+              LS.NumPrimes, LS.RetriedPrimes, LS.ReconstructionBits,
+              LS.ModularFallbacks);
 }
 
 /// Prints one line of cache statistics (the --cache report).
@@ -280,6 +303,7 @@ int main(int Argc, char **Argv) {
   bool Parallel = false;
   bool UseCache = false;
   bool Blocked = false;
+  bool Modular = false;
   unsigned Threads = 0;
   std::vector<std::string> Args;
   auto AllDigits = [](const std::string &S) {
@@ -298,6 +322,10 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--blocked") {
       Blocked = true;
+      continue;
+    }
+    if (Arg == "--modular") {
+      Modular = true;
       continue;
     }
     if (Arg.rfind("-j", 0) == 0) {
@@ -350,7 +378,8 @@ int main(int Argc, char **Argv) {
   }
 
   if (Command == "dump") {
-    analysis::Verifier V;
+    analysis::Verifier V(Modular ? markov::SolverKind::ModularExact
+                                 : markov::SolverKind::Exact);
     if (UseCache)
       V.enableCompileCache();
     if (Blocked)
@@ -361,6 +390,8 @@ int main(int Argc, char **Argv) {
                 V.manager().diagramSize(Ref));
     if (Blocked)
       printBlockStats(V.manager().lastLoopStats());
+    if (Modular)
+      printModularStats(V.manager().lastLoopStats());
     if (UseCache)
       printCacheStats(*V.compileCache());
     return 0;
@@ -375,7 +406,8 @@ int main(int Argc, char **Argv) {
     // One verifier — and thus one persistent compile pool and compile
     // cache — serves both compiles, so shared sub-programs of the two
     // inputs are compiled once.
-    analysis::Verifier V;
+    analysis::Verifier V(Modular ? markov::SolverKind::ModularExact
+                                 : markov::SolverKind::Exact);
     if (UseCache)
       V.enableCompileCache();
     if (Blocked)
@@ -403,7 +435,8 @@ int main(int Argc, char **Argv) {
                   T.DropGuard.c_str());
       return 0;
     }
-    analysis::Verifier V;
+    analysis::Verifier V(Modular ? markov::SolverKind::ModularExact
+                                 : markov::SolverKind::Exact);
     if (UseCache)
       V.enableCompileCache();
     if (Blocked)
@@ -422,6 +455,8 @@ int main(int Argc, char **Argv) {
       std::printf("drop @ %s\n", Out.Dropped.toString().c_str());
     if (Blocked)
       printBlockStats(V.manager().lastLoopStats());
+    if (Modular)
+      printModularStats(V.manager().lastLoopStats());
     if (UseCache)
       printCacheStats(*V.compileCache());
     return 0;

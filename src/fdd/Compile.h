@@ -54,7 +54,10 @@ struct CompileOptions {
   /// applies; either way, parallel-`case` worker managers inherit the
   /// effective structure, so blocked solves nest inside the parallel
   /// backend (block tasks and branch tasks share the pool; the engine's
-  /// help-first waiting keeps that composition deadlock-free).
+  /// help-first waiting keeps that composition deadlock-free). The same
+  /// override carries the ModularOptions knobs when the manager runs the
+  /// ModularExact engine (S14), whose per-prime fan-out nests the same
+  /// way.
   const markov::SolverStructure *Structure = nullptr;
 };
 

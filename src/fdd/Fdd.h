@@ -57,6 +57,14 @@ struct LoopSolveStats {
   std::size_t MaxBlockSize = 0; ///< Largest block's state count.
   std::size_t EliminationOps = 0; ///< Multiply-subtract operations.
   std::size_t FillIn = 0;         ///< Entries created by elimination.
+  /// ModularExact only (zero for the other engines): accepted primes,
+  /// unlucky primes discarded, and the accepted reconstruction's
+  /// prime-product bit length (max over blocks when blocked). See
+  /// docs/ARCHITECTURE.md S14.
+  std::size_t NumPrimes = 0;
+  std::size_t RetriedPrimes = 0;
+  std::size_t ReconstructionBits = 0;
+  std::size_t ModularFallbacks = 0; ///< Blocks that fell back to Rational.
   std::vector<markov::BlockMetrics> Blocks; ///< Per-block breakdown.
 };
 

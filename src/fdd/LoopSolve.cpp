@@ -102,6 +102,7 @@ FddRef FddManager::solveLoop(FddRef Guard, FddRef Body) {
     return It->second.Result;
   }
 
+
   // --- Dynamic domain reduction (§5.1) ----------------------------------
   std::map<FieldId, std::set<FieldValue>> Tests, Mods;
   collectTestsAndMods(*this, Guard, Tests, Mods);
@@ -267,6 +268,13 @@ FddRef FddManager::solveLoop(FddRef Guard, FddRef Body) {
   if (Solver == markov::SolverKind::Exact) {
     if (!markov::solveAbsorptionExact(Chain, Absorption, Structure, &Metrics))
       fatalError("absorbing-chain solve failed (malformed chain)");
+  } else if (Solver == markov::SolverKind::ModularExact) {
+    // Exact-valued like the Rational engine (mod-p solves + CRT/rational
+    // reconstruction, verified, with Rational fallback) — no boundary
+    // clamping applies.
+    if (!markov::solveAbsorptionModular(Chain, Absorption, Structure,
+                                        &Metrics))
+      fatalError("absorbing-chain solve failed (malformed chain)");
   } else {
     linalg::DenseMatrix<double> Approx;
     if (!markov::solveAbsorptionDouble(Chain, Approx, Solver, Structure,
@@ -305,7 +313,12 @@ FddRef FddManager::solveLoop(FddRef Guard, FddRef Body) {
   LastLoop.MaxBlockSize = Metrics.MaxBlockSize;
   LastLoop.EliminationOps = Metrics.EliminationOps;
   LastLoop.FillIn = Metrics.FillIn;
+  LastLoop.NumPrimes = Metrics.NumPrimes;
+  LastLoop.RetriedPrimes = Metrics.RetriedPrimes;
+  LastLoop.ReconstructionBits = Metrics.ReconstructionBits;
+  LastLoop.ModularFallbacks = Metrics.ModularFallbacks;
   LastLoop.Blocks = std::move(Metrics.Blocks);
+
 
   // --- Rebuild an FDD from the absorption matrix ---------------------------
   // Nested per-field value branching over the symbolic domain; guard-false
@@ -367,6 +380,7 @@ FddRef FddManager::solveLoop(FddRef Guard, FddRef Body) {
     return Acc;
   };
   FddRef Result = Build(Build, 0);
+
 
   LoopCache.emplace(Key, LoopEntry{Result, LastLoop});
   return Result;

@@ -228,25 +228,27 @@ OracleReport gen::crossCheckProgram(Context &Ctx, const Node *Program,
   // reference-equal — serial and with block tasks on a worker pool. The
   // Direct(float) blocked solve only agrees up to elimination-order ulps,
   // so it is held to the float tolerance like any other float engine.
+  // Shared by the blocked and modular sections: per-block metrics must sum
+  // (or, for ReconstructionBits, max) to the run's totals.
+  auto CheckStatSums = [&C](const fdd::LoopSolveStats &LS,
+                            const std::string &Mode) {
+    std::size_t States = 0, QEntries = 0, Ops = 0, Fill = 0, Largest = 0;
+    for (const markov::BlockMetrics &B : LS.Blocks) {
+      States += B.NumStates;
+      QEntries += B.NumQEntries;
+      Ops += B.EliminationOps;
+      Fill += B.FillIn;
+      Largest = std::max(Largest, B.NumStates);
+    }
+    C.check(LS.Blocks.size() == LS.NumBlocks && States == LS.NumSolved &&
+                QEntries == LS.NumSolvedQ && Ops == LS.EliminationOps &&
+                Fill == LS.FillIn && Largest == LS.MaxBlockSize,
+            "per-block solver stats do not sum to the totals (" + Mode +
+                ")");
+  };
+
   if (O.CheckBlocked) {
     fdd::PortableFdd Mono = fdd::exportFdd(VExact.manager(), E);
-    auto CheckStatSums = [&C](const fdd::LoopSolveStats &LS,
-                              const std::string &Mode) {
-      std::size_t States = 0, QEntries = 0, Ops = 0, Fill = 0, Largest = 0;
-      for (const markov::BlockMetrics &B : LS.Blocks) {
-        States += B.NumStates;
-        QEntries += B.NumQEntries;
-        Ops += B.EliminationOps;
-        Fill += B.FillIn;
-        Largest = std::max(Largest, B.NumStates);
-      }
-      C.check(LS.Blocks.size() == LS.NumBlocks && States == LS.NumSolved &&
-                  QEntries == LS.NumSolvedQ && Ops == LS.EliminationOps &&
-                  Fill == LS.FillIn && Largest == LS.MaxBlockSize,
-              "per-block solver stats do not sum to the totals (" + Mode +
-                  ")");
-    };
-
     for (bool Parallel : {false, true}) {
       if (Parallel && !O.CheckParallel)
         continue;
@@ -280,6 +282,65 @@ OracleReport gen::crossCheckProgram(Context &Ctx, const Node *Program,
               "direct blocked delivery " + std::to_string(Del) +
                   " != exact " + std::to_string(Expected) + " on input " +
                   renderPacket(Ctx, In));
+    }
+  }
+
+  // --- Modular exact solver cross-checks (ARCHITECTURE S14) -------------
+  // The multi-prime engine recovers the same unique rational solution as
+  // Rational elimination (every reconstruction is re-verified against
+  // fresh primes, with a Rational fallback when the prime budget runs
+  // out), so it is held to strict reference equality in EVERY
+  // configuration: serial, parallel-case, blocked serial/pooled (block
+  // tasks and per-prime tasks composing on one engine), and cache-backed
+  // cold and hit paths.
+  if (O.CheckModular) {
+    fdd::PortableFdd Mono = fdd::exportFdd(VExact.manager(), E);
+
+    analysis::Verifier VM(markov::SolverKind::ModularExact);
+    fdd::FddRef M = VM.compile(Program);
+    C.check(fdd::importFdd(VM.manager(), Mono) == M,
+            "modular serial compile is not reference-equal to the "
+            "Rational exact engine");
+    if (O.CheckParallel)
+      C.check(VM.compile(Program, true, O.ParallelThreads) == M,
+              "modular parallel compile differs from the serial modular "
+              "compile");
+
+    for (bool Parallel : {false, true}) {
+      if (Parallel && !O.CheckParallel)
+        continue;
+      analysis::Verifier VMB(markov::SolverKind::ModularExact);
+      markov::SolverStructure SS;
+      SS.Blocked = true;
+      SS.Ordering = linalg::OrderingKind::ReverseCuthillMcKee;
+      if (Parallel)
+        SS.Pool = &VMB.compilePool(O.ParallelThreads);
+      VMB.setSolverStructure(SS);
+      fdd::FddRef B = VMB.compile(Program);
+      const std::string Mode =
+          Parallel ? "modular blocked, parallel" : "modular blocked, serial";
+      C.check(fdd::importFdd(VMB.manager(), Mono) == B,
+              Mode + " compile is not reference-equal to the Rational "
+                     "exact engine");
+      CheckStatSums(VMB.manager().lastLoopStats(), Mode);
+    }
+
+    {
+      std::unique_ptr<fdd::CompileCache> Local;
+      fdd::CompileCache *Cache = O.Cache;
+      if (!Cache) {
+        Local = std::make_unique<fdd::CompileCache>();
+        Cache = Local.get();
+      }
+      analysis::Verifier VMC(markov::SolverKind::ModularExact);
+      VMC.setCompileCache(Cache);
+      fdd::FddRef Cold = VMC.compile(Program);
+      C.check(fdd::importFdd(VMC.manager(), Mono) == Cold,
+              "modular cached cold compile is not reference-equal to the "
+              "Rational exact engine");
+      C.check(VMC.compile(Program) == Cold,
+              "modular cache-hit recompile differs from the cold cached "
+              "compile");
     }
   }
 

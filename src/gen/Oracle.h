@@ -71,6 +71,12 @@ struct OracleOptions {
   /// fill-reducing ordering must agree within Tolerance; and every
   /// engine's per-block LoopSolveStats must sum to its totals.
   bool CheckBlocked = true;
+  /// Cross-check the multi-prime modular exact solver (docs/ARCHITECTURE.md
+  /// S14): ModularExact compiles — serial, parallel-case, blocked (serial
+  /// and pooled, so block tasks and per-prime tasks share one engine), and
+  /// cache-backed cold/hit — must all be reference-equal to the Rational
+  /// exact engine's diagram; reconstruction is verified, never trusted.
+  bool CheckModular = true;
 };
 
 /// Accumulated outcome of an oracle run.

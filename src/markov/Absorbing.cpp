@@ -281,7 +281,8 @@ bool markov::solveAbsorptionDouble(const AbsorbingChain &Chain,
                                    SolverKind Kind,
                                    const SolverStructure &Structure,
                                    SolveMetrics *Metrics) {
-  assert(Kind != SolverKind::Exact && "use solveAbsorptionExact");
+  assert(Kind != SolverKind::Exact && Kind != SolverKind::ModularExact &&
+         "use solveAbsorptionExact / solveAbsorptionModular");
   if (Structure.Blocked && Kind == SolverKind::Direct)
     return detail::solveAbsorptionDoubleBlocked(Chain, Out, Structure,
                                                 Metrics);

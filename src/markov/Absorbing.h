@@ -61,6 +61,29 @@ enum class SolverKind {
   Exact,     ///< Rational Gaussian elimination; no rounding anywhere.
   Direct,    ///< Sparse LU over double (paper's native configuration).
   Iterative, ///< Neumann iteration over double.
+  ModularExact, ///< Multi-prime mod-p elimination + CRT/rational
+                ///< reconstruction; exact, reference-equal to Exact
+                ///< (docs/ARCHITECTURE.md S14).
+};
+
+/// Knobs of the multi-prime modular engine (SolverKind::ModularExact).
+/// The defaults handle every well-formed chain; tests shrink MaxPrimes to
+/// force the Rational fallback and shift FirstPrimeIndex to replay an
+/// unlucky-prime walk from a printed seed.
+struct ModularOptions {
+  /// Prime budget: once this many primes have been accepted without a
+  /// verified reconstruction, the solve falls back to the Rational
+  /// kernel (recorded in SolveMetrics::ModularFallbacks). The modulus
+  /// only ever grows to just past the largest answer (attempts confirm
+  /// entries incrementally), so the default is a runaway guard — ~250k
+  /// bits of answer — not a tuning knob.
+  std::size_t MaxPrimes = 4096;
+  /// Fresh primes the reconstructed solution is re-verified against
+  /// (residue check of the full system) before being accepted.
+  std::size_t CheckPrimes = 2;
+  /// Index into the deterministic modPrime() table where this solve
+  /// starts drawing primes.
+  std::size_t FirstPrimeIndex = 0;
 };
 
 /// How the linear system is decomposed, orthogonal to SolverKind. The
@@ -78,8 +101,12 @@ struct SolverStructure {
   linalg::OrderingKind Ordering = linalg::OrderingKind::Natural;
   /// When non-null and Blocked is set, independent blocks solve
   /// concurrently on this pool (dependency-counted DAG schedule). Null
-  /// solves blocks serially in id order.
+  /// solves blocks serially in id order. The ModularExact engine also
+  /// fans independent primes out on the same pool (the pool is nestable,
+  /// so blocks and primes compose).
   ThreadPool *Pool = nullptr;
+  /// Multi-prime knobs; only read by SolverKind::ModularExact.
+  ModularOptions Modular;
 };
 
 /// Elimination statistics of one solve block (or of the whole system for a
@@ -102,6 +129,15 @@ struct SolveMetrics {
   std::size_t MaxBlockSize = 0;
   std::size_t EliminationOps = 0;
   std::size_t FillIn = 0;
+  /// ModularExact only (zero elsewhere): primes accepted into the CRT
+  /// product, unlucky primes discarded along the way, the bit length of
+  /// the prime product backing the accepted reconstruction (max over
+  /// blocks for a blocked solve), and systems that exhausted the prime
+  /// budget and fell back to the Rational kernel.
+  std::size_t NumPrimes = 0;
+  std::size_t RetriedPrimes = 0;
+  std::size_t ReconstructionBits = 0;
+  std::size_t ModularFallbacks = 0;
   std::vector<BlockMetrics> Blocks; ///< Indexed by block id.
 };
 
@@ -131,6 +167,20 @@ bool solveAbsorptionExact(const AbsorbingChain &Chain,
                           linalg::DenseMatrix<Rational> &Out,
                           const SolverStructure &Structure = {},
                           SolveMetrics *Metrics = nullptr);
+
+/// Exact absorption probabilities via the multi-prime modular engine
+/// (docs/ARCHITECTURE.md S14): solve mod word-size primes with the
+/// allocation-free linalg/ModSolve.h kernels, recover Rationals by CRT +
+/// rational reconstruction, verify the reconstruction against fresh
+/// primes, and fall back to the Rational kernel if the prime budget runs
+/// out. Reference-equal to solveAbsorptionExact by construction; the
+/// same divergence and singularity conventions apply. Composes with
+/// Structure.Blocked and Structure.Pool (independent SCC blocks and
+/// independent primes both fan out).
+bool solveAbsorptionModular(const AbsorbingChain &Chain,
+                            linalg::DenseMatrix<Rational> &Out,
+                            const SolverStructure &Structure = {},
+                            SolveMetrics *Metrics = nullptr);
 
 /// Floating-point absorption probabilities via sparse LU (Direct) or
 /// Neumann iteration (Iterative). Returns false on singularity /
@@ -175,12 +225,38 @@ bool luSolveOrdered(std::size_t N,
                     linalg::OrderingKind Ordering,
                     std::size_t &EliminationOps, std::size_t &FillIn);
 
+/// Modular-engine counters of one system solve (folded into SolveMetrics
+/// by the drivers; blocked solves keep one per block and fold after the
+/// DAG completes).
+struct ModularStats {
+  std::size_t NumPrimes = 0;
+  std::size_t RetriedPrimes = 0;
+  std::size_t ReconstructionBits = 0;
+};
+
+/// Multi-prime modular solve of the same system layout
+/// eliminateRationalSystem consumes — but \p Rows is read non-
+/// destructively, so on a false return (prime budget exhausted without a
+/// verified reconstruction, or the system is singular mod every prime
+/// tried) the caller can run the Rational kernel on the untouched
+/// system. On success \p Rhs holds the verified exact solution.
+/// Independent primes fan out on \p Pool when non-null.
+bool modularEliminateSystem(
+    const std::vector<std::map<std::size_t, Rational>> &Rows,
+    std::vector<std::vector<Rational>> &Rhs, linalg::OrderingKind Ordering,
+    ThreadPool *Pool, const ModularOptions &Options,
+    std::size_t &EliminationOps, std::size_t &FillIn, ModularStats &Stats);
+
 /// Blocked implementations (BlockSolve.cpp); the public entry points
 /// dispatch here when Structure.Blocked is set.
 bool solveAbsorptionExactBlocked(const AbsorbingChain &Chain,
                                  linalg::DenseMatrix<Rational> &Out,
                                  const SolverStructure &Structure,
                                  SolveMetrics *Metrics);
+bool solveAbsorptionModularBlocked(const AbsorbingChain &Chain,
+                                   linalg::DenseMatrix<Rational> &Out,
+                                   const SolverStructure &Structure,
+                                   SolveMetrics *Metrics);
 bool solveAbsorptionDoubleBlocked(const AbsorbingChain &Chain,
                                   linalg::DenseMatrix<double> &Out,
                                   const SolverStructure &Structure,

@@ -227,6 +227,97 @@ bool markov::detail::solveAbsorptionExactBlocked(
   return true;
 }
 
+bool markov::detail::solveAbsorptionModularBlocked(
+    const AbsorbingChain &Chain, DenseMatrix<Rational> &Out,
+    const SolverStructure &Structure, SolveMetrics *Metrics) {
+  std::size_t NT = Chain.NumTransient, NA = Chain.NumAbsorbing;
+  BlockPlan Plan = planBlocks(Chain);
+  std::size_t NK = Plan.Pruned.NumKept;
+
+  Out = DenseMatrix<Rational>(NT, NA);
+  if (Metrics)
+    *Metrics = SolveMetrics();
+  if (NK == 0)
+    return true;
+
+  DenseMatrix<Rational> Absorb(NK, NA);
+  std::vector<BlockMetrics> Blocks(Plan.Scc.NumBlocks);
+  // Per-block modular counters, folded after the DAG completes (tasks
+  // write only their own slot, so no synchronization is needed beyond
+  // the scheduling edges).
+  std::vector<ModularStats> Stats(Plan.Scc.NumBlocks);
+  std::vector<char> FellBack(Plan.Scc.NumBlocks, 0);
+
+  auto SolveBlock = [&](std::size_t B) -> bool {
+    const std::vector<std::size_t> &Members = Plan.Scc.Blocks[B];
+    std::size_t N = Members.size();
+    auto LocalOf = [&](std::size_t Global) {
+      return static_cast<std::size_t>(
+          std::lower_bound(Members.begin(), Members.end(), Global) -
+          Members.begin());
+    };
+
+    BlockMetrics &BM = Blocks[B];
+    BM.NumStates = N;
+    std::vector<std::map<std::size_t, Rational>> Rows(N);
+    std::vector<std::vector<Rational>> Rhs(N, std::vector<Rational>(NA));
+    for (std::size_t L = 0; L < N; ++L)
+      Rows[L][L] = Rational(1);
+    for (std::size_t L = 0; L < N; ++L) {
+      std::size_t G = Members[L];
+      for (const auto &[Col, V] : Plan.RRows[G])
+        Rhs[L][Col] += V;
+      for (const auto &[Target, V] : Plan.QRows[G]) {
+        ++BM.NumQEntries;
+        if (Plan.Scc.BlockOf[Target] == B) {
+          Rational &Cell = Rows[L][LocalOf(Target)];
+          Cell -= V;
+          if (Cell.isZero())
+            Rows[L].erase(LocalOf(Target));
+        } else {
+          assert(Plan.Scc.BlockOf[Target] < B && "unsolved successor");
+          for (std::size_t C = 0; C < NA; ++C)
+            if (!Absorb.at(Target, C).isZero())
+              Rhs[L][C].addMul(V, Absorb.at(Target, C));
+        }
+      }
+    }
+
+    // Independent primes fan out on the same pool the blocks run on —
+    // the pool is nestable (help-first workers), so a block task's
+    // parallelFor executes pending prime chunks inline.
+    if (!modularEliminateSystem(Rows, Rhs, Structure.Ordering,
+                                Structure.Pool, Structure.Modular,
+                                BM.EliminationOps, BM.FillIn, Stats[B])) {
+      FellBack[B] = 1;
+      if (!eliminateRationalSystem(Rows, Rhs, BM.EliminationOps, BM.FillIn))
+        return false;
+    }
+    for (std::size_t L = 0; L < N; ++L)
+      for (std::size_t C = 0; C < NA; ++C)
+        Absorb.at(Members[L], C) = std::move(Rhs[L][C]);
+    return true;
+  };
+
+  if (!runBlocks(Plan.Scc, Structure.Pool, SolveBlock))
+    return false;
+
+  for (std::size_t K = 0; K < NK; ++K)
+    for (std::size_t C = 0; C < NA; ++C)
+      Out.at(Plan.Pruned.Original[K], C) = std::move(Absorb.at(K, C));
+  if (Metrics) {
+    finishMetrics(*Metrics, Plan, std::move(Blocks));
+    for (std::size_t B = 0; B < Plan.Scc.NumBlocks; ++B) {
+      Metrics->NumPrimes += Stats[B].NumPrimes;
+      Metrics->RetriedPrimes += Stats[B].RetriedPrimes;
+      Metrics->ReconstructionBits =
+          std::max(Metrics->ReconstructionBits, Stats[B].ReconstructionBits);
+      Metrics->ModularFallbacks += FellBack[B] ? 1 : 0;
+    }
+  }
+  return true;
+}
+
 bool markov::detail::solveAbsorptionDoubleBlocked(
     const AbsorbingChain &Chain, DenseMatrix<double> &Out,
     const SolverStructure &Structure, SolveMetrics *Metrics) {

@@ -432,9 +432,13 @@ bool prism::checkReachability(const Model &M, const GuardExpr &Goal,
     return true;
   }
 
-  if (Solver == markov::SolverKind::Exact) {
+  if (Solver == markov::SolverKind::Exact ||
+      Solver == markov::SolverKind::ModularExact) {
     linalg::DenseMatrix<Rational> A;
-    if (!markov::solveAbsorptionExact(Chain, A)) {
+    bool Ok = Solver == markov::SolverKind::Exact
+                  ? markov::solveAbsorptionExact(Chain, A)
+                  : markov::solveAbsorptionModular(Chain, A);
+    if (!Ok) {
       Error = "absorbing solve failed";
       return false;
     }

@@ -117,6 +117,48 @@ int64_t BigInt::toInt64() const {
   return Small;
 }
 
+uint64_t BigInt::modU64(uint64_t Mod) const {
+  assert(Mod != 0 && "modulus must be nonzero");
+  if (SmallRep)
+    return magnitudeOf(Small) % Mod;
+  // Horner over the limbs, most-significant first: r = (r·2^32 + limb) % Mod.
+  unsigned __int128 R = 0;
+  for (std::size_t I = Limbs.size(); I-- > 0;)
+    R = ((R << LimbBits) | Limbs[I]) % Mod;
+  return static_cast<uint64_t>(R);
+}
+
+std::vector<uint64_t> BigInt::magnitudeLimbs64() const {
+  std::vector<uint64_t> Out;
+  if (SmallRep) {
+    if (uint64_t Mag = magnitudeOf(Small))
+      Out.push_back(Mag);
+    return Out;
+  }
+  Out.reserve((Limbs.size() + 1) / 2);
+  for (std::size_t I = 0; I < Limbs.size(); I += 2) {
+    uint64_t Word = Limbs[I];
+    if (I + 1 < Limbs.size())
+      Word |= static_cast<uint64_t>(Limbs[I + 1]) << LimbBits;
+    Out.push_back(Word);
+  }
+  return Out;
+}
+
+BigInt BigInt::fromLimbs64(bool Negative,
+                           const std::vector<uint64_t> &Limbs64) {
+  BigInt Result;
+  Result.SmallRep = false;
+  Result.Negative = Negative;
+  Result.Limbs.reserve(Limbs64.size() * 2);
+  for (uint64_t Word : Limbs64) {
+    Result.Limbs.push_back(static_cast<Limb>(Word));
+    Result.Limbs.push_back(static_cast<Limb>(Word >> LimbBits));
+  }
+  Result.canonicalize();
+  return Result;
+}
+
 double BigInt::toDouble() const {
   if (SmallRep)
     return static_cast<double>(Small);

@@ -61,6 +61,20 @@ public:
   /// Value as int64_t; asserts fitsInt64().
   int64_t toInt64() const;
 
+  /// Magnitude modulo a word-sized modulus (sign ignored; asserts
+  /// Mod != 0). The workhorse of the modular solver's CRT fold
+  /// (support/ModArith.h): one Horner pass over the limbs, no allocation.
+  uint64_t modU64(uint64_t Mod) const;
+
+  /// Magnitude as little-endian 64-bit limbs (empty for zero). The
+  /// batched-EGCD kernels of rational reconstruction (support/ModArith.h)
+  /// run on raw 64-bit words; these two hops convert at entry and exit.
+  std::vector<uint64_t> magnitudeLimbs64() const;
+  /// Rebuilds a value from 64-bit limbs (trailing zeros allowed; the
+  /// result is canonicalized).
+  static BigInt fromLimbs64(bool Negative,
+                            const std::vector<uint64_t> &Limbs64);
+
   /// Best-effort conversion to double (rounds; may overflow to +/-inf).
   double toDouble() const;
 

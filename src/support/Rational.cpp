@@ -107,6 +107,19 @@ Rational::Rational(BigInt Numerator, BigInt Denominator)
   normalize();
 }
 
+Rational Rational::fromCoprime(BigInt Numerator, BigInt Denominator) {
+  assert(!Denominator.isZero() && !Denominator.isNegative() &&
+         "fromCoprime requires a positive denominator");
+  assert((!Numerator.isZero() || Denominator.isOne()) &&
+         "canonical zero is 0/1");
+  assert(BigInt::gcd(Numerator, Denominator).isOne() &&
+         "fromCoprime requires a reduced fraction");
+  Rational R;
+  R.Num = std::move(Numerator);
+  R.Den = std::move(Denominator);
+  return R;
+}
+
 void Rational::normalize() {
   if (isSmallPair()) {
     int64_t N = Num.toInt64(), D = Den.toInt64();
@@ -162,6 +175,13 @@ Rational &Rational::addSubAssign(const Rational &RHS, bool Negate) {
   }
   // BigInt path, in place: read the cross term before mutating Den so the
   // ordering is safe even when &RHS == this.
+  //
+  // When either operand is an integer the result is already reduced —
+  // gcd(k·d ± n, d) = gcd(n, d) = 1 for canonical n/d — so the (multi-limb
+  // gcd) normalization can be skipped. This is the hot case of rebuilding
+  // FDD leaves from solved absorption entries, where drop mass is computed
+  // as 1 minus a wide exact probability.
+  bool AlreadyReduced = Den.isOne() || RHS.Den.isOne();
   BigInt Cross = RHS.Num * Den;
   Num *= RHS.Den;
   if (Negate)
@@ -169,6 +189,13 @@ Rational &Rational::addSubAssign(const Rational &RHS, bool Negate) {
   else
     Num += Cross;
   Den *= RHS.Den;
+  if (AlreadyReduced) {
+    // gcd(num, den) = 1 forces den = 1 whenever num = 0, so the result is
+    // canonical as-is except for restoring the 0/1 form of zero.
+    if (Num.isZero())
+      Den = BigInt(1);
+    return *this;
+  }
   normalize();
   return *this;
 }

@@ -158,6 +158,42 @@ TEST(CompileCacheTest, KeyedBySolverKind) {
                           UncachedExact.compile(M.Program)));
 }
 
+TEST(CompileCacheTest, ModularKindKeyedAndHitEqualsCold) {
+  // The S14 regression: ModularExact gets its own cache key (an Exact
+  // entry must not satisfy a modular lookup, even though both engines are
+  // exact), and the modular cached-hit compile is reference-equal to the
+  // cold one and to both uncached exact engines.
+  fdd::CompileCache Shared;
+  ast::Context Ctx;
+  routing::NetworkModel M = chainModel(2, Ctx);
+
+  analysis::Verifier Exact(markov::SolverKind::Exact);
+  Exact.setCompileCache(&Shared);
+  fdd::FddRef E = Exact.compile(M.Program);
+
+  analysis::Verifier Modular(markov::SolverKind::ModularExact);
+  Modular.setCompileCache(&Shared);
+  fdd::CompileCache::Stats Before = Shared.stats();
+  fdd::FddRef Cold = Modular.compile(M.Program);
+  fdd::CompileCache::Stats AfterCold = Shared.stats();
+  EXPECT_GT(AfterCold.Misses, Before.Misses) << "served a cross-kind entry";
+  EXPECT_GT(AfterCold.Insertions, Before.Insertions);
+
+  EXPECT_EQ(Modular.compile(M.Program), Cold);
+  EXPECT_GT(Shared.stats().Hits, AfterCold.Hits);
+  EXPECT_EQ(Modular.compile(M.Program, /*Parallel=*/true, 2), Cold);
+
+  analysis::Verifier UncachedModular(markov::SolverKind::ModularExact);
+  EXPECT_TRUE(sameDiagram(Modular, Cold, UncachedModular,
+                          UncachedModular.compile(M.Program)));
+  // Both exact engines agree on the diagram itself.
+  EXPECT_TRUE(sameDiagram(Modular, Cold, Exact, E));
+
+  Packet In = M.ingressPacket(0, Ctx);
+  EXPECT_EQ(Modular.deliveryProbability(Cold, In),
+            Exact.deliveryProbability(E, In));
+}
+
 TEST(CompileCacheTest, EvictionUnderTinyCapacityStaysCorrect) {
   fdd::CompileCache Tiny(/*Capacity=*/2);
   const Rational PFails[] = {Rational(1, 10), Rational(1, 7),

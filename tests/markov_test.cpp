@@ -11,6 +11,7 @@
 #include "markov/Absorbing.h"
 
 #include "markov/Scc.h"
+#include "support/ModArith.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
@@ -443,4 +444,118 @@ TEST(AbsorbingTest, LongChainDirectSolver) {
   // Symmetric ruin: Pr[win | start K] = K / N.
   for (std::size_t K = 1; K < 400; K += 37)
     EXPECT_NEAR(A.at(K - 1, 1), static_cast<double>(K) / 400.0, 1e-8);
+}
+
+//===----------------------------------------------------------------------===//
+// Modular exact solver (docs/ARCHITECTURE.md S14)
+//===----------------------------------------------------------------------===//
+
+/// The multi-prime engine must reproduce the Rational engine's answers
+/// exactly — serial, pooled, and blocked — while reporting its prime and
+/// reconstruction metrics consistently.
+class ModularSolveProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ModularSolveProperty, ModularEqualsExact) {
+  std::mt19937_64 Rng(GetParam());
+  ThreadPool Pool(4);
+  for (int Round = 0; Round < 25; ++Round) {
+    AbsorbingChain Chain = randomChain(Rng);
+    std::size_t NT = Chain.NumTransient, NA = Chain.NumAbsorbing;
+
+    DenseMatrix<Rational> Exact;
+    ASSERT_TRUE(solveAbsorptionExact(Chain, Exact));
+
+    for (ThreadPool *Engine : {static_cast<ThreadPool *>(nullptr), &Pool})
+      for (bool Blocked : {false, true}) {
+        SolverStructure Structure;
+        Structure.Blocked = Blocked;
+        Structure.Pool = Engine;
+        if (Blocked)
+          Structure.Ordering = linalg::OrderingKind::ReverseCuthillMcKee;
+        DenseMatrix<Rational> Modular;
+        SolveMetrics Metrics;
+        ASSERT_TRUE(
+            solveAbsorptionModular(Chain, Modular, Structure, &Metrics));
+        expectMetricsConsistent(Metrics);
+        for (std::size_t R = 0; R < NT; ++R)
+          for (std::size_t C = 0; C < NA; ++C)
+            EXPECT_EQ(Modular.at(R, C), Exact.at(R, C)) << R << "," << C;
+        if (Metrics.NumSolved > 0) {
+          EXPECT_GE(Metrics.NumPrimes, 1u);
+          EXPECT_GT(Metrics.ReconstructionBits, 0u);
+          EXPECT_EQ(Metrics.ModularFallbacks, 0u);
+        }
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModularSolveProperty,
+                         ::testing::Values(71u, 72u, 73u, 74u));
+
+TEST(ModularSolveTest, VerifiedReconstructionTriggersRationalFallback) {
+  // Gambler's ruin with N = 40 has absorption probabilities whose
+  // denominators are near 3^40 (about 64 bits) — far outside the Wang
+  // bound of a single 62-bit prime (about 2^30.5). With MaxPrimes = 1 the
+  // engine either fails to reconstruct or reconstructs a wrong small
+  // fraction that the fresh-prime verification rejects; both paths must
+  // end in the Rational fallback, and the answer must still be exact.
+  AbsorbingChain Chain = gamblersRuin(40, Rational(3, 5));
+  DenseMatrix<Rational> Exact, Modular;
+  ASSERT_TRUE(solveAbsorptionExact(Chain, Exact));
+  SolverStructure Structure;
+  Structure.Modular.MaxPrimes = 1;
+  SolveMetrics Metrics;
+  ASSERT_TRUE(solveAbsorptionModular(Chain, Modular, Structure, &Metrics));
+  EXPECT_EQ(Metrics.ModularFallbacks, 1u);
+  for (std::size_t R = 0; R < Chain.NumTransient; ++R)
+    for (std::size_t C = 0; C < Chain.NumAbsorbing; ++C)
+      EXPECT_EQ(Modular.at(R, C), Exact.at(R, C));
+
+  // The default prime budget reconstructs the same system without any
+  // fallback.
+  SolveMetrics Full;
+  ASSERT_TRUE(solveAbsorptionModular(Chain, Modular, {}, &Full));
+  EXPECT_EQ(Full.ModularFallbacks, 0u);
+  EXPECT_GT(Full.NumPrimes, 1u);
+  for (std::size_t R = 0; R < Chain.NumTransient; ++R)
+    for (std::size_t C = 0; C < Chain.NumAbsorbing; ++C)
+      EXPECT_EQ(Modular.at(R, C), Exact.at(R, C));
+}
+
+TEST(ModularSolveTest, UnluckyPrimeRetriesDeterministically) {
+  // A chain whose probabilities have the first table prime as their
+  // denominator: that prime divides every denominator, so the solve must
+  // discard it, record the retry, and still produce the exact answer.
+  // The sequence is deterministic, so two runs report identical metrics.
+  const std::uint64_t P0 = modPrime(0);
+  ASSERT_LE(P0, static_cast<std::uint64_t>(INT64_MAX));
+  const Rational Loop(1, static_cast<int64_t>(P0));
+  AbsorbingChain Chain;
+  Chain.NumTransient = 2;
+  Chain.NumAbsorbing = 1;
+  Chain.QEntries.push_back({0, 1, Loop});
+  Chain.QEntries.push_back({1, 0, Loop});
+  Chain.REntries.push_back({0, 0, Rational(1) - Loop});
+  Chain.REntries.push_back({1, 0, Rational(1) - Loop});
+  ASSERT_TRUE(rowsAreStochastic(Chain));
+
+  SolveMetrics First, Second;
+  DenseMatrix<Rational> A;
+  ASSERT_TRUE(solveAbsorptionModular(Chain, A, {}, &First));
+  EXPECT_GE(First.RetriedPrimes, 1u);
+  EXPECT_EQ(A.at(0, 0), Rational(1));
+  EXPECT_EQ(A.at(1, 0), Rational(1));
+  ASSERT_TRUE(solveAbsorptionModular(Chain, A, {}, &Second));
+  EXPECT_EQ(First.RetriedPrimes, Second.RetriedPrimes);
+  EXPECT_EQ(First.NumPrimes, Second.NumPrimes);
+  EXPECT_EQ(First.ReconstructionBits, Second.ReconstructionBits);
+
+  // Starting the prime walk past the poisoned entry skips the retry:
+  // the FirstPrimeIndex knob replays any table position directly.
+  SolverStructure Skip;
+  Skip.Modular.FirstPrimeIndex = 1;
+  SolveMetrics Skipped;
+  ASSERT_TRUE(solveAbsorptionModular(Chain, A, Skip, &Skipped));
+  EXPECT_EQ(Skipped.RetriedPrimes, 0u);
+  EXPECT_EQ(A.at(0, 0), Rational(1));
 }

@@ -1,0 +1,311 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests for the modular-solver arithmetic layer
+/// (docs/ARCHITECTURE.md S14): PrimeField axioms against a native
+/// __int128 oracle, deterministic certification of the modPrime() table,
+/// CRT round trips, rational reconstruction at the Wang bound (success
+/// and forced failure), and reproducibility of the unlucky-prime signal.
+/// Randomized suites print their seed so any failure replays exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ModArith.h"
+
+#include "support/BigInt.h"
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+using mcnk::BigInt;
+using mcnk::crtLift;
+using mcnk::isPrimeU64;
+using mcnk::isqrtBigInt;
+using mcnk::modPrime;
+using mcnk::ModPrimeCeiling;
+using mcnk::PrimeField;
+using mcnk::Rational;
+using mcnk::rationalMod;
+using mcnk::rationalReconstruct;
+
+namespace {
+
+/// Native oracle: (A * B) mod P without Montgomery machinery.
+uint64_t mulRef(uint64_t A, uint64_t B, uint64_t P) {
+  return static_cast<uint64_t>(static_cast<unsigned __int128>(A) * B % P);
+}
+
+uint64_t powRef(uint64_t Base, uint64_t Exp, uint64_t P) {
+  uint64_t Result = 1 % P;
+  Base %= P;
+  for (; Exp; Exp >>= 1) {
+    if (Exp & 1)
+      Result = mulRef(Result, Base, P);
+    Base = mulRef(Base, Base, P);
+  }
+  return Result;
+}
+
+} // namespace
+
+TEST(ModArithTest, IsPrimeU64KnownValues) {
+  EXPECT_FALSE(isPrimeU64(0));
+  EXPECT_FALSE(isPrimeU64(1));
+  EXPECT_TRUE(isPrimeU64(2));
+  EXPECT_TRUE(isPrimeU64(3));
+  EXPECT_FALSE(isPrimeU64(4));
+  EXPECT_TRUE(isPrimeU64(97));
+  EXPECT_FALSE(isPrimeU64(561));        // Carmichael number.
+  EXPECT_FALSE(isPrimeU64(3215031751)); // Strong pseudoprime to {2,3,5,7}.
+  EXPECT_TRUE(isPrimeU64((uint64_t(1) << 61) - 1)); // Mersenne prime M61.
+  EXPECT_FALSE(isPrimeU64((uint64_t(1) << 62) - 1));
+  EXPECT_TRUE(isPrimeU64(18446744073709551557ull)); // Largest 64-bit prime.
+}
+
+TEST(ModArithTest, PrimeTableIsCertifiedDescendingAndStable) {
+  // Certify the first entries independently of the table's own MR calls,
+  // and pin the head so a table-order regression is caught immediately:
+  // the retry sequence of every modular solve depends on this order.
+  std::vector<uint64_t> Table;
+  for (size_t I = 0; I < 32; ++I)
+    Table.push_back(modPrime(I));
+  for (size_t I = 0; I < Table.size(); ++I) {
+    EXPECT_TRUE(isPrimeU64(Table[I])) << "index " << I;
+    EXPECT_LT(Table[I], ModPrimeCeiling);
+    EXPECT_TRUE(Table[I] & 1);
+    if (I > 0) {
+      EXPECT_LT(Table[I], Table[I - 1]) << "table must descend";
+    }
+  }
+  // No prime skipped: every odd value between consecutive entries is
+  // composite.
+  for (size_t I = 1; I < 8; ++I)
+    for (uint64_t C = Table[I - 1] - 2; C > Table[I]; C -= 2)
+      EXPECT_FALSE(isPrimeU64(C)) << C;
+  // Re-reading must reproduce the same values (lazy extension is stable).
+  for (size_t I = 0; I < Table.size(); ++I)
+    EXPECT_EQ(modPrime(I), Table[I]);
+}
+
+TEST(ModArithTest, FieldAxiomsAgainstInt128Oracle) {
+  const unsigned Seed = 0xA7C5;
+  SCOPED_TRACE(::testing::Message() << "seed " << Seed);
+  std::mt19937_64 Rng(Seed);
+  for (size_t PI = 0; PI < 4; ++PI) {
+    const uint64_t P = modPrime(PI);
+    PrimeField F(P);
+    std::uniform_int_distribution<uint64_t> Dist(0, P - 1);
+    EXPECT_EQ(F.prime(), P);
+    EXPECT_EQ(F.decode(F.zero()), 0u);
+    EXPECT_EQ(F.decode(F.one()), 1u);
+    for (int Round = 0; Round < 200; ++Round) {
+      uint64_t X = Dist(Rng), Y = Dist(Rng);
+      uint64_t A = F.encode(X), B = F.encode(Y);
+      // encode/decode round trip.
+      EXPECT_EQ(F.decode(A), X);
+      // Ring operations match the native oracle.
+      EXPECT_EQ(F.decode(F.add(A, B)), (X + Y) % P);
+      EXPECT_EQ(F.decode(F.sub(A, B)), (X + P - Y) % P);
+      EXPECT_EQ(F.decode(F.neg(A)), X == 0 ? 0 : P - X);
+      EXPECT_EQ(F.decode(F.mul(A, B)), mulRef(X, Y, P));
+      EXPECT_EQ(F.decode(F.pow(A, Round)), powRef(X, Round, P));
+      // Identities and inverses.
+      EXPECT_EQ(F.add(A, F.zero()), A);
+      EXPECT_EQ(F.mul(A, F.one()), A);
+      EXPECT_EQ(F.add(A, F.neg(A)), F.zero());
+      if (X != 0) {
+        EXPECT_EQ(F.mul(A, F.inv(A)), F.one());
+        // Fermat: a^(p-1) = 1.
+        EXPECT_EQ(F.pow(A, P - 1), F.one());
+      }
+    }
+  }
+}
+
+TEST(ModArithTest, RationalModMatchesDefinition) {
+  PrimeField F(modPrime(0));
+  const uint64_t P = F.prime();
+  uint64_t R = 0;
+  ASSERT_TRUE(rationalMod(Rational(0), F, R));
+  EXPECT_EQ(R, 0u);
+  ASSERT_TRUE(rationalMod(Rational(7), F, R));
+  EXPECT_EQ(R, 7u);
+  ASSERT_TRUE(rationalMod(Rational(-1), F, R));
+  EXPECT_EQ(R, P - 1);
+  // 1/2 mod p satisfies 2 * r = 1 (mod p).
+  ASSERT_TRUE(rationalMod(Rational(1, 2), F, R));
+  EXPECT_EQ(mulRef(R, 2, P), 1u);
+  ASSERT_TRUE(rationalMod(Rational(-3, 8), F, R));
+  EXPECT_EQ(mulRef(R, 8, P), P - 3);
+  // A wide numerator still reduces correctly: (2^100) mod p.
+  Rational Wide(BigInt(1).shl(100), BigInt(1));
+  ASSERT_TRUE(rationalMod(Wide, F, R));
+  EXPECT_EQ(R, powRef(2, 100, P));
+}
+
+TEST(ModArithTest, UnluckyPrimeSignalIsDeterministic) {
+  // A denominator divisible by the first table prime must report unlucky
+  // under that prime and succeed under the next — the retry path every
+  // modular solve takes, replayed here from a fixed table position.
+  const uint64_t P0 = modPrime(0);
+  ASSERT_LE(P0, uint64_t(INT64_MAX));
+  Rational Poison(1, static_cast<int64_t>(P0));
+  uint64_t R = 0;
+  for (int Attempt = 0; Attempt < 3; ++Attempt)
+    EXPECT_FALSE(rationalMod(Poison, PrimeField(P0), R)) << Attempt;
+  PrimeField F1(modPrime(1));
+  ASSERT_TRUE(rationalMod(Poison, F1, R));
+  EXPECT_EQ(mulRef(R, P0 % F1.prime(), F1.prime()), 1u);
+}
+
+TEST(ModArithTest, IsqrtBigInt) {
+  EXPECT_EQ(isqrtBigInt(BigInt(0)), BigInt(0));
+  EXPECT_EQ(isqrtBigInt(BigInt(1)), BigInt(1));
+  EXPECT_EQ(isqrtBigInt(BigInt(3)), BigInt(1));
+  EXPECT_EQ(isqrtBigInt(BigInt(4)), BigInt(2));
+  EXPECT_EQ(isqrtBigInt(BigInt(99)), BigInt(9));
+  EXPECT_EQ(isqrtBigInt(BigInt(100)), BigInt(10));
+  // Perfect squares and their neighbours at multi-limb widths.
+  for (unsigned Bits : {40u, 63u, 64u, 65u, 100u, 150u}) {
+    BigInt Root = BigInt(1).shl(Bits) + BigInt(12345);
+    BigInt Square = Root * Root;
+    EXPECT_EQ(isqrtBigInt(Square), Root) << Bits;
+    EXPECT_EQ(isqrtBigInt(Square - BigInt(1)), Root - BigInt(1)) << Bits;
+    EXPECT_EQ(isqrtBigInt(Square + BigInt(1)), Root) << Bits;
+  }
+}
+
+TEST(ModArithTest, CrtLiftRoundTrip) {
+  const unsigned Seed = 0xC47;
+  SCOPED_TRACE(::testing::Message() << "seed " << Seed);
+  std::mt19937_64 Rng(Seed);
+  for (int Round = 0; Round < 20; ++Round) {
+    // A random non-negative value below the product of the first few
+    // primes must be recovered exactly from its residues.
+    const size_t NumPrimes = 1 + Round % 5;
+    BigInt Target;
+    for (size_t I = 0; I < NumPrimes; ++I)
+      Target = Target.shl(61) + BigInt::fromUnsigned(Rng() >> 3);
+    BigInt X(0), M(1);
+    for (size_t I = 0; I < NumPrimes; ++I) {
+      PrimeField F(modPrime(I));
+      uint64_t Residue = Target.modU64(F.prime());
+      uint64_t InvMMont = F.inv(F.encode(M.modU64(F.prime())));
+      X = crtLift(X, M, F, Residue, InvMMont);
+      M = M * BigInt::fromUnsigned(F.prime());
+      // Invariant after each step: X = Target mod M, within [0, M).
+      EXPECT_EQ(X.modU64(modPrime(I)), Target.modU64(modPrime(I)));
+      EXPECT_FALSE(X.isNegative());
+      EXPECT_TRUE(X < M);
+    }
+    if (Target < M) {
+      EXPECT_EQ(X, Target);
+    }
+  }
+}
+
+TEST(ModArithTest, RationalReconstructionAtWangBound) {
+  const unsigned Seed = 0x9E37;
+  SCOPED_TRACE(::testing::Message() << "seed " << Seed);
+  std::mt19937_64 Rng(Seed);
+  // Build the modulus from the first 4 solver primes (~248 bits).
+  BigInt M(1);
+  for (size_t I = 0; I < 4; ++I)
+    M = M * BigInt::fromUnsigned(modPrime(I));
+  const BigInt Bound = isqrtBigInt((M - BigInt(1)) / BigInt(2));
+
+  for (int Round = 0; Round < 50; ++Round) {
+    // Random N/D within the Wang bound; reconstruction from N * D^{-1}
+    // (mod M) must return exactly N/D.
+    int64_t N = static_cast<int64_t>(Rng() >> 2) * (Round % 2 ? 1 : -1);
+    int64_t D = static_cast<int64_t>(Rng() >> 2) | 1;
+    Rational Value(N, D);
+    // Residue X = N * D^{-1} mod M via CRT over the component primes.
+    BigInt X(0), Partial(1);
+    bool Unlucky = false;
+    for (size_t I = 0; I < 4; ++I) {
+      PrimeField F(modPrime(I));
+      uint64_t R = 0;
+      if (!rationalMod(Value, F, R)) {
+        Unlucky = true;
+        break;
+      }
+      X = crtLift(X, Partial, F, R,
+                  F.inv(F.encode(Partial.modU64(F.prime()))));
+      Partial = Partial * BigInt::fromUnsigned(F.prime());
+    }
+    ASSERT_FALSE(Unlucky);
+    Rational Out;
+    ASSERT_TRUE(rationalReconstruct(X, M, Bound, Out)) << Round;
+    EXPECT_EQ(Out, Value) << Round;
+  }
+}
+
+TEST(ModArithTest, RationalReconstructionBeyondBoundNeverReturnsTarget) {
+  // With a modulus of a single prime, a fraction whose numerator and
+  // denominator both exceed sqrt(M/2) lies outside the Wang bound.
+  // Reconstruction may still *succeed* with a different (small) fraction
+  // that happens to be congruent to the same residue — which is exactly
+  // why the solver verifies every reconstruction against fresh primes
+  // instead of trusting it — but it can never return the target itself.
+  const uint64_t P = modPrime(0);
+  PrimeField F(P);
+  BigInt M = BigInt::fromUnsigned(P);
+  BigInt Bound = isqrtBigInt((M - BigInt(1)) / BigInt(2));
+  // N and D both near 2^40 > sqrt(2^62 / 2) = 2^30.5.
+  Rational Wide((int64_t(1) << 40) + 7, (int64_t(1) << 40) + 9);
+  uint64_t R = 0;
+  ASSERT_TRUE(rationalMod(Wide, F, R));
+  Rational Out;
+  if (rationalReconstruct(BigInt::fromUnsigned(R), M, Bound, Out)) {
+    EXPECT_NE(Out, Wide);
+    EXPECT_TRUE(Out.numerator().abs() <= Bound);
+    EXPECT_TRUE(Out.denominator() <= Bound);
+  }
+
+  // The same fraction reconstructs exactly once the modulus is wide
+  // enough (two primes put sqrt(M/2) near 2^61, far above 2^40).
+  BigInt M2 = M * BigInt::fromUnsigned(modPrime(1));
+  PrimeField F1(modPrime(1));
+  uint64_t R1 = 0;
+  ASSERT_TRUE(rationalMod(Wide, F1, R1));
+  BigInt X = crtLift(BigInt::fromUnsigned(R), M, F1, R1,
+                     F1.inv(F1.encode(M.modU64(F1.prime()))));
+  BigInt Bound2 = isqrtBigInt((M2 - BigInt(1)) / BigInt(2));
+  ASSERT_TRUE(rationalReconstruct(X, M2, Bound2, Out));
+  EXPECT_EQ(Out, Wide);
+}
+
+TEST(ModArithTest, RationalReconstructionReportsFailure) {
+  // Exhaustive check over a tiny modulus: with M = 101 and Bound = 7 the
+  // admissible fractions cover only part of Z/M, so some residues must
+  // fail — and every success must actually satisfy N = X * D (mod M)
+  // within the bound. This pins the failure signal the solver's
+  // accumulate-more-primes loop is built on.
+  const int64_t MVal = 101;
+  BigInt M(MVal);
+  BigInt Bound = isqrtBigInt((M - BigInt(1)) / BigInt(2)); // 7
+  ASSERT_EQ(Bound, BigInt(7));
+  int Failures = 0;
+  for (int64_t XV = 0; XV < MVal; ++XV) {
+    Rational Out;
+    if (!rationalReconstruct(BigInt(XV), M, Bound, Out)) {
+      ++Failures;
+      continue;
+    }
+    ASSERT_TRUE(Out.numerator().fitsInt64());
+    ASSERT_TRUE(Out.denominator().fitsInt64());
+    int64_t N = Out.numerator().toInt64();
+    int64_t D = Out.denominator().toInt64();
+    EXPECT_LE(std::abs(N), 7);
+    EXPECT_GE(D, 1);
+    EXPECT_LE(D, 7);
+    // N = X * D (mod M).
+    EXPECT_EQ(((N - XV * D) % MVal + MVal) % MVal, 0) << XV;
+  }
+  EXPECT_GT(Failures, 0);
+}
