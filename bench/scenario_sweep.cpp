@@ -23,6 +23,13 @@
 ///   MCNK_SWEEP_BLOCKED_JSON write the blocked-sweep trajectory point here
 ///   MCNK_SWEEP_MODULAR    run the modular-solver sweep (default 1)
 ///   MCNK_SWEEP_MODULAR_JSON write the modular-sweep trajectory point here
+///   MCNK_SWEEP_SIMPLIFY   run the simplify sweep     (default 1)
+///   MCNK_SWEEP_SIMPLIFY_JSON write the simplify-sweep trajectory point here
+///
+/// The *simplify sweep* replays the cache sweep's per-ingress family with
+/// the S15 verified simplifier (docs/ARCHITECTURE.md S15) in front of
+/// every compile — reference equality enforced against the plain sweep —
+/// and records the cache-hit-rate and wall-clock delta of the pre-pass.
 ///
 /// The *blocked sweep* recompiles every registry scenario with the Exact
 /// solver, monolithic vs block-structured (SCC/DAG elimination with RCM
@@ -41,6 +48,7 @@
 
 #include "BenchUtil.h"
 #include "analysis/Verifier.h"
+#include "ast/Simplify.h"
 #include "fdd/CompileCache.h"
 #include "fdd/Export.h"
 #include "gen/Scenario.h"
@@ -109,7 +117,9 @@ std::vector<SweepMember> buildSweepMembers(const gen::RegistryOptions &O) {
 double runPass(const std::vector<SweepMember> &Members,
                fdd::CompileCache *Cache,
                std::vector<fdd::PortableFdd> &Diagrams, bool Verify,
-               bool &AllEqual) {
+               bool &AllEqual, bool Simplify = false,
+               std::size_t *NodesBefore = nullptr,
+               std::size_t *NodesAfter = nullptr) {
   double Total = 0;
   for (std::size_t I = 0; I < Members.size(); ++I) {
     ast::Context Ctx;
@@ -117,7 +127,18 @@ double runPass(const std::vector<SweepMember> &Members,
     analysis::Verifier V(markov::SolverKind::Direct);
     if (Cache)
       V.setCompileCache(Cache);
+    // The timer covers simplify + compile: the honest end-to-end cost of
+    // the S15 pre-pass (the cache fingerprint then runs over the
+    // simplified tree, so hits shift with it).
     WallTimer Timer;
+    if (Simplify) {
+      ast::SimplifyStats St;
+      Program = ast::simplify(Ctx, Program, {}, &St);
+      if (NodesBefore)
+        *NodesBefore += St.NodesBefore;
+      if (NodesAfter)
+        *NodesAfter += St.NodesAfter;
+    }
     fdd::FddRef Ref = V.compile(Program);
     Total += Timer.elapsed();
     if (!Verify) {
@@ -127,8 +148,9 @@ double runPass(const std::vector<SweepMember> &Members,
     if (fdd::importFdd(V.manager(), Diagrams[I]) != Ref) {
       AllEqual = false;
       std::fprintf(stderr,
-                   "MISMATCH: cached compile of %s is not reference-equal "
+                   "MISMATCH: %s compile of %s is not reference-equal "
                    "to the uncached sweep\n",
+                   Simplify ? "simplified" : "cached",
                    Members[I].Name.c_str());
     }
   }
@@ -394,5 +416,71 @@ int main() {
       return 1;
     }
   }
-  return AllEqual && BlockedEqual && ModularEqual ? 0 : 1;
+
+  // --- Simplify sweep: cached compile with the S15 pre-pass on ----------
+  // The cached pass above is the Simplify-off baseline; one more pass
+  // over the same family with a fresh cache and the verified simplifier
+  // in front measures (a) the end-to-end cost/benefit of the pre-pass and
+  // (b) how the cache hit rate shifts when fingerprints run over
+  // simplified trees (members of one family collapse onto fewer distinct
+  // subtrees when the rewrite fires). Reference equality against the
+  // uncached sweep is enforced member by member — the simplifier's
+  // soundness contract, checked here on every bench run too.
+  bool SimplifyEqual = true;
+  if (envUnsigned("MCNK_SWEEP_SIMPLIFY", 1)) {
+    fdd::CompileCache SCache;
+    std::size_t NodesBefore = 0, NodesAfter = 0;
+    double SimplifySec =
+        runPass(Members, &SCache, Diagrams, /*Verify=*/true, SimplifyEqual,
+                /*Simplify=*/true, &NodesBefore, &NodesAfter);
+    fdd::CompileCache::Stats SS = SCache.stats();
+    std::printf("\n=== Simplify sweep: cached compile, S15 pre-pass on ===\n");
+    std::printf("off %.3f s (%llu hits / %llu misses), on %.3f s "
+                "(%llu hits / %llu misses), nodes %zu -> %zu\n",
+                CachedSec, static_cast<unsigned long long>(CS.Hits),
+                static_cast<unsigned long long>(CS.Misses), SimplifySec,
+                static_cast<unsigned long long>(SS.Hits),
+                static_cast<unsigned long long>(SS.Misses), NodesBefore,
+                NodesAfter);
+    std::printf(SimplifyEqual
+                    ? "simplify sweep: all members reference-equal\n"
+                    : "simplify sweep: MISMATCH (see stderr)\n");
+
+    if (const char *Path = std::getenv("MCNK_SWEEP_SIMPLIFY_JSON");
+        Path && *Path) {
+      if (std::FILE *F = std::fopen(Path, "w")) {
+        std::fprintf(
+            F,
+            "{\n"
+            "  \"name\": \"scenario_sweep_simplify\",\n"
+            "  \"model\": \"per-ingress query sweep across the registry "
+            "(ring max N%u), Direct solver, shared CompileCache\",\n"
+            "  \"engine\": \"S15 verified simplifier before fdd::compile "
+            "(CompileOptions.Simplify)\",\n"
+            "  \"members\": %zu,\n"
+            "  \"reference_equal\": %s,\n"
+            "  \"off_seconds\": %.6f,\n"
+            "  \"on_seconds\": %.6f,\n"
+            "  \"off_cache_hits\": %llu,\n"
+            "  \"off_cache_misses\": %llu,\n"
+            "  \"on_cache_hits\": %llu,\n"
+            "  \"on_cache_misses\": %llu,\n"
+            "  \"nodes_before\": %zu,\n"
+            "  \"nodes_after\": %zu\n"
+            "}\n",
+            RingN, Members.size(), SimplifyEqual ? "true" : "false",
+            CachedSec, SimplifySec, static_cast<unsigned long long>(CS.Hits),
+            static_cast<unsigned long long>(CS.Misses),
+            static_cast<unsigned long long>(SS.Hits),
+            static_cast<unsigned long long>(SS.Misses), NodesBefore,
+            NodesAfter);
+        std::fclose(F);
+        std::printf("wrote %s\n", Path);
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", Path);
+        return 1;
+      }
+    }
+  }
+  return AllEqual && BlockedEqual && ModularEqual && SimplifyEqual ? 0 : 1;
 }

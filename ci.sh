@@ -15,6 +15,10 @@
 #        ./ci.sh fuzz [build-dir]   # cross-engine differential fuzz: the
 #                                   # conformance suite with fixed seeds
 #                                   # plus the `mcnk fuzz` CLI oracle
+#        ./ci.sh tidy [build-dir]   # clang-tidy over src/ + examples/ +
+#                                   # bench/ via compile_commands.json
+#                                   # (skips with a notice when the tool
+#                                   # is not installed)
 #   BUILD_TYPE=Debug ./ci.sh        # non-Release build
 #   MCNK_SANITIZE=ON ./ci.sh        # ASan/UBSan run
 #   MCNK_SANITIZE=ON ./ci.sh fuzz   # fuzz pass under ASan/UBSan
@@ -33,6 +37,9 @@ elif [ "${1:-}" = "tsan" ]; then
   shift
 elif [ "${1:-}" = "fuzz" ]; then
   MODE=fuzz
+  shift
+elif [ "${1:-}" = "tidy" ]; then
+  MODE=tidy
   shift
 fi
 
@@ -63,6 +70,33 @@ if [ "$MODE" = "tsan" ]; then
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     "$BUILD_DIR/fdd_parallel_test"
   echo "ThreadSanitizer pass clean"
+  exit 0
+fi
+
+if [ "$MODE" = "tidy" ]; then
+  # Static-analysis pass: clang-tidy (check set pinned in .clang-tidy)
+  # over the library, tool, and bench sources, driven by the build tree's
+  # compilation database. Containers without clang-tidy skip with a
+  # notice (exit 0) so the pass is safe to wire into every pipeline; the
+  # check set still gates merges wherever the tool exists.
+  TIDY="${CLANG_TIDY:-clang-tidy}"
+  if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "ci.sh tidy: clang-tidy not found; skipping (install it or set CLANG_TIDY=<path>)"
+    exit 0
+  fi
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+      -DMCNK_WERROR=ON
+  fi
+  mapfile -t files < <(git ls-files 'src/*.cpp' 'src/**/*.cpp' \
+    'examples/*.cpp' 'bench/*.cpp')
+  if [ "${#files[@]}" -eq 0 ]; then
+    echo "error: no sources found for clang-tidy" >&2
+    exit 1
+  fi
+  "$TIDY" -p "$BUILD_DIR" --quiet --warnings-as-errors='*' "${files[@]}"
+  echo "clang-tidy pass clean (${#files[@]} files)"
   exit 0
 fi
 
@@ -137,10 +171,15 @@ if [ "$MODE" = "bench" ]; then
   # registry sweep (Exact monolithic vs SCC/DAG blocks, ARCHITECTURE S13)
   # and the modular-solver registry sweep (Rational Exact vs multi-prime
   # ModularExact, ARCHITECTURE S14).
+  # The same invocation also records the simplify-sweep point: the cached
+  # per-ingress family with the S15 verified simplifier in front of every
+  # compile (reference equality enforced; hit-rate and node-count deltas
+  # recorded).
   MCNK_SWEEP_TABLE=0 \
     MCNK_SWEEP_CACHE_JSON=bench/results/BENCH_sweep_cache.json \
     MCNK_SWEEP_BLOCKED_JSON=bench/results/BENCH_sweep_blocked.json \
     MCNK_SWEEP_MODULAR_JSON=bench/results/BENCH_sweep_modular.json \
+    MCNK_SWEEP_SIMPLIFY_JSON=bench/results/BENCH_sweep_simplify.json \
     "$BUILD_DIR/scenario_sweep"
   # Blocked-solver trajectory point on the Fig 7 FatTree family: Exact
   # monolithic vs blocked, reference-equality enforced, elimination-op and
@@ -153,7 +192,7 @@ if [ "$MODE" = "bench" ]; then
   # CRT moduli and the >= 5x exact-solve speedups live).
   MCNK_FIG7_MODULAR_JSON=bench/results/BENCH_solver_modular.json \
     "$BUILD_DIR/fig07_fattree_scalability"
-  echo "Wrote bench/results/BENCH_micro_{support,linalg}.json, BENCH_fig08_parallel.json, BENCH_sweep_{cache,blocked,modular}.json, and BENCH_solver_{blocked,modular}.json"
+  echo "Wrote bench/results/BENCH_micro_{support,linalg}.json, BENCH_fig08_parallel.json, BENCH_sweep_{cache,blocked,modular,simplify}.json, and BENCH_solver_{blocked,modular}.json"
   exit 0
 fi
 

@@ -1,0 +1,38 @@
+# Drives one `mcnk_cli lint` smoke case: runs CLI on FILE, checks the
+# exit code against EXPECT_EXIT, and (when EXPECT_SUBSTR is given) that
+# stdout contains each ';'-separated substring. EXPECT_SUBSTR uses '@'
+# in place of ':' so the pattern survives CMake list/argument quoting
+# (lint output is colon-heavy: file:line:col: warning[...]).
+#
+# Usage:
+#   cmake -DCLI=<mcnk_cli> -DFILE=<prog.pnk> -DEXPECT_EXIT=<n>
+#         [-DEXPECT_SUBSTR=<s1;s2;...>] -P RunLint.cmake
+
+foreach(var CLI FILE EXPECT_EXIT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "RunLint.cmake: ${var} is required")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CLI} lint ${FILE}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+
+if(NOT code EQUAL EXPECT_EXIT)
+  message(FATAL_ERROR
+    "lint ${FILE}: exit ${code}, expected ${EXPECT_EXIT}\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()
+
+if(DEFINED EXPECT_SUBSTR)
+  foreach(pattern IN LISTS EXPECT_SUBSTR)
+    string(REPLACE "@" ":" pattern "${pattern}")
+    string(FIND "${out}" "${pattern}" at)
+    if(at EQUAL -1)
+      message(FATAL_ERROR
+        "lint ${FILE}: stdout lacks '${pattern}'\nstdout:\n${out}")
+    endif()
+  endforeach()
+endif()

@@ -4,11 +4,21 @@
 /// mcnk: a command-line verifier for `.pnk` programs.
 ///
 ///   mcnk check  <file.pnk>                 parse + guardedness check
+///   mcnk lint   [--fix] <file.pnk>         static analysis (S15 checks)
 ///   mcnk dump   <file.pnk>                 compile and dump the FDD
 ///   mcnk run    <file.pnk> f=v[,g=w...]    output distribution for input
 ///   mcnk equiv  <a.pnk> <b.pnk>            exact program equivalence
 ///   mcnk prism  <file.pnk> f=v[,g=w...]    emit a PRISM model
 ///   mcnk fuzz   [--seed N] [--iters N]     cross-engine differential fuzz
+///
+/// `lint` runs the S15 abstract-interpretation analyzer (ast/Analyze.h)
+/// plus the parser's advisory warnings and prints one
+/// `file:line:col: warning[check-name]: message` line per finding to
+/// stdout, sorted by source position. Exit 0 when the program is clean, 1
+/// when there are findings, 2 on usage or parse errors. With --fix the
+/// verified simplifier rewrites the program and the result is written
+/// back to the file (to stdout for "-"), exiting 0 unless the write
+/// fails.
 ///
 /// `fuzz` drives the src/gen/ differential oracle: N seeded random
 /// guarded programs plus the whole scenario registry, every engine
@@ -33,17 +43,25 @@
 /// the exact rationals are recovered by CRT + verified rational
 /// reconstruction; the answers are identical to the default engine, and
 /// the per-solve prime statistics are printed. --modular composes with
-/// --blocked and -j (blocks and primes fan out on one pool). Programs
-/// read from "-" come from stdin.
+/// --blocked and -j (blocks and primes fan out on one pool). The global
+/// option --simplify runs the verified S15 simplifier over every program
+/// before compiling it (semantics-preserving: the diagrams are
+/// reference-identical, a contract the oracle enforces). Programs read
+/// from "-" come from stdin.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Verifier.h"
+#include "ast/Analyze.h"
+#include "ast/Printer.h"
+#include "ast/Simplify.h"
 #include "ast/Traversal.h"
 #include "fdd/Export.h"
 #include "gen/Oracle.h"
 #include "parser/Parser.h"
 #include "prism/Translate.h"
+
+#include <algorithm>
 
 #include <cerrno>
 #include <cstdio>
@@ -124,11 +142,12 @@ bool parseInputPacket(const std::string &Spec, ast::Context &Ctx,
 int usage() {
   std::fprintf(stderr,
                "usage: mcnk [-j[N]] [--cache] [--blocked] [--modular] "
-               "check|dump <file.pnk>\n"
+               "[--simplify] check|dump <file.pnk>\n"
+               "       mcnk lint [--fix] <file.pnk>\n"
                "       mcnk [-j[N]] [--cache] [--blocked] [--modular] "
-               "run|prism <file.pnk> f=v[,g=w...]\n"
+               "[--simplify] run|prism <file.pnk> f=v[,g=w...]\n"
                "       mcnk [-j[N]] [--cache] [--blocked] [--modular] "
-               "equiv <a.pnk> <b.pnk>\n"
+               "[--simplify] equiv <a.pnk> <b.pnk>\n"
                "       mcnk [--cache] fuzz [--seed N] [--iters N] "
                "[--no-scenarios]\n"
                "  -j[N]     compile `case` on N worker threads (default: "
@@ -145,6 +164,14 @@ int usage() {
                "same exact answers)\n"
                "            and print prime stats; composes with --blocked "
                "and -j\n"
+               "  --simplify run the verified S15 simplifier over every\n"
+               "            program before compiling (same diagrams,\n"
+               "            enforced by the oracle)\n"
+               "  lint      run the S15 static analyzer; one\n"
+               "            file:line:col: warning[check]: line per\n"
+               "            finding, exit 0 clean / 1 findings / 2 errors;\n"
+               "            --fix rewrites the file with the verified\n"
+               "            simplifier's output\n"
                "  fuzz      run the cross-engine differential oracle on N\n"
                "            random programs (default 25) plus the scenario\n"
                "            registry; exit 3 on any disagreement (2 on\n"
@@ -197,6 +224,83 @@ void printCacheStats(const fdd::CompileCache &Cache) {
               static_cast<unsigned long long>(S.Insertions),
               static_cast<unsigned long long>(S.Evictions), S.Entries,
               S.StoredNodes);
+}
+
+/// `mcnk lint [--fix]`: the S15 static analyzer. Parser warnings (the
+/// degenerate-choice check lives there, because Context::choice collapses
+/// those nodes at construction) and ast::analyze findings are merged into
+/// one source-ordered stream on stdout. --fix rewrites the file with the
+/// verified simplifier's output.
+int runLint(const std::vector<std::string> &Args) {
+  bool Fix = false;
+  std::string Path;
+  for (std::size_t I = 1; I < Args.size(); ++I) {
+    if (Args[I] == "--fix") {
+      Fix = true;
+    } else if (Path.empty()) {
+      Path = Args[I];
+    } else {
+      std::fprintf(stderr, "error: unknown lint argument '%s'\n",
+                   Args[I].c_str());
+      return usage();
+    }
+  }
+  if (Path.empty())
+    return usage();
+  std::string Source;
+  if (!readSource(Path, Source)) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    return 2;
+  }
+  ast::Context Ctx;
+  parser::ParseResult Result = parser::parseProgram(Source, Ctx);
+  if (!Result.ok()) {
+    for (const parser::Diagnostic &D : Result.Diagnostics)
+      std::fprintf(stderr, "%s:%s\n", Path.c_str(), D.render().c_str());
+    return 2;
+  }
+
+  // One stream, sorted by source position: parser warnings rendered in
+  // the analyzer's format, then the abstract-interpretation findings.
+  struct Line {
+    unsigned Row, Col;
+    std::string Text;
+  };
+  std::vector<Line> Lines;
+  for (const parser::Diagnostic &W : Result.Warnings)
+    Lines.push_back({W.Line, W.Column,
+                     Path + ":" + std::to_string(W.Line) + ":" +
+                         std::to_string(W.Column) + ": warning[" + W.Check +
+                         "]: " + W.Message});
+  for (const ast::Finding &F : ast::analyze(Ctx, Result.Program))
+    Lines.push_back({F.Loc.Line, F.Loc.Column, F.render(Path)});
+  std::stable_sort(Lines.begin(), Lines.end(),
+                   [](const Line &A, const Line &B) {
+                     return A.Row != B.Row ? A.Row < B.Row : A.Col < B.Col;
+                   });
+  for (const Line &L : Lines)
+    std::printf("%s\n", L.Text.c_str());
+
+  if (Fix) {
+    ast::SimplifyStats Stats;
+    const ast::Node *Simplified =
+        ast::simplify(Ctx, Result.Program, {}, &Stats);
+    std::string Printed = ast::print(Simplified, Ctx.fields()) + "\n";
+    if (Path == "-") {
+      std::printf("%s", Printed.c_str());
+    } else {
+      std::ofstream File(Path, std::ios::trunc);
+      if (!File || !(File << Printed)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+        return 2;
+      }
+    }
+    std::fprintf(stderr, "fixed: %s (%zu -> %zu nodes, %u round%s)\n",
+                 Path.c_str(), Stats.NodesBefore, Stats.NodesAfter,
+                 Stats.Rounds, Stats.Rounds == 1 ? "" : "s");
+    return 0;
+  }
+  return Lines.empty() ? 0 : 1;
 }
 
 /// `mcnk fuzz`: the CLI face of the src/gen differential oracle. The
@@ -304,6 +408,7 @@ int main(int Argc, char **Argv) {
   bool UseCache = false;
   bool Blocked = false;
   bool Modular = false;
+  bool Simplify = false;
   unsigned Threads = 0;
   std::vector<std::string> Args;
   auto AllDigits = [](const std::string &S) {
@@ -326,6 +431,10 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--modular") {
       Modular = true;
+      continue;
+    }
+    if (Arg == "--simplify") {
+      Simplify = true;
       continue;
     }
     if (Arg.rfind("-j", 0) == 0) {
@@ -354,6 +463,8 @@ int main(int Argc, char **Argv) {
   std::string Command = Args[0];
   if (Command == "fuzz")
     return runFuzz(Args, Parallel, Threads, UseCache);
+  if (Command == "lint")
+    return runLint(Args);
   if (Args.size() < 2)
     return usage();
   ast::Context Ctx;
@@ -384,6 +495,8 @@ int main(int Argc, char **Argv) {
       V.enableCompileCache();
     if (Blocked)
       applyBlockedStructure(V, Parallel, Threads);
+    if (Simplify)
+      V.setSimplify(&Ctx);
     fdd::FddRef Ref = V.compile(Program, Parallel, Threads);
     std::printf("%s", fdd::dumpFdd(V.manager(), Ref, Ctx.fields()).c_str());
     std::printf("// %zu nodes in the diagram\n",
@@ -412,6 +525,8 @@ int main(int Argc, char **Argv) {
       V.enableCompileCache();
     if (Blocked)
       applyBlockedStructure(V, Parallel, Threads);
+    if (Simplify)
+      V.setSimplify(&Ctx);
     bool Equal = V.equivalent(V.compile(Program, Parallel, Threads),
                               V.compile(Other, Parallel, Threads));
     std::printf("%s\n", Equal ? "equivalent" : "NOT equivalent");
@@ -441,6 +556,8 @@ int main(int Argc, char **Argv) {
       V.enableCompileCache();
     if (Blocked)
       applyBlockedStructure(V, Parallel, Threads);
+    if (Simplify)
+      V.setSimplify(&Ctx);
     fdd::FddRef Ref = V.compile(Program, Parallel, Threads);
     auto Out = V.manager().outputDistribution(Ref, In);
     for (const auto &[Pkt, W] : Out.Outputs) {

@@ -40,6 +40,7 @@ FddRef Verifier::compile(const ast::Node *Program, bool Parallel,
   if (Parallel)
     Options.Pool = &compilePool(Threads);
   Options.Cache = Cache;
+  Options.Simplify = SimplifyCtx;
   return fdd::compile(Manager, Program, Options);
 }
 

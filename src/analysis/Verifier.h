@@ -44,8 +44,8 @@ struct HopStats {
 class Verifier {
 public:
   explicit Verifier(markov::SolverKind Solver = markov::SolverKind::Exact,
-                    double Tolerance = 1e-9)
-      : Manager(Solver), Tolerance(Tolerance) {}
+                    double Tol = 1e-9)
+      : Manager(Solver), Tolerance(Tol) {}
 
   fdd::FddManager &manager() { return Manager; }
 
@@ -90,6 +90,16 @@ public:
   void setCompileCache(fdd::CompileCache *Shared);
   /// The active cache, or null when caching is off.
   fdd::CompileCache *compileCache() const { return Cache; }
+
+  /// Enables the verified S15 simplifier for every subsequent compile():
+  /// programs are rewritten (in \p Ctx, which must own their nodes and
+  /// outlive the verifier's compiles) before FDD compilation. Null
+  /// disables. Semantics are unchanged — simplified and original programs
+  /// compile to reference-equal diagrams, a contract the oracle's
+  /// CheckSimplify step enforces on every conformance and fuzz case.
+  void setSimplify(ast::Context *Ctx) { SimplifyCtx = Ctx; }
+  /// The context the simplifier rewrites into, or null when off.
+  ast::Context *simplifyContext() const { return SimplifyCtx; }
   /// Hit/miss/size counters of the active cache (all zero when off).
   fdd::CompileCache::Stats cacheStats() const {
     return Cache ? Cache->stats() : fdd::CompileCache::Stats();
@@ -136,6 +146,7 @@ private:
   /// instead point at caller-owned shared storage (setCompileCache).
   std::unique_ptr<fdd::CompileCache> OwnedCache;
   fdd::CompileCache *Cache = nullptr;
+  ast::Context *SimplifyCtx = nullptr;
 };
 
 } // namespace analysis

@@ -22,6 +22,17 @@ Context::Context() {
   SkipSingleton = make<SkipNode>();
 }
 
+void Context::noteLoc(const Node *N, SourceLoc Loc) {
+  if (!N || !Loc.valid() || N == DropSingleton || N == SkipSingleton)
+    return;
+  Locs.emplace(N, Loc); // First write wins.
+}
+
+SourceLoc Context::loc(const Node *N) const {
+  auto It = Locs.find(N);
+  return It == Locs.end() ? SourceLoc{} : It->second;
+}
+
 const Node *Context::test(FieldId Field, FieldValue Value) {
   return make<TestNode>(Field, Value);
 }

@@ -17,10 +17,21 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace mcnk {
 namespace ast {
+
+/// 1-based source coordinates for a node, recorded by the parser in a
+/// Context side table (nodes themselves stay immutable and location-free).
+/// Line 0 means "no recorded location".
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool valid() const { return Line != 0; }
+};
 
 /// Owns nodes and fields; the root object every McNetKAT pipeline starts
 /// from. Nodes are deduplicated only for the two constants drop/skip;
@@ -66,6 +77,15 @@ public:
   /// var f := n in p  ≜  f := n ; p ; f := 0 (§3).
   const Node *local(FieldId Field, FieldValue Init, const Node *Body);
 
+  // --- Source locations -------------------------------------------------
+  /// Records the source location of \p N. First write wins, so a node
+  /// shared by normalization (or reused by a builder) keeps the location
+  /// of its first occurrence. The drop/skip singletons are not tracked —
+  /// they stand for every literal in the program at once.
+  void noteLoc(const Node *N, SourceLoc Loc);
+  /// The recorded location of \p N, or an invalid (0:0) location.
+  SourceLoc loc(const Node *N) const;
+
   /// Number of nodes allocated (diagnostics).
   std::size_t numAllocatedNodes() const { return Arena.size(); }
 
@@ -78,6 +98,7 @@ private:
   }
 
   FieldTable Fields;
+  std::unordered_map<const Node *, SourceLoc> Locs;
   std::vector<std::unique_ptr<Node>> Arena;
   const Node *DropSingleton;
   const Node *SkipSingleton;

@@ -55,7 +55,7 @@ public:
   bool isPredicate() const { return IsPred; }
 
 protected:
-  Node(NodeKind Kind, bool IsPred) : Kind(Kind), IsPred(IsPred) {}
+  Node(NodeKind K, bool Pred) : Kind(K), IsPred(Pred) {}
 
 private:
   NodeKind Kind;
@@ -79,8 +79,8 @@ public:
 /// f = n — passes the packet iff field f holds n.
 class TestNode : public Node {
 public:
-  TestNode(FieldId Field, FieldValue Value)
-      : Node(NodeKind::Test, /*IsPred=*/true), Field(Field), Value(Value) {}
+  TestNode(FieldId F, FieldValue V)
+      : Node(NodeKind::Test, /*IsPred=*/true), Field(F), Value(V) {}
 
   FieldId field() const { return Field; }
   FieldValue value() const { return Value; }
@@ -95,8 +95,8 @@ private:
 /// f := n — functional field update.
 class AssignNode : public Node {
 public:
-  AssignNode(FieldId Field, FieldValue Value)
-      : Node(NodeKind::Assign, /*IsPred=*/false), Field(Field), Value(Value) {}
+  AssignNode(FieldId F, FieldValue V)
+      : Node(NodeKind::Assign, /*IsPred=*/false), Field(F), Value(V) {}
 
   FieldId field() const { return Field; }
   FieldValue value() const { return Value; }
@@ -111,8 +111,8 @@ private:
 /// ¬t — predicate negation.
 class NotNode : public Node {
 public:
-  explicit NotNode(const Node *Operand)
-      : Node(NodeKind::Not, /*IsPred=*/true), Operand(Operand) {}
+  explicit NotNode(const Node *Op)
+      : Node(NodeKind::Not, /*IsPred=*/true), Operand(Op) {}
 
   const Node *operand() const { return Operand; }
 
@@ -125,9 +125,9 @@ private:
 /// p ; q — sequential composition; conjunction on predicates.
 class SeqNode : public Node {
 public:
-  SeqNode(const Node *Lhs, const Node *Rhs)
-      : Node(NodeKind::Seq, Lhs->isPredicate() && Rhs->isPredicate()),
-        Lhs(Lhs), Rhs(Rhs) {}
+  SeqNode(const Node *L, const Node *R)
+      : Node(NodeKind::Seq, L->isPredicate() && R->isPredicate()), Lhs(L),
+        Rhs(R) {}
 
   const Node *lhs() const { return Lhs; }
   const Node *rhs() const { return Rhs; }
@@ -143,9 +143,9 @@ private:
 /// guarded single-packet backends reject it).
 class UnionNode : public Node {
 public:
-  UnionNode(const Node *Lhs, const Node *Rhs)
-      : Node(NodeKind::Union, Lhs->isPredicate() && Rhs->isPredicate()),
-        Lhs(Lhs), Rhs(Rhs) {}
+  UnionNode(const Node *L, const Node *R)
+      : Node(NodeKind::Union, L->isPredicate() && R->isPredicate()), Lhs(L),
+        Rhs(R) {}
 
   const Node *lhs() const { return Lhs; }
   const Node *rhs() const { return Rhs; }
@@ -159,9 +159,9 @@ private:
 /// p ⊕_r q — executes p with probability r, q with probability 1 - r.
 class ChoiceNode : public Node {
 public:
-  ChoiceNode(Rational Probability, const Node *Lhs, const Node *Rhs)
+  ChoiceNode(Rational Prob, const Node *L, const Node *R)
       : Node(NodeKind::Choice, /*IsPred=*/false),
-        Probability(std::move(Probability)), Lhs(Lhs), Rhs(Rhs) {}
+        Probability(std::move(Prob)), Lhs(L), Rhs(R) {}
 
   const Rational &probability() const { return Probability; }
   const Node *lhs() const { return Lhs; }
@@ -177,8 +177,8 @@ private:
 /// p* — iteration (full language only).
 class StarNode : public Node {
 public:
-  explicit StarNode(const Node *Body)
-      : Node(NodeKind::Star, /*IsPred=*/false), Body(Body) {}
+  explicit StarNode(const Node *B)
+      : Node(NodeKind::Star, /*IsPred=*/false), Body(B) {}
 
   const Node *body() const { return Body; }
 
@@ -191,9 +191,9 @@ private:
 /// if t then p else q — guarded branching (≜ t;p & ¬t;q).
 class IfThenElseNode : public Node {
 public:
-  IfThenElseNode(const Node *Cond, const Node *Then, const Node *Else)
-      : Node(NodeKind::IfThenElse, /*IsPred=*/false), Cond(Cond), Then(Then),
-        Else(Else) {}
+  IfThenElseNode(const Node *C, const Node *T, const Node *E)
+      : Node(NodeKind::IfThenElse, /*IsPred=*/false), Cond(C), Then(T),
+        Else(E) {}
 
   const Node *cond() const { return Cond; }
   const Node *thenBranch() const { return Then; }
@@ -210,8 +210,8 @@ private:
 /// while t do p — guarded iteration (≜ (t;p)* ; ¬t).
 class WhileNode : public Node {
 public:
-  WhileNode(const Node *Cond, const Node *Body)
-      : Node(NodeKind::While, /*IsPred=*/false), Cond(Cond), Body(Body) {}
+  WhileNode(const Node *C, const Node *B)
+      : Node(NodeKind::While, /*IsPred=*/false), Cond(C), Body(B) {}
 
   const Node *cond() const { return Cond; }
   const Node *body() const { return Body; }
@@ -232,9 +232,9 @@ class CaseNode : public Node {
 public:
   using Branch = std::pair<const Node *, const Node *>; // (guard, program)
 
-  CaseNode(std::vector<Branch> Branches, const Node *Default)
-      : Node(NodeKind::Case, /*IsPred=*/false), Branches(std::move(Branches)),
-        Default(Default) {}
+  CaseNode(std::vector<Branch> Arms, const Node *Dflt)
+      : Node(NodeKind::Case, /*IsPred=*/false), Branches(std::move(Arms)),
+        Default(Dflt) {}
 
   const std::vector<Branch> &branches() const { return Branches; }
   const Node *defaultBranch() const { return Default; }

@@ -1,0 +1,392 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The S15 rewrite engine: one DomainAnalysis per round, then a bottom-up
+/// explicit-stack transform that consults the per-node facts. Rounds
+/// repeat until the transform returns its input pointer unchanged, which
+/// makes simplify idempotent by construction.
+///
+/// Soundness leans on two pillars. The analysis starts from ⊤, so every
+/// "unreachable"/"always true" fact holds for every concrete input packet
+/// and each local rewrite is pointwise semantics-preserving; and FDD
+/// compilation composes canonically, so a subterm rewritten to anything
+/// extensionally equal on its reachable inputs leaves the whole program's
+/// diagram reference-identical (the property CheckSimplify asserts).
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Simplify.h"
+
+#include "ast/Traversal.h"
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+
+using namespace mcnk;
+using namespace mcnk::ast;
+
+namespace {
+
+/// In-order flattening of a maximal `;` chain into non-Seq elements;
+/// bails past \p Cap elements (heavily shared chains unfold large).
+bool flattenSeq(const Node *N, std::vector<const Node *> &Out,
+                std::size_t Cap) {
+  std::vector<const Node *> Stack{N};
+  while (!Stack.empty()) {
+    const Node *C = Stack.back();
+    Stack.pop_back();
+    if (const auto *S = dyn_cast<SeqNode>(C)) {
+      Stack.push_back(S->rhs());
+      Stack.push_back(S->lhs());
+      continue;
+    }
+    if (Out.size() >= Cap)
+      return false;
+    Out.push_back(C);
+  }
+  return true;
+}
+
+enum class Shape : uint8_t {
+  Not,
+  SeqChain,
+  Union,
+  Choice,
+  Star,
+  Ite,
+  While,
+  Case,
+  Only, ///< single surviving child replaces the node
+};
+
+struct TFrame {
+  const Node *N;
+  Shape Kind;
+  std::size_t Idx = 0;
+  std::vector<const Node *> Kids;
+  std::vector<const Node *> Out;
+  // Case plan:
+  std::vector<std::size_t> ArmIdx; ///< kept arm indices, in order
+  bool CutAtTotal = false; ///< last kept arm's guard is total → new default
+  bool KeepDefault = true; ///< else arm reachable (transform it)
+};
+
+class Transformer {
+public:
+  Transformer(Context &C, const DomainAnalysis &DA) : Ctx(C), A(DA) {}
+
+  const Node *run(const Node *Root) {
+    enter(Root);
+    while (!Stack.empty()) {
+      TFrame &F = Stack.back();
+      if (F.Out.size() < F.Idx)
+        F.Out.push_back(Ret); // Collect the child that just returned.
+      if (F.Idx < F.Kids.size()) {
+        const Node *Kid = F.Kids[F.Idx++];
+        enter(Kid); // May push; F must not be touched afterwards.
+        continue;
+      }
+      Ret = combine(F);
+      Stack.pop_back();
+    }
+    return Ret;
+  }
+
+private:
+  /// Either computes the node's result directly into Ret (leaves and
+  /// fact-pruned constructs) or pushes a frame whose Kids still need
+  /// transforming.
+  void enter(const Node *N) {
+    switch (N->kind()) {
+    case NodeKind::Drop:
+    case NodeKind::Skip:
+      Ret = N;
+      return;
+    case NodeKind::Test: {
+      switch (A.testTruth(cast<TestNode>(N))) {
+      case DomainAnalysis::Truth::True:
+        Ret = Ctx.skip(); // Also sound under ¬: ¬skip = drop = ¬t here.
+        return;
+      case DomainAnalysis::Truth::False:
+        Ret = Ctx.drop();
+        return;
+      case DomainAnalysis::Truth::Unknown:
+        Ret = N;
+        return;
+      }
+      MCNK_UNREACHABLE("bad truth");
+    }
+    case NodeKind::Assign:
+      // assignRedundant is diagnostic-only: when the fact `f=v` comes from
+      // a dominating *test* the assignment still changes the compiled
+      // diagram (the leaf records the modification `f:=v`; dropping it
+      // leaves `id`), so rewriting here would break FDD reference
+      // equality even though the programs are pointwise equal.  The
+      // reference-safe subset — `f:=v` pinned by a dominating
+      // *assignment* in the same chain — is handled in combineSeq.
+      Ret = N;
+      return;
+    case NodeKind::Not:
+      push(N, Shape::Not, {cast<NotNode>(N)->operand()});
+      return;
+    case NodeKind::Seq: {
+      std::vector<const Node *> Elems;
+      if (!flattenSeq(N, Elems, std::size_t(1) << 20)) {
+        Ret = N; // Chain too large to rebuild; leave untouched.
+        return;
+      }
+      push(N, Shape::SeqChain, std::move(Elems));
+      return;
+    }
+    case NodeKind::Union:
+      push(N, Shape::Union,
+           {cast<UnionNode>(N)->lhs(), cast<UnionNode>(N)->rhs()});
+      return;
+    case NodeKind::Choice:
+      push(N, Shape::Choice,
+           {cast<ChoiceNode>(N)->lhs(), cast<ChoiceNode>(N)->rhs()});
+      return;
+    case NodeKind::Star:
+      push(N, Shape::Star, {cast<StarNode>(N)->body()});
+      return;
+    case NodeKind::IfThenElse: {
+      const auto *I = cast<IfThenElseNode>(N);
+      if (!A.reached(N)) {
+        Ret = N; // Dead in every context; the parent prunes it.
+        return;
+      }
+      bool ThenR = A.branchReachable(I, true);
+      bool ElseR = A.branchReachable(I, false);
+      if (ThenR && !ElseR) {
+        push(N, Shape::Only, {I->thenBranch()});
+        return;
+      }
+      if (!ThenR && ElseR) {
+        push(N, Shape::Only, {I->elseBranch()});
+        return;
+      }
+      push(N, Shape::Ite, {I->cond(), I->thenBranch(), I->elseBranch()});
+      return;
+    }
+    case NodeKind::While: {
+      const auto *W = cast<WhileNode>(N);
+      if (!A.reached(N)) {
+        Ret = N;
+        return;
+      }
+      if (!A.loopEntered(W)) {
+        Ret = Ctx.skip(); // Guard statically false: zero iterations.
+        return;
+      }
+      if (!A.loopExits(W)) {
+        // Guard never turns false: no packet is ever delivered, and the
+        // sub-probability semantics assigns the divergent mass 0 — the
+        // loop is extensionally drop.
+        Ret = Ctx.drop();
+        return;
+      }
+      push(N, Shape::While, {W->cond(), W->body()});
+      return;
+    }
+    case NodeKind::Case: {
+      const auto *C = cast<CaseNode>(N);
+      if (!A.reached(N)) {
+        Ret = N;
+        return;
+      }
+      TFrame F;
+      F.N = N;
+      F.Kind = Shape::Case;
+      const auto &Br = C->branches();
+      for (std::size_t I = 0; I < Br.size(); ++I) {
+        if (!A.armReachable(C, I))
+          continue; // Guard never fires here: prune the arm.
+        F.ArmIdx.push_back(I);
+        if (A.guardTotal(C, I)) {
+          // This guard matches every remaining packet: its body becomes
+          // the new default, later arms (and the else) are dead.
+          F.CutAtTotal = true;
+          break;
+        }
+      }
+      F.KeepDefault = !F.CutAtTotal && A.armReachable(C, Br.size());
+      for (std::size_t I : F.ArmIdx) {
+        F.Kids.push_back(Br[I].first);
+        F.Kids.push_back(Br[I].second);
+      }
+      if (F.KeepDefault)
+        F.Kids.push_back(C->defaultBranch());
+      Stack.push_back(std::move(F));
+      return;
+    }
+    }
+    MCNK_UNREACHABLE("unhandled node kind");
+  }
+
+  void push(const Node *N, Shape Kind, std::vector<const Node *> Kids) {
+    TFrame F;
+    F.N = N;
+    F.Kind = Kind;
+    F.Kids = std::move(Kids);
+    Stack.push_back(std::move(F));
+  }
+
+  const Node *combine(TFrame &F) {
+    switch (F.Kind) {
+    case Shape::Only:
+      return F.Out[0];
+    case Shape::Not: {
+      const Node *Op = F.Out[0];
+      return Op == F.Kids[0] ? F.N : Ctx.negate(Op);
+    }
+    case Shape::SeqChain:
+      return combineSeq(F);
+    case Shape::Union: {
+      if (F.Out[0] == F.Kids[0] && F.Out[1] == F.Kids[1])
+        return F.N;
+      return Ctx.unite(F.Out[0], F.Out[1]);
+    }
+    case Shape::Choice: {
+      const auto *C = cast<ChoiceNode>(F.N);
+      if (structurallyEqual(F.Out[0], F.Out[1]))
+        return F.Out[0]; // p ⊕_r p = p.
+      if (F.Out[0] == F.Kids[0] && F.Out[1] == F.Kids[1])
+        return F.N;
+      return Ctx.choice(C->probability(), F.Out[0], F.Out[1]);
+    }
+    case Shape::Star:
+      return F.Out[0] == F.Kids[0] ? F.N : Ctx.star(F.Out[0]);
+    case Shape::Ite: {
+      if (F.Out[0] == F.Kids[0] && F.Out[1] == F.Kids[1] &&
+          F.Out[2] == F.Kids[2])
+        return F.N;
+      return Ctx.ite(F.Out[0], F.Out[1], F.Out[2]);
+    }
+    case Shape::While: {
+      if (F.Out[0] == F.Kids[0] && F.Out[1] == F.Kids[1])
+        return F.N;
+      return Ctx.whileLoop(F.Out[0], F.Out[1]);
+    }
+    case Shape::Case:
+      return combineCase(F);
+    }
+    MCNK_UNREACHABLE("unhandled shape");
+  }
+
+  const Node *combineSeq(TFrame &F) {
+    // Re-flatten: transformed elements may themselves be chains (e.g. an
+    // if collapsed to its then-branch).
+    std::vector<const Node *> Flat;
+    bool Changed = false;
+    for (std::size_t I = 0; I < F.Out.size(); ++I) {
+      Changed |= F.Out[I] != F.Kids[I];
+      if (isa<SeqNode>(F.Out[I]) &&
+          flattenSeq(F.Out[I], Flat, std::size_t(1) << 20))
+        continue;
+      Flat.push_back(F.Out[I]);
+    }
+    // Drop assignments immediately overwritten by a later assignment to
+    // the same field (skips in between were already collapsed away by
+    // the fold below on the previous round; be conservative otherwise).
+    std::vector<char> Keep(Flat.size(), 1);
+    std::ptrdiff_t Next = -1;
+    for (std::ptrdiff_t I = static_cast<std::ptrdiff_t>(Flat.size()) - 1;
+         I >= 0; --I) {
+      const auto *Cur = dyn_cast<AssignNode>(Flat[I]);
+      const AssignNode *Succ =
+          Next >= 0 ? dyn_cast<AssignNode>(Flat[Next]) : nullptr;
+      if (Cur && Succ && Cur->field() == Succ->field()) {
+        Keep[I] = 0;
+        Changed = true;
+        continue; // Next stays: the surviving overwrite.
+      }
+      Next = I;
+    }
+    // Drop re-assignments pinned by a dominating assignment: once every
+    // path through the prefix writes `f:=v`, a later `f:=v` composes to
+    // the identity on the diagram's leaf actions, so removing it keeps
+    // the compiled FDD reference-equal (unlike test-pinned facts, which
+    // guarantee the value without recording the modification).  Only
+    // predicates are transparent; any other element may write the field,
+    // so it conservatively clears all pins.
+    std::map<FieldId, FieldValue> Pinned;
+    for (std::size_t I = 0; I < Flat.size(); ++I) {
+      if (!Keep[I])
+        continue;
+      if (const auto *AN = dyn_cast<AssignNode>(Flat[I])) {
+        auto It = Pinned.find(AN->field());
+        if (It != Pinned.end() && It->second == AN->value()) {
+          Keep[I] = 0;
+          Changed = true;
+        } else {
+          Pinned[AN->field()] = AN->value();
+        }
+      } else if (!Flat[I]->isPredicate()) {
+        Pinned.clear();
+      }
+    }
+    if (!Changed)
+      return F.N;
+    const Node *Result = Ctx.skip();
+    for (std::size_t I = 0; I < Flat.size(); ++I)
+      if (Keep[I])
+        Result = Ctx.seq(Result, Flat[I]);
+    return Result;
+  }
+
+  const Node *combineCase(TFrame &F) {
+    const auto *C = cast<CaseNode>(F.N);
+    const auto &Br = C->branches();
+    bool Changed = F.CutAtTotal || F.ArmIdx.size() != Br.size() ||
+                   (!F.KeepDefault && !F.CutAtTotal &&
+                    !isa<DropNode>(C->defaultBranch()));
+    for (std::size_t I = 0; I < F.Out.size(); ++I)
+      Changed |= F.Out[I] != F.Kids[I];
+    if (!Changed)
+      return F.N;
+
+    std::vector<CaseNode::Branch> Branches;
+    std::size_t NumArms = F.ArmIdx.size();
+    const Node *Default = nullptr;
+    if (F.CutAtTotal) {
+      // The last kept arm's guard is total: its body is the new default.
+      for (std::size_t K = 0; K + 1 < NumArms; ++K)
+        Branches.push_back({F.Out[2 * K], F.Out[2 * K + 1]});
+      Default = F.Out[2 * (NumArms - 1) + 1];
+    } else {
+      for (std::size_t K = 0; K < NumArms; ++K)
+        Branches.push_back({F.Out[2 * K], F.Out[2 * K + 1]});
+      Default = F.KeepDefault ? F.Out.back() : Ctx.drop();
+    }
+    return Ctx.caseOf(std::move(Branches), Default);
+  }
+
+  Context &Ctx;
+  const DomainAnalysis &A;
+  std::vector<TFrame> Stack;
+  const Node *Ret = nullptr;
+};
+
+} // namespace
+
+const Node *ast::simplify(Context &Ctx, const Node *Program,
+                          const SimplifyOptions &Opts,
+                          SimplifyStats *Stats) {
+  const Node *Cur = Program;
+  unsigned Round = 0;
+  for (; Round < Opts.MaxRounds; ++Round) {
+    DomainAnalysis A(Ctx, Cur, Opts.Analyze);
+    const Node *Next = Transformer(Ctx, A).run(Cur);
+    if (Next == Cur || structurallyEqual(Next, Cur))
+      break;
+    Cur = Next;
+  }
+  if (Stats) {
+    Stats->Rounds = Round;
+    Stats->NodesBefore = countNodes(Program);
+    Stats->NodesAfter = countNodes(Cur);
+  }
+  return Cur;
+}

@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verified AST simplification (ARCHITECTURE S15): a semantics-preserving
+/// rewrite driven by the S15 abstract interpretation (ast/Analyze.h).
+/// Constant-folds tests against the inferred per-field domains, prunes
+/// unreachable case arms / if branches / while loops, folds trivial
+/// choices, removes dead and redundant assignments, and lets the Context
+/// smart constructors collapse skip/drop units in rebuilt seq/union
+/// chains.
+///
+/// The contract — enforced continuously by Oracle::crossCheckProgram's
+/// CheckSimplify step on every conformance scenario and fuzz case — is:
+///   1. compile(simplify(p)) and compile(p) are reference-equal FDDs
+///      (the analysis starts from the full input space and FDD
+///      compilation is canonical, so any pointwise-equal rewrite yields
+///      the identical diagram), and
+///   2. simplify is idempotent: simplify(simplify(p)) == simplify(p).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_AST_SIMPLIFY_H
+#define MCNK_AST_SIMPLIFY_H
+
+#include "ast/Analyze.h"
+
+namespace mcnk {
+namespace ast {
+
+struct SimplifyOptions {
+  AnalyzeOptions Analyze;
+  /// Safety valve on the rewrite-until-fixpoint loop. Each changing round
+  /// strictly reduces a (tree-size, foldable-leaves) measure, so real
+  /// programs converge in a handful of rounds.
+  unsigned MaxRounds = 16;
+};
+
+struct SimplifyStats {
+  unsigned Rounds = 0;
+  std::size_t NodesBefore = 0;
+  std::size_t NodesAfter = 0;
+};
+
+/// Rewrites \p Program to an equivalent, usually smaller program. New
+/// nodes are built in \p Ctx; when nothing simplifies, the original
+/// pointer is returned unchanged (so cache fingerprints are stable).
+const Node *simplify(Context &Ctx, const Node *Program,
+                     const SimplifyOptions &Opts = {},
+                     SimplifyStats *Stats = nullptr);
+
+} // namespace ast
+} // namespace mcnk
+
+#endif // MCNK_AST_SIMPLIFY_H

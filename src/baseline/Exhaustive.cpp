@@ -61,8 +61,8 @@ bool evalPredicate(const Node *P, const Packet &Pkt) {
 /// FDD-style optimization this baseline deliberately lacks).
 class PathExplorer {
 public:
-  PathExplorer(const InferenceOptions &Options, InferenceResult &Result)
-      : Options(Options), Result(Result) {}
+  PathExplorer(const InferenceOptions &Opts, InferenceResult &Res)
+      : Options(Opts), Result(Res) {}
 
   using Continuation = std::function<void(const Packet &, const Rational &)>;
 

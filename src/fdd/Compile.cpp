@@ -11,6 +11,7 @@
 #include "fdd/Compile.h"
 
 #include "ast/Hash.h"
+#include "ast/Simplify.h"
 #include "fdd/CompileCache.h"
 #include "fdd/Export.h"
 #include "support/Casting.h"
@@ -241,6 +242,12 @@ struct StructureOverride {
 FddRef fdd::compile(FddManager &Manager, const Node *Program,
                     const CompileOptions &Options) {
   CompileOptions O = Options;
+  if (O.Simplify) {
+    // Once, before any worker copies the options: ast::Context (the arena
+    // behind the rewrite) is not thread-safe.
+    Program = ast::simplify(*O.Simplify, Program);
+    O.Simplify = nullptr;
+  }
   StructureOverride Override(Manager, O.Structure);
   std::unique_ptr<ThreadPool> Owned;
   if (O.ParallelCase && !O.Pool) {

@@ -20,6 +20,10 @@ namespace mcnk {
 
 class ThreadPool;
 
+namespace ast {
+class Context;
+} // namespace ast
+
 namespace fdd {
 
 class CompileCache;
@@ -49,6 +53,15 @@ struct CompileOptions {
   /// below a handful of nodes, recompiling is cheaper than a lookup plus
   /// portable-FDD import.
   std::size_t CacheMinNodes = 16;
+  /// When non-null, run the verified S15 simplifier (ast/Simplify.h) over
+  /// the program before compiling, building any rewritten nodes in this
+  /// context (it must own the program's nodes). Happens exactly once at
+  /// the top of compile() — the option is cleared before parallel-`case`
+  /// workers copy the options, because ast::Context is not thread-safe —
+  /// and composes with the S12 cache: the fingerprint pass runs over the
+  /// already-simplified tree, so smaller programs fingerprint faster and
+  /// collapse onto shared cache entries.
+  ast::Context *Simplify = nullptr;
   /// Solver-structure override for while-loop solves during this compile
   /// (docs/ARCHITECTURE.md S13). When null, the manager's own structure
   /// applies; either way, parallel-`case` worker managers inherit the

@@ -14,6 +14,7 @@
 
 #include "analysis/Verifier.h"
 #include "ast/Printer.h"
+#include "ast/Simplify.h"
 #include "ast/Traversal.h"
 #include "baseline/Exhaustive.h"
 #include "fdd/CompileCache.h"
@@ -220,6 +221,31 @@ OracleReport gen::crossCheckProgram(Context &Ctx, const Node *Program,
     C.check(fdd::importFdd(VExact.manager(), Reexported) == E,
             "cross-manager export -> import -> export round-trip lost "
             "reference equality");
+  }
+
+  // --- Verified-simplifier cross-checks (ARCHITECTURE S15) --------------
+  // The simplifier only applies rewrites the abstract interpretation
+  // proves pointwise semantics-preserving over the full input space, and
+  // FDD compilation is canonical — so the simplified program must compile
+  // to the reference-identical exact diagram, on every conformance
+  // scenario and fuzz case the oracle ever sees. Idempotence and the
+  // CompileOptions.Simplify hook are held to the same standard.
+  if (O.CheckSimplify) {
+    const Node *Simplified = ast::simplify(Ctx, Program);
+    C.check(VExact.compile(Simplified) == E,
+            "simplified program compiles to a different diagram than the "
+            "original");
+    const Node *Again = ast::simplify(Ctx, Simplified);
+    C.check(Again == Simplified ||
+                ast::structurallyEqual(Again, Simplified),
+            "simplify is not idempotent");
+    analysis::Verifier VS(markov::SolverKind::Exact);
+    VS.setSimplify(&Ctx);
+    fdd::FddRef ViaHook = VS.compile(Program);
+    fdd::PortableFdd Ref = fdd::exportFdd(VExact.manager(), E);
+    C.check(fdd::importFdd(VS.manager(), Ref) == ViaHook,
+            "CompileOptions.Simplify compile is not reference-equal to "
+            "the plain exact engine");
   }
 
   // --- Block-structured solver cross-checks (ARCHITECTURE S13) ----------

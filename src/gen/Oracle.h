@@ -77,6 +77,12 @@ struct OracleOptions {
   /// cache-backed cold/hit — must all be reference-equal to the Rational
   /// exact engine's diagram; reconstruction is verified, never trusted.
   bool CheckModular = true;
+  /// Cross-check the verified simplifier (docs/ARCHITECTURE.md S15):
+  /// simplify(p) must compile to a diagram reference-equal to p's under
+  /// the exact engine (the simplifier's soundness contract), simplify
+  /// must be idempotent, and the CompileOptions.Simplify compile-time
+  /// hook must agree with the standalone rewrite.
+  bool CheckSimplify = true;
 };
 
 /// Accumulated outcome of an oracle run.

@@ -106,6 +106,20 @@ const Node *genCase(Context &Ctx, Prng &Rng, const GenOptions &O,
   for (std::size_t I = 0; I < NumBranches; ++I)
     Branches.push_back({generatePredicate(Ctx, Rng, O, 1),
                         genProgram(Ctx, Rng, O, Depth - 1)});
+  // Statically-dead arms (never fire under first-match, so semantics are
+  // unchanged): a repeated earlier guard — shadowed, and an overlapping
+  // pair when the guard is satisfiable — or a contradictory guard g;¬g.
+  if (O.PlantDeadArms && Rng.chance(2, 3)) {
+    if (Rng.chance(1, 2)) {
+      const Node *Earlier =
+          Branches[Rng.below(Branches.size())].first;
+      Branches.push_back({Earlier, genProgram(Ctx, Rng, O, Depth - 1)});
+    } else {
+      const Node *G = generatePredicate(Ctx, Rng, O, 1);
+      Branches.push_back({Ctx.seq(G, Ctx.negate(G)),
+                          genProgram(Ctx, Rng, O, Depth - 1)});
+    }
+  }
   const Node *Default =
       Rng.chance(1, 2) ? Ctx.drop() : genProgram(Ctx, Rng, O, Depth - 1);
   return Ctx.caseOf(std::move(Branches), Default);

@@ -48,6 +48,14 @@ struct GenOptions {
   unsigned WeightIte = 3;
   unsigned WeightWhile = 2;
   unsigned WeightCase = 2;
+
+  /// Plant statically-dead material in generated `case` constructs: a
+  /// duplicated earlier guard (shadowed arm, and an overlapping pair) or
+  /// a contradictory guard g;¬g (unreachable arm). Dead arms never fire
+  /// under first-match semantics, so programs stay semantics-preserving —
+  /// this exercises the S15 analyzer/simplifier (ast/Analyze.h) on shapes
+  /// the plain grammar rarely produces.
+  bool PlantDeadArms = false;
 };
 
 /// Generates a random guarded-fragment program; fields are interned into

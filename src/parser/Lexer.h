@@ -63,7 +63,7 @@ struct Token {
 /// Single-pass lexer over an in-memory buffer.
 class Lexer {
 public:
-  explicit Lexer(const std::string &Source) : Source(Source) {}
+  explicit Lexer(const std::string &Src) : Source(Src) {}
 
   /// Scans and returns the next token (Eof forever at end of input).
   Token next();

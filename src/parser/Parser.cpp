@@ -26,8 +26,8 @@ namespace {
 
 class ParserImpl {
 public:
-  ParserImpl(const std::string &Source, Context &Ctx)
-      : Lex(Source), Ctx(Ctx) {
+  ParserImpl(const std::string &Source, Context &C)
+      : Lex(Source), Ctx(C) {
     Tok = Lex.next();
   }
 
@@ -38,6 +38,7 @@ public:
       Program = nullptr;
     Result.Program = Failed ? nullptr : Program;
     Result.Diagnostics = std::move(Diags);
+    Result.Warnings = Failed ? std::vector<Diagnostic>{} : std::move(Warns);
     return Result;
   }
 
@@ -74,13 +75,28 @@ private:
     if (Failed)
       return; // Report only the first error; later ones are cascades.
     Failed = true;
-    Diags.push_back({Tok.Line, Tok.Column, Message});
+    Diags.push_back({Tok.Line, Tok.Column, Message, ""});
+  }
+
+  void warn(const Token &At, const char *Check, const std::string &Message) {
+    Warns.push_back({At.Line, At.Column, Message, Check});
+  }
+
+  /// Records \p At as the source location of \p N (first write wins, so
+  /// compound nodes keep their own start while reused operands keep
+  /// theirs).
+  const Node *located(const Node *N, const Token &At) {
+    if (N)
+      Ctx.noteLoc(N, {At.Line, At.Column});
+    return N;
   }
 
   // --- Grammar ----------------------------------------------------------
   const Node *parseChoice() {
+    Token Start = Tok;
     const Node *Lhs = parseUnion();
     while (!Failed && at(TokenKind::Plus)) {
+      Token OpTok = Tok;
       bump();
       if (!expect(TokenKind::LBracket))
         return nullptr;
@@ -97,29 +113,38 @@ private:
       const Node *Rhs = parseUnion();
       if (Failed)
         return nullptr;
-      Lhs = Ctx.choice(Prob, Lhs, Rhs);
+      // r = 0 and r = 1 collapse in Ctx.choice and never reach the AST, so
+      // the lint diagnostic has to be raised here.
+      if (Prob.isZero() || Prob.isOne())
+        warn(OpTok, "degenerate-choice",
+             "probabilistic choice with probability " + Prob.toString() +
+                 " is degenerate: only the " +
+                 (Prob.isOne() ? "left" : "right") + " branch can run");
+      Lhs = located(Ctx.choice(Prob, Lhs, Rhs), Start);
     }
     return Failed ? nullptr : Lhs;
   }
 
   const Node *parseUnion() {
+    Token Start = Tok;
     const Node *Lhs = parseSeq();
     while (!Failed && accept(TokenKind::Amp)) {
       const Node *Rhs = parseSeq();
       if (Failed)
         return nullptr;
-      Lhs = Ctx.unite(Lhs, Rhs);
+      Lhs = located(Ctx.unite(Lhs, Rhs), Start);
     }
     return Failed ? nullptr : Lhs;
   }
 
   const Node *parseSeq() {
+    Token Start = Tok;
     const Node *Lhs = parseUnary();
     while (!Failed && accept(TokenKind::Semi)) {
       const Node *Rhs = parseUnary();
       if (Failed)
         return nullptr;
-      Lhs = Ctx.seq(Lhs, Rhs);
+      Lhs = located(Ctx.seq(Lhs, Rhs), Start);
     }
     return Failed ? nullptr : Lhs;
   }
@@ -134,22 +159,24 @@ private:
       if (!Operand->isPredicate()) {
         Failed = true;
         Diags.push_back({BangTok.Line, BangTok.Column,
-                         "negation '!' applies only to predicates"});
+                         "negation '!' applies only to predicates", {}});
         return nullptr;
       }
-      return Ctx.negate(Operand);
+      return located(Ctx.negate(Operand), BangTok);
     }
     return parsePostfix();
   }
 
   const Node *parsePostfix() {
+    Token Start = Tok;
     const Node *Atom = parseAtom();
     while (!Failed && accept(TokenKind::Star))
-      Atom = Ctx.star(Atom);
+      Atom = located(Ctx.star(Atom), Start);
     return Failed ? nullptr : Atom;
   }
 
   const Node *parseAtom() {
+    Token Start = Tok;
     switch (Tok.Kind) {
     case TokenKind::KwDrop:
       bump();
@@ -165,15 +192,15 @@ private:
       return Inner;
     }
     case TokenKind::Ident:
-      return parseTestOrAssign();
+      return located(parseTestOrAssign(), Start);
     case TokenKind::KwIf:
-      return parseIf();
+      return located(parseIf(), Start);
     case TokenKind::KwWhile:
-      return parseWhile();
+      return located(parseWhile(), Start);
     case TokenKind::KwVar:
-      return parseVar();
+      return located(parseVar(), Start);
     case TokenKind::KwCase:
-      return parseCase();
+      return located(parseCase(), Start);
     default:
       error("expected a program, found " + describeCurrent());
       return nullptr;
@@ -281,7 +308,7 @@ private:
     if (!Pred->isPredicate()) {
       Failed = true;
       Diags.push_back({Start.Line, Start.Column,
-                       std::string(What) + " must be a predicate"});
+                       std::string(What) + " must be a predicate", {}});
       return nullptr;
     }
     return Pred;
@@ -360,6 +387,7 @@ private:
   Token Tok;
   bool Failed = false;
   std::vector<Diagnostic> Diags;
+  std::vector<Diagnostic> Warns;
 };
 
 } // namespace

@@ -34,25 +34,35 @@
 namespace mcnk {
 namespace parser {
 
-/// A parse-time error with 1-based source coordinates.
+/// A parse-time message with 1-based source coordinates. Hard errors have
+/// an empty \c Check; lint-style warnings carry the kebab-case check slug
+/// (e.g. "degenerate-choice") so `mcnk_cli lint` can frame them uniformly
+/// with the ast/Analyze findings.
 struct Diagnostic {
   unsigned Line = 0;
   unsigned Column = 0;
   std::string Message;
+  std::string Check;
 
   std::string render() const;
 };
 
 /// Outcome of a parse: a program on success, diagnostics on failure.
+/// Warnings are advisory and may accompany a successful parse — today the
+/// only producer is the degenerate `⊕_r` check (r = 0 or r = 1), which must
+/// fire here because Context::choice collapses those choices on
+/// construction and they never exist in the AST.
 struct ParseResult {
   const ast::Node *Program = nullptr;
   std::vector<Diagnostic> Diagnostics;
+  std::vector<Diagnostic> Warnings;
 
   bool ok() const { return Program != nullptr; }
 };
 
 /// Parses \p Source into AST nodes owned by \p Ctx. Field names are
-/// interned into Ctx's field table in order of first occurrence.
+/// interned into Ctx's field table in order of first occurrence. Node
+/// source locations are recorded in Ctx's side table (ast::Context::loc).
 ParseResult parseProgram(const std::string &Source, ast::Context &Ctx);
 
 } // namespace parser

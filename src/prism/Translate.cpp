@@ -38,7 +38,7 @@ struct Edge {
 /// guards, or one family of unguarded probabilistic edges summing to 1).
 class AutomatonBuilder {
 public:
-  AutomatonBuilder(Context &Ctx) : Ctx(Ctx) {
+  AutomatonBuilder(Context &C) : Ctx(C) {
     Entry = fresh();
     Done = fresh();
     Drop = fresh();

@@ -20,8 +20,8 @@ using namespace mcnk;
 using namespace mcnk::semantics;
 using namespace mcnk::ast;
 
-SetSemantics::SetSemantics(Context &Ctx, PacketDomain Dom)
-    : Ctx(Ctx), Domain(std::move(Dom)) {
+SetSemantics::SetSemantics(Context &C, PacketDomain Dom)
+    : Ctx(C), Domain(std::move(Dom)) {
   if (Domain.numPackets() > 64)
     fatalError("SetSemantics domain exceeds 64 packets");
   Packets.reserve(Domain.numPackets());

@@ -124,7 +124,7 @@ private:
 /// outlives tasks that reference it.
 class TaskGroup {
 public:
-  explicit TaskGroup(ThreadPool &Pool) : Pool(Pool) {}
+  explicit TaskGroup(ThreadPool &P) : Pool(P) {}
   ~TaskGroup();
 
   TaskGroup(const TaskGroup &) = delete;

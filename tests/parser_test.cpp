@@ -148,6 +148,74 @@ TEST_F(ParserTest, DiagnosticsCarryPositions) {
   EXPECT_NE(Msg.find("unexpected character"), std::string::npos) << Msg;
 }
 
+TEST_F(ParserTest, DiagnosticRenderFormatIsPinned) {
+  // The `line:col: message` rendering is machine-consumed (editors, the
+  // lint_smoke ctest); pin it exactly.
+  ParseResult Result = parser::parseProgram("sw=1 ;\n@", Ctx);
+  ASSERT_FALSE(Result.ok());
+  ASSERT_FALSE(Result.Diagnostics.empty());
+  EXPECT_EQ(Result.Diagnostics[0].render(),
+            "2:1: expected a program, found unexpected character '@'");
+  EXPECT_TRUE(Result.Diagnostics[0].Check.empty()); // Hard error, no slug.
+
+  Result = parser::parseProgram("pt :=", Ctx);
+  ASSERT_FALSE(Result.ok());
+  ASSERT_FALSE(Result.Diagnostics.empty());
+  EXPECT_EQ(Result.Diagnostics[0].render(),
+            "1:6: expected a natural number, found end of input");
+}
+
+TEST_F(ParserTest, NodeLocationsRecordedInTheSideTable) {
+  const Node *P = parseOk("sw=1 ;\n  pt:=2");
+  SourceLoc Root = Ctx.loc(P);
+  EXPECT_EQ(Root.Line, 1u);
+  EXPECT_EQ(Root.Column, 1u);
+  const auto *S = cast<SeqNode>(P);
+  EXPECT_EQ(Ctx.loc(S->lhs()).Line, 1u);
+  EXPECT_EQ(Ctx.loc(S->lhs()).Column, 1u);
+  EXPECT_EQ(Ctx.loc(S->rhs()).Line, 2u);
+  EXPECT_EQ(Ctx.loc(S->rhs()).Column, 3u);
+}
+
+TEST_F(ParserTest, SingletonsHaveNoLocation) {
+  parseOk("skip ; drop");
+  // drop/skip are context-wide singletons: one parse position must not
+  // stick to every later occurrence.
+  EXPECT_FALSE(Ctx.loc(Ctx.skip()).valid());
+  EXPECT_FALSE(Ctx.loc(Ctx.drop()).valid());
+}
+
+TEST_F(ParserTest, DegenerateChoiceWarns) {
+  ParseResult Result = parser::parseProgram("pt:=1 +[1] pt:=2", Ctx);
+  ASSERT_TRUE(Result.ok());
+  EXPECT_TRUE(isa<AssignNode>(Result.Program)); // Collapsed to the left.
+  ASSERT_EQ(Result.Warnings.size(), 1u);
+  EXPECT_EQ(Result.Warnings[0].Check, "degenerate-choice");
+  EXPECT_EQ(Result.Warnings[0].Line, 1u);
+  EXPECT_EQ(Result.Warnings[0].Column, 7u);
+  EXPECT_EQ(Result.Warnings[0].Message,
+            "probabilistic choice with probability 1 is degenerate: only "
+            "the left branch can run");
+
+  Result = parser::parseProgram("pt:=1 +[0] pt:=2", Ctx);
+  ASSERT_TRUE(Result.ok());
+  ASSERT_EQ(Result.Warnings.size(), 1u);
+  EXPECT_EQ(Result.Warnings[0].Message,
+            "probabilistic choice with probability 0 is degenerate: only "
+            "the right branch can run");
+
+  // A proper probability is quiet.
+  Result = parser::parseProgram("pt:=1 +[1/2] pt:=2", Ctx);
+  ASSERT_TRUE(Result.ok());
+  EXPECT_TRUE(Result.Warnings.empty());
+}
+
+TEST_F(ParserTest, WarningsAreDroppedOnFailedParses) {
+  ParseResult Result = parser::parseProgram("pt:=1 +[1] @", Ctx);
+  EXPECT_FALSE(Result.ok());
+  EXPECT_TRUE(Result.Warnings.empty());
+}
+
 TEST_F(ParserTest, RejectsMalformedPrograms) {
   EXPECT_NE(parseError(""), "");
   EXPECT_NE(parseError("sw="), "");
