@@ -19,6 +19,9 @@
 #                                   # bench/ via compile_commands.json
 #                                   # (skips with a notice when the tool
 #                                   # is not installed)
+#        ./ci.sh serve-smoke [build-dir]  # build mcnk_serve + mcnk_cli and
+#                                   # run the daemon restart / fix-no-op
+#                                   # smoke tests plus the serve suite
 #   BUILD_TYPE=Debug ./ci.sh        # non-Release build
 #   MCNK_SANITIZE=ON ./ci.sh        # ASan/UBSan run
 #   MCNK_SANITIZE=ON ./ci.sh fuzz   # fuzz pass under ASan/UBSan
@@ -41,6 +44,9 @@ elif [ "${1:-}" = "fuzz" ]; then
 elif [ "${1:-}" = "tidy" ]; then
   MODE=tidy
   shift
+elif [ "${1:-}" = "serve-smoke" ]; then
+  MODE=serve-smoke
+  shift
 fi
 
 DEFAULT_DIR=build
@@ -61,7 +67,7 @@ if [ "$MODE" = "tsan" ]; then
     -DMCNK_BUILD_BENCH=OFF \
     -DMCNK_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR" -j "$JOBS" \
-    --target support_threadpool_test fdd_parallel_test
+    --target support_threadpool_test fdd_parallel_test serve_test
   # Death tests fork, which TSan dislikes; they are covered by the
   # regular suite, so skip them here.
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
@@ -69,6 +75,11 @@ if [ "$MODE" = "tsan" ]; then
     --gtest_filter='-*DeathTest*'
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     "$BUILD_DIR/fdd_parallel_test"
+  # The serving layer's concurrency: sessions racing on one shared
+  # CompileCache + CacheStore, and the TCP accept/connection threads.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    "$BUILD_DIR/serve_test" \
+    --gtest_filter='-*DeathTest*'
   echo "ThreadSanitizer pass clean"
   exit 0
 fi
@@ -127,6 +138,27 @@ if [ "$MODE" = "fuzz" ]; then
   exit 0
 fi
 
+if [ "$MODE" = "serve-smoke" ]; then
+  # Serving-layer smoke (ARCHITECTURE S16): the daemon restart cycle
+  # (cold store -> warm store, byte-identical answers), the lint --fix
+  # no-op contract, and the full serve_test suite. Composes with
+  # MCNK_SANITIZE=ON for an ASan/UBSan pass over the socket and store
+  # paths (use a fresh build dir, as with fuzz).
+  if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+      -DMCNK_WERROR=ON \
+      -DMCNK_SANITIZE="$SANITIZE"
+  fi
+  cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target mcnk_serve mcnk_cli serve_test
+  "$BUILD_DIR/serve_test"
+  (cd "$BUILD_DIR" && ctest -R 'serve_smoke|fix_noop_smoke' \
+    --output-on-failure)
+  echo "Serve smoke pass clean"
+  exit 0
+fi
+
 if [ "$MODE" = "bench" ]; then
   # Bench mode reuses an existing build tree (benchmarks want a warm
   # Release build, not a from-scratch rebuild) — but refuses Debug or
@@ -148,7 +180,7 @@ if [ "$MODE" = "bench" ]; then
   fi
   cmake --build "$BUILD_DIR" -j "$JOBS" \
     --target micro_support micro_linalg fig08_parallel_speedup \
-             fig07_fattree_scalability scenario_sweep
+             fig07_fattree_scalability scenario_sweep serve_throughput
   mkdir -p bench/results
   for bench in micro_support micro_linalg; do
     if [ ! -x "$BUILD_DIR/$bench" ]; then
@@ -192,7 +224,12 @@ if [ "$MODE" = "bench" ]; then
   # CRT moduli and the >= 5x exact-solve speedups live).
   MCNK_FIG7_MODULAR_JSON=bench/results/BENCH_solver_modular.json \
     "$BUILD_DIR/fig07_fattree_scalability"
-  echo "Wrote bench/results/BENCH_micro_{support,linalg}.json, BENCH_fig08_parallel.json, BENCH_sweep_{cache,blocked,modular,simplify}.json, and BENCH_solver_{blocked,modular}.json"
+  # Serving-layer trajectory point: the registry replayed through one
+  # daemon session, cold store vs restart-warmed store (warm answers must
+  # come from disk and be byte-identical; the run fails otherwise).
+  MCNK_SERVE_JSON=bench/results/BENCH_serve_throughput.json \
+    "$BUILD_DIR/serve_throughput"
+  echo "Wrote bench/results/BENCH_micro_{support,linalg}.json, BENCH_fig08_parallel.json, BENCH_sweep_{cache,blocked,modular,simplify}.json, BENCH_solver_{blocked,modular}.json, and BENCH_serve_throughput.json"
   exit 0
 fi
 

@@ -1,0 +1,58 @@
+# Pins the `mcnk_cli lint --fix` no-op contract: the first --fix on a
+# simplifiable program rewrites the file; a second --fix on the now
+# already-simplified text must leave the file completely alone — same
+# bytes AND same mtime (a truncate-and-rewrite of identical bytes would
+# still bump the timestamp and re-trigger anything watching the file).
+#
+# Usage:
+#   cmake -DCLI=<mcnk_cli> -DWORKDIR=<scratch dir> -P RunFixNoop.cmake
+
+foreach(var CLI WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "RunFixNoop.cmake: ${var} is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+set(prog ${WORKDIR}/prog.pnk)
+file(WRITE ${prog} "if sw=1 then (skip ; pt:=2) else drop\n")
+
+# First --fix: simplifies (skip ; pt:=2) away, so the file is rewritten.
+execute_process(
+  COMMAND ${CLI} lint --fix ${prog}
+  OUTPUT_VARIABLE out1 ERROR_VARIABLE err1 RESULT_VARIABLE code1)
+if(NOT code1 EQUAL 0)
+  message(FATAL_ERROR "first --fix exited ${code1}\n${out1}\n${err1}")
+endif()
+if(NOT err1 MATCHES "fixed: ")
+  message(FATAL_ERROR "first --fix did not rewrite\nstderr:\n${err1}")
+endif()
+
+file(READ ${prog} bytes_after_fix)
+file(TIMESTAMP ${prog} mtime_after_fix "%Y-%m-%dT%H:%M:%S" UTC)
+# A filesystem-timestamp tick between the runs would mask a rewrite.
+execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 1.1)
+
+# Second --fix: already simplified, must not touch the file.
+execute_process(
+  COMMAND ${CLI} lint --fix ${prog}
+  OUTPUT_VARIABLE out2 ERROR_VARIABLE err2 RESULT_VARIABLE code2)
+if(NOT code2 EQUAL 0)
+  message(FATAL_ERROR "second --fix exited ${code2}\n${out2}\n${err2}")
+endif()
+if(NOT err2 MATCHES "unchanged: ")
+  message(FATAL_ERROR
+    "second --fix did not report a no-op\nstderr:\n${err2}")
+endif()
+
+file(READ ${prog} bytes_after_noop)
+file(TIMESTAMP ${prog} mtime_after_noop "%Y-%m-%dT%H:%M:%S" UTC)
+if(NOT bytes_after_noop STREQUAL bytes_after_fix)
+  message(FATAL_ERROR "no-op --fix changed the file's bytes")
+endif()
+if(NOT mtime_after_noop STREQUAL mtime_after_fix)
+  message(FATAL_ERROR
+    "no-op --fix bumped the mtime (${mtime_after_fix} -> "
+    "${mtime_after_noop}): the file was rewritten")
+endif()

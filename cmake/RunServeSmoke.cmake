@@ -1,0 +1,73 @@
+# Drives the mcnk_serve restart cycle end to end (ARCHITECTURE S16):
+# runs the daemon twice in --stdio mode over one persistent store file.
+# The first (cold) run starts from an empty store and must append its
+# compiles; the second (warm) run simulates a restart and must load them
+# back — nonzero warmed-entry count, a cache hit on the replayed compile,
+# and response lines byte-identical to the cold run's.
+#
+# Usage:
+#   cmake -DSERVE=<mcnk_serve> -DWORKDIR=<scratch dir> -P RunServeSmoke.cmake
+
+foreach(var SERVE WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "RunServeSmoke.cmake: ${var} is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+set(store ${WORKDIR}/fdds.store)
+set(requests ${WORKDIR}/requests.jsonl)
+
+# The program is large enough to clear the compile cache's minimum-size
+# gate, so the compile lands in the store. Delivery from sw=1 is exactly 1.
+set(prog "if sw=1 then pt:=2 ; sw:=2 ; hops:=1 else if sw=2 then ((pt:=3 ; sw:=3 ; hops:=2) +[1/2] drop) else drop")
+file(WRITE ${requests}
+  "{\"verb\":\"compile\",\"program\":\"${prog}\",\"solver\":\"exact\"}\n"
+  "{\"verb\":\"query\",\"program\":\"${prog}\",\"query\":\"delivery\",\"inputs\":[{\"sw\":1},{\"sw\":2}]}\n"
+  "{\"verb\":\"shutdown\"}\n")
+
+function(run_daemon out_var err_var)
+  execute_process(
+    COMMAND ${SERVE} --stdio --store ${store}
+    INPUT_FILE ${requests}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "mcnk_serve exited ${code}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+  set(${err_var} "${err}" PARENT_SCOPE)
+endfunction()
+
+run_daemon(cold_out cold_err)
+run_daemon(warm_out warm_err)
+
+# The cold run opened an empty store...
+if(NOT cold_err MATCHES "\\(0 entries warmed\\)")
+  message(FATAL_ERROR
+    "cold run did not start from an empty store\nstderr:\n${cold_err}")
+endif()
+# ...the warm run loaded the cold run's compiles back from disk...
+if(NOT warm_err MATCHES "\\([1-9][0-9]* entr(y|ies) warmed\\)")
+  message(FATAL_ERROR
+    "warm run warmed no entries from the store\nstderr:\n${warm_err}")
+endif()
+# ...both runs answered every request, with the exact delivery answers...
+foreach(out IN ITEMS "${cold_out}" "${warm_out}")
+  if(NOT out MATCHES "\"results\":\\[\"1\",\"1/2\"\\]")
+    message(FATAL_ERROR
+      "delivery answers wrong or missing\nstdout:\n${out}")
+  endif()
+  if(out MATCHES "\"ok\":false")
+    message(FATAL_ERROR "a request failed\nstdout:\n${out}")
+  endif()
+endforeach()
+# ...and the restart changed nothing observable.
+if(NOT cold_out STREQUAL warm_out)
+  message(FATAL_ERROR
+    "warm responses differ from cold responses\n"
+    "cold:\n${cold_out}\nwarm:\n${warm_out}")
+endif()

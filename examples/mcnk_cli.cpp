@@ -288,6 +288,14 @@ int runLint(const std::vector<std::string> &Args) {
     std::string Printed = ast::print(Simplified, Ctx.fields()) + "\n";
     if (Path == "-") {
       std::printf("%s", Printed.c_str());
+    } else if (Printed == Source) {
+      // No-op fix: leave the file alone entirely. Opening it with trunc
+      // would rewrite identical bytes but still bump the mtime, which
+      // makes build systems and editors watching the file re-trigger on
+      // every lint run.
+      std::fprintf(stderr, "unchanged: %s (already simplified)\n",
+                   Path.c_str());
+      return 0;
     } else {
       std::ofstream File(Path, std::ios::trunc);
       if (!File || !(File << Printed)) {

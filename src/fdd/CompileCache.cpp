@@ -37,18 +37,38 @@ void CompileCache::insert(const ast::ProgramHash &Hash,
                           markov::SolverKind Solver, PortableFdd Diagram) {
   Key K{Hash, Solver};
   auto Stored = std::make_shared<const PortableFdd>(std::move(Diagram));
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Index.find(K);
-  if (It != Index.end()) {
-    // Canonicity makes re-inserts identical; just refresh recency.
-    Lru.splice(Lru.begin(), Lru, It->second);
-    return;
+  std::shared_ptr<const InsertObserver> Notify;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Index.find(K);
+    if (It != Index.end()) {
+      // Canonicity makes re-inserts identical; refresh recency, keep the
+      // first value, and leave Insertions/StoredNodes alone — counting
+      // this racing-workers path again is exactly the double-insert size
+      // skew the regression suite hammers for.
+      ++Counters.DuplicateInserts;
+      Lru.splice(Lru.begin(), Lru, It->second);
+      return;
+    }
+    ++Counters.Insertions;
+    Counters.StoredNodes += Stored->Nodes.size();
+    Lru.push_front(Entry{K, Stored});
+    Index.emplace(K, Lru.begin());
+    evictIfNeededLocked();
+    Notify = Observer;
   }
-  ++Counters.Insertions;
-  Counters.StoredNodes += Stored->Nodes.size();
-  Lru.push_front(Entry{K, std::move(Stored)});
-  Index.emplace(K, Lru.begin());
-  evictIfNeededLocked();
+  // Outside the lock: the observer may do file I/O (CacheStore::append).
+  // The entry may already have been evicted by a racing insert — the
+  // notification is still for a genuinely-new entry, which is the
+  // contract persistence relies on.
+  if (Notify && *Notify)
+    (*Notify)(Hash, Solver, Stored);
+}
+
+void CompileCache::setInsertObserver(InsertObserver O) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Observer = O ? std::make_shared<const InsertObserver>(std::move(O))
+               : nullptr;
 }
 
 void CompileCache::evictIfNeededLocked() {

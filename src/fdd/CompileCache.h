@@ -25,6 +25,7 @@
 #include "markov/Absorbing.h"
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -51,16 +52,36 @@ public:
 
   /// Stores a compiled diagram under (\p Key, \p Solver). Re-inserting an
   /// existing key refreshes recency and keeps the first value (canonicity
-  /// guarantees both are identical).
+  /// guarantees both are identical); duplicate inserts — the common case
+  /// when parallel `case` workers miss on the same fingerprint and race to
+  /// fill it — are counted separately and never touch the size accounting.
   void insert(const ast::ProgramHash &Key, markov::SolverKind Solver,
               PortableFdd Diagram);
 
-  /// Counters since construction (or the last clear()).
+  /// Called once per *genuinely new* entry, after the cache's lock has
+  /// been released — never for the duplicate-insert dedup path, so a
+  /// persistence layer (fdd::CacheStore) appending from this hook writes
+  /// each entry exactly once no matter how many workers raced on the key.
+  using InsertObserver = std::function<void(
+      const ast::ProgramHash &, markov::SolverKind,
+      const std::shared_ptr<const PortableFdd> &)>;
+  /// Installs \p Observer (null disarms). Must not be changed while other
+  /// threads are inserting; install it before the cache is shared. The
+  /// observer must not call back into this cache.
+  void setInsertObserver(InsertObserver Observer);
+
+  /// Counters since construction (or the last clear()). Invariants the
+  /// regression suite pins: Insertions - Evictions == Entries,
+  /// Insertions + DuplicateInserts == total insert() calls, and
+  /// StoredNodes is the node sum of exactly the resident entries.
   struct Stats {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
     uint64_t Insertions = 0;
     uint64_t Evictions = 0;
+    /// insert() calls that found the key already resident (kept the first
+    /// value, refreshed recency, changed no size accounting).
+    uint64_t DuplicateInserts = 0;
     std::size_t Entries = 0;     ///< Current entry count.
     std::size_t StoredNodes = 0; ///< Total portable nodes currently held.
   };
@@ -98,6 +119,10 @@ private:
   std::list<Entry> Lru;
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> Index;
   Stats Counters;
+  /// Behind a shared_ptr so insert() can copy the handle under the lock
+  /// and invoke outside it (file I/O in an observer must not serialize
+  /// every other cache operation).
+  std::shared_ptr<const InsertObserver> Observer;
 };
 
 } // namespace fdd

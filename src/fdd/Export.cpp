@@ -53,16 +53,21 @@ PortableFdd fdd::exportFdd(const FddManager &Manager, FddRef Ref) {
   return Result;
 }
 
-FddRef fdd::importFdd(FddManager &Manager, const PortableFdd &Portable) {
-  // Validate up front (in every build type): a malformed diagram — child
-  // indices out of range or not strictly topological — would otherwise
-  // index uninitialized refs and corrupt the manager.
+bool fdd::validateFdd(const PortableFdd &Portable, std::string *Error) {
+  auto Fail = [&](std::string Msg) {
+    if (Error)
+      *Error = std::move(Msg);
+    return false;
+  };
+  // A malformed diagram — child indices out of range or not strictly
+  // topological — would otherwise index uninitialized refs and corrupt
+  // the importing manager.
   if (Portable.Nodes.empty())
-    fatalError("importFdd: portable diagram has no nodes");
+    return Fail("portable diagram has no nodes");
   if (Portable.Root >= Portable.Nodes.size())
-    fatalError("importFdd: root index " + std::to_string(Portable.Root) +
-               " out of range (diagram has " +
-               std::to_string(Portable.Nodes.size()) + " nodes)");
+    return Fail("root index " + std::to_string(Portable.Root) +
+                " out of range (diagram has " +
+                std::to_string(Portable.Nodes.size()) + " nodes)");
   for (std::size_t I = 0; I < Portable.Nodes.size(); ++I) {
     const PortableFdd::Node &Node = Portable.Nodes[I];
     if (Node.IsLeaf) {
@@ -71,39 +76,45 @@ FddRef fdd::importFdd(FddManager &Manager, const PortableFdd &Portable) {
       // asserts this, which Release builds compile out.
       Rational Total;
       for (const auto &[Act, Weight] : Node.Dist) {
-        (void)Act;
+        if (Act.isDrop() && !Act.mods().empty())
+          return Fail("leaf " + std::to_string(I) +
+                      " has a drop action carrying modifications");
         if (Weight.isNegative())
-          fatalError("importFdd: leaf " + std::to_string(I) +
-                     " has a negative probability");
+          return Fail("leaf " + std::to_string(I) +
+                      " has a negative probability");
         Total += Weight;
       }
       if (!Total.isOne())
-        fatalError("importFdd: leaf " + std::to_string(I) +
-                   " distribution does not sum to 1");
+        return Fail("leaf " + std::to_string(I) +
+                    " distribution does not sum to 1");
       continue;
     }
     if (Node.Hi >= I || Node.Lo >= I)
-      fatalError("importFdd: node " + std::to_string(I) +
-                 " has child indices (" + std::to_string(Node.Hi) + ", " +
-                 std::to_string(Node.Lo) +
-                 ") violating topological order (children must precede "
-                 "parents)");
+      return Fail("node " + std::to_string(I) + " has child indices (" +
+                  std::to_string(Node.Hi) + ", " + std::to_string(Node.Lo) +
+                  ") violating topological order (children must precede "
+                  "parents)");
     // The canonical-FDD ordering invariants (see Fdd.h): rebuilding a
     // diagram that violates them would hash-cons non-canonical nodes and
     // silently break reference-equality equivalence. Checking each
     // node's children covers the whole subtree inductively.
     const PortableFdd::Node &Hi = Portable.Nodes[Node.Hi];
     if (!Hi.IsLeaf && Hi.Field <= Node.Field)
-      fatalError("importFdd: node " + std::to_string(I) +
-                 " true-subtree re-tests field " + std::to_string(Hi.Field) +
-                 " (test ordering violated)");
+      return Fail("node " + std::to_string(I) + " true-subtree re-tests field " +
+                  std::to_string(Hi.Field) + " (test ordering violated)");
     const PortableFdd::Node &Lo = Portable.Nodes[Node.Lo];
     if (!Lo.IsLeaf && (Lo.Field < Node.Field ||
                        (Lo.Field == Node.Field && Lo.Value <= Node.Value)))
-      fatalError("importFdd: node " + std::to_string(I) +
-                 " false-subtree violates test ordering");
+      return Fail("node " + std::to_string(I) +
+                  " false-subtree violates test ordering");
   }
+  return true;
+}
 
+namespace {
+
+/// The build half of the importers: assumes \p Portable already validated.
+FddRef buildValidated(FddManager &Manager, const PortableFdd &Portable) {
   std::vector<FddRef> Refs(Portable.Nodes.size());
   for (std::size_t I = 0; I < Portable.Nodes.size(); ++I) {
     const PortableFdd::Node &Node = Portable.Nodes[I];
@@ -115,6 +126,23 @@ FddRef fdd::importFdd(FddManager &Manager, const PortableFdd &Portable) {
         Manager.inner(Node.Field, Node.Value, Refs[Node.Hi], Refs[Node.Lo]);
   }
   return Refs[Portable.Root];
+}
+
+} // namespace
+
+FddRef fdd::importFdd(FddManager &Manager, const PortableFdd &Portable) {
+  std::string Error;
+  if (!validateFdd(Portable, &Error))
+    fatalError("importFdd: " + Error);
+  return buildValidated(Manager, Portable);
+}
+
+bool fdd::tryImportFdd(FddManager &Manager, const PortableFdd &Portable,
+                       FddRef &Out, std::string *Error) {
+  if (!validateFdd(Portable, Error))
+    return false;
+  Out = buildValidated(Manager, Portable);
+  return true;
 }
 
 namespace {

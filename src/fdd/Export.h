@@ -39,6 +39,14 @@ struct PortableFdd {
 /// Extracts the diagram rooted at \p Ref into a portable form.
 PortableFdd exportFdd(const FddManager &Manager, FddRef Ref);
 
+/// Structural validation of a portable diagram, shared by the importers:
+/// returns true when the diagram is well-formed (non-empty, root in
+/// range, children strictly topological, test ordering respected, every
+/// leaf a genuine distribution — no negative weights, drop-with-mods
+/// actions, or sums != 1). On failure returns false and, when \p Error is
+/// non-null, a diagnostic. Never aborts, in any build type.
+bool validateFdd(const PortableFdd &Portable, std::string *Error = nullptr);
+
 /// Rebuilds a portable diagram inside \p Manager (hash-consing dedups
 /// against existing nodes). Validates the input in every build type —
 /// an empty node list, an out-of-range root, child indices that are out
@@ -46,6 +54,14 @@ PortableFdd exportFdd(const FddManager &Manager, FddRef Ref);
 /// malformed leaf distributions (negative weights, sum != 1) abort with
 /// a diagnostic instead of corrupting the manager.
 FddRef importFdd(FddManager &Manager, const PortableFdd &Portable);
+
+/// Non-aborting importer for *untrusted* diagrams — the on-disk cache
+/// store (fdd/CacheStore.h) makes malformed bytes attacker surface, not
+/// just programmer error. Validates first and only touches \p Manager on
+/// success; on failure returns false with a diagnostic in \p Error (when
+/// non-null) and leaves \p Out untouched.
+bool tryImportFdd(FddManager &Manager, const PortableFdd &Portable,
+                  FddRef &Out, std::string *Error = nullptr);
 
 /// Renders the diagram as an indented text tree (debugging / golden
 /// tests). Field names come from \p Fields.

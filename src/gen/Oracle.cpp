@@ -23,6 +23,7 @@
 #include "prism/Checker.h"
 #include "prism/Translate.h"
 #include "semantics/SetSemantics.h"
+#include "serve/Server.h"
 #include "support/Error.h"
 
 #include <cmath>
@@ -420,6 +421,161 @@ OracleReport gen::crossCheckProgram(Context &Ctx, const Node *Program,
   return R;
 }
 
+namespace {
+
+/// One exchange against an in-process daemon session. Returns false (with
+/// a disagreement recorded) unless the response line parses back and
+/// carries ok:true — the conformance check treats a served error exactly
+/// like a wrong answer.
+bool serveAsk(serve::Session &Sess, const serve::Json &Request,
+              serve::Json &Response, Checker &C) {
+  std::string Line = Sess.handleLine(Request.dump());
+  std::string Error;
+  if (!serve::parseJson(Line, Response, &Error)) {
+    C.fail("serve: response did not parse: " + Error);
+    return false;
+  }
+  const serve::Json *Ok = Response.find("ok");
+  if (!Ok || !Ok->isBool() || !Ok->asBool()) {
+    const serve::Json *Err = Response.find("error");
+    C.fail("serve: request rejected: " +
+           (Err && Err->isString() ? Err->asString() : Line));
+    return false;
+  }
+  return true;
+}
+
+const std::string *serveString(const serve::Json &Value,
+                               const std::string &Key) {
+  const serve::Json *V = Value.find(Key);
+  return V && V->isString() ? &V->asString() : nullptr;
+}
+
+/// The S16 serving-layer conformance check: an in-process Service +
+/// Session must answer the scenario's questions about the *printed*
+/// program with exactly the inline verifier's rationals. toString()
+/// equality is exact equality — rationals are always canonical.
+void serveCheckScenario(Context &Ctx, const Scenario &S,
+                        analysis::Verifier &V, fdd::FddRef P, Checker &C) {
+  serve::Service::Options SO; // Serial, no pool, no store.
+  SO.Threads = 1;
+  std::string Error;
+  std::unique_ptr<serve::Service> Svc = serve::Service::create(SO, &Error);
+  if (!Svc) {
+    C.fail("serve: service creation failed: " + Error);
+    return;
+  }
+  serve::Session Sess(*Svc);
+  const std::string Printed = ast::print(S.Program, Ctx.fields());
+
+  // Ask the daemon which fields the printed program mentions: inputs
+  // travel by field NAME and are restricted to those (a field the program
+  // never tests or sets cannot influence any answer, and the served side
+  // rejects names it has never interned).
+  serve::Json ParseReq = serve::Json::object();
+  ParseReq.set("verb", serve::Json::string("parse"));
+  ParseReq.set("program", serve::Json::string(Printed));
+  serve::Json ParseResp;
+  if (!serveAsk(Sess, ParseReq, ParseResp, C))
+    return;
+  std::vector<std::string> Known;
+  if (const serve::Json *Fields = ParseResp.find("fields"))
+    for (const serve::Json &F : Fields->elements())
+      if (F.isString())
+        Known.push_back(F.asString());
+
+  serve::Json Inputs = serve::Json::array();
+  for (const Packet &In : S.Inputs) {
+    serve::Json Obj = serve::Json::object();
+    for (const std::string &Name : Known) {
+      FieldId Id = Ctx.fields().lookup(Name);
+      if (Id != FieldTable::NotFound && Id < In.numFields())
+        Obj.set(Name, serve::Json::integer(In.get(Id)));
+    }
+    Inputs.push(std::move(Obj));
+  }
+
+  // Delivery, batched over every scenario input.
+  serve::Json DelReq = serve::Json::object();
+  DelReq.set("verb", serve::Json::string("query"));
+  DelReq.set("program", serve::Json::string(Printed));
+  DelReq.set("query", serve::Json::string("delivery"));
+  DelReq.set("inputs", Inputs);
+  serve::Json DelResp;
+  if (serveAsk(Sess, DelReq, DelResp, C)) {
+    const serve::Json *Results = DelResp.find("results");
+    if (!Results || !Results->isArray() ||
+        Results->elements().size() != S.Inputs.size()) {
+      C.fail("serve: delivery results missing or wrong length");
+    } else {
+      for (std::size_t Idx = 0; Idx < S.Inputs.size(); ++Idx) {
+        const serve::Json &Got = Results->elements()[Idx];
+        Rational Want = V.deliveryProbability(P, S.Inputs[Idx]);
+        C.check(Got.isString() && Got.asString() == Want.toString(),
+                "served delivery != inline verifier on input " +
+                    renderPacket(Ctx, S.Inputs[Idx]));
+      }
+      const std::string *Avg = serveString(DelResp, "average");
+      C.check(Avg && *Avg == V.averageDeliveryProbability(P, S.Inputs)
+                                 .toString(),
+              "served average delivery != inline verifier");
+    }
+  }
+
+  // Hop statistics: delivered mass plus the whole histogram, exactly.
+  if (S.HopField != FieldTable::NotFound) {
+    serve::Json HopReq = serve::Json::object();
+    HopReq.set("verb", serve::Json::string("query"));
+    HopReq.set("program", serve::Json::string(Printed));
+    HopReq.set("query", serve::Json::string("hop-stats"));
+    HopReq.set("inputs", Inputs);
+    HopReq.set("hopField",
+               serve::Json::string(Ctx.fields().name(S.HopField)));
+    serve::Json HopResp;
+    if (serveAsk(Sess, HopReq, HopResp, C)) {
+      analysis::HopStats Want = V.hopStats(P, S.Inputs, S.HopField);
+      const std::string *Delivered = serveString(HopResp, "delivered");
+      C.check(Delivered && *Delivered == Want.Delivered.toString(),
+              "served hop-stats delivered mass != inline verifier");
+      const serve::Json *Hist = HopResp.find("histogram");
+      bool HistOk = Hist && Hist->isObject() &&
+                    Hist->members().size() == Want.Histogram.size();
+      if (HistOk)
+        for (const auto &[Hops, Mass] : Want.Histogram) {
+          const std::string *Got =
+              serveString(*Hist, std::to_string(Hops));
+          if (!Got || *Got != Mass.toString())
+            HistOk = false;
+        }
+      C.check(HistOk, "served hop histogram != inline verifier");
+    }
+  }
+
+  // Teleport verdicts through the self-contained two-program query path.
+  if (S.Teleport) {
+    const std::string PrintedSpec = ast::print(S.Teleport, Ctx.fields());
+    fdd::FddRef T = V.compile(S.Teleport);
+    for (const char *Query : {"equivalent", "refines"}) {
+      serve::Json CmpReq = serve::Json::object();
+      CmpReq.set("verb", serve::Json::string("query"));
+      CmpReq.set("program", serve::Json::string(Printed));
+      CmpReq.set("program2", serve::Json::string(PrintedSpec));
+      CmpReq.set("query", serve::Json::string(Query));
+      serve::Json CmpResp;
+      if (!serveAsk(Sess, CmpReq, CmpResp, C))
+        continue;
+      bool Want = std::string(Query) == "equivalent" ? V.equivalent(P, T)
+                                                     : V.refines(P, T);
+      const serve::Json *Holds = CmpResp.find("holds");
+      C.check(Holds && Holds->isBool() && Holds->asBool() == Want,
+              std::string("served ") + Query + " verdict != inline "
+                                               "verifier");
+    }
+  }
+}
+
+} // namespace
+
 OracleReport gen::crossCheckScenario(Context &Ctx, const Scenario &S,
                                      const OracleOptions &Options) {
   OracleOptions O = Options;
@@ -521,6 +677,11 @@ OracleReport gen::crossCheckScenario(Context &Ctx, const Scenario &S,
       C.check(LS.NumAbsorbing >= 1,
               "delivery is positive but the chain has no absorbing class");
   }
+
+  // Serving-layer conformance (docs/ARCHITECTURE.md S16).
+  if (O.CheckServe)
+    serveCheckScenario(Ctx, S, V, P, C);
+
   return R;
 }
 

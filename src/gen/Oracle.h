@@ -77,6 +77,13 @@ struct OracleOptions {
   /// cache-backed cold/hit — must all be reference-equal to the Rational
   /// exact engine's diagram; reconstruction is verified, never trusted.
   bool CheckModular = true;
+  /// Cross-check the serving layer (docs/ARCHITECTURE.md S16): an
+  /// in-process Service + Session answering the line protocol must agree
+  /// with the inline verifier — delivery probabilities and hop statistics
+  /// string-equal as exact rationals, teleport equivalence/refinement
+  /// verdicts identical. The program travels through the printer and the
+  /// JSON framing, so this also pins print -> parse -> compile end to end.
+  bool CheckServe = true;
   /// Cross-check the verified simplifier (docs/ARCHITECTURE.md S15):
   /// simplify(p) must compile to a diagram reference-equal to p's under
   /// the exact engine (the simplifier's soundness contract), simplify

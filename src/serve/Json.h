@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal JSON value / parser / serializer for the mcnk_serve line
+/// protocol (docs/ARCHITECTURE.md S16). Deliberately small: the protocol
+/// needs objects, arrays, strings, integers, booleans and null — nothing
+/// more — and pulling in a dependency for that would violate the repo's
+/// no-new-deps rule.
+///
+/// The parser treats its input as untrusted (it arrives over a socket):
+/// fully bounds-checked, nesting depth capped, integer-overflow checked,
+/// and every failure is a clean error string, never UB. Exact rationals
+/// cross the protocol as strings ("3/8"), so no floating point is needed
+/// for answers; a Double kind exists only to accept numeric inputs like
+/// tolerances without contortions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_SERVE_JSON_H
+#define MCNK_SERVE_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcnk {
+namespace serve {
+
+/// A JSON document node. Objects preserve insertion order (responses are
+/// diff-friendly and tests can golden them) and are looked up linearly —
+/// protocol objects have a handful of keys.
+class Json {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() = default;
+  static Json null() { return Json(); }
+  static Json boolean(bool V);
+  static Json integer(int64_t V);
+  static Json number(double V);
+  static Json string(std::string V);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  int64_t asInt() const { return I; }
+  double asDouble() const { return K == Kind::Int ? static_cast<double>(I) : D; }
+  const std::string &asString() const { return Str; }
+
+  std::vector<Json> &elements() { return Elems; }
+  const std::vector<Json> &elements() const { return Elems; }
+  void push(Json V) { Elems.push_back(std::move(V)); }
+
+  std::vector<std::pair<std::string, Json>> &members() { return Members; }
+  const std::vector<std::pair<std::string, Json>> &members() const {
+    return Members;
+  }
+  void set(std::string Key, Json V);
+  /// Null when absent (pointer, so "absent" and "present null" are
+  /// distinguishable).
+  const Json *find(const std::string &Key) const;
+
+  /// Compact single-line rendering (the line protocol is one JSON value
+  /// per '\n'-terminated line, so serialization never emits newlines).
+  std::string dump() const;
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0;
+  std::string Str;
+  std::vector<Json> Elems;
+  std::vector<std::pair<std::string, Json>> Members;
+};
+
+/// Parses one complete JSON value from \p Text (trailing whitespace
+/// allowed, anything else is an error). Returns false with a diagnostic
+/// in \p Error on malformed input.
+bool parseJson(const std::string &Text, Json &Out, std::string *Error);
+
+} // namespace serve
+} // namespace mcnk
+
+#endif // MCNK_SERVE_JSON_H

@@ -13,12 +13,15 @@
 #include "analysis/Verifier.h"
 #include "ast/Context.h"
 #include "fdd/Compile.h"
+#include "fdd/CompileCache.h"
 #include "fdd/Export.h"
 #include "markov/Absorbing.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
 #include <random>
 
 using namespace mcnk;
@@ -347,4 +350,91 @@ TEST(ParallelCompileTest, VerifierOwnsOnePersistentPool) {
   // An explicit different width replaces the engine.
   ThreadPool &Wider = V.compilePool(3);
   EXPECT_EQ(Wider.numThreads(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// CompileCache accounting under concurrent insert (the S12/S16 contract:
+// the persistence observer and the size counters must both survive N pool
+// workers racing to fill the same fingerprint).
+//===----------------------------------------------------------------------===//
+
+TEST(CompileCacheRaceTest, ConcurrentSameKeyInsertsKeepAccountingExact) {
+  // Export a real diagram so StoredNodes has a nontrivial expected value.
+  CaseFixture F(77u);
+  analysis::Verifier V;
+  PortableFdd Diagram = exportFdd(V.manager(), V.compile(F.randomCase(2)));
+  const std::size_t DiagramNodes = Diagram.Nodes.size();
+  ASSERT_GT(DiagramNodes, 0u);
+
+  constexpr std::size_t NumInserts = 64;
+  CompileCache Cache(/*Capacity=*/8);
+  std::atomic<uint64_t> Observed{0};
+  Cache.setInsertObserver(
+      [&Observed](const ast::ProgramHash &, markov::SolverKind,
+                  const std::shared_ptr<const PortableFdd> &) {
+        ++Observed;
+      });
+
+  // N workers hammer ONE key: every thread misses, compiles "its own"
+  // copy, and races to insert. Before each insert, a lookup — so the
+  // hit/miss counters see contention too.
+  ast::ProgramHash Key{0xfeedULL, 0xfaceULL};
+  ThreadPool Pool(8);
+  Pool.parallelFor(NumInserts, [&](std::size_t) {
+    std::shared_ptr<const PortableFdd> Out;
+    Cache.lookup(Key, markov::SolverKind::Exact, Out);
+    Cache.insert(Key, markov::SolverKind::Exact, PortableFdd(Diagram));
+  });
+
+  CompileCache::Stats S = Cache.stats();
+  // Exactly one entry came into being, no matter how many raced...
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.Insertions, 1u);
+  EXPECT_EQ(S.Evictions, 0u);
+  // ...every other insert was deduplicated, not double-counted...
+  EXPECT_EQ(S.DuplicateInserts, NumInserts - 1);
+  EXPECT_EQ(S.Insertions + S.DuplicateInserts, NumInserts);
+  // ...the size accounting reflects the one resident diagram, not the
+  // sum of every racing copy...
+  EXPECT_EQ(S.StoredNodes, DiagramNodes);
+  // ...the lookups all balanced...
+  EXPECT_EQ(S.Hits + S.Misses, NumInserts);
+  // ...and the persistence hook fired exactly once (this is what keeps
+  // the on-disk store free of duplicate records under racing workers).
+  EXPECT_EQ(Observed.load(), 1u);
+
+  // The stored value is intact and shared.
+  std::shared_ptr<const PortableFdd> Hit;
+  ASSERT_TRUE(Cache.lookup(Key, markov::SolverKind::Exact, Hit));
+  EXPECT_EQ(Hit->Nodes.size(), DiagramNodes);
+}
+
+TEST(CompileCacheRaceTest, EvictionAccountingStaysConsistentUnderChurn) {
+  CaseFixture F(78u);
+  analysis::Verifier V;
+  PortableFdd Diagram = exportFdd(V.manager(), V.compile(F.randomCase(1)));
+  const std::size_t DiagramNodes = Diagram.Nodes.size();
+
+  // Far more distinct keys than capacity, inserted concurrently with
+  // interleaved lookups: eviction runs constantly, and the invariants
+  // must hold at every quiescent point.
+  constexpr std::size_t NumKeys = 96;
+  CompileCache Cache(/*Capacity=*/4);
+  ThreadPool Pool(8);
+  Pool.parallelFor(NumKeys, [&](std::size_t I) {
+    ast::ProgramHash Key{static_cast<uint64_t>(I), 0xabcdULL};
+    Cache.insert(Key, markov::SolverKind::Exact, PortableFdd(Diagram));
+    std::shared_ptr<const PortableFdd> Out;
+    Cache.lookup(Key, markov::SolverKind::Exact, Out);
+  });
+
+  CompileCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Entries, 4u); // Full to capacity.
+  EXPECT_EQ(S.Insertions, NumKeys);
+  EXPECT_EQ(S.DuplicateInserts, 0u);
+  // The load-bearing eviction invariant: every insertion either is
+  // resident or was evicted, and StoredNodes tracks exactly the
+  // residents (all diagrams here are the same size).
+  EXPECT_EQ(S.Insertions - S.Evictions, S.Entries);
+  EXPECT_EQ(S.StoredNodes, S.Entries * DiagramNodes);
 }

@@ -328,6 +328,49 @@ TEST_F(FddTest, ImportRejectsMalformedPortableFdds) {
   EXPECT_EQ(importFdd(M, Good), compileP(P));
 }
 
+TEST_F(FddTest, TryImportRejectsMalformedPortableFddsWithoutAborting) {
+  // The daemon path (ARCHITECTURE S16) feeds disk bytes through
+  // tryImportFdd, which must turn every malformation that importFdd
+  // fatals on into a clean false + diagnostic instead.
+  const Node *P = Ctx.ite(Ctx.test(A, 1), Ctx.assign(B, 1), Ctx.drop());
+  PortableFdd Good = exportFdd(M, compileP(P));
+
+  auto Rejects = [this](const PortableFdd &Bad, const char *Fragment) {
+    FddRef Out = 0;
+    std::string Error;
+    EXPECT_FALSE(tryImportFdd(M, Bad, Out, &Error));
+    EXPECT_NE(Error.find(Fragment), std::string::npos)
+        << "error was: " << Error;
+  };
+
+  Rejects(PortableFdd(), "no nodes");
+
+  PortableFdd BadRoot = Good;
+  BadRoot.Root = static_cast<uint32_t>(BadRoot.Nodes.size());
+  Rejects(BadRoot, "root index");
+
+  PortableFdd Cycle = Good;
+  for (uint32_t I = 0; I < Cycle.Nodes.size(); ++I)
+    if (!Cycle.Nodes[I].IsLeaf) {
+      Cycle.Nodes[I].Lo = I;
+      break;
+    }
+  Rejects(Cycle, "topological");
+
+  PortableFdd ShortLeaf;
+  PortableFdd::Node Partial;
+  Partial.IsLeaf = true;
+  Partial.Dist = {{Action::drop(), Rational(1, 2)}};
+  ShortLeaf.Nodes = {Partial};
+  Rejects(ShortLeaf, "sum to 1");
+
+  // And the good diagram round-trips through the same entry point.
+  FddRef Out = 0;
+  std::string Error;
+  ASSERT_TRUE(tryImportFdd(M, Good, Out, &Error)) << Error;
+  EXPECT_EQ(Out, compileP(P));
+}
+
 TEST_F(FddTest, QueryRefinement) {
   FddRef Full = M.assign(A, 1);
   FddRef Lossy = M.choice(Rational(3, 4), M.assign(A, 1), M.dropLeaf());

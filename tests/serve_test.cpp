@@ -1,0 +1,689 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the serving layer (ARCHITECTURE S16): the on-disk cache
+/// store (record codec, round-trip, torn-tail recovery, version gating,
+/// adversarial decode), the line-protocol JSON, the Session request loop,
+/// and concurrent sessions over one shared Service (the TSan target).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+#include "fdd/CacheStore.h"
+#include "fdd/Export.h"
+#include "parser/Parser.h"
+#include "serve/Json.h"
+#include "serve/Server.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace mcnk;
+
+namespace {
+
+/// A unique path under the test temp dir (no file created yet).
+std::string tempPath(const std::string &Name) {
+  static int Counter = 0;
+  return testing::TempDir() + "serve_test_" + Name + "_" +
+         std::to_string(Counter++) + ".mcnkfdd";
+}
+
+/// Compiles a source program and exports its diagram (helper for codec
+/// tests that want realistic multi-node diagrams).
+fdd::PortableFdd compileToPortable(const std::string &Source) {
+  ast::Context Ctx;
+  parser::ParseResult R = parser::parseProgram(Source, Ctx);
+  EXPECT_TRUE(R.ok());
+  analysis::Verifier V;
+  return fdd::exportFdd(V.manager(), V.compile(R.Program));
+}
+
+/// A program big enough (>= 16 AST nodes) that the compile cache's
+/// CacheMinNodes gate admits its top-level fingerprint.
+const char *BigProgram =
+    "if sw=1 then pt:=2 ; sw:=2 ; hops:=1 "
+    "else if sw=2 then ((pt:=3 ; sw:=3 ; hops:=2) +[1/2] drop) "
+    "else drop";
+
+std::vector<uint8_t> readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good());
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(In),
+                              std::istreambuf_iterator<char>());
+}
+
+void writeFileBytes(const std::string &Path,
+                    const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+  ASSERT_TRUE(Out.good());
+}
+
+//===----------------------------------------------------------------------===//
+// Record codec
+//===----------------------------------------------------------------------===//
+
+TEST(CacheRecordCodec, RoundTripsRealDiagrams) {
+  for (const char *Source :
+       {"sw:=1", "drop", "if sw=1 then pt:=2 else drop",
+        "while sw=1 do (sw:=2 +[1/3] sw:=1)", BigProgram}) {
+    fdd::CacheRecord Record;
+    Record.Key = {0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+    Record.Solver = markov::SolverKind::ModularExact;
+    Record.Diagram = compileToPortable(Source);
+
+    std::vector<uint8_t> Bytes = fdd::encodeCacheRecord(Record);
+    fdd::CacheRecord Back;
+    std::string Error;
+    ASSERT_TRUE(fdd::decodeCacheRecord(Bytes.data(), Bytes.size(), Back,
+                                       &Error))
+        << Source << ": " << Error;
+    EXPECT_EQ(Back.Key, Record.Key);
+    EXPECT_EQ(Back.Solver, Record.Solver);
+    ASSERT_EQ(Back.Diagram.Nodes.size(), Record.Diagram.Nodes.size());
+    EXPECT_EQ(Back.Diagram.Root, Record.Diagram.Root);
+    for (std::size_t I = 0; I < Back.Diagram.Nodes.size(); ++I) {
+      const fdd::PortableFdd::Node &A = Back.Diagram.Nodes[I];
+      const fdd::PortableFdd::Node &B = Record.Diagram.Nodes[I];
+      EXPECT_EQ(A.IsLeaf, B.IsLeaf);
+      if (A.IsLeaf) {
+        EXPECT_EQ(A.Dist, B.Dist);
+      } else {
+        EXPECT_EQ(A.Field, B.Field);
+        EXPECT_EQ(A.Value, B.Value);
+        EXPECT_EQ(A.Hi, B.Hi);
+        EXPECT_EQ(A.Lo, B.Lo);
+      }
+    }
+  }
+}
+
+TEST(CacheRecordCodec, EveryTruncationFailsCleanly) {
+  fdd::CacheRecord Record;
+  Record.Key = {1, 2};
+  Record.Diagram = compileToPortable(BigProgram);
+  std::vector<uint8_t> Bytes = fdd::encodeCacheRecord(Record);
+  for (std::size_t Len = 0; Len < Bytes.size(); ++Len) {
+    fdd::CacheRecord Out;
+    std::string Error;
+    EXPECT_FALSE(fdd::decodeCacheRecord(Bytes.data(), Len, Out, &Error))
+        << "truncation to " << Len << " bytes decoded successfully";
+    EXPECT_FALSE(Error.empty());
+  }
+  // Trailing garbage must be rejected too, not silently ignored.
+  std::vector<uint8_t> Longer = Bytes;
+  Longer.push_back(0);
+  fdd::CacheRecord Out;
+  EXPECT_FALSE(fdd::decodeCacheRecord(Longer.data(), Longer.size(), Out));
+}
+
+TEST(CacheRecordCodec, BitFlipsNeverCrashAndNeverYieldInvalidDiagrams) {
+  fdd::CacheRecord Record;
+  Record.Key = {42, 7};
+  Record.Diagram =
+      compileToPortable("if sw=1 then (pt:=2 +[1/3] drop) else pt:=1");
+  std::vector<uint8_t> Bytes = fdd::encodeCacheRecord(Record);
+  // Every single-bit corruption: decode must either fail cleanly or
+  // produce a diagram that still passes full validation — those are the
+  // only two outcomes that keep a hostile store from corrupting a
+  // manager. (ASan/UBSan configurations of this suite make "no UB" a
+  // checked property, not a hope.)
+  for (std::size_t I = 0; I < Bytes.size(); ++I) {
+    for (int Bit = 0; Bit < 8; ++Bit) {
+      std::vector<uint8_t> Mutated = Bytes;
+      Mutated[I] ^= static_cast<uint8_t>(1u << Bit);
+      fdd::CacheRecord Out;
+      std::string Error;
+      if (fdd::decodeCacheRecord(Mutated.data(), Mutated.size(), Out,
+                                 &Error))
+        EXPECT_TRUE(fdd::validateFdd(Out.Diagram));
+      else
+        EXPECT_FALSE(Error.empty());
+    }
+  }
+}
+
+TEST(CacheRecordCodec, RejectsHostileCounts) {
+  // A record whose node count claims 2^31 nodes but carries 4 bytes: the
+  // count sanity check must reject it without attempting the reserve.
+  fdd::CacheRecord Record;
+  Record.Key = {1, 1};
+  Record.Diagram = compileToPortable("sw:=1");
+  std::vector<uint8_t> Bytes = fdd::encodeCacheRecord(Record);
+  // Layout: 8 key.lo + 8 key.hi + 1 solver + 4 root, then 4 node count.
+  const std::size_t CountOffset = 8 + 8 + 1 + 4;
+  ASSERT_GT(Bytes.size(), CountOffset + 4);
+  for (unsigned I = 0; I < 4; ++I)
+    Bytes[CountOffset + I] = 0xff;
+  fdd::CacheRecord Out;
+  std::string Error;
+  EXPECT_FALSE(
+      fdd::decodeCacheRecord(Bytes.data(), Bytes.size(), Out, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// CacheStore
+//===----------------------------------------------------------------------===//
+
+TEST(CacheStore, RoundTripsAcrossReopen) {
+  std::string Path = tempPath("roundtrip");
+  fdd::PortableFdd Diagram = compileToPortable(BigProgram);
+  {
+    std::string Error;
+    auto Store = fdd::CacheStore::open(Path, &Error);
+    ASSERT_TRUE(Store) << Error;
+    fdd::CompileCache Fresh(8);
+    EXPECT_EQ(Store->warm(Fresh), 0u); // Fresh file: nothing to warm.
+    ASSERT_TRUE(Store->append({1, 2}, markov::SolverKind::Exact, Diagram,
+                              &Error))
+        << Error;
+    ASSERT_TRUE(Store->append({3, 4}, markov::SolverKind::Direct, Diagram,
+                              &Error))
+        << Error;
+    EXPECT_EQ(Store->stats().LiveRecords, 2u);
+  }
+  {
+    std::string Error;
+    auto Store = fdd::CacheStore::open(Path, &Error);
+    ASSERT_TRUE(Store) << Error;
+    fdd::CompileCache Cache(8);
+    EXPECT_EQ(Store->warm(Cache), 2u);
+    std::shared_ptr<const fdd::PortableFdd> Hit;
+    EXPECT_TRUE(Cache.lookup({1, 2}, markov::SolverKind::Exact, Hit));
+    ASSERT_TRUE(Hit);
+    EXPECT_EQ(Hit->Nodes.size(), Diagram.Nodes.size());
+    // Same fingerprint, different solver kind: distinct entry.
+    EXPECT_TRUE(Cache.lookup({3, 4}, markov::SolverKind::Direct, Hit));
+    EXPECT_FALSE(Cache.lookup({3, 4}, markov::SolverKind::Exact, Hit));
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(CacheStore, NewestRecordPerKeyWinsAndCompactionDropsTheDead) {
+  std::string Path = tempPath("compact");
+  fdd::PortableFdd Old = compileToPortable("sw:=1");
+  fdd::PortableFdd New = compileToPortable("if sw=1 then pt:=2 else drop");
+  std::string Error;
+  auto Store = fdd::CacheStore::open(Path, &Error);
+  ASSERT_TRUE(Store) << Error;
+  for (int I = 0; I < 5; ++I)
+    ASSERT_TRUE(Store->append({9, 9}, markov::SolverKind::Exact,
+                              I == 4 ? New : Old));
+  fdd::CacheStore::Stats S = Store->stats();
+  EXPECT_EQ(S.LiveRecords, 1u);
+  EXPECT_EQ(S.DeadRecords, 4u);
+  std::size_t BytesBefore = S.FileBytes;
+  ASSERT_TRUE(Store->compact(&Error)) << Error;
+  S = Store->stats();
+  EXPECT_EQ(S.LiveRecords, 1u);
+  EXPECT_EQ(S.DeadRecords, 0u);
+  EXPECT_LT(S.FileBytes, BytesBefore);
+  EXPECT_EQ(S.Compactions, 1u);
+  // The surviving record is the newest one.
+  auto Reopened = fdd::CacheStore::open(Path, &Error);
+  ASSERT_TRUE(Reopened) << Error;
+  fdd::CompileCache Cache(8);
+  ASSERT_EQ(Reopened->warm(Cache), 1u);
+  std::shared_ptr<const fdd::PortableFdd> Hit;
+  ASSERT_TRUE(Cache.lookup({9, 9}, markov::SolverKind::Exact, Hit));
+  EXPECT_EQ(Hit->Nodes.size(), New.Nodes.size());
+  std::remove(Path.c_str());
+}
+
+TEST(CacheStore, TornTailIsTruncatedNotTrusted) {
+  std::string Path = tempPath("torn");
+  fdd::PortableFdd Diagram = compileToPortable("sw:=1 ; pt:=2");
+  std::string Error;
+  {
+    auto Store = fdd::CacheStore::open(Path, &Error);
+    ASSERT_TRUE(Store) << Error;
+    ASSERT_TRUE(Store->append({5, 6}, markov::SolverKind::Exact, Diagram));
+  }
+  // Simulate a crash mid-append: a record prefix promising more bytes
+  // than the file holds.
+  std::vector<uint8_t> Bytes = readFileBytes(Path);
+  std::size_t IntactSize = Bytes.size();
+  for (uint8_t B : {0x40, 0x00, 0x00, 0x00, 0xde, 0xad})
+    Bytes.push_back(B);
+  writeFileBytes(Path, Bytes);
+  {
+    auto Store = fdd::CacheStore::open(Path, &Error);
+    ASSERT_TRUE(Store) << Error;
+    EXPECT_EQ(Store->stats().TornBytesDropped, 6u);
+    EXPECT_EQ(Store->stats().LiveRecords, 1u);
+    // The truncation happened on disk, so appends restart cleanly...
+    ASSERT_TRUE(Store->append({7, 8}, markov::SolverKind::Exact, Diagram));
+  }
+  // ...and a third open sees both records and no torn bytes.
+  auto Store = fdd::CacheStore::open(Path, &Error);
+  ASSERT_TRUE(Store) << Error;
+  EXPECT_EQ(Store->stats().TornBytesDropped, 0u);
+  EXPECT_EQ(Store->stats().LiveRecords, 2u);
+  EXPECT_GT(readFileBytes(Path).size(), IntactSize);
+  std::remove(Path.c_str());
+}
+
+TEST(CacheStore, ChecksumMismatchDropsTheTail) {
+  std::string Path = tempPath("checksum");
+  fdd::PortableFdd Diagram = compileToPortable("sw:=1");
+  std::string Error;
+  std::size_t OneRecordSize = 0;
+  {
+    auto Store = fdd::CacheStore::open(Path, &Error);
+    ASSERT_TRUE(Store) << Error;
+    ASSERT_TRUE(Store->append({1, 1}, markov::SolverKind::Exact, Diagram));
+    OneRecordSize = Store->stats().FileBytes;
+    ASSERT_TRUE(Store->append({2, 2}, markov::SolverKind::Exact, Diagram));
+  }
+  // Flip one payload byte of the second record: its checksum no longer
+  // matches, so open() must keep record one and drop the rest.
+  std::vector<uint8_t> Bytes = readFileBytes(Path);
+  Bytes[OneRecordSize + 20] ^= 0xff;
+  writeFileBytes(Path, Bytes);
+  auto Store = fdd::CacheStore::open(Path, &Error);
+  ASSERT_TRUE(Store) << Error;
+  EXPECT_EQ(Store->stats().LiveRecords, 1u);
+  EXPECT_GT(Store->stats().TornBytesDropped, 0u);
+  fdd::CompileCache Cache(8);
+  EXPECT_EQ(Store->warm(Cache), 1u);
+  std::shared_ptr<const fdd::PortableFdd> Hit;
+  EXPECT_TRUE(Cache.lookup({1, 1}, markov::SolverKind::Exact, Hit));
+  EXPECT_FALSE(Cache.lookup({2, 2}, markov::SolverKind::Exact, Hit));
+  std::remove(Path.c_str());
+}
+
+TEST(CacheStore, VersionMismatchFailsLoudly) {
+  std::string Path = tempPath("version");
+  std::string Error;
+  {
+    auto Store = fdd::CacheStore::open(Path, &Error);
+    ASSERT_TRUE(Store) << Error;
+  }
+  std::vector<uint8_t> Bytes = readFileBytes(Path);
+  ASSERT_GE(Bytes.size(), 16u);
+  Bytes[8] = 0x7f; // Bump the format version field.
+  writeFileBytes(Path, Bytes);
+  auto Store = fdd::CacheStore::open(Path, &Error);
+  EXPECT_FALSE(Store);
+  EXPECT_NE(Error.find("format version"), std::string::npos) << Error;
+  // Not-a-store files are rejected too (no magic).
+  writeFileBytes(Path, {'h', 'e', 'l', 'l', 'o', ' ', 'w', 'o', 'r', 'l',
+                        'd', '!', '!', '!', '!', '!'});
+  Store = fdd::CacheStore::open(Path, &Error);
+  EXPECT_FALSE(Store);
+  std::remove(Path.c_str());
+}
+
+TEST(CacheStore, MaybeCompactHonorsThresholds) {
+  std::string Path = tempPath("maybe");
+  fdd::PortableFdd Diagram = compileToPortable("sw:=1");
+  fdd::CacheStore::Options Opts;
+  Opts.CompactDeadRatio = 0.5;
+  Opts.CompactMinRecords = 4;
+  std::string Error;
+  auto Store = fdd::CacheStore::open(Path, &Error, Opts);
+  ASSERT_TRUE(Store) << Error;
+  // 2 records, 1 dead: below the minimum record count, no compaction.
+  ASSERT_TRUE(Store->append({1, 1}, markov::SolverKind::Exact, Diagram));
+  ASSERT_TRUE(Store->append({1, 1}, markov::SolverKind::Exact, Diagram));
+  ASSERT_TRUE(Store->maybeCompact(&Error)) << Error;
+  EXPECT_EQ(Store->stats().Compactions, 0u);
+  // 6 records, 5 dead: over both thresholds, compaction fires.
+  for (int I = 0; I < 4; ++I)
+    ASSERT_TRUE(Store->append({1, 1}, markov::SolverKind::Exact, Diagram));
+  ASSERT_TRUE(Store->maybeCompact(&Error)) << Error;
+  EXPECT_EQ(Store->stats().Compactions, 1u);
+  EXPECT_EQ(Store->stats().DeadRecords, 0u);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+TEST(ServeJson, RoundTripsProtocolShapes) {
+  serve::Json V;
+  std::string Error;
+  ASSERT_TRUE(serve::parseJson(
+      "{\"verb\":\"query\",\"id\":7,\"inputs\":[{\"sw\":1},{\"sw\":2}],"
+      "\"flag\":true,\"nothing\":null,\"tol\":0.5,\"s\":\"a\\\\b\\n\"}",
+      V, &Error))
+      << Error;
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.find("verb")->asString(), "query");
+  EXPECT_EQ(V.find("id")->asInt(), 7);
+  EXPECT_EQ(V.find("inputs")->elements().size(), 2u);
+  EXPECT_TRUE(V.find("flag")->asBool());
+  EXPECT_TRUE(V.find("nothing")->isNull());
+  EXPECT_EQ(V.find("s")->asString(), "a\\b\n");
+  // dump() -> parse() is the identity on protocol values.
+  serve::Json Back;
+  ASSERT_TRUE(serve::parseJson(V.dump(), Back, &Error)) << Error;
+  EXPECT_EQ(Back.dump(), V.dump());
+}
+
+TEST(ServeJson, MalformedInputsFailCleanly) {
+  const char *Bad[] = {
+      "",          "{",         "[1,",        "{\"a\":}",  "tru",
+      "\"unterm",  "{\"a\" 1}", "[1 2]",      "nul",       "{1:2}",
+      "\"\\q\"",   "\"\\u12\"", "\"\\ud800\"", "01x",      "[]extra",
+      "999999999999999999999999999",
+  };
+  for (const char *Text : Bad) {
+    serve::Json V;
+    std::string Error;
+    EXPECT_FALSE(serve::parseJson(Text, V, &Error)) << Text;
+    EXPECT_FALSE(Error.empty()) << Text;
+  }
+}
+
+TEST(ServeJson, DeepNestingExhaustsACounterNotTheStack) {
+  std::string Deep(100000, '[');
+  serve::Json V;
+  std::string Error;
+  EXPECT_FALSE(serve::parseJson(Deep, V, &Error));
+  EXPECT_NE(Error.find("nesting"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Session protocol
+//===----------------------------------------------------------------------===//
+
+/// Sends one request line and parses the response object.
+serve::Json roundTrip(serve::Session &S, const std::string &Line,
+                      bool *Shutdown = nullptr) {
+  serve::Json Response;
+  std::string Error;
+  EXPECT_TRUE(serve::parseJson(S.handleLine(Line, Shutdown), Response,
+                               &Error))
+      << Error;
+  return Response;
+}
+
+bool okOf(const serve::Json &R) {
+  const serve::Json *Ok = R.find("ok");
+  return Ok && Ok->isBool() && Ok->asBool();
+}
+
+TEST(Session, AnswersDeliveryQueriesExactly) {
+  auto Svc = serve::Service::create({}, nullptr);
+  ASSERT_TRUE(Svc);
+  serve::Session S(*Svc);
+  serve::Json R = roundTrip(
+      S, "{\"verb\":\"query\",\"query\":\"delivery\",\"id\":3,"
+         "\"program\":\"if sw=1 then (pt:=2 +[1/3] drop) else pt:=1\","
+         "\"inputs\":[{\"sw\":1},{\"sw\":0}]}");
+  ASSERT_TRUE(okOf(R)) << R.dump();
+  EXPECT_EQ(R.find("id")->asInt(), 3);
+  ASSERT_EQ(R.find("results")->elements().size(), 2u);
+  EXPECT_EQ(R.find("results")->elements()[0].asString(), "1/3");
+  EXPECT_EQ(R.find("results")->elements()[1].asString(), "1");
+  EXPECT_EQ(R.find("average")->asString(), "2/3");
+}
+
+TEST(Session, ReusesTheCompiledProgramAcrossABatch) {
+  auto Svc = serve::Service::create({}, nullptr);
+  ASSERT_TRUE(Svc);
+  serve::Session S(*Svc);
+  std::string Compile = std::string("{\"verb\":\"compile\",\"program\":\"") +
+                        BigProgram + "\"}";
+  serve::Json First = roundTrip(S, Compile);
+  ASSERT_TRUE(okOf(First)) << First.dump();
+  EXPECT_FALSE(First.find("sessionCached")->asBool());
+  serve::Json Second = roundTrip(S, Compile);
+  ASSERT_TRUE(okOf(Second));
+  EXPECT_TRUE(Second.find("sessionCached")->asBool());
+}
+
+TEST(Session, AnswersHopStatsAndComparisons) {
+  auto Svc = serve::Service::create({}, nullptr);
+  ASSERT_TRUE(Svc);
+  serve::Session S(*Svc);
+  serve::Json R = roundTrip(
+      S, "{\"verb\":\"query\",\"query\":\"hop-stats\",\"hopField\":\"h\","
+         "\"program\":\"if sw=1 then h:=1 else drop\","
+         "\"inputs\":[{\"sw\":1},{\"sw\":2}]}");
+  ASSERT_TRUE(okOf(R)) << R.dump();
+  EXPECT_EQ(R.find("delivered")->asString(), "1/2");
+  EXPECT_EQ(R.find("histogram")->find("1")->asString(), "1/2");
+
+  serve::Json Eq = roundTrip(
+      S, "{\"verb\":\"query\",\"query\":\"equivalent\","
+         "\"program\":\"sw:=1 ; sw:=2\",\"program2\":\"sw:=2\"}");
+  ASSERT_TRUE(okOf(Eq)) << Eq.dump();
+  EXPECT_TRUE(Eq.find("holds")->asBool());
+  serve::Json Ref = roundTrip(
+      S, "{\"verb\":\"query\",\"query\":\"refines\","
+         "\"program\":\"drop\",\"program2\":\"sw:=1\"}");
+  ASSERT_TRUE(okOf(Ref)) << Ref.dump();
+  EXPECT_TRUE(Ref.find("holds")->asBool());
+}
+
+TEST(Session, RejectsBadRequestsWithoutDying) {
+  auto Svc = serve::Service::create({}, nullptr);
+  ASSERT_TRUE(Svc);
+  serve::Session S(*Svc);
+  const char *Bad[] = {
+      "not json at all",
+      "[1,2,3]",
+      "{\"noVerb\":1}",
+      "{\"verb\":\"frobnicate\"}",
+      "{\"verb\":\"compile\"}",
+      "{\"verb\":\"compile\",\"program\":\"sw:=\"}",
+      "{\"verb\":\"compile\",\"program\":\"(sw:=1)*\"}",
+      "{\"verb\":\"compile\",\"program\":\"sw:=1\",\"solver\":\"quantum\"}",
+      "{\"verb\":\"query\",\"program\":\"sw:=1\",\"query\":\"delivery\"}",
+      "{\"verb\":\"query\",\"program\":\"sw:=1\",\"query\":\"delivery\","
+      "\"inputs\":[{\"nosuch\":1}]}",
+      "{\"verb\":\"query\",\"program\":\"sw:=1\",\"query\":\"hop-stats\","
+      "\"inputs\":[{\"sw\":1}],\"hopField\":\"missing\"}",
+      "{\"verb\":\"query\",\"program\":\"sw:=1\",\"query\":\"nope\","
+      "\"inputs\":[{\"sw\":1}]}",
+  };
+  for (const char *Line : Bad) {
+    serve::Json R = roundTrip(S, Line);
+    EXPECT_FALSE(okOf(R)) << Line << " -> " << R.dump();
+    ASSERT_NE(R.find("error"), nullptr);
+    EXPECT_FALSE(R.find("error")->asString().empty());
+  }
+  // The session is still healthy after the error barrage.
+  serve::Json R = roundTrip(S, "{\"verb\":\"query\",\"query\":\"delivery\","
+                               "\"program\":\"sw:=1\","
+                               "\"inputs\":[{\"sw\":5}]}");
+  EXPECT_TRUE(okOf(R)) << R.dump();
+  EXPECT_EQ(Svc->errors(), sizeof(Bad) / sizeof(Bad[0]));
+}
+
+TEST(Session, StatsGcAndShutdownVerbsWork) {
+  auto Svc = serve::Service::create({}, nullptr);
+  ASSERT_TRUE(Svc);
+  serve::Session S(*Svc);
+  roundTrip(S, std::string("{\"verb\":\"compile\",\"program\":\"") +
+                   BigProgram + "\"}");
+  serve::Json Stats = roundTrip(S, "{\"verb\":\"stats\"}");
+  ASSERT_TRUE(okOf(Stats)) << Stats.dump();
+  ASSERT_NE(Stats.find("cache"), nullptr);
+  EXPECT_GE(Stats.find("cache")->find("insertions")->asInt(), 1);
+  serve::Json Gc = roundTrip(S, "{\"verb\":\"gc\"}");
+  EXPECT_TRUE(okOf(Gc)) << Gc.dump();
+  bool Shutdown = false;
+  serve::Json Bye = roundTrip(S, "{\"verb\":\"shutdown\"}", &Shutdown);
+  EXPECT_TRUE(okOf(Bye));
+  EXPECT_TRUE(Shutdown);
+}
+
+TEST(Session, StdioLoopServesUntilShutdown) {
+  auto Svc = serve::Service::create({}, nullptr);
+  ASSERT_TRUE(Svc);
+  std::istringstream In(
+      "{\"verb\":\"parse\",\"program\":\"sw:=1 ; pt:=2\"}\n"
+      "\n"
+      "{\"verb\":\"shutdown\"}\n"
+      "{\"verb\":\"stats\"}\n"); // After shutdown: must not be served.
+  std::ostringstream Out;
+  EXPECT_EQ(serve::runStdio(*Svc, In, Out), 2u);
+  std::istringstream Lines(Out.str());
+  std::string Line;
+  ASSERT_TRUE(std::getline(Lines, Line));
+  serve::Json R;
+  std::string Error;
+  ASSERT_TRUE(serve::parseJson(Line, R, &Error)) << Error;
+  EXPECT_TRUE(okOf(R));
+  EXPECT_EQ(R.find("nodes")->asInt(), 3);
+  EXPECT_TRUE(R.find("guarded")->asBool());
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence through the Service (cold -> warm restart)
+//===----------------------------------------------------------------------===//
+
+TEST(Service, RestartAnswersFromTheDiskStore) {
+  std::string Path = tempPath("service");
+  std::string Query =
+      std::string("{\"verb\":\"query\",\"query\":\"delivery\",\"program\":"
+                  "\"") +
+      BigProgram + "\",\"inputs\":[{\"sw\":1},{\"sw\":2}]}";
+  std::string ColdDump, WarmDump;
+  {
+    serve::Service::Options Opts;
+    Opts.StorePath = Path;
+    std::string Error;
+    auto Svc = serve::Service::create(Opts, &Error);
+    ASSERT_TRUE(Svc) << Error;
+    EXPECT_EQ(Svc->warmedEntries(), 0u);
+    serve::Session S(*Svc);
+    serve::Json R = roundTrip(S, Query);
+    ASSERT_TRUE(okOf(R)) << R.dump();
+    ColdDump = R.find("results")->dump();
+    // The compile's cache misses were appended to disk by the observer.
+    ASSERT_TRUE(Svc->store());
+    EXPECT_GE(Svc->store()->stats().Appends, 1u);
+  }
+  {
+    serve::Service::Options Opts;
+    Opts.StorePath = Path;
+    std::string Error;
+    auto Svc = serve::Service::create(Opts, &Error);
+    ASSERT_TRUE(Svc) << Error;
+    // Restart is warm: the store loaded at least the top-level entry.
+    EXPECT_GE(Svc->warmedEntries(), 1u);
+    serve::Session S(*Svc);
+    serve::Json R = roundTrip(S, Query);
+    ASSERT_TRUE(okOf(R)) << R.dump();
+    WarmDump = R.find("results")->dump();
+    // The warm compile hit the cache instead of recompiling.
+    EXPECT_GE(Svc->cache().stats().Hits, 1u);
+    // Nothing new was appended: the entries were already on disk.
+    EXPECT_EQ(Svc->store()->stats().Appends, 0u);
+  }
+  EXPECT_EQ(ColdDump, WarmDump);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent sessions (the TSan target)
+//===----------------------------------------------------------------------===//
+
+TEST(Service, ConcurrentSessionsShareOneCacheAndStore) {
+  std::string Path = tempPath("concurrent");
+  serve::Service::Options Opts;
+  Opts.StorePath = Path;
+  Opts.Threads = 1; // Sessions provide the concurrency here.
+  std::string Error;
+  auto Svc = serve::Service::create(Opts, &Error);
+  ASSERT_TRUE(Svc) << Error;
+
+  // Each thread runs its own session (sessions are single-owner; the
+  // Service is the shared surface): same program family, so every thread
+  // races on the same cache keys and the same store file.
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned Rounds = 6;
+  std::atomic<unsigned> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&Svc, &Failures] {
+      serve::Session S(*Svc);
+      for (unsigned I = 0; I < Rounds; ++I) {
+        std::string Query =
+            std::string("{\"verb\":\"query\",\"query\":\"delivery\","
+                        "\"program\":\"") +
+            BigProgram + "\",\"inputs\":[{\"sw\":1}]}";
+        serve::Json R;
+        std::string ParseError;
+        if (!serve::parseJson(S.handleLine(Query), R, &ParseError) ||
+            !okOf(R) ||
+            R.find("results")->elements()[0].asString() != "1")
+          ++Failures;
+        if (!okOf(roundTrip(S, "{\"verb\":\"stats\"}")))
+          ++Failures;
+        if (!okOf(roundTrip(S, "{\"verb\":\"gc\"}")))
+          ++Failures;
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_EQ(Svc->errors(), 0u);
+  // Exactly-once persistence under racing sessions: every record on disk
+  // is a distinct (fingerprint, solver) — duplicate inserts never reach
+  // the observer, so the only dead records would come from recompiles,
+  // of which there are none here.
+  EXPECT_EQ(Svc->store()->stats().DeadRecords, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(TcpServer, ServesLoopbackClients) {
+  auto Svc = serve::Service::create({}, nullptr);
+  ASSERT_TRUE(Svc);
+  serve::TcpServer Server(*Svc);
+  std::string Error;
+  ASSERT_TRUE(Server.start(0, &Error)) << Error;
+  ASSERT_NE(Server.port(), 0);
+  // A tiny blocking client: connect, send two requests, read two lines.
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Server.port());
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  std::string Request =
+      "{\"verb\":\"query\",\"query\":\"delivery\",\"program\":\"sw:=1\","
+      "\"inputs\":[{\"sw\":3}]}\n{\"verb\":\"shutdown\"}\n";
+  ASSERT_EQ(::write(Fd, Request.data(), Request.size()),
+            static_cast<ssize_t>(Request.size()));
+  std::string Received;
+  char Chunk[4096];
+  ssize_t N = 0;
+  while ((N = ::read(Fd, Chunk, sizeof(Chunk))) > 0)
+    Received.append(Chunk, static_cast<std::size_t>(N));
+  ::close(Fd);
+  Server.stop();
+  // Two response lines, the first carrying the exact answer.
+  std::istringstream Lines(Received);
+  std::string First, Second;
+  ASSERT_TRUE(std::getline(Lines, First));
+  ASSERT_TRUE(std::getline(Lines, Second));
+  serve::Json R;
+  ASSERT_TRUE(serve::parseJson(First, R, &Error)) << Error;
+  ASSERT_TRUE(okOf(R)) << R.dump();
+  EXPECT_EQ(R.find("results")->elements()[0].asString(), "1");
+}
+
+} // namespace
