@@ -25,6 +25,8 @@
 ///   MCNK_SWEEP_MODULAR_JSON write the modular-sweep trajectory point here
 ///   MCNK_SWEEP_SIMPLIFY   run the simplify sweep     (default 1)
 ///   MCNK_SWEEP_SIMPLIFY_JSON write the simplify-sweep trajectory point here
+///   MCNK_SWEEP_SLICE      run the slice sweep        (default 1)
+///   MCNK_SWEEP_SLICE_JSON write the slice-sweep trajectory point here
 ///
 /// The *simplify sweep* replays the cache sweep's per-ingress family with
 /// the S15 verified simplifier (docs/ARCHITECTURE.md S15) in front of
@@ -37,6 +39,13 @@
 /// the two diagrams, and aggregates wall time plus the elimination-op /
 /// fill-in counters of each configuration.
 ///
+/// The *slice sweep* recompiles every registry scenario with the Exact
+/// solver under the S17 delivery-observation slice (docs/ARCHITECTURE.md
+/// S17) and compares against the plain Exact compile: average delivery
+/// must be string-equal as an exact rational, and the sweep reports the
+/// wall-clock and FDD-node deltas — the hop-counting families are where
+/// the cone of influence sheds the counter field and the diagram shrinks.
+///
 /// The *modular sweep* recompiles every registry scenario with the
 /// multi-prime ModularExact engine (docs/ARCHITECTURE.md S14), enforces
 /// reference equality against the Rational Exact engine, and aggregates
@@ -48,6 +57,7 @@
 
 #include "BenchUtil.h"
 #include "analysis/Verifier.h"
+#include "ast/Deps.h"
 #include "ast/Simplify.h"
 #include "fdd/CompileCache.h"
 #include "fdd/Export.h"
@@ -357,8 +367,104 @@ int main() {
     }
   }
 
+  // --- Slice sweep: plain Exact vs delivery-sliced Exact (S17) ----------
+  bool SliceEqual = true;
+  if (envUnsigned("MCNK_SWEEP_SLICE", 1)) {
+    std::printf("\n=== Slice sweep (Exact): plain vs delivery-observation "
+                "slice ===\n\n");
+    std::printf("%-24s %8s %8s %9s %9s %8s %7s\n", "scenario", "plain s",
+                "slice s", "fdd", "fdd slc", "removed", "shrink");
+    double PlainTotal = 0, SlicedTotal = 0;
+    std::size_t FddPlain = 0, FddSliced = 0, Removed = 0;
+    std::string BestName;
+    double BestShrink = 0;
+    for (const gen::ScenarioSpec &Spec : gen::buildRegistry(O)) {
+      ast::Context Ctx;
+      gen::Scenario S = Spec.Build(Ctx);
+
+      analysis::Verifier Plain; // Exact, no slicing.
+      WallTimer PlainTimer;
+      fdd::FddRef RP = Plain.compile(S.Program);
+      double PlainSec = PlainTimer.elapsed();
+      std::size_t NP = Plain.manager().diagramSize(RP);
+      Rational AvgP = Plain.averageDeliveryProbability(RP, S.Inputs);
+
+      analysis::Verifier Sliced; // Exact, delivery cone of influence.
+      Sliced.setSlice(&Ctx, ast::ObservationSet::delivery());
+      WallTimer SlicedTimer;
+      fdd::FddRef RS = Sliced.compile(S.Program);
+      double SlicedSec = SlicedTimer.elapsed();
+      std::size_t NS = Sliced.manager().diagramSize(RS);
+      Rational AvgS = Sliced.averageDeliveryProbability(RS, S.Inputs);
+
+      if (AvgP.toString() != AvgS.toString()) {
+        SliceEqual = false;
+        std::fprintf(stderr,
+                     "MISMATCH: sliced compile of %s changes the average "
+                     "delivery (%s vs %s)\n",
+                     S.Name.c_str(), AvgS.toString().c_str(),
+                     AvgP.toString().c_str());
+      }
+      double Shrink = NP ? 1.0 - static_cast<double>(NS) / NP : 0;
+      if (Shrink > BestShrink) {
+        BestShrink = Shrink;
+        BestName = S.Name;
+      }
+      PlainTotal += PlainSec;
+      SlicedTotal += SlicedSec;
+      FddPlain += NP;
+      FddSliced += NS;
+      Removed += Sliced.lastSliceStats().AssignmentsRemoved;
+      std::printf("%-24s %8.3f %8.3f %9zu %9zu %8zu %6.1f%%\n",
+                  S.Name.c_str(), PlainSec, SlicedSec, NP, NS,
+                  Sliced.lastSliceStats().AssignmentsRemoved,
+                  100 * Shrink);
+      std::fflush(stdout);
+    }
+    double Speedup = SlicedTotal > 0 ? PlainTotal / SlicedTotal : 0;
+    std::printf("totals: plain %.3f s / %zu fdd nodes, sliced %.3f s / %zu "
+                "fdd nodes (%.2fx wall, %zu assignments removed); best "
+                "shrink %s %.1f%%; %s\n",
+                PlainTotal, FddPlain, SlicedTotal, FddSliced, Speedup,
+                Removed, BestName.c_str(), 100 * BestShrink,
+                SliceEqual ? "all scenarios answer-equal"
+                           : "MISMATCH (see stderr)");
+
+    if (const char *Path = std::getenv("MCNK_SWEEP_SLICE_JSON");
+        Path && *Path) {
+      if (std::FILE *F = std::fopen(Path, "w")) {
+        std::fprintf(
+            F,
+            "{\n"
+            "  \"name\": \"scenario_sweep_slice\",\n"
+            "  \"model\": \"scenario registry (ring max N%u), Exact "
+            "solver\",\n"
+            "  \"engine\": \"delivery cone-of-influence slice before "
+            "fdd::compile (ARCHITECTURE S17)\",\n"
+            "  \"answers_equal\": %s,\n"
+            "  \"plain_seconds\": %.6f,\n"
+            "  \"sliced_seconds\": %.6f,\n"
+            "  \"speedup\": %.3f,\n"
+            "  \"fdd_nodes_plain\": %zu,\n"
+            "  \"fdd_nodes_sliced\": %zu,\n"
+            "  \"assignments_removed\": %zu,\n"
+            "  \"best_family\": \"%s\",\n"
+            "  \"best_node_reduction\": %.3f\n"
+            "}\n",
+            RingN, SliceEqual ? "true" : "false", PlainTotal, SlicedTotal,
+            Speedup, FddPlain, FddSliced, Removed, BestName.c_str(),
+            BestShrink);
+        std::fclose(F);
+        std::printf("wrote %s\n", Path);
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", Path);
+        return 1;
+      }
+    }
+  }
+
   if (!envUnsigned("MCNK_SWEEP_CACHE", 1))
-    return BlockedEqual && ModularEqual ? 0 : 1;
+    return BlockedEqual && ModularEqual && SliceEqual ? 0 : 1;
 
   // --- Cache sweep: cold engine vs shared compile cache -----------------
   std::vector<SweepMember> Members = buildSweepMembers(O);
@@ -482,5 +588,8 @@ int main() {
       }
     }
   }
-  return AllEqual && BlockedEqual && ModularEqual && SimplifyEqual ? 0 : 1;
+  return AllEqual && BlockedEqual && ModularEqual && SimplifyEqual &&
+                 SliceEqual
+             ? 0
+             : 1;
 }

@@ -22,6 +22,11 @@
 #        ./ci.sh serve-smoke [build-dir]  # build mcnk_serve + mcnk_cli and
 #                                   # run the daemon restart / fix-no-op
 #                                   # smoke tests plus the serve suite
+#        ./ci.sh lint [build-dir]   # mcnk_cli lint --json over the
+#                                   # examples/pnk corpus and the scenario
+#                                   # registry, diffed against the
+#                                   # checked-in tests/lint/baseline.json
+#                                   # (zero new diagnostics allowed)
 #   BUILD_TYPE=Debug ./ci.sh        # non-Release build
 #   MCNK_SANITIZE=ON ./ci.sh        # ASan/UBSan run
 #   MCNK_SANITIZE=ON ./ci.sh fuzz   # fuzz pass under ASan/UBSan
@@ -46,6 +51,9 @@ elif [ "${1:-}" = "tidy" ]; then
   shift
 elif [ "${1:-}" = "serve-smoke" ]; then
   MODE=serve-smoke
+  shift
+elif [ "${1:-}" = "lint" ]; then
+  MODE=lint
   shift
 fi
 
@@ -159,6 +167,46 @@ if [ "$MODE" = "serve-smoke" ]; then
   exit 0
 fi
 
+if [ "$MODE" = "lint" ]; then
+  # Lint-baseline pass (ARCHITECTURE S15/S17): every diagnostic the CLI
+  # emits over the examples/pnk corpus and the scenario registry must
+  # match tests/lint/baseline.json byte for byte — new findings (or
+  # vanished ones) fail the pass so diagnostic drift is always a
+  # deliberate, reviewed baseline update. Exit 1 from the CLI just means
+  # "findings exist" (expected for most of the corpus); exit >= 2 is a
+  # real error and fails immediately.
+  if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+      -DMCNK_WERROR=ON \
+      -DMCNK_SANITIZE="$SANITIZE"
+  fi
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target mcnk_cli
+  CURRENT="$BUILD_DIR/lint_current.json"
+  : > "$CURRENT"
+  for f in examples/pnk/*.pnk; do
+    rc=0
+    "$BUILD_DIR/mcnk_cli" lint --json "$f" >> "$CURRENT" || rc=$?
+    if [ "$rc" -ge 2 ]; then
+      echo "error: mcnk_cli lint failed on $f (exit $rc)" >&2
+      exit 1
+    fi
+  done
+  rc=0
+  "$BUILD_DIR/mcnk_cli" lint --json --registry >> "$CURRENT" || rc=$?
+  if [ "$rc" -ge 2 ]; then
+    echo "error: mcnk_cli lint --registry failed (exit $rc)" >&2
+    exit 1
+  fi
+  if ! diff -u tests/lint/baseline.json "$CURRENT"; then
+    echo "error: lint diagnostics drifted from tests/lint/baseline.json" >&2
+    echo "hint: review the diff above; if intended, copy $CURRENT over the baseline" >&2
+    exit 1
+  fi
+  echo "Lint baseline pass clean ($(wc -l < "$CURRENT") corpus lines)"
+  exit 0
+fi
+
 if [ "$MODE" = "bench" ]; then
   # Bench mode reuses an existing build tree (benchmarks want a warm
   # Release build, not a from-scratch rebuild) — but refuses Debug or
@@ -206,12 +254,15 @@ if [ "$MODE" = "bench" ]; then
   # The same invocation also records the simplify-sweep point: the cached
   # per-ingress family with the S15 verified simplifier in front of every
   # compile (reference equality enforced; hit-rate and node-count deltas
-  # recorded).
+  # recorded) — and the slice-sweep point: every registry scenario,
+  # plain Exact vs S17 delivery-cone-sliced Exact (answer equality
+  # enforced; wall-clock and FDD-node deltas recorded).
   MCNK_SWEEP_TABLE=0 \
     MCNK_SWEEP_CACHE_JSON=bench/results/BENCH_sweep_cache.json \
     MCNK_SWEEP_BLOCKED_JSON=bench/results/BENCH_sweep_blocked.json \
     MCNK_SWEEP_MODULAR_JSON=bench/results/BENCH_sweep_modular.json \
     MCNK_SWEEP_SIMPLIFY_JSON=bench/results/BENCH_sweep_simplify.json \
+    MCNK_SWEEP_SLICE_JSON=bench/results/BENCH_sweep_slice.json \
     "$BUILD_DIR/scenario_sweep"
   # Blocked-solver trajectory point on the Fig 7 FatTree family: Exact
   # monolithic vs blocked, reference-equality enforced, elimination-op and
@@ -229,7 +280,7 @@ if [ "$MODE" = "bench" ]; then
   # come from disk and be byte-identical; the run fails otherwise).
   MCNK_SERVE_JSON=bench/results/BENCH_serve_throughput.json \
     "$BUILD_DIR/serve_throughput"
-  echo "Wrote bench/results/BENCH_micro_{support,linalg}.json, BENCH_fig08_parallel.json, BENCH_sweep_{cache,blocked,modular,simplify}.json, BENCH_solver_{blocked,modular}.json, and BENCH_serve_throughput.json"
+  echo "Wrote bench/results/BENCH_micro_{support,linalg}.json, BENCH_fig08_parallel.json, BENCH_sweep_{cache,blocked,modular,simplify,slice}.json, BENCH_solver_{blocked,modular}.json, and BENCH_serve_throughput.json"
   exit 0
 fi
 

@@ -4,7 +4,7 @@
 /// mcnk: a command-line verifier for `.pnk` programs.
 ///
 ///   mcnk check  <file.pnk>                 parse + guardedness check
-///   mcnk lint   [--fix] <file.pnk>         static analysis (S15 checks)
+///   mcnk lint   [--fix] [--json] <file.pnk> static analysis (S15 + S17)
 ///   mcnk dump   <file.pnk>                 compile and dump the FDD
 ///   mcnk run    <file.pnk> f=v[,g=w...]    output distribution for input
 ///   mcnk equiv  <a.pnk> <b.pnk>            exact program equivalence
@@ -12,13 +12,21 @@
 ///   mcnk fuzz   [--seed N] [--iters N]     cross-engine differential fuzz
 ///
 /// `lint` runs the S15 abstract-interpretation analyzer (ast/Analyze.h)
-/// plus the parser's advisory warnings and prints one
+/// and the S17 field-dependency checks (ast/Deps.h: dead-field,
+/// write-only-field, query-irrelevant-assignment) plus the parser's
+/// advisory warnings and prints one
 /// `file:line:col: warning[check-name]: message` line per finding to
-/// stdout, sorted by source position. Exit 0 when the program is clean, 1
-/// when there are findings, 2 on usage or parse errors. With --fix the
-/// verified simplifier rewrites the program and the result is written
-/// back to the file (to stdout for "-"), exiting 0 unless the write
-/// fails.
+/// stdout, sorted by source position. With --json the same findings are
+/// emitted instead as one JSON array of {file, line, col, check, message}
+/// objects (the serve daemon's serializer renders them, so the `lint`
+/// verb there and this flag agree byte-for-byte). Exit 0 when the
+/// program is clean, 1 when there are findings, 2 on usage or parse
+/// errors — identical in both output modes. With --fix the verified
+/// simplifier rewrites the program and the result is written back to the
+/// file (to stdout for "-"), exiting 0 unless the write fails. With
+/// --registry the checks run over every scenario-registry program (via
+/// its printed form, labelled registry:<name>) instead of a file — the
+/// corpus `ci.sh lint` diffs against its checked-in baseline.
 ///
 /// `fuzz` drives the src/gen/ differential oracle: N seeded random
 /// guarded programs plus the whole scenario registry, every engine
@@ -46,13 +54,21 @@
 /// --blocked and -j (blocks and primes fan out on one pool). The global
 /// option --simplify runs the verified S15 simplifier over every program
 /// before compiling it (semantics-preserving: the diagrams are
-/// reference-identical, a contract the oracle enforces). Programs read
-/// from "-" come from stdin.
+/// reference-identical, a contract the oracle enforces). The global
+/// option --slice runs S17 query-directed cone-of-influence slicing
+/// before compiling: `dump` slices for the delivery observation (only
+/// the drop mass is observed, so assignments invisible to delivery
+/// queries are removed and the diagram shrinks — a slice statistics line
+/// reports by how much), while `run` and `equiv` slice for the
+/// all-fields observation (their answers expose whole output packets, so
+/// slicing is a verified no-op there). Programs read from "-" come from
+/// stdin.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Verifier.h"
 #include "ast/Analyze.h"
+#include "ast/Deps.h"
 #include "ast/Printer.h"
 #include "ast/Simplify.h"
 #include "ast/Traversal.h"
@@ -60,6 +76,7 @@
 #include "gen/Oracle.h"
 #include "parser/Parser.h"
 #include "prism/Translate.h"
+#include "serve/Lint.h"
 
 #include <algorithm>
 
@@ -142,12 +159,13 @@ bool parseInputPacket(const std::string &Spec, ast::Context &Ctx,
 int usage() {
   std::fprintf(stderr,
                "usage: mcnk [-j[N]] [--cache] [--blocked] [--modular] "
-               "[--simplify] check|dump <file.pnk>\n"
-               "       mcnk lint [--fix] <file.pnk>\n"
+               "[--simplify] [--slice] check|dump <file.pnk>\n"
+               "       mcnk lint [--fix] [--json] <file.pnk>\n"
+               "       mcnk lint [--json] --registry\n"
                "       mcnk [-j[N]] [--cache] [--blocked] [--modular] "
-               "[--simplify] run|prism <file.pnk> f=v[,g=w...]\n"
+               "[--simplify] [--slice] run|prism <file.pnk> f=v[,g=w...]\n"
                "       mcnk [-j[N]] [--cache] [--blocked] [--modular] "
-               "[--simplify] equiv <a.pnk> <b.pnk>\n"
+               "[--simplify] [--slice] equiv <a.pnk> <b.pnk>\n"
                "       mcnk [--cache] fuzz [--seed N] [--iters N] "
                "[--no-scenarios]\n"
                "  -j[N]     compile `case` on N worker threads (default: "
@@ -167,11 +185,17 @@ int usage() {
                "  --simplify run the verified S15 simplifier over every\n"
                "            program before compiling (same diagrams,\n"
                "            enforced by the oracle)\n"
-               "  lint      run the S15 static analyzer; one\n"
-               "            file:line:col: warning[check]: line per\n"
-               "            finding, exit 0 clean / 1 findings / 2 errors;\n"
-               "            --fix rewrites the file with the verified\n"
-               "            simplifier's output\n"
+               "  --slice   run S17 cone-of-influence slicing before\n"
+               "            compiling: dump slices for the delivery\n"
+               "            observation (and prints slice stats), run and\n"
+               "            equiv for the all-fields observation (their\n"
+               "            answers expose whole packets)\n"
+               "  lint      run the S15 static analyzer and the S17\n"
+               "            dependency checks; one file:line:col:\n"
+               "            warning[check]: line per finding (--json: a\n"
+               "            JSON array of findings instead), exit 0 clean\n"
+               "            / 1 findings / 2 errors; --fix rewrites the\n"
+               "            file with the verified simplifier's output\n"
                "  fuzz      run the cross-engine differential oracle on N\n"
                "            random programs (default 25) plus the scenario\n"
                "            registry; exit 3 on any disagreement (2 on\n"
@@ -226,17 +250,24 @@ void printCacheStats(const fdd::CompileCache &Cache) {
               S.StoredNodes);
 }
 
-/// `mcnk lint [--fix]`: the S15 static analyzer. Parser warnings (the
-/// degenerate-choice check lives there, because Context::choice collapses
-/// those nodes at construction) and ast::analyze findings are merged into
-/// one source-ordered stream on stdout. --fix rewrites the file with the
-/// verified simplifier's output.
+/// `mcnk lint [--fix] [--json]`: the S15 static analyzer plus the S17
+/// dependency checks, through the pipeline the serve daemon's `lint` verb
+/// shares (serve/Lint.h), so the two agree byte-for-byte. --json emits
+/// the findings as one JSON array instead of text lines (exit codes are
+/// identical either way); --fix rewrites the file with the verified
+/// simplifier's output.
 int runLint(const std::vector<std::string> &Args) {
   bool Fix = false;
+  bool AsJson = false;
+  bool Registry = false;
   std::string Path;
   for (std::size_t I = 1; I < Args.size(); ++I) {
     if (Args[I] == "--fix") {
       Fix = true;
+    } else if (Args[I] == "--json") {
+      AsJson = true;
+    } else if (Args[I] == "--registry") {
+      Registry = true;
     } else if (Path.empty()) {
       Path = Args[I];
     } else {
@@ -244,6 +275,40 @@ int runLint(const std::vector<std::string> &Args) {
                    Args[I].c_str());
       return usage();
     }
+  }
+  if (Registry) {
+    // Lint every registry scenario instead of a file: each program goes
+    // through the printer and back through the parser (so findings carry
+    // real spans — the same path a program takes into the serve daemon),
+    // labelled registry:<scenario>. CI diffs this output against a
+    // checked-in baseline to catch new diagnostics on the models.
+    if (Fix || !Path.empty())
+      return usage();
+    bool AnyFindings = false;
+    for (const gen::ScenarioSpec &Spec : gen::buildRegistry({})) {
+      ast::Context BuildCtx;
+      gen::Scenario S = Spec.Build(BuildCtx);
+      std::string Printed = ast::print(S.Program, BuildCtx.fields());
+      ast::Context Ctx;
+      parser::ParseResult Result = parser::parseProgram(Printed, Ctx);
+      if (!Result.ok()) {
+        std::fprintf(stderr, "error: registry scenario %s does not "
+                             "re-parse from its printed form\n",
+                     S.Name.c_str());
+        return 2;
+      }
+      std::vector<serve::LintEntry> Entries =
+          serve::lintProgram(Ctx, Result.Program, Result.Warnings);
+      std::string Label = "registry:" + S.Name;
+      if (AsJson) {
+        std::printf("%s\n", serve::lintJson(Label, Entries).dump().c_str());
+      } else {
+        for (const serve::LintEntry &E : Entries)
+          std::printf("%s\n", serve::renderLintEntry(Label, E).c_str());
+      }
+      AnyFindings |= !Entries.empty();
+    }
+    return AnyFindings ? 1 : 0;
   }
   if (Path.empty())
     return usage();
@@ -260,26 +325,14 @@ int runLint(const std::vector<std::string> &Args) {
     return 2;
   }
 
-  // One stream, sorted by source position: parser warnings rendered in
-  // the analyzer's format, then the abstract-interpretation findings.
-  struct Line {
-    unsigned Row, Col;
-    std::string Text;
-  };
-  std::vector<Line> Lines;
-  for (const parser::Diagnostic &W : Result.Warnings)
-    Lines.push_back({W.Line, W.Column,
-                     Path + ":" + std::to_string(W.Line) + ":" +
-                         std::to_string(W.Column) + ": warning[" + W.Check +
-                         "]: " + W.Message});
-  for (const ast::Finding &F : ast::analyze(Ctx, Result.Program))
-    Lines.push_back({F.Loc.Line, F.Loc.Column, F.render(Path)});
-  std::stable_sort(Lines.begin(), Lines.end(),
-                   [](const Line &A, const Line &B) {
-                     return A.Row != B.Row ? A.Row < B.Row : A.Col < B.Col;
-                   });
-  for (const Line &L : Lines)
-    std::printf("%s\n", L.Text.c_str());
+  std::vector<serve::LintEntry> Entries =
+      serve::lintProgram(Ctx, Result.Program, Result.Warnings);
+  if (AsJson) {
+    std::printf("%s\n", serve::lintJson(Path, Entries).dump().c_str());
+  } else {
+    for (const serve::LintEntry &E : Entries)
+      std::printf("%s\n", serve::renderLintEntry(Path, E).c_str());
+  }
 
   if (Fix) {
     ast::SimplifyStats Stats;
@@ -308,7 +361,7 @@ int runLint(const std::vector<std::string> &Args) {
                  Stats.Rounds, Stats.Rounds == 1 ? "" : "s");
     return 0;
   }
-  return Lines.empty() ? 0 : 1;
+  return Entries.empty() ? 0 : 1;
 }
 
 /// `mcnk fuzz`: the CLI face of the src/gen differential oracle. The
@@ -417,6 +470,7 @@ int main(int Argc, char **Argv) {
   bool Blocked = false;
   bool Modular = false;
   bool Simplify = false;
+  bool Slice = false;
   unsigned Threads = 0;
   std::vector<std::string> Args;
   auto AllDigits = [](const std::string &S) {
@@ -443,6 +497,10 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--simplify") {
       Simplify = true;
+      continue;
+    }
+    if (Arg == "--slice") {
+      Slice = true;
       continue;
     }
     if (Arg.rfind("-j", 0) == 0) {
@@ -505,10 +563,21 @@ int main(int Argc, char **Argv) {
       applyBlockedStructure(V, Parallel, Threads);
     if (Simplify)
       V.setSimplify(&Ctx);
+    if (Slice)
+      // `dump` has no query attached, so slice for the most aggressive
+      // still-meaningful observation: delivery (drop mass only).
+      V.setSlice(&Ctx, ast::ObservationSet::delivery());
     fdd::FddRef Ref = V.compile(Program, Parallel, Threads);
     std::printf("%s", fdd::dumpFdd(V.manager(), Ref, Ctx.fields()).c_str());
     std::printf("// %zu nodes in the diagram\n",
                 V.manager().diagramSize(Ref));
+    if (Slice) {
+      const ast::SliceStats &S = V.lastSliceStats();
+      std::printf("slice: %zu assignment(s) removed, %zu -> %zu AST "
+                  "nodes, %zu/%zu fields relevant\n",
+                  S.AssignmentsRemoved, S.NodesBefore, S.NodesAfter,
+                  S.FieldsRelevant, S.FieldsBefore);
+    }
     if (Blocked)
       printBlockStats(V.manager().lastLoopStats());
     if (Modular)
@@ -535,6 +604,10 @@ int main(int Argc, char **Argv) {
       applyBlockedStructure(V, Parallel, Threads);
     if (Simplify)
       V.setSimplify(&Ctx);
+    if (Slice)
+      // Equivalence observes whole output packets; slicing for the
+      // all-fields observation is a verified no-op rewrite.
+      V.setSlice(&Ctx, ast::ObservationSet::all());
     bool Equal = V.equivalent(V.compile(Program, Parallel, Threads),
                               V.compile(Other, Parallel, Threads));
     std::printf("%s\n", Equal ? "equivalent" : "NOT equivalent");
@@ -566,6 +639,9 @@ int main(int Argc, char **Argv) {
       applyBlockedStructure(V, Parallel, Threads);
     if (Simplify)
       V.setSimplify(&Ctx);
+    if (Slice)
+      // `run` prints whole output packets; all fields are observed.
+      V.setSlice(&Ctx, ast::ObservationSet::all());
     fdd::FddRef Ref = V.compile(Program, Parallel, Threads);
     auto Out = V.manager().outputDistribution(Ref, In);
     for (const auto &[Pkt, W] : Out.Outputs) {

@@ -41,6 +41,13 @@ FddRef Verifier::compile(const ast::Node *Program, bool Parallel,
     Options.Pool = &compilePool(Threads);
   Options.Cache = Cache;
   Options.Simplify = SimplifyCtx;
+  fdd::SliceHook Hook;
+  if (SliceCtx) {
+    Hook.Ctx = SliceCtx;
+    Hook.Observed = SliceObs;
+    Hook.Stats = &LastSlice;
+    Options.Slice = &Hook;
+  }
   return fdd::compile(Manager, Program, Options);
 }
 

@@ -100,6 +100,23 @@ public:
   void setSimplify(ast::Context *Ctx) { SimplifyCtx = Ctx; }
   /// The context the simplifier rewrites into, or null when off.
   ast::Context *simplifyContext() const { return SimplifyCtx; }
+
+  /// Enables S17 cone-of-influence slicing for every subsequent compile():
+  /// the program is sliced for \p Obs (ast/Slice.h) in \p Ctx — which
+  /// must own the program's nodes and outlive the verifier's compiles —
+  /// before FDD compilation, so the diagram never branches on (or writes)
+  /// fields outside the query's cone. Null disables. The compiled diagram
+  /// equals the unsliced one after projecting onto the cone, and every
+  /// query within \p Obs answers identically — the contract the oracle's
+  /// CheckSlice lane enforces.
+  void setSlice(ast::Context *Ctx, ast::ObservationSet Obs = {}) {
+    SliceCtx = Ctx;
+    SliceObs = std::move(Obs);
+  }
+  /// The context the slicer rewrites into, or null when off.
+  ast::Context *sliceContext() const { return SliceCtx; }
+  /// Statistics of the most recent sliced compile (zeros before one).
+  const ast::SliceStats &lastSliceStats() const { return LastSlice; }
   /// Hit/miss/size counters of the active cache (all zero when off).
   fdd::CompileCache::Stats cacheStats() const {
     return Cache ? Cache->stats() : fdd::CompileCache::Stats();
@@ -147,6 +164,9 @@ private:
   std::unique_ptr<fdd::CompileCache> OwnedCache;
   fdd::CompileCache *Cache = nullptr;
   ast::Context *SimplifyCtx = nullptr;
+  ast::Context *SliceCtx = nullptr;
+  ast::ObservationSet SliceObs;
+  ast::SliceStats LastSlice;
 };
 
 } // namespace analysis

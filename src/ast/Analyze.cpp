@@ -53,6 +53,12 @@ const char *ast::checkName(CheckKind Check) {
     return "dead-assignment";
   case CheckKind::RedundantAssignment:
     return "redundant-assignment";
+  case CheckKind::DeadField:
+    return "dead-field";
+  case CheckKind::WriteOnlyField:
+    return "write-only-field";
+  case CheckKind::QueryIrrelevantAssignment:
+    return "query-irrelevant-assignment";
   }
   MCNK_UNREACHABLE("unhandled check kind");
 }
@@ -342,9 +348,24 @@ struct DomainAnalysis::Impl {
                          return A.Loc.Line < B.Loc.Line;
                        if (A.Loc.Column != B.Loc.Column)
                          return A.Loc.Column < B.Loc.Column;
-                       return static_cast<unsigned>(A.Check) <
-                              static_cast<unsigned>(B.Check);
+                       if (A.Check != B.Check)
+                         return static_cast<unsigned>(A.Check) <
+                                static_cast<unsigned>(B.Check);
+                       return A.Message < B.Message;
                      });
+    // Distinct node pointers can render as the same diagnostic line: the
+    // per-node Reported set cannot catch, say, the two dead assignments a
+    // `var` block desugars to, both unlocated and both inheriting the
+    // block's span. Collapse identical rendered lines here.
+    Findings.erase(std::unique(Findings.begin(), Findings.end(),
+                               [](const Finding &A, const Finding &B) {
+                                 return A.Loc.valid() == B.Loc.valid() &&
+                                        A.Loc.Line == B.Loc.Line &&
+                                        A.Loc.Column == B.Loc.Column &&
+                                        A.Check == B.Check &&
+                                        A.Message == B.Message;
+                               }),
+                   Findings.end());
   }
 
   /// Best location for a diagnostic anchored at \p N: the node's own

@@ -43,6 +43,9 @@ enum class CheckKind : uint8_t {
   DegenerateChoice,      ///< p ⊕_r q with r ∉ (0,1) (raised by the parser)
   DeadAssignment,        ///< assignment immediately overwritten
   RedundantAssignment,   ///< field already known to hold the assigned value
+  DeadField,             ///< field read but outside the delivery cone
+  WriteOnlyField,        ///< field written but never read anywhere
+  QueryIrrelevantAssignment, ///< assigns a field no delivery query can see
 };
 
 /// Kebab-case slug used in rendered diagnostics, e.g.

@@ -1,0 +1,477 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The S17 dependency pass. Two explicit-stack walks:
+///
+///  1. A syntactic post-order pass computing per-subtree read/written sets
+///     (memoized across hash-consed sharing) and the first test/assignment
+///     per field, in source order.
+///
+///  2. A worklist pass propagating *guard contexts* — the set of fields
+///     tested by enclosing if/while/case guards — down the tree. Contexts
+///     attached to a node only ever grow (OR-merge across the different
+///     paths that reach a shared subtree), so re-processing a node whose
+///     context grew reaches a fixpoint; `while` bodies need no extra
+///     iteration beyond that because assignments are constant, making the
+///     edge relation a function of the static guard structure alone.
+///
+/// A node can occur both as a guard (if/while condition, case guard) and
+/// in program position (a bare filter); the two roles propagate different
+/// facts — program-position tests can drop packets, guard tests cannot
+/// (the enclosing construct is total) — so contexts are tracked per role.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Deps.h"
+
+#include "support/Casting.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+using namespace mcnk;
+using namespace mcnk::ast;
+
+namespace {
+
+/// Dense field bitset used for guard contexts.
+using Bits = std::vector<uint64_t>;
+
+std::size_t wordsFor(std::size_t NumFields) { return (NumFields + 63) / 64; }
+
+void setBit(Bits &B, FieldId F) { B[F / 64] |= uint64_t(1) << (F % 64); }
+
+/// OR \p Src into \p Dst; returns true when Dst changed.
+bool orInto(Bits &Dst, const Bits &Src) {
+  bool Changed = false;
+  for (std::size_t I = 0; I < Dst.size(); ++I) {
+    uint64_t Merged = Dst[I] | Src[I];
+    Changed |= Merged != Dst[I];
+    Dst[I] = Merged;
+  }
+  return Changed;
+}
+
+void forEachSetBit(const Bits &B, std::size_t NumFields,
+                   const std::function<void(FieldId)> &Fn) {
+  for (std::size_t F = 0; F < NumFields; ++F)
+    if (B[F / 64] & (uint64_t(1) << (F % 64)))
+      Fn(static_cast<FieldId>(F));
+}
+
+/// In-order children of \p N (guards and bodies alike).
+void forEachChild(const Node *N, const std::function<void(const Node *)> &Fn) {
+  switch (N->kind()) {
+  case NodeKind::Drop:
+  case NodeKind::Skip:
+  case NodeKind::Test:
+  case NodeKind::Assign:
+    return;
+  case NodeKind::Not:
+    Fn(cast<NotNode>(N)->operand());
+    return;
+  case NodeKind::Seq:
+    Fn(cast<SeqNode>(N)->lhs());
+    Fn(cast<SeqNode>(N)->rhs());
+    return;
+  case NodeKind::Union:
+    Fn(cast<UnionNode>(N)->lhs());
+    Fn(cast<UnionNode>(N)->rhs());
+    return;
+  case NodeKind::Choice:
+    Fn(cast<ChoiceNode>(N)->lhs());
+    Fn(cast<ChoiceNode>(N)->rhs());
+    return;
+  case NodeKind::Star:
+    Fn(cast<StarNode>(N)->body());
+    return;
+  case NodeKind::IfThenElse: {
+    const auto *I = cast<IfThenElseNode>(N);
+    Fn(I->cond());
+    Fn(I->thenBranch());
+    Fn(I->elseBranch());
+    return;
+  }
+  case NodeKind::While: {
+    const auto *W = cast<WhileNode>(N);
+    Fn(W->cond());
+    Fn(W->body());
+    return;
+  }
+  case NodeKind::Case: {
+    const auto *C = cast<CaseNode>(N);
+    for (const CaseNode::Branch &B : C->branches()) {
+      Fn(B.first);
+      Fn(B.second);
+    }
+    Fn(C->defaultBranch());
+    return;
+  }
+  }
+  MCNK_UNREACHABLE("unhandled node kind");
+}
+
+} // namespace
+
+FieldDeps::FieldDeps(const Context &Ctx, const Node *Program) {
+  NumFields = Ctx.fields().numFields();
+  Read.assign(NumFields, false);
+  Written.assign(NumFields, false);
+  DropDep.assign(NumFields, false);
+  ForceRelevant.assign(NumFields, false);
+  Edges.assign(NumFields, std::vector<bool>(NumFields, false));
+  FirstTest.assign(NumFields, nullptr);
+  FirstAssign.assign(NumFields, nullptr);
+  Empty.assign(NumFields, false);
+  computeSubtreeSets(Program);
+  run(Ctx, Program);
+}
+
+const std::vector<bool> &FieldDeps::readSet(const Node *N) const {
+  auto It = ReadSets.find(N);
+  return It == ReadSets.end() ? Empty : It->second;
+}
+
+const std::vector<bool> &FieldDeps::writtenSet(const Node *N) const {
+  auto It = WrittenSets.find(N);
+  return It == WrittenSets.end() ? Empty : It->second;
+}
+
+void FieldDeps::computeSubtreeSets(const Node *Program) {
+  // Post-order with a phase bit; shared subtrees are computed once, and
+  // the pre-order (first-visit) side doubles as the syntactic-order scan
+  // recording the first test/assignment per field.
+  struct Frame {
+    const Node *N;
+    bool Expanded;
+  };
+  std::vector<Frame> Stack{{Program, false}};
+  while (!Stack.empty()) {
+    Frame F = Stack.back();
+    Stack.pop_back();
+    if (!F.Expanded) {
+      if (ReadSets.count(F.N))
+        continue; // Shared subtree already (or about to be) computed.
+      if (const auto *T = dyn_cast<TestNode>(F.N)) {
+        if (T->field() < NumFields) {
+          Read[T->field()] = true;
+          if (!FirstTest[T->field()])
+            FirstTest[T->field()] = F.N;
+        }
+      } else if (const auto *A = dyn_cast<AssignNode>(F.N)) {
+        if (A->field() < NumFields) {
+          Written[A->field()] = true;
+          if (!FirstAssign[A->field()])
+            FirstAssign[A->field()] = F.N;
+        }
+      }
+      Stack.push_back({F.N, true});
+      // Push children reversed so the pre-order visits them in syntactic
+      // order (first-test anchors point at the earliest occurrence).
+      std::vector<const Node *> Kids;
+      forEachChild(F.N, [&](const Node *C) { Kids.push_back(C); });
+      for (auto It = Kids.rbegin(); It != Kids.rend(); ++It)
+        if (!ReadSets.count(*It))
+          Stack.push_back({*It, false});
+      // Reserve the slot so a shared child queued twice is expanded once.
+      ReadSets.emplace(F.N, std::vector<bool>());
+      continue;
+    }
+    std::vector<bool> R(NumFields, false), W(NumFields, false);
+    if (const auto *T = dyn_cast<TestNode>(F.N)) {
+      if (T->field() < NumFields)
+        R[T->field()] = true;
+    } else if (const auto *A = dyn_cast<AssignNode>(F.N)) {
+      if (A->field() < NumFields)
+        W[A->field()] = true;
+    }
+    forEachChild(F.N, [&](const Node *C) {
+      auto RIt = ReadSets.find(C);
+      if (RIt != ReadSets.end() && !RIt->second.empty())
+        for (std::size_t I = 0; I < NumFields; ++I)
+          R[I] = R[I] || RIt->second[I];
+      auto WIt = WrittenSets.find(C);
+      if (WIt != WrittenSets.end())
+        for (std::size_t I = 0; I < NumFields; ++I)
+          W[I] = W[I] || WIt->second[I];
+    });
+    // Leaves with no fields keep an all-false set (distinct from the
+    // "not yet computed" reservation only by this assignment).
+    ReadSets[F.N] = std::move(R);
+    WrittenSets[F.N] = std::move(W);
+  }
+}
+
+void FieldDeps::run(const Context &Ctx, const Node *Program) {
+  (void)Ctx;
+  const std::size_t Words = wordsFor(NumFields);
+
+  // Guard contexts per role; a node is re-processed whenever its context
+  // grows, so facts are OR-merged across every path reaching it.
+  std::unordered_map<const Node *, Bits> InProg, InGuard;
+  std::deque<std::pair<const Node *, bool>> Work; // (node, guard role)
+
+  auto Propagate = [&](const Node *N, bool Guard, const Bits &C) {
+    auto &Map = Guard ? InGuard : InProg;
+    auto [It, Inserted] = Map.try_emplace(N, Bits(Words, 0));
+    if (orInto(It->second, C) || Inserted)
+      Work.emplace_back(N, Guard);
+  };
+
+  auto MarkDroppy = [&](const Bits &C) {
+    forEachSetBit(C, NumFields, [&](FieldId F) { DropDep[F] = true; });
+  };
+
+  auto BitsOf = [&](const std::vector<bool> &Set) {
+    Bits B(Words, 0);
+    for (std::size_t F = 0; F < NumFields; ++F)
+      if (Set[F])
+        setBit(B, static_cast<FieldId>(F));
+    return B;
+  };
+
+  Propagate(Program, /*Guard=*/false, Bits(Words, 0));
+
+  while (!Work.empty()) {
+    auto [N, Guard] = Work.front();
+    Work.pop_front();
+    // Copy: Propagate below may rehash the map.
+    Bits C = Guard ? InGuard[N] : InProg[N];
+
+    if (Guard) {
+      // Guard role: the enclosing construct routes every packet somewhere,
+      // so tests here are not droppy by themselves. Only predicate shapes
+      // occur; anything else falls through to the program role below
+      // (conservative for malformed inputs).
+      switch (N->kind()) {
+      case NodeKind::Drop:
+      case NodeKind::Skip:
+      case NodeKind::Test:
+        continue;
+      case NodeKind::Not:
+        Propagate(cast<NotNode>(N)->operand(), true, C);
+        continue;
+      case NodeKind::Seq:
+        Propagate(cast<SeqNode>(N)->lhs(), true, C);
+        Propagate(cast<SeqNode>(N)->rhs(), true, C);
+        continue;
+      case NodeKind::Union:
+        Propagate(cast<UnionNode>(N)->lhs(), true, C);
+        Propagate(cast<UnionNode>(N)->rhs(), true, C);
+        continue;
+      default:
+        break; // Non-predicate guard: treat as program position.
+      }
+    }
+
+    switch (N->kind()) {
+    case NodeKind::Skip:
+      break;
+    case NodeKind::Drop:
+      // An explicit drop under a guard makes the guard delivery-relevant.
+      MarkDroppy(C);
+      break;
+    case NodeKind::Test: {
+      // A bare filter: the test's outcome (and the guards that decided
+      // whether the filter runs) changes the surviving mass.
+      const auto *T = cast<TestNode>(N);
+      if (T->field() < NumFields)
+        DropDep[T->field()] = true;
+      MarkDroppy(C);
+      break;
+    }
+    case NodeKind::Assign: {
+      const auto *A = cast<AssignNode>(N);
+      if (A->field() < NumFields) {
+        FieldId G = A->field();
+        forEachSetBit(C, NumFields,
+                      [&](FieldId F) { Edges[F][G] = true; });
+      }
+      break;
+    }
+    case NodeKind::Not:
+      Propagate(cast<NotNode>(N)->operand(), false, C);
+      break;
+    case NodeKind::Seq:
+      Propagate(cast<SeqNode>(N)->lhs(), false, C);
+      Propagate(cast<SeqNode>(N)->rhs(), false, C);
+      break;
+    case NodeKind::Union: {
+      const auto *U = cast<UnionNode>(N);
+      if (!N->isPredicate()) {
+        // General program union copies the packet; set-collapse makes
+        // deleting any write underneath observable. Pin the whole region.
+        const std::vector<bool> &W = writtenSet(N);
+        for (std::size_t F = 0; F < NumFields; ++F)
+          if (W[F])
+            ForceRelevant[F] = true;
+        const std::vector<bool> &R = readSet(N);
+        for (std::size_t F = 0; F < NumFields; ++F)
+          if (R[F])
+            DropDep[F] = true;
+      }
+      Propagate(U->lhs(), false, C);
+      Propagate(U->rhs(), false, C);
+      break;
+    }
+    case NodeKind::Choice:
+      Propagate(cast<ChoiceNode>(N)->lhs(), false, C);
+      Propagate(cast<ChoiceNode>(N)->rhs(), false, C);
+      break;
+    case NodeKind::Star: {
+      const auto *S = cast<StarNode>(N);
+      if (!S->body()->isPredicate()) {
+        const std::vector<bool> &W = writtenSet(N);
+        for (std::size_t F = 0; F < NumFields; ++F)
+          if (W[F])
+            ForceRelevant[F] = true;
+        const std::vector<bool> &R = readSet(N);
+        for (std::size_t F = 0; F < NumFields; ++F)
+          if (R[F])
+            DropDep[F] = true;
+      }
+      Propagate(S->body(), false, C);
+      break;
+    }
+    case NodeKind::IfThenElse: {
+      const auto *I = cast<IfThenElseNode>(N);
+      Propagate(I->cond(), true, C);
+      Bits Inner = C;
+      orInto(Inner, BitsOf(readSet(I->cond())));
+      Propagate(I->thenBranch(), false, Inner);
+      Propagate(I->elseBranch(), false, Inner);
+      break;
+    }
+    case NodeKind::While: {
+      const auto *W = cast<WhileNode>(N);
+      Propagate(W->cond(), true, C);
+      // Divergence loses mass: the guard's fields (and whatever guards
+      // decide if the loop runs at all) are delivery-relevant.
+      Bits GuardBits = BitsOf(readSet(W->cond()));
+      MarkDroppy(GuardBits);
+      MarkDroppy(C);
+      Bits Inner = C;
+      orInto(Inner, GuardBits);
+      Propagate(W->body(), false, Inner);
+      break;
+    }
+    case NodeKind::Case: {
+      const auto *CN = cast<CaseNode>(N);
+      // First-match: which arm fires depends on every guard up to it, so
+      // all arm bodies (and the default) run under the union of all guard
+      // fields.
+      Bits AllGuards(Words, 0);
+      for (const CaseNode::Branch &B : CN->branches()) {
+        Propagate(B.first, true, C);
+        orInto(AllGuards, BitsOf(readSet(B.first)));
+      }
+      Bits Inner = C;
+      orInto(Inner, AllGuards);
+      for (const CaseNode::Branch &B : CN->branches())
+        Propagate(B.second, false, Inner);
+      Propagate(CN->defaultBranch(), false, Inner);
+      break;
+    }
+    }
+  }
+}
+
+std::vector<bool>
+FieldDeps::coneOfInfluence(const ObservationSet &Obs) const {
+  std::vector<bool> Cone(NumFields, false);
+  if (Obs.AllFields) {
+    Cone.assign(NumFields, true);
+    return Cone;
+  }
+  for (FieldId F : Obs.Fields)
+    if (F < NumFields)
+      Cone[F] = true;
+  for (std::size_t F = 0; F < NumFields; ++F)
+    if (DropDep[F] || ForceRelevant[F])
+      Cone[F] = true;
+  // Backward closure: a test on F controls an assignment to an in-cone
+  // field ⇒ F's value is observable through that assignment.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (std::size_t F = 0; F < NumFields; ++F) {
+      if (Cone[F])
+        continue;
+      for (std::size_t G = 0; G < NumFields; ++G) {
+        if (Edges[F][G] && Cone[G]) {
+          Cone[F] = true;
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return Cone;
+}
+
+std::vector<Finding> ast::analyzeDeps(const Context &Ctx,
+                                      const Node *Program) {
+  FieldDeps Deps(Ctx, Program);
+  std::vector<bool> Cone = Deps.coneOfInfluence(ObservationSet::delivery());
+  std::vector<Finding> Findings;
+  auto Report = [&](CheckKind Check, const Node *Where, std::string Msg) {
+    Findings.push_back({Check, Ctx.loc(Where), Where, std::move(Msg)});
+  };
+
+  const std::size_t NumFields = Deps.numFields();
+  for (std::size_t I = 0; I < NumFields; ++I) {
+    FieldId F = static_cast<FieldId>(I);
+    const std::string &Name = Ctx.fields().name(F);
+    if (Deps.written(F) && !Deps.read(F))
+      Report(CheckKind::WriteOnlyField, Deps.firstAssign(F),
+             "field '" + Name +
+                 "' is assigned but never tested; its writes cannot "
+                 "influence any decision or the delivered mass");
+    else if (Deps.read(F) && !Cone[F])
+      Report(CheckKind::DeadField, Deps.firstTest(F),
+             "field '" + Name +
+                 "' is outside the delivery cone of influence; no delivery "
+                 "query can observe it");
+  }
+
+  // Per-assignment findings for fields that are tested somewhere yet still
+  // invisible to delivery queries. Syntactic pre-order walk, shared
+  // (hash-consed) assignment nodes reported once.
+  std::vector<const Node *> Stack{Program};
+  std::unordered_map<const Node *, bool> Seen;
+  while (!Stack.empty()) {
+    const Node *N = Stack.back();
+    Stack.pop_back();
+    if (!Seen.emplace(N, true).second)
+      continue;
+    if (const auto *A = dyn_cast<AssignNode>(N)) {
+      FieldId F = A->field();
+      if (F < NumFields && Deps.read(F) && !Cone[F])
+        Report(CheckKind::QueryIrrelevantAssignment, N,
+               "assignment to '" + Ctx.fields().name(F) +
+                   "' cannot be observed by any delivery query");
+      continue;
+    }
+    std::vector<const Node *> Kids;
+    forEachChild(N, [&](const Node *C) { Kids.push_back(C); });
+    for (auto It = Kids.rbegin(); It != Kids.rend(); ++It)
+      Stack.push_back(*It);
+  }
+
+  // Same presentation order as ast::analyze(): located findings first, by
+  // position, then by check.
+  std::stable_sort(Findings.begin(), Findings.end(),
+                   [](const Finding &A, const Finding &B) {
+                     if (A.Loc.valid() != B.Loc.valid())
+                       return A.Loc.valid();
+                     if (A.Loc.Line != B.Loc.Line)
+                       return A.Loc.Line < B.Loc.Line;
+                     if (A.Loc.Column != B.Loc.Column)
+                       return A.Loc.Column < B.Loc.Column;
+                     return static_cast<unsigned>(A.Check) <
+                            static_cast<unsigned>(B.Check);
+                   });
+  return Findings;
+}

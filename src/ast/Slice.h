@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Query-directed cone-of-influence slicing (ARCHITECTURE S17). Given a
+/// query's ObservationSet, the slicer computes the backward cone over the
+/// S17 dependency graph and rewrites the program so FDD compilation never
+/// pays for fields the query cannot see: assignments to out-of-cone
+/// fields become skip (tests are always kept — a test can filter packets,
+/// and in-cone guard structure must survive), then the verified S15
+/// simplifier collapses the branches and chains the deletions emptied.
+///
+/// The soundness bar is weaker than S15's reference equality — the sliced
+/// diagram equals the original only after projecting leaf actions onto
+/// the cone — which is exactly what the oracle's CheckSlice asserts,
+/// together with answer-string equality for every query form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_AST_SLICE_H
+#define MCNK_AST_SLICE_H
+
+#include "ast/Deps.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace mcnk {
+namespace ast {
+
+struct SliceStats {
+  /// Assignments rewritten to skip.
+  std::size_t AssignmentsRemoved = 0;
+  /// AST node counts before slicing and after slice + simplify.
+  std::size_t NodesBefore = 0;
+  std::size_t NodesAfter = 0;
+  /// Field universe: mentioned fields before, cone fields after.
+  std::size_t FieldsBefore = 0;
+  std::size_t FieldsRelevant = 0;
+};
+
+/// A sliced program plus the projected field universe it is valid over.
+struct SliceResult {
+  /// The sliced program; the original pointer when nothing was removed.
+  const Node *Program = nullptr;
+  /// The cone of influence, indexed by FieldId: the projected field
+  /// universe FDD compilation of Program branches within. Fields outside
+  /// it are neither tested nor assigned by Program.
+  std::vector<bool> Relevant;
+  SliceStats Stats;
+};
+
+/// Slices \p Program for \p Obs. Rewritten nodes are built in \p Ctx
+/// (which must own the program's nodes). Deterministic and idempotent:
+/// slicing the result again with the same observation set returns it
+/// unchanged.
+SliceResult slice(Context &Ctx, const Node *Program,
+                  const ObservationSet &Obs);
+
+} // namespace ast
+} // namespace mcnk
+
+#endif // MCNK_AST_SLICE_H

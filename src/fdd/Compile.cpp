@@ -242,6 +242,15 @@ struct StructureOverride {
 FddRef fdd::compile(FddManager &Manager, const Node *Program,
                     const CompileOptions &Options) {
   CompileOptions O = Options;
+  if (O.Slice && O.Slice->Ctx) {
+    // Like Simplify below: once, before any worker copies the options.
+    ast::SliceResult R =
+        ast::slice(*O.Slice->Ctx, Program, O.Slice->Observed);
+    Program = R.Program;
+    if (O.Slice->Stats)
+      *O.Slice->Stats = R.Stats;
+    O.Slice = nullptr;
+  }
   if (O.Simplify) {
     // Once, before any worker copies the options: ast::Context (the arena
     // behind the rewrite) is not thread-safe.

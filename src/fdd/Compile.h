@@ -14,6 +14,7 @@
 #define MCNK_FDD_COMPILE_H
 
 #include "ast/Node.h"
+#include "ast/Slice.h"
 #include "fdd/Fdd.h"
 
 namespace mcnk {
@@ -27,6 +28,15 @@ class Context;
 namespace fdd {
 
 class CompileCache;
+
+/// The CompileOptions.Slice payload: the rewrite arena (must own the
+/// program's nodes and outlive the compile), the observation set the
+/// query exposes, and an optional stats sink filled by the slice.
+struct SliceHook {
+  ast::Context *Ctx = nullptr;
+  ast::ObservationSet Observed;
+  ast::SliceStats *Stats = nullptr;
+};
 
 struct CompileOptions {
   /// Compile `case` branches on a worker pool.
@@ -62,6 +72,19 @@ struct CompileOptions {
   /// already-simplified tree, so smaller programs fingerprint faster and
   /// collapse onto shared cache entries.
   ast::Context *Simplify = nullptr;
+  /// Query-directed cone-of-influence slicing (ast/Slice.h; ARCHITECTURE
+  /// S17). When non-null (with a non-null Ctx), the program is sliced for
+  /// Observed before compilation — assignments to fields outside the
+  /// query's cone of influence are removed, so the diagram never pays for
+  /// fields the query cannot see. Applied exactly once at the top of
+  /// compile(), like Simplify (and cleared before parallel-`case` workers
+  /// copy the options, for the same thread-safety reason); it likewise
+  /// composes with the S12 cache — the fingerprint pass sees the sliced
+  /// tree. Unlike Simplify, the sliced diagram is only equal to the
+  /// original *after projecting leaf actions onto the cone*; the answers
+  /// of queries within Observed are unchanged, a contract the oracle's
+  /// CheckSlice lane enforces.
+  const SliceHook *Slice = nullptr;
   /// Solver-structure override for while-loop solves during this compile
   /// (docs/ARCHITECTURE.md S13). When null, the manager's own structure
   /// applies; either way, parallel-`case` worker managers inherit the

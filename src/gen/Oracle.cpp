@@ -13,8 +13,10 @@
 #include "gen/Oracle.h"
 
 #include "analysis/Verifier.h"
+#include "ast/Deps.h"
 #include "ast/Printer.h"
 #include "ast/Simplify.h"
+#include "ast/Slice.h"
 #include "ast/Traversal.h"
 #include "baseline/Exhaustive.h"
 #include "fdd/CompileCache.h"
@@ -23,12 +25,14 @@
 #include "prism/Checker.h"
 #include "prism/Translate.h"
 #include "semantics/SetSemantics.h"
+#include "serve/Lint.h"
 #include "serve/Server.h"
 #include "support/Error.h"
 
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <unordered_map>
 
 using namespace mcnk;
 using namespace mcnk::gen;
@@ -82,6 +86,40 @@ struct Checker {
     Report.Disagreements.push_back(Label + ": " + Message);
   }
 };
+
+/// Replays \p Ref with every modification to an out-of-cone field
+/// stripped from the leaves — the observable part of the diagram under
+/// the cone. Out-of-cone *tests* are kept whenever their projected
+/// children still differ: a sound slice leaves no such test behind, so a
+/// dependency the analysis missed fails the reference-equality check
+/// instead of being projected away with it.
+fdd::FddRef projectFdd(fdd::FddManager &M, fdd::FddRef Ref,
+                       const std::vector<bool> &Relevant,
+                       std::unordered_map<fdd::FddRef, fdd::FddRef> &Memo) {
+  auto It = Memo.find(Ref);
+  if (It != Memo.end())
+    return It->second;
+  fdd::FddRef Out;
+  if (fdd::isLeafRef(Ref)) {
+    std::vector<std::pair<fdd::Action, Rational>> Entries;
+    for (const auto &[A, W] : M.leafDist(Ref).entries()) {
+      fdd::Action Projected = A;
+      if (!A.isDrop())
+        for (const auto &[F, V] : A.mods())
+          if (F < Relevant.size() && !Relevant[F])
+            Projected = Projected.dropMod(F);
+      Entries.emplace_back(std::move(Projected), W);
+    }
+    Out = M.leaf(fdd::ActionDist::fromEntries(std::move(Entries)));
+  } else {
+    const fdd::FddManager::InnerNode &N = M.innerNode(Ref);
+    fdd::FddRef Hi = projectFdd(M, N.Hi, Relevant, Memo);
+    fdd::FddRef Lo = projectFdd(M, N.Lo, Relevant, Memo);
+    Out = M.inner(N.Field, N.Value, Hi, Lo); // Collapses when Hi == Lo.
+  }
+  Memo.emplace(Ref, Out);
+  return Out;
+}
 
 /// Pr[F Done] of \p Program on \p In through the prismlite pipeline.
 /// Returns false (with a disagreement already recorded) on any pipeline
@@ -247,6 +285,86 @@ OracleReport gen::crossCheckProgram(Context &Ctx, const Node *Program,
     C.check(fdd::importFdd(VS.manager(), Ref) == ViaHook,
             "CompileOptions.Simplify compile is not reference-equal to "
             "the plain exact engine");
+  }
+
+  // --- Query-directed slicing cross-checks (ARCHITECTURE S17) -----------
+  // Slicing for the delivery observation deletes assignments to fields
+  // outside the delivery cone of influence. Its soundness contract is
+  // checked in both directions: the sliced diagram must equal the
+  // unsliced one projected onto the cone (reference equality, so a missed
+  // dependency cannot hide), and every engine configuration must answer
+  // delivery queries identically on the sliced program.
+  if (O.CheckSlice) {
+    ast::SliceResult SR =
+        ast::slice(Ctx, Program, ast::ObservationSet::delivery());
+    C.check(ast::slice(Ctx, SR.Program, ast::ObservationSet::delivery())
+                .Program == SR.Program,
+            "slice is not idempotent");
+
+    analysis::Verifier VS(markov::SolverKind::Exact);
+    VS.setSlice(&Ctx, ast::ObservationSet::delivery());
+    fdd::FddRef SE = VS.compile(Program);
+    fdd::PortableFdd Unsliced = fdd::exportFdd(VExact.manager(), E);
+    std::unordered_map<fdd::FddRef, fdd::FddRef> Memo;
+    C.check(projectFdd(VS.manager(),
+                       fdd::importFdd(VS.manager(), Unsliced), SR.Relevant,
+                       Memo) == SE,
+            "delivery-sliced compile is not reference-equal to the "
+            "cone projection of the unsliced diagram");
+    for (const Packet &In : Inputs)
+      C.check(VS.deliveryProbability(SE, In).toString() ==
+                  VExact.deliveryProbability(E, In).toString(),
+              "sliced delivery != unsliced delivery on input " +
+                  renderPacket(Ctx, In));
+    if (O.CheckParallel)
+      C.check(VS.compile(Program, true, O.ParallelThreads) == SE,
+              "sliced parallel compile differs from the sliced serial "
+              "compile");
+
+    // The all-fields observation (what equivalence/refinement queries
+    // observe) must make slicing a verified no-op on the diagram.
+    analysis::Verifier VA(markov::SolverKind::Exact);
+    VA.setSlice(&Ctx, ast::ObservationSet::all());
+    C.check(fdd::importFdd(VA.manager(), Unsliced) == VA.compile(Program),
+            "all-fields slice changed the compiled diagram");
+
+    fdd::PortableFdd Sliced = fdd::exportFdd(VS.manager(), SE);
+    if (O.CheckBlocked) {
+      analysis::Verifier VB(markov::SolverKind::Exact);
+      markov::SolverStructure SS;
+      SS.Blocked = true;
+      SS.Ordering = linalg::OrderingKind::ReverseCuthillMcKee;
+      VB.setSolverStructure(SS);
+      VB.setSlice(&Ctx, ast::ObservationSet::delivery());
+      C.check(fdd::importFdd(VB.manager(), Sliced) == VB.compile(Program),
+              "sliced blocked compile is not reference-equal to the "
+              "sliced monolithic compile");
+    }
+    if (O.CheckModular) {
+      analysis::Verifier VM(markov::SolverKind::ModularExact);
+      VM.setSlice(&Ctx, ast::ObservationSet::delivery());
+      C.check(fdd::importFdd(VM.manager(), Sliced) == VM.compile(Program),
+              "sliced modular compile is not reference-equal to the "
+              "sliced Rational exact compile");
+    }
+    if (O.CheckCompileCache) {
+      std::unique_ptr<fdd::CompileCache> Local;
+      fdd::CompileCache *Cache = O.Cache;
+      if (!Cache) {
+        Local = std::make_unique<fdd::CompileCache>();
+        Cache = Local.get();
+      }
+      analysis::Verifier VC(markov::SolverKind::Exact);
+      VC.setCompileCache(Cache);
+      VC.setSlice(&Ctx, ast::ObservationSet::delivery());
+      fdd::FddRef Cold = VC.compile(Program);
+      C.check(fdd::importFdd(VC.manager(), Sliced) == Cold,
+              "sliced cached cold compile is not reference-equal to the "
+              "uncached sliced compile");
+      C.check(VC.compile(Program) == Cold,
+              "sliced cache-hit recompile differs from the sliced cold "
+              "compile");
+    }
   }
 
   // --- Block-structured solver cross-checks (ARCHITECTURE S13) ----------
@@ -551,6 +669,31 @@ void serveCheckScenario(Context &Ctx, const Scenario &S,
     }
   }
 
+  // The lint verb must agree entry-for-entry with the shared pipeline
+  // behind `mcnk_cli lint --json` (serve/Lint.h) on the printed program.
+  {
+    serve::Json LintReq = serve::Json::object();
+    LintReq.set("verb", serve::Json::string("lint"));
+    LintReq.set("program", serve::Json::string(Printed));
+    serve::Json LintResp;
+    if (serveAsk(Sess, LintReq, LintResp, C)) {
+      ast::Context LCtx;
+      parser::ParseResult LR = parser::parseProgram(Printed, LCtx);
+      std::vector<serve::LintEntry> Want;
+      if (LR.ok())
+        Want = serve::lintProgram(LCtx, LR.Program, LR.Warnings);
+      const serve::Json *Fs = LintResp.find("findings");
+      bool Match = LR.ok() && Fs && Fs->isArray() &&
+                   Fs->elements().size() == Want.size();
+      if (Match)
+        for (std::size_t Idx = 0; Idx < Want.size(); ++Idx)
+          if (Fs->elements()[Idx].dump() !=
+              serve::lintEntryJson("<program>", Want[Idx]).dump())
+            Match = false;
+      C.check(Match, "served lint findings != shared lint pipeline");
+    }
+  }
+
   // Teleport verdicts through the self-contained two-program query path.
   if (S.Teleport) {
     const std::string PrintedSpec = ast::print(S.Teleport, Ctx.fields());
@@ -676,6 +819,30 @@ OracleReport gen::crossCheckScenario(Context &Ctx, const Scenario &S,
     if (AnyDelivery)
       C.check(LS.NumAbsorbing >= 1,
               "delivery is positive but the chain has no absorbing class");
+  }
+
+  // Scenario-level slicing agreement (docs/ARCHITECTURE.md S17): the
+  // sliced diagrams must answer the scenario's own query classes exactly —
+  // average delivery under the delivery observation, and the full hop
+  // histogram under the counter-field observation (which must keep the
+  // counter's writes while still shedding unrelated state).
+  if (O.CheckSlice) {
+    analysis::Verifier VS(markov::SolverKind::Exact);
+    VS.setSlice(&Ctx, ast::ObservationSet::delivery());
+    fdd::FddRef SP = VS.compile(S.Program);
+    C.check(VS.averageDeliveryProbability(SP, S.Inputs).toString() ==
+                V.averageDeliveryProbability(P, S.Inputs).toString(),
+            "sliced average delivery != unsliced average delivery");
+    if (S.HopField != FieldTable::NotFound) {
+      analysis::Verifier VH(markov::SolverKind::Exact);
+      VH.setSlice(&Ctx, ast::ObservationSet::fields({S.HopField}));
+      fdd::FddRef HP = VH.compile(S.Program);
+      analysis::HopStats Want = V.hopStats(P, S.Inputs, S.HopField);
+      analysis::HopStats Got = VH.hopStats(HP, S.Inputs, S.HopField);
+      C.check(Got.Delivered == Want.Delivered &&
+                  Got.Histogram == Want.Histogram,
+              "hop-field-sliced hop statistics != unsliced");
+    }
   }
 
   // Serving-layer conformance (docs/ARCHITECTURE.md S16).

@@ -90,6 +90,18 @@ struct OracleOptions {
   /// must be idempotent, and the CompileOptions.Simplify compile-time
   /// hook must agree with the standalone rewrite.
   bool CheckSimplify = true;
+  /// Cross-check query-directed slicing (docs/ARCHITECTURE.md S17): the
+  /// delivery-sliced compile must be reference-equal to the unsliced exact
+  /// diagram after projecting out-of-cone modifications away (out-of-cone
+  /// tests whose projected children still differ are kept, so a missed
+  /// dependency fails loudly); per-input delivery probabilities must be
+  /// string-equal; the sliced parallel / blocked / modular / cached
+  /// engines must reproduce the sliced serial diagram; the all-fields
+  /// slice must not change the compiled diagram at all; and slicing must
+  /// be idempotent. Scenarios additionally pin the sliced average
+  /// delivery and the hop-stats histogram under the counter-field
+  /// observation.
+  bool CheckSlice = true;
 };
 
 /// Accumulated outcome of an oracle run.

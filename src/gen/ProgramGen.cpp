@@ -171,7 +171,20 @@ const Node *genProgram(Context &Ctx, Prng &Rng, const GenOptions &O,
 
 const Node *gen::generateProgram(Context &Ctx, Prng &Rng,
                                  const GenOptions &Options) {
-  return genProgram(Ctx, Rng, Options, Options.MaxDepth);
+  const Node *P = genProgram(Ctx, Rng, Options, Options.MaxDepth);
+  if (Options.PlantWriteOnlyField) {
+    // The grammar only assigns fields it also tests, so plant a field no
+    // guard ever reads: a leading write, and half the time a trailing
+    // overwrite (making the first one dead as well).
+    FieldId W = Ctx.field("scratch");
+    P = Ctx.seq(
+        Ctx.assign(W, static_cast<FieldValue>(Rng.below(Options.NumValues))),
+        P);
+    if (Rng.chance(1, 2))
+      P = Ctx.seq(P, Ctx.assign(W, static_cast<FieldValue>(
+                                       Rng.below(Options.NumValues))));
+  }
+  return P;
 }
 
 const Node *gen::generateProgram(Context &Ctx, uint64_t Seed,

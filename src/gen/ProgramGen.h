@@ -56,6 +56,13 @@ struct GenOptions {
   /// this exercises the S15 analyzer/simplifier (ast/Analyze.h) on shapes
   /// the plain grammar rarely produces.
   bool PlantDeadArms = false;
+
+  /// Wrap the program in assignments to a `scratch` field no guard ever
+  /// tests: written (possibly twice) but never read, so every write is
+  /// invisible to any delivery query. Exercises the S17 dependency
+  /// analysis (ast/Deps.h) — the write-only-field check must flag it and
+  /// query-directed slicing must remove it without changing any answer.
+  bool PlantWriteOnlyField = false;
 };
 
 /// Generates a random guarded-fragment program; fields are interned into

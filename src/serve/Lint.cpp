@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the shared lint pipeline: collection, the pinned text
+/// rendering, and the JSON shape both `mcnk_cli lint --json` and the
+/// serve daemon's `lint` verb emit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Lint.h"
+
+#include "ast/Analyze.h"
+#include "ast/Deps.h"
+
+#include <algorithm>
+
+using namespace mcnk;
+using namespace mcnk::serve;
+
+std::vector<LintEntry>
+serve::lintProgram(const ast::Context &Ctx, const ast::Node *Program,
+                   const std::vector<parser::Diagnostic> &Warnings) {
+  std::vector<LintEntry> Entries;
+  for (const parser::Diagnostic &W : Warnings)
+    Entries.push_back({W.Line, W.Column, W.Check, W.Message});
+  auto Add = [&](const std::vector<ast::Finding> &Findings) {
+    for (const ast::Finding &F : Findings)
+      Entries.push_back({F.Loc.valid() ? F.Loc.Line : 0,
+                         F.Loc.valid() ? F.Loc.Column : 0,
+                         ast::checkName(F.Check), F.Message});
+  };
+  Add(ast::analyze(Ctx, Program));
+  Add(ast::analyzeDeps(Ctx, Program));
+  // Stable by position: each producer already orders its own findings
+  // (located first, then by position, then by check), so the merge keeps
+  // that order within a position.
+  std::stable_sort(Entries.begin(), Entries.end(),
+                   [](const LintEntry &A, const LintEntry &B) {
+                     return A.Line != B.Line ? A.Line < B.Line
+                                             : A.Col < B.Col;
+                   });
+  return Entries;
+}
+
+std::string serve::renderLintEntry(const std::string &File,
+                                   const LintEntry &E) {
+  std::string Out = File;
+  if (E.Line > 0)
+    Out += ":" + std::to_string(E.Line) + ":" + std::to_string(E.Col);
+  Out += ": warning[" + E.Check + "]: " + E.Message;
+  return Out;
+}
+
+Json serve::lintEntryJson(const std::string &File, const LintEntry &E) {
+  Json O = Json::object();
+  O.set("file", Json::string(File));
+  O.set("line", Json::integer(E.Line));
+  O.set("col", Json::integer(E.Col));
+  O.set("check", Json::string(E.Check));
+  O.set("message", Json::string(E.Message));
+  return O;
+}
+
+Json serve::lintJson(const std::string &File,
+                     const std::vector<LintEntry> &Entries) {
+  Json A = Json::array();
+  for (const LintEntry &E : Entries)
+    A.push(lintEntryJson(File, E));
+  return A;
+}

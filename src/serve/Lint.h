@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared lint pipeline behind `mcnk_cli lint` and the serve daemon's
+/// `lint` verb: one function collecting the parser's advisory warnings,
+/// the S15 abstract-interpretation findings (ast/Analyze.h), and the S17
+/// field-dependency findings (ast/Deps.h) into one source-ordered stream,
+/// plus the two renderers — the classic `file:line:col: warning[check]:
+/// message` text line and the JSON object both consumers emit, so the CLI
+/// `--json` flag and the daemon agree byte-for-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCNK_SERVE_LINT_H
+#define MCNK_SERVE_LINT_H
+
+#include "ast/Context.h"
+#include "parser/Parser.h"
+#include "serve/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace mcnk {
+namespace serve {
+
+/// One lint diagnostic, flattened for rendering. Line == 0 means the
+/// finding has no source location (programmatically built subtrees); the
+/// text renderer then omits the line:col prefix and the JSON renderer
+/// emits line and col as 0.
+struct LintEntry {
+  unsigned Line = 0;
+  unsigned Col = 0;
+  std::string Check;
+  std::string Message;
+};
+
+/// Runs the full lint pipeline over an already-parsed program: \p
+/// Warnings (the parser's advisory stream) merged with ast::analyze()
+/// and ast::analyzeDeps() findings, stably sorted by source position.
+std::vector<LintEntry>
+lintProgram(const ast::Context &Ctx, const ast::Node *Program,
+            const std::vector<parser::Diagnostic> &Warnings);
+
+/// `file:line:col: warning[check]: message` (the format pinned by
+/// ast_analyze_test and the lint_smoke ctests).
+std::string renderLintEntry(const std::string &File, const LintEntry &E);
+
+/// {"file": ..., "line": N, "col": N, "check": ..., "message": ...}
+Json lintEntryJson(const std::string &File, const LintEntry &E);
+
+/// The whole stream as a JSON array of lintEntryJson objects.
+Json lintJson(const std::string &File, const std::vector<LintEntry> &Entries);
+
+} // namespace serve
+} // namespace mcnk
+
+#endif // MCNK_SERVE_LINT_H

@@ -13,6 +13,7 @@
 #include "ast/Traversal.h"
 #include "fdd/Export.h"
 #include "parser/Parser.h"
+#include "serve/Lint.h"
 
 #include <istream>
 #include <ostream>
@@ -156,6 +157,19 @@ bool decodeInput(const Json &Obj, const FieldTable &Fields, Packet &Out,
   return true;
 }
 
+/// The per-compile S17 slice statistics as the response's "slice" object.
+Json sliceStatsJson(const ast::SliceStats &S) {
+  Json O = Json::object();
+  O.set("assignmentsRemoved",
+        Json::integer(static_cast<int64_t>(S.AssignmentsRemoved)));
+  O.set("nodesBefore", Json::integer(static_cast<int64_t>(S.NodesBefore)));
+  O.set("nodesAfter", Json::integer(static_cast<int64_t>(S.NodesAfter)));
+  O.set("fieldsBefore", Json::integer(static_cast<int64_t>(S.FieldsBefore)));
+  O.set("fieldsRelevant",
+        Json::integer(static_cast<int64_t>(S.FieldsRelevant)));
+  return O;
+}
+
 } // namespace
 
 Session::Slot &Session::slotFor(markov::SolverKind Kind) {
@@ -252,6 +266,127 @@ Json Session::handleCompile(const Json &Request) {
   return R;
 }
 
+Json Session::handleLint(const Json &Request) {
+  Json Err;
+  const std::string *Program = stringMember(Request, "program", Err);
+  if (!Program)
+    return Err;
+  // Optional display label for the findings' "file" member (clients
+  // linting editor buffers pass their path); defaults to "<program>".
+  std::string File = "<program>";
+  if (const Json *F = Request.find("file")) {
+    if (!F->isString())
+      return errorResponse("\"file\" must be a string");
+    File = F->asString();
+  }
+  ast::Context Ctx;
+  parser::ParseResult Parsed = parser::parseProgram(*Program, Ctx);
+  if (!Parsed.ok())
+    return errorResponse(Parsed.Diagnostics.empty()
+                             ? "parse error"
+                             : Parsed.Diagnostics.front().render());
+  std::vector<LintEntry> Entries =
+      lintProgram(Ctx, Parsed.Program, Parsed.Warnings);
+  Json R = okResponse();
+  R.set("clean", Json::boolean(Entries.empty()));
+  R.set("findings", lintJson(File, Entries));
+  return R;
+}
+
+/// The self-contained sliced query path (S17): parse into a fresh
+/// context, compile with a SliceHook for the query's observation set, and
+/// answer from the transient verifier. Deliberately bypasses the
+/// session's program slot — the sliced diagram depends on the query, not
+/// just the program text, so caching it under the text would poison
+/// unsliced queries (the shared S12 cache still makes repeats cheap, and
+/// its fingerprint pass runs over the sliced tree).
+Json Session::handleSlicedQuery(const Json &Request,
+                                const std::string &Program,
+                                const std::string &Query,
+                                markov::SolverKind Kind) {
+  Json Err;
+  ast::Context Ctx;
+  parser::ParseResult Parsed = parser::parseProgram(Program, Ctx);
+  if (!Parsed.ok())
+    return errorResponse(Parsed.Diagnostics.empty()
+                             ? "parse error"
+                             : Parsed.Diagnostics.front().render());
+  if (!ast::isGuarded(Parsed.Program))
+    return errorResponse("program is outside the guarded fragment");
+
+  ast::ObservationSet Obs = ast::ObservationSet::delivery();
+  FieldId Hop = FieldTable::NotFound;
+  if (Query == "hop-stats") {
+    const std::string *HopField = stringMember(Request, "hopField", Err);
+    if (!HopField)
+      return Err;
+    Hop = Ctx.fields().lookup(*HopField);
+    if (Hop == FieldTable::NotFound)
+      return errorResponse("hop field \"" + *HopField +
+                           "\" is not used by the program");
+    Obs = ast::ObservationSet::fields({Hop});
+  } else if (Query != "delivery") {
+    return errorResponse("unknown query \"" + Query +
+                         "\" (expected \"delivery\", \"hop-stats\", "
+                         "\"equivalent\" or \"refines\")");
+  }
+
+  const Json *Inputs = Request.find("inputs");
+  if (!Inputs || !Inputs->isArray() || Inputs->elements().empty())
+    return errorResponse("\"" + Query +
+                         "\" needs a non-empty \"inputs\" array");
+  std::string Error;
+  std::vector<Packet> Packets;
+  Packets.reserve(Inputs->elements().size());
+  for (const Json &Obj : Inputs->elements()) {
+    Packet P;
+    if (!decodeInput(Obj, Ctx.fields(), P, Error))
+      return errorResponse(Error);
+    Packets.push_back(std::move(P));
+  }
+
+  analysis::Verifier V(Kind);
+  fdd::CompileOptions Options;
+  Options.Cache = &Svc.cache();
+  Options.Pool = Svc.pool();
+  Options.ParallelCase = Svc.pool() != nullptr;
+  ast::SliceStats Stats;
+  fdd::SliceHook Hook;
+  Hook.Ctx = &Ctx;
+  Hook.Observed = Obs;
+  Hook.Stats = &Stats;
+  Options.Slice = &Hook;
+  fdd::FddRef Root = fdd::compile(V.manager(), Parsed.Program, Options);
+  Svc.countSlice(Stats);
+
+  Json R = okResponse();
+  if (Query == "delivery") {
+    Json Results = Json::array();
+    Rational Total;
+    for (const Packet &P : Packets) {
+      Rational Prob = V.deliveryProbability(Root, P);
+      Total += Prob;
+      Results.push(Json::string(Prob.toString()));
+    }
+    R.set("results", std::move(Results));
+    R.set("average",
+          Json::string(
+              (Total / Rational(static_cast<int64_t>(Packets.size())))
+                  .toString()));
+  } else {
+    analysis::HopStats HS = V.hopStats(Root, Packets, Hop);
+    R.set("delivered", Json::string(HS.Delivered.toString()));
+    Json Histogram = Json::object();
+    for (const auto &[Hops, Mass] : HS.Histogram)
+      Histogram.set(std::to_string(Hops), Json::string(Mass.toString()));
+    R.set("histogram", std::move(Histogram));
+    R.set("expectedGivenDelivered",
+          Json::number(HS.expectedGivenDelivered()));
+  }
+  R.set("slice", sliceStatsJson(Stats));
+  return R;
+}
+
 Json Session::handleQuery(const Json &Request) {
   Json Err;
   const std::string *Program = stringMember(Request, "program", Err);
@@ -264,6 +399,12 @@ Json Session::handleQuery(const Json &Request) {
   markov::SolverKind Kind = requestSolver(Request, SolverOk, Err);
   if (!SolverOk)
     return Err;
+  bool Slice = false;
+  if (const Json *S = Request.find("slice")) {
+    if (!S->isBool())
+      return errorResponse("\"slice\" must be a boolean");
+    Slice = S->asBool();
+  }
 
   if (*Query == "equivalent" || *Query == "refines") {
     const std::string *Program2 = stringMember(Request, "program2", Err);
@@ -296,14 +437,44 @@ Json Session::handleQuery(const Json &Request) {
     Options.Cache = &Svc.cache();
     Options.Pool = Svc.pool();
     Options.ParallelCase = Svc.pool() != nullptr;
+    // With "slice": true, both sides slice for the all-fields observation
+    // (the comparison observes whole output packets, so this is a
+    // verified no-op rewrite). fdd::compile consumes the hook from its
+    // private options copy, so re-pointing Slice between compiles is
+    // safe.
+    ast::SliceStats Stats1, Stats2;
+    fdd::SliceHook Hook1, Hook2;
+    if (Slice) {
+      Hook1.Ctx = &Ctx;
+      Hook1.Observed = ast::ObservationSet::all();
+      Hook1.Stats = &Stats1;
+      Options.Slice = &Hook1;
+    }
     fdd::FddRef P = fdd::compile(V.manager(), Parsed1.Program, Options);
+    if (Slice) {
+      Hook2.Ctx = &Ctx;
+      Hook2.Observed = ast::ObservationSet::all();
+      Hook2.Stats = &Stats2;
+      Options.Slice = &Hook2;
+    }
     fdd::FddRef Q = fdd::compile(V.manager(), Parsed2.Program, Options);
     bool Holds =
         *Query == "equivalent" ? V.equivalent(P, Q) : V.refines(P, Q);
     Json R = okResponse();
     R.set("holds", Json::boolean(Holds));
+    if (Slice) {
+      Svc.countSlice(Stats1);
+      Svc.countSlice(Stats2);
+      R.set("slice", sliceStatsJson(Stats1));
+      R.set("slice2", sliceStatsJson(Stats2));
+    }
     return R;
   }
+
+  if (Slice)
+    // Sliced packet queries compile a query-specific diagram; keep them
+    // out of the session's (program-text-keyed) slot.
+    return handleSlicedQuery(Request, *Program, *Query, Kind);
 
   Slot &S = slotFor(Kind);
   std::string Error;
@@ -399,6 +570,16 @@ Json Session::handleStats() {
         Json::integer(static_cast<int64_t>(Svc.warmedEntries())));
   R.set("requests", Json::integer(static_cast<int64_t>(Svc.requests())));
   R.set("errors", Json::integer(static_cast<int64_t>(Svc.errors())));
+  Json Sl = Json::object();
+  Sl.set("requests",
+         Json::integer(static_cast<int64_t>(Svc.sliceRequests())));
+  Sl.set("assignmentsRemoved",
+         Json::integer(static_cast<int64_t>(Svc.sliceAssignmentsRemoved())));
+  Sl.set("nodesBefore",
+         Json::integer(static_cast<int64_t>(Svc.sliceNodesBefore())));
+  Sl.set("nodesAfter",
+         Json::integer(static_cast<int64_t>(Svc.sliceNodesAfter())));
+  R.set("slice", std::move(Sl));
   return R;
 }
 
@@ -438,6 +619,8 @@ Json Session::dispatch(const Json &Request, bool *Shutdown) {
     return handleParse(Request);
   if (*Verb == "compile")
     return handleCompile(Request);
+  if (*Verb == "lint")
+    return handleLint(Request);
   if (*Verb == "query")
     return handleQuery(Request);
   if (*Verb == "stats")
@@ -450,8 +633,8 @@ Json Session::dispatch(const Json &Request, bool *Shutdown) {
     return okResponse();
   }
   return errorResponse("unknown verb \"" + *Verb +
-                       "\" (expected parse, compile, query, stats, gc or "
-                       "shutdown)");
+                       "\" (expected parse, compile, lint, query, stats, gc "
+                       "or shutdown)");
 }
 
 std::string Session::handleLine(const std::string &Line, bool *Shutdown) {

@@ -14,6 +14,7 @@
 ///
 ///   {"verb":"parse",   "program":"..."}
 ///   {"verb":"compile", "program":"...", "solver":"exact"}
+///   {"verb":"lint",    "program":"...", "file":"<label>"}   // diagnostics
 ///   {"verb":"query",   "program":"...", "query":"delivery",
 ///    "inputs":[{"sw":1,"pt":0}, ...]}                  // batched
 ///   {"verb":"query",   "program":"...", "query":"hop-stats",
@@ -21,6 +22,18 @@
 ///   {"verb":"query",   "program":"...", "program2":"...",
 ///    "query":"equivalent" | "refines"}
 ///   {"verb":"stats"}   {"verb":"gc"}   {"verb":"shutdown"}
+///
+/// `lint` runs the S15 analyzer plus the S17 field-dependency checks and
+/// answers {"ok":true, "findings":[{file,line,col,check,message}, ...]} —
+/// the same objects `mcnk_cli lint --json` prints (serve/Lint.h is the
+/// shared pipeline). Query verbs accept "slice": true to run S17
+/// query-directed cone-of-influence slicing before compiling: delivery
+/// slices for the delivery observation, hop-stats for its counter field,
+/// equivalent/refines for the all-fields observation. Sliced queries are
+/// self-contained (they bypass the session's program slot — the sliced
+/// diagram depends on the query, not just the program) and the response
+/// carries a "slice" stats object; answers are identical with and without
+/// slicing, a contract the oracle's CheckSlice lane enforces.
 ///
 /// Every request may carry an "id", echoed in the response. Responses are
 /// {"ok":true, ...} or {"ok":false, "error":"..."}; exact probabilities
@@ -92,6 +105,21 @@ public:
   uint64_t requests() const { return Requests.load(); }
   uint64_t errors() const { return Errors.load(); }
 
+  /// Aggregates one sliced compile into the service-wide S17 counters
+  /// (reported by the stats verb).
+  void countSlice(const ast::SliceStats &S) {
+    ++SliceRequests;
+    SliceAssignmentsRemoved += S.AssignmentsRemoved;
+    SliceNodesBefore += S.NodesBefore;
+    SliceNodesAfter += S.NodesAfter;
+  }
+  uint64_t sliceRequests() const { return SliceRequests.load(); }
+  uint64_t sliceAssignmentsRemoved() const {
+    return SliceAssignmentsRemoved.load();
+  }
+  uint64_t sliceNodesBefore() const { return SliceNodesBefore.load(); }
+  uint64_t sliceNodesAfter() const { return SliceNodesAfter.load(); }
+
 private:
   explicit Service(const Options &O) : Opts(O), Cache(O.CacheCapacity) {}
 
@@ -102,6 +130,10 @@ private:
   std::size_t Warmed = 0;
   std::atomic<uint64_t> Requests{0};
   std::atomic<uint64_t> Errors{0};
+  std::atomic<uint64_t> SliceRequests{0};
+  std::atomic<uint64_t> SliceAssignmentsRemoved{0};
+  std::atomic<uint64_t> SliceNodesBefore{0};
+  std::atomic<uint64_t> SliceNodesAfter{0};
 };
 
 /// One client's worker state. NOT thread-safe — each connection (or the
@@ -136,7 +168,10 @@ private:
   Json dispatch(const Json &Request, bool *Shutdown);
   Json handleParse(const Json &Request);
   Json handleCompile(const Json &Request);
+  Json handleLint(const Json &Request);
   Json handleQuery(const Json &Request);
+  Json handleSlicedQuery(const Json &Request, const std::string &Program,
+                         const std::string &Query, markov::SolverKind Kind);
   Json handleStats();
   Json handleGc();
 

@@ -82,6 +82,10 @@ TEST_F(AnalyzeTest, CheckNamesArePinned) {
   EXPECT_STREQ(checkName(CheckKind::DeadAssignment), "dead-assignment");
   EXPECT_STREQ(checkName(CheckKind::RedundantAssignment),
                "redundant-assignment");
+  EXPECT_STREQ(checkName(CheckKind::DeadField), "dead-field");
+  EXPECT_STREQ(checkName(CheckKind::WriteOnlyField), "write-only-field");
+  EXPECT_STREQ(checkName(CheckKind::QueryIrrelevantAssignment),
+               "query-irrelevant-assignment");
 }
 
 TEST_F(AnalyzeTest, OverlappingCaseGuards) {
@@ -207,6 +211,18 @@ TEST_F(AnalyzeTest, FindingsAreSortedBySourcePosition) {
                 (Fs[I - 1].Loc.Line == Fs[I].Loc.Line &&
                  Fs[I - 1].Loc.Column <= Fs[I].Loc.Column));
   }
+}
+
+TEST_F(AnalyzeTest, IdenticalRenderedFindingsAreDeduplicated) {
+  // Regression: `var h := n in p` desugars to h:=n ; p ; h:=0 where the
+  // two synthesized assignments carry no source location of their own and
+  // inherit the block's span. With a trailing write both are dead, and the
+  // per-node Reported set saw two distinct pointers — so the identical
+  // diagnostic line rendered twice.
+  std::vector<Finding> Fs = lint("(var h := 1 in skip); h:=3");
+  EXPECT_EQ(count(Fs, CheckKind::DeadAssignment), 1u);
+  for (std::size_t I = 1; I < Fs.size(); ++I)
+    EXPECT_NE(Fs[I - 1].render("p.pnk"), Fs[I].render("p.pnk"));
 }
 
 TEST_F(AnalyzeTest, RenderWithoutLocationOmitsTheCoordinates) {

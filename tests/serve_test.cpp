@@ -472,6 +472,66 @@ TEST(Session, AnswersHopStatsAndComparisons) {
   EXPECT_TRUE(Ref.find("holds")->asBool());
 }
 
+TEST(Session, LintVerbReportsAndClearsFindings) {
+  auto Svc = serve::Service::create({}, nullptr);
+  ASSERT_TRUE(Svc);
+  serve::Session S(*Svc);
+  serve::Json R = roundTrip(
+      S, "{\"verb\":\"lint\",\"program\":"
+         "\"meter:=7; (if sw=1 then skip else drop)\"}");
+  ASSERT_TRUE(okOf(R)) << R.dump();
+  EXPECT_FALSE(R.find("clean")->asBool());
+  const serve::Json *Fs = R.find("findings");
+  ASSERT_NE(Fs, nullptr);
+  ASSERT_FALSE(Fs->elements().empty());
+  const serve::Json &First = Fs->elements()[0];
+  EXPECT_EQ(First.find("check")->asString(), "write-only-field");
+  EXPECT_EQ(First.find("line")->asInt(), 1);
+  EXPECT_NE(First.find("message")->asString().find("meter"),
+            std::string::npos);
+
+  serve::Json Clean = roundTrip(
+      S, "{\"verb\":\"lint\",\"program\":\"(if sw=1 then pt:=1 else pt:=2);"
+         " (if pt=1 then skip else drop)\"}");
+  ASSERT_TRUE(okOf(Clean)) << Clean.dump();
+  EXPECT_TRUE(Clean.find("clean")->asBool());
+  EXPECT_TRUE(Clean.find("findings")->elements().empty());
+}
+
+TEST(Session, SlicedQueriesMatchUnslicedAndCountInStats) {
+  auto Svc = serve::Service::create({}, nullptr);
+  ASSERT_TRUE(Svc);
+  serve::Session S(*Svc);
+  // The meter writes are invisible to delivery, so the sliced compile must
+  // drop them yet answer with the same exact rationals.
+  const char *Query = "\"verb\":\"query\",\"query\":\"delivery\","
+                      "\"program\":\"meter:=7; (if sw=1 then (pt:=2 +[1/3] "
+                      "drop) else meter:=1)\","
+                      "\"inputs\":[{\"sw\":1},{\"sw\":0}]";
+  serve::Json Plain = roundTrip(S, std::string("{") + Query + "}");
+  ASSERT_TRUE(okOf(Plain)) << Plain.dump();
+  serve::Json Sliced =
+      roundTrip(S, std::string("{") + Query + ",\"slice\":true}");
+  ASSERT_TRUE(okOf(Sliced)) << Sliced.dump();
+  EXPECT_EQ(Sliced.find("results")->dump(), Plain.find("results")->dump());
+  EXPECT_EQ(Sliced.find("average")->asString(),
+            Plain.find("average")->asString());
+  const serve::Json *Sl = Sliced.find("slice");
+  ASSERT_NE(Sl, nullptr) << Sliced.dump();
+  EXPECT_GE(Sl->find("assignmentsRemoved")->asInt(), 2);
+  EXPECT_LT(Sl->find("nodesAfter")->asInt(),
+            Sl->find("nodesBefore")->asInt());
+  // Unsliced responses carry no slice report.
+  EXPECT_EQ(Plain.find("slice"), nullptr);
+
+  serve::Json Stats = roundTrip(S, "{\"verb\":\"stats\"}");
+  ASSERT_TRUE(okOf(Stats)) << Stats.dump();
+  const serve::Json *Agg = Stats.find("slice");
+  ASSERT_NE(Agg, nullptr);
+  EXPECT_EQ(Agg->find("requests")->asInt(), 1);
+  EXPECT_GE(Agg->find("assignmentsRemoved")->asInt(), 2);
+}
+
 TEST(Session, RejectsBadRequestsWithoutDying) {
   auto Svc = serve::Service::create({}, nullptr);
   ASSERT_TRUE(Svc);
